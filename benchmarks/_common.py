@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench reproduces one paper artifact (table, figure, or quantitative
+claim — see DESIGN.md's per-experiment index) and emits its reproduction
+table to stdout *and* to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md
+can quote the measured output.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.harness import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(table: Table, name: str) -> None:
+    """Print a reproduction table and persist it under benchmarks/results."""
+    text = table.render()
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as f:
+        f.write(text + "\n")
+
+
+def wall(fn, *args, repeat: int = 3, **kwargs) -> float:
+    """Best-of-N wall-clock seconds for quick in-table measurements."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best

@@ -1,0 +1,116 @@
+"""E1 — section II.A: zombies & pending tuples make incremental build fast.
+
+Claim: "it is just as fast to use a sequence of e setElement operations to
+build a matrix as it is to create an array of e tuples and use build" —
+because non-blocking mode defers each insertion as a pending tuple and
+assembles once, in O(n + e + p log p).  In blocking mode each setElement
+reassembles immediately, so the loop degrades to O(e^2).
+
+Reproduction target (shape): nonblocking-setElement / build ratio stays
+O(1)-ish as e grows, while blocking-setElement / build explodes.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit, wall
+from repro.graphblas import Matrix, blocking, nonblocking
+from repro.harness import Table
+
+SIZES = [500, 2000, 8000]
+
+
+def _edges(e, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, n, e),
+        rng.integers(0, n, e),
+        rng.random(e),
+    )
+
+
+def build_batch(r, c, v, n):
+    A = Matrix("FP64", n, n)
+    A.build(r, c, v, dup="SECOND")
+    A.wait()
+    return A
+
+
+def build_incremental_nonblocking(r, c, v, n):
+    with nonblocking():
+        A = Matrix("FP64", n, n)
+        for i, j, x in zip(r, c, v):
+            A.set_element(i, j, x)
+        A.wait()
+    return A
+
+
+def build_incremental_blocking(r, c, v, n):
+    with blocking():
+        A = Matrix("FP64", n, n)
+        for i, j, x in zip(r, c, v):
+            A.set_element(i, j, x)
+    return A
+
+
+def test_e1_table(benchmark):
+    def run():
+        t = Table(
+            "E1: e x setElement vs one build (paper II.A pending tuples)",
+            [
+                "e",
+                "build (s)",
+                "setElement nonblocking (s)",
+                "setElement blocking (s)",
+                "nonblk/build",
+                "blk/build",
+            ],
+        )
+        for e in SIZES:
+            n = e
+            r, c, v = _edges(e, n)
+            tb = wall(build_batch, r, c, v, n, repeat=2)
+            tn = wall(build_incremental_nonblocking, r, c, v, n, repeat=2)
+            # blocking mode is quadratic: cap the size actually measured
+            if e <= 2000:
+                tk = wall(build_incremental_blocking, r, c, v, n, repeat=1)
+                blk = f"{tk / tb:.1f}x"
+            else:
+                tk, blk = float("nan"), "(skipped: quadratic)"
+            t.add(e, tb, tn, tk, f"{tn / tb:.1f}x", blk)
+        t.note("claim: nonblocking incremental ~ batch build; blocking blows up")
+        emit(t, "e1_incremental_build")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_e1_shape_nonblocking_stays_near_build():
+    """The paper's claim, asserted: the nonblocking/build ratio must stay
+    bounded while blocking/build grows with e."""
+    ratios_nb, ratios_blk = [], []
+    for e in (400, 1600):
+        n = e
+        r, c, v = _edges(e, n)
+        tb = wall(build_batch, r, c, v, n, repeat=3)
+        tn = wall(build_incremental_nonblocking, r, c, v, n, repeat=3)
+        tk = wall(build_incremental_blocking, r, c, v, n, repeat=1)
+        ratios_nb.append(tn / tb)
+        ratios_blk.append(tk / tb)
+    # blocking degrades at least 3x faster than nonblocking as e quadruples
+    assert ratios_blk[1] / ratios_blk[0] > 2 * (ratios_nb[1] / ratios_nb[0])
+
+
+def test_e1_results_identical():
+    r, c, v = _edges(1000, 1000)
+    A = build_batch(r, c, v, 1000)
+    B = build_incremental_nonblocking(r, c, v, 1000)
+    C = build_incremental_blocking(r, c, v, 1000)
+    assert A.isequal(B) and A.isequal(C)
+
+
+@pytest.mark.parametrize("mode", ["build", "nonblocking"])
+def test_bench_e1(benchmark, mode):
+    e = n = 4000
+    r, c, v = _edges(e, n)
+    fn = build_batch if mode == "build" else build_incremental_nonblocking
+    benchmark(fn, r, c, v, n)

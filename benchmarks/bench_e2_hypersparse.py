@@ -1,0 +1,81 @@
+"""E2 — section II.A: hypersparse storage is O(e), not O(n + e).
+
+Claim: "In the hypersparse form, the pointer array itself becomes sparse
+... the space is reduced to O(e), so that matrices with enormous dimensions
+can be created, as long as e << n."
+
+Reproduction: at fixed e, CSR bytes grow linearly with n while HyperCSR
+bytes stay flat; a 2^50-dimension matrix is constructed in microseconds.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit, wall
+from repro.graphblas import Matrix
+from repro.harness import Table
+
+E = 1000
+DIMS = [10_000, 100_000, 1_000_000, 10_000_000]
+
+
+def _scatter_matrix(n, e=E, fmt="csr", seed=0):
+    rng = np.random.default_rng(seed)
+    r = rng.integers(0, n, e)
+    c = rng.integers(0, n, e)
+    A = Matrix.from_coo(r, c, np.ones(e), nrows=n, ncols=n, dup="FIRST")
+    A.set_format(fmt)
+    return A
+
+
+def test_e2_table(benchmark):
+    def run():
+        t = Table(
+            f"E2: storage bytes at fixed e={E} as dimension n grows",
+            ["n", "CSR bytes", "HyperCSR bytes", "CSR/Hyper"],
+        )
+        for n in DIMS:
+            csr = _scatter_matrix(n, fmt="csr").nbytes
+            hyp = _scatter_matrix(n, fmt="hypercsr").nbytes
+            t.add(n, csr, hyp, f"{csr / hyp:.1f}x")
+        t.note("claim: CSR is O(n+e); hypersparse is O(e) (flat column)")
+        emit(t, "e2_hypersparse")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_e2_hyper_bytes_flat_csr_linear():
+    hyper_bytes = [_scatter_matrix(n, fmt="hypercsr").nbytes for n in DIMS]
+    csr_bytes = [_scatter_matrix(n, fmt="csr").nbytes for n in DIMS]
+    # hypersparse: constant in n
+    assert max(hyper_bytes) <= 1.01 * min(hyper_bytes)
+    # CSR: dominated by the n-length pointer array
+    assert csr_bytes[-1] > 100 * csr_bytes[0]
+    assert csr_bytes[-1] > 8 * DIMS[-1]
+
+
+def test_e2_enormous_dimensions_work():
+    """2^50-dimensional matrix: create, update, multiply — all O(e)."""
+    n = 1 << 50
+    A = Matrix("FP64", n, n)
+    A.set_element(123_456_789_012_345, 42, 1.5)
+    assert A.format == "hypercsr"
+    assert A.nvals == 1 and A.nbytes < 200
+    B = Matrix.from_coo([42], [7], [2.0], nrows=n, ncols=n)
+    from repro.graphblas import operations as ops
+
+    C = Matrix("FP64", n, n)
+    ops.mxm(C, A, B, "PLUS_TIMES")
+    assert C[123_456_789_012_345, 7] == 3.0
+
+
+def test_e2_creation_time_independent_of_dimension():
+    t_small = wall(lambda: _scatter_matrix(DIMS[0], fmt="hypercsr"), repeat=3)
+    t_huge = wall(lambda: Matrix.from_coo([1 << 40], [3], [1.0],
+                                          nrows=1 << 50, ncols=1 << 50), repeat=3)
+    assert t_huge < 50 * t_small  # no hidden O(n) allocation
+
+
+@pytest.mark.parametrize("fmt", ["csr", "hypercsr"])
+def test_bench_e2_build(benchmark, fmt):
+    benchmark(_scatter_matrix, 1_000_000, E, fmt)

@@ -1,0 +1,110 @@
+"""E4 — section II.E / Figure 3: direction-optimized (push-pull) traversal.
+
+GraphBLAST's key optimization, folded into GrB_mxv: push (SpMSpV) when the
+frontier is sparse, pull (SpMV against the dense form) when it is dense,
+switching on a density threshold with hysteresis.
+
+Reproduction targets (shape):
+* push wins at low frontier density, pull wins at high density, and the
+  crossover sits near the threshold regime (per-density table);
+* on a scale-free BFS, the auto policy tracks the better of push/pull and
+  actually switches directions mid-traversal.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit, wall
+from repro.generators import random_vector
+from repro.graphblas import DirectionOptimizer, Matrix, Vector
+from repro.graphblas import operations as ops
+from repro.harness import Table
+from repro.lagraph.bfs import bfs_level
+
+DENSITIES = [0.001, 0.01, 0.05, 0.2, 0.6]
+
+
+def _mxv(A, u, method):
+    w = Vector("FP64", A.nrows)
+    ops.mxv(w, A, u, "PLUS_TIMES", method=method)
+    return w
+
+
+def test_e4_density_sweep_table(benchmark, rmat_medium):
+    # GraphBLAST's dual-orientation storage: both CSR and CSC kept alive
+    A = rmat_medium.structure("FP64").keep_both_orientations(True)
+    A.by_col(), A.by_row()
+
+    def run():
+        t = Table(
+            f"E4: push vs pull across frontier density (RMAT scale 11, n={A.nrows})",
+            ["density", "push (s)", "pull (s)", "winner"],
+        )
+        for d in DENSITIES:
+            u = random_vector(A.nrows, d, seed=int(d * 1e4))
+            tp = wall(_mxv, A, u, "push", repeat=3)
+            tl = wall(_mxv, A, u, "pull", repeat=3)
+            t.add(d, tp, tl, "push" if tp < tl else "pull")
+        t.note("claim (Beamer/GraphBLAST): push wins sparse, pull wins dense")
+        emit(t, "e4_direction_optimization")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_e4_push_wins_sparse_pull_wins_dense(rmat_medium):
+    A = rmat_medium.structure("FP64").keep_both_orientations(True)
+    A.by_col(), A.by_row()
+    sparse_u = random_vector(A.nrows, 0.001, seed=1)
+    dense_u = random_vector(A.nrows, 0.8, seed=2)
+    t_push_sparse = wall(_mxv, A, sparse_u, "push", repeat=3)
+    t_pull_sparse = wall(_mxv, A, sparse_u, "pull", repeat=3)
+    t_push_dense = wall(_mxv, A, dense_u, "push", repeat=3)
+    t_pull_dense = wall(_mxv, A, dense_u, "pull", repeat=3)
+    assert t_push_sparse < t_pull_sparse  # sparse frontier: push wins
+    assert t_pull_dense < 1.5 * t_push_dense  # dense frontier: pull competitive
+
+
+def test_e4_bfs_auto_switches_and_tracks_best(rmat_medium):
+    opt = DirectionOptimizer(threshold=0.03)
+    t_auto = wall(lambda: bfs_level(0, rmat_medium, optimizer=DirectionOptimizer(0.03)), repeat=2)
+    bfs_level(0, rmat_medium, optimizer=opt)  # capture history
+    t_push = wall(lambda: bfs_level(0, rmat_medium, method="push"), repeat=2)
+    t_pull = wall(lambda: bfs_level(0, rmat_medium, method="pull"), repeat=2)
+    # the optimizer must actually use both directions on a scale-free BFS
+    assert {"push", "pull"} <= set(opt.history)
+    # and auto must not lose badly to the best fixed direction
+    assert t_auto < 1.6 * min(t_push, t_pull)
+
+
+def test_e4_per_level_direction_table(benchmark, rmat_medium):
+    def run():
+        opt = DirectionOptimizer(threshold=0.03)
+        n = rmat_medium.n
+        frontier = Vector("BOOL", n)
+        frontier.set_element(0, True)
+        levels = Vector("INT64", n)
+        t = Table(
+            "E4 detail: frontier density and chosen direction per BFS level",
+            ["level", "frontier nvals", "density", "direction"],
+        )
+        depth = 0
+        AT = rmat_medium.AT
+        while frontier.nvals > 0:
+            nv = frontier.nvals
+            ops.assign(levels, depth, ops.ALL, mask=frontier, desc="S")
+            ops.mxv(frontier, AT, frontier, "LOR_LAND", mask=levels,
+                    desc="RSC", optimizer=opt)
+            t.add(depth, nv, round(nv / n, 4), opt.history[-1])
+            depth += 1
+        t.note("the GraphBLAST rule: switch on threshold crossing, else keep")
+        emit(t, "e4_per_level_directions")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("method", ["push", "pull", "auto"])
+def test_bench_e4_bfs(benchmark, rmat_medium, method):
+    if method == "auto":
+        benchmark(lambda: bfs_level(0, rmat_medium, optimizer=DirectionOptimizer(0.03)))
+    else:
+        benchmark(lambda: bfs_level(0, rmat_medium, method=method))

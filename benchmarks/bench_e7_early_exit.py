@@ -1,0 +1,98 @@
+"""E7 — section II.A: terminal-monoid early exit in the dot product.
+
+Claim: "a current prototype adds an early exit mechanism for the MIN, MAX,
+OR, and AND monoids, where a dot product can terminate as soon as a
+terminal value is found ... this will enable a fast direction-optimizing
+BFS" — the pull step is a dot product over the OR monoid that can stop at
+the first hit.
+
+Reproduction: on adversarial long dense rows whose first inner product
+term already yields OR's terminal ``true``, the terminal-aware dot kernel
+beats an identical monoid stripped of its terminal annotation.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit, wall
+from repro.graphblas import Matrix, make_monoid, make_semiring
+from repro.graphblas import operations as ops
+from repro.graphblas.monoid import Monoid
+from repro.graphblas.ops import binary
+from repro.harness import Table
+
+# LOR with and without the terminal annotation: same algebra, no early exit
+LOR_TERMINAL = make_monoid("LOR", identity=False, terminal=True, name="lor_term")
+LOR_NO_TERMINAL = make_monoid("LOR", identity=False, terminal=None, name="lor_noterm")
+SR_TERM = make_semiring(LOR_TERMINAL, "LAND", name="lor_land_term")
+SR_NOTERM = make_semiring(LOR_NO_TERMINAL, "LAND", name="lor_land_noterm")
+
+
+def _adversarial(n_rows=64, width=200_000):
+    """Rows whose very first column pairs hit: OR's terminal on term one."""
+    rows = np.repeat(np.arange(n_rows), width)
+    cols = np.tile(np.arange(width), n_rows)
+    A = Matrix.from_coo(
+        rows, cols, np.ones(rows.size, bool), nrows=n_rows, ncols=width, dtype=bool
+    )
+    B = Matrix.from_coo(
+        np.arange(width),
+        np.zeros(width, dtype=np.int64),
+        np.ones(width, bool),
+        nrows=width,
+        ncols=1,
+        dtype=bool,
+    )
+    mask = Matrix.from_coo(
+        np.arange(n_rows),
+        np.zeros(n_rows, dtype=np.int64),
+        np.ones(n_rows, bool),
+        nrows=n_rows,
+        ncols=1,
+        dtype=bool,
+    )
+    return A, B, mask
+
+
+def _dot(A, B, mask, sr):
+    C = Matrix("BOOL", A.nrows, B.ncols)
+    ops.mxm(C, A, B, sr, mask=mask, desc="RS", method="dot")
+    return C
+
+
+def test_e7_results_identical():
+    A, B, mask = _adversarial(16, 20_000)
+    assert _dot(A, B, mask, SR_TERM).isequal(_dot(A, B, mask, SR_NOTERM))
+
+
+def test_e7_table(benchmark):
+    A, B, mask = _adversarial()
+
+    def run():
+        t = Table(
+            "E7: OR-monoid early exit in masked dot products "
+            f"({A.nrows} rows x {A.ncols} terms, first term hits)",
+            ["kernel", "seconds"],
+        )
+        t_term = wall(lambda: _dot(A, B, mask, SR_TERM), repeat=3)
+        t_noterm = wall(lambda: _dot(A, B, mask, SR_NOTERM), repeat=3)
+        t.add("dot, terminal monoid (early exit)", t_term)
+        t.add("dot, no terminal (full scan)", t_noterm)
+        t.note(f"speedup {t_noterm / t_term:.1f}x on adversarial rows")
+        emit(t, "e7_early_exit")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_e7_early_exit_wins():
+    A, B, mask = _adversarial()
+    t_term = wall(lambda: _dot(A, B, mask, SR_TERM), repeat=3)
+    t_noterm = wall(lambda: _dot(A, B, mask, SR_NOTERM), repeat=3)
+    assert t_term < t_noterm / 2  # early exit must at least halve the scan
+
+
+@pytest.mark.parametrize("kernel", ["terminal", "no-terminal"])
+def test_bench_e7(benchmark, kernel):
+    A, B, mask = _adversarial(32, 100_000)
+    sr = SR_TERM if kernel == "terminal" else SR_NOTERM
+    benchmark(_dot, A, B, mask, sr)

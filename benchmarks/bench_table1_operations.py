@@ -1,0 +1,109 @@
+"""T1 — Table I: every GraphBLAS operation, exercised and timed.
+
+The paper's Table I is the mathematical inventory of the GraphBLAS
+(mxm/mxv/vxm, eWiseMult/eWiseAdd, reduce, apply, transpose, extract,
+assign).  This bench demonstrates the complete surface on one workload and
+reports a timing row per operation — the reproduction is *coverage*, the
+timings document the substrate.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit, wall
+from repro.generators import random_matrix, random_vector
+from repro.graphblas import Matrix, Vector
+from repro.graphblas import operations as ops
+from repro.harness import Table
+
+N = 1500
+DENSITY = 0.004
+
+
+@pytest.fixture(scope="module")
+def workload():
+    A = random_matrix(N, N, DENSITY, seed=1)
+    B = random_matrix(N, N, DENSITY, seed=2)
+    M = random_matrix(N, N, DENSITY, seed=3)
+    u = random_vector(N, 0.05, seed=4)
+    m = random_vector(N, 0.05, seed=5)
+    return A, B, M, u, m
+
+
+def _table1_cases(A, B, M, u, m):
+    I = np.arange(0, N, 2)
+    J = np.arange(0, N, 3)
+    sub = random_matrix(I.size, J.size, DENSITY, seed=6)
+    return {
+        "mxm C<M> (+)= A(+.x)B": lambda: ops.mxm(
+            Matrix("FP64", N, N), A, B, "PLUS_TIMES", mask=M, accum="PLUS"
+        ),
+        "mxv w (+)= A(+.x)u": lambda: ops.mxv(Vector("FP64", N), A, u),
+        "vxm w (+)= u(+.x)A": lambda: ops.vxm(Vector("FP64", N), u, A),
+        "eWiseMult C = A(x)B": lambda: ops.ewise_mult(
+            Matrix("FP64", N, N), A, B, "TIMES"
+        ),
+        "eWiseAdd C = A(+)B": lambda: ops.ewise_add(
+            Matrix("FP64", N, N), A, B, "PLUS"
+        ),
+        "reduce w = (+)_j A(:,j)": lambda: ops.reduce_rowwise(
+            Vector("FP64", N), A, "PLUS"
+        ),
+        "reduce s = (+) A": lambda: ops.reduce_scalar(A, "PLUS"),
+        "apply C = f(A)": lambda: ops.apply(Matrix("FP64", N, N), A, "AINV"),
+        "apply w = f(u)": lambda: ops.apply(Vector("FP64", N), u, "ABS"),
+        "select C = A(tril)": lambda: ops.select(Matrix("FP64", N, N), A, "TRIL"),
+        "transpose C = A^T": lambda: ops.transpose(Matrix("FP64", N, N), A),
+        "extract C = A(i,j)": lambda: ops.extract(
+            Matrix("FP64", I.size, J.size), A, I, J
+        ),
+        "extract w = u(i)": lambda: ops.extract(Vector("FP64", I.size), u, I),
+        "assign C(i,j) = A": lambda: ops.assign(M.dup(), sub, I, J),
+        "assign w(i) = value": lambda: ops.assign(u.dup(), 1.0, I),
+        "kronecker (small)": lambda: ops.kronecker(
+            Matrix("FP64", 50 * 50, 50 * 50),
+            random_matrix(50, 50, 0.02, seed=7),
+            random_matrix(50, 50, 0.02, seed=8),
+            "TIMES",
+        ),
+    }
+
+
+def test_table1_operation_coverage(benchmark, workload):
+    """Every Table-I operation runs on the workload; emit the timing table."""
+    A, B, M, u, m = workload
+
+    def run():
+        t = Table(
+            "Table I reproduction: the GraphBLAS operation set "
+            f"(n={N}, density={DENSITY})",
+            ["operation", "seconds"],
+        )
+        for name, fn in _table1_cases(A, B, M, u, m).items():
+            t.add(name, wall(fn, repeat=2))
+        t.note("paper artifact: operation inventory — reproduction is coverage")
+        emit(t, "table1_operations")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize(
+    "opname",
+    ["mxm", "mxv", "vxm", "ewise_add", "ewise_mult", "reduce", "apply", "transpose", "extract", "assign"],
+)
+def test_bench_table1(benchmark, workload, opname):
+    A, B, M, u, m = workload
+    cases = _table1_cases(A, B, M, u, m)
+    key = {
+        "mxm": "mxm C<M> (+)= A(+.x)B",
+        "mxv": "mxv w (+)= A(+.x)u",
+        "vxm": "vxm w (+)= u(+.x)A",
+        "ewise_add": "eWiseAdd C = A(+)B",
+        "ewise_mult": "eWiseMult C = A(x)B",
+        "reduce": "reduce w = (+)_j A(:,j)",
+        "apply": "apply C = f(A)",
+        "transpose": "transpose C = A^T",
+        "extract": "extract C = A(i,j)",
+        "assign": "assign C(i,j) = A",
+    }[opname]
+    benchmark(cases[key])

@@ -1,0 +1,32 @@
+"""Benchmark fixtures: shared workload graphs (built once per session)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.generators import erdos_renyi_gnp, rmat_graph
+
+
+@pytest.fixture(scope="session")
+def rmat_small():
+    """RMAT scale 9 (512 vertices), the quick-turnaround workload."""
+    return rmat_graph(9, 8, seed=7, kind="undirected").enable_dual_storage()
+
+
+@pytest.fixture(scope="session")
+def rmat_medium():
+    """RMAT scale 11 (2048 vertices), the headline workload."""
+    return rmat_graph(11, 8, seed=7, kind="undirected").enable_dual_storage()
+
+
+@pytest.fixture(scope="session")
+def rmat_directed():
+    return rmat_graph(10, 8, seed=3, kind="directed")
+
+
+@pytest.fixture(scope="session")
+def er_graph():
+    return erdos_renyi_gnp(2000, 0.004, seed=5, kind="undirected")

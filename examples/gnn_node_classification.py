@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Graph neural network training on the GraphBLAS.
+
+The paper's closing list (section V) names "graph neural network training
+and inference" as important but not yet expressed on a GraphBLAS-like
+library.  This example closes that gap: a two-layer GCN classifies the
+vertices of a two-community graph, with every tensor op an ``mxm`` on
+GraphBLAS matrices — including the renormalized propagation operator
+S = D^-1/2 (A + I) D^-1/2 and the manual backward pass.
+
+Run:  python examples/gnn_node_classification.py
+"""
+
+import numpy as np
+
+from repro.graphblas import Matrix
+from repro.lagraph import GCN, Graph, normalized_propagation
+
+K = 30  # vertices per community
+rng = np.random.default_rng(3)
+
+# --- a noisy two-community graph ------------------------------------------------
+edges = []
+for i in range(2 * K):
+    for j in range(i + 1, 2 * K):
+        same = (i < K) == (j < K)
+        if rng.random() < (0.35 if same else 0.02):
+            edges.append((i, j))
+g = Graph.from_edges(
+    [u for u, v in edges], [v for u, v in edges], n=2 * K, kind="undirected"
+)
+labels = np.array([0] * K + [1] * K)
+print(f"Two-community graph: {g.n} vertices, {g.nedges} edges")
+
+S = normalized_propagation(g)
+print(f"Propagation operator S: {S.nvals} entries "
+      f"(density {S.nvals / g.n**2:.3f})")
+
+# --- features: one-hot identities (structure-only learning) ---------------------
+X = Matrix.sparse_identity(g.n, dtype="FP64", value=1.0)
+
+# --- train on 30% of the vertices ------------------------------------------------
+train_mask = rng.random(g.n) < 0.3
+print(f"Training vertices: {train_mask.sum()}/{g.n}")
+
+model = GCN(g, n_features=g.n, n_hidden=16, n_classes=2, seed=0)
+history = model.fit(X, labels, train_mask, epochs=120, lr=0.8)
+
+print("\nTraining loss:")
+for e in range(0, len(history), 20):
+    bar = "#" * int(history[e] * 40)
+    print(f"  epoch {e:3d}: {history[e]:.4f} {bar}")
+
+train_acc = model.accuracy(X, labels, train_mask)
+test_acc = model.accuracy(X, labels, ~train_mask)
+print(f"\nAccuracy: train {train_acc:.2%}, held-out {test_acc:.2%}")
+assert test_acc > 0.85, "GCN failed to learn the communities"
+
+# --- inspect a few held-out predictions -------------------------------------------
+pred = model.predict(X)
+held = np.flatnonzero(~train_mask)[:8]
+print("\nSample held-out predictions:")
+for v in held:
+    mark = "ok" if pred[v] == labels[v] else "WRONG"
+    print(f"  vertex {v:3d}: predicted {pred[v]}  true {labels[v]}  [{mark}]")

@@ -1,0 +1,22 @@
+"""LAGraph reproduction: graph algorithms on a complete Python GraphBLAS.
+
+A full-scope reproduction of Mattson et al., "LAGraph: A Community Effort
+to Collect Graph Algorithms Built on Top of the GraphBLAS" (IPDPSW 2019):
+
+* :mod:`repro.graphblas` — a complete GraphBLAS implementation (the
+  substrate): opaque Matrix/Vector/Scalar, all Table-I operations, masks/
+  accumulators/descriptors, CSR/CSC/hypersparse storage, zombies & pending
+  tuples, three SpGEMM methods, push-pull SpMV, O(1) move import/export,
+  the 960/600 built-in semiring families, the C-API facade, and the dense
+  "MATLAB mimic" reference implementation.
+* :mod:`repro.lagraph` — the algorithm library of the paper's section V.
+* :mod:`repro.pygb` — the PyGB-style DSL of Figure 2(b).
+* :mod:`repro.io`, :mod:`repro.generators`, :mod:`repro.harness` — the
+  support libraries of Figure 1 / section III.
+"""
+
+from . import generators, graphblas, harness, io, lagraph, pygb
+
+__version__ = "1.0.0"
+
+__all__ = ["graphblas", "lagraph", "pygb", "io", "generators", "harness", "__version__"]

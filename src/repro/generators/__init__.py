@@ -1,0 +1,35 @@
+"""Random test-matrix generators (paper sections III & VI: "creating
+random test matrices", "generation of scale-free graphs")."""
+
+from .random_graphs import (
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    random_bipartite,
+    random_matrix,
+    random_vector,
+)
+from .rmat import rmat_graph, kronecker_graph
+from .structured import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from .dnn_layers import synthetic_dnn
+
+__all__ = [
+    "erdos_renyi_gnp",
+    "erdos_renyi_gnm",
+    "random_bipartite",
+    "random_matrix",
+    "random_vector",
+    "rmat_graph",
+    "kronecker_graph",
+    "grid_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "synthetic_dnn",
+]

@@ -1,0 +1,61 @@
+"""Synthetic sparse-DNN workload (GraphChallenge-style substitution).
+
+The GraphChallenge inference datasets (RadiX-Net synthetic DNNs) are not
+shipped offline; this generator produces the same *shape* of workload —
+fixed-fan-in sparse layers with uniform negative bias, sparse {0,1} input
+features — so :func:`repro.lagraph.dnn.dnn_inference` exercises the
+identical GraphBLAS code path (mxm + bias + ReLU select).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Matrix
+
+__all__ = ["synthetic_dnn"]
+
+
+def synthetic_dnn(
+    n_samples: int,
+    n_neurons: int,
+    n_layers: int,
+    *,
+    fan_in: int = 8,
+    input_density: float = 0.3,
+    neuron_survival: float = 0.75,
+    gain: float = 2.0,
+    bias: float | None = None,
+    seed=None,
+) -> tuple[Matrix, list[Matrix], list[float]]:
+    """Returns (Y0, weights, biases) for :func:`dnn_inference`.
+
+    Per layer, a ``neuron_survival`` fraction of neurons receive exactly
+    ``fan_in`` incoming weights of value ``gain``/fan_in; the rest have
+    none (ReLU kills them), so activations neither die out nor densify —
+    the sparse steady state the GraphChallenge networks exhibit.  The
+    default bias is a small negative threshold.
+    """
+    rng = np.random.default_rng(seed)
+    if bias is None:
+        bias = -0.3 / fan_in
+
+    weights = []
+    n_live = max(1, int(round(n_neurons * neuron_survival)))
+    for _ in range(n_layers):
+        live = rng.choice(n_neurons, size=n_live, replace=False).astype(np.int64)
+        cols = np.repeat(live, fan_in)
+        rows = rng.integers(0, n_neurons, size=n_live * fan_in).astype(np.int64)
+        vals = np.full(rows.size, gain / fan_in)
+        W = Matrix.from_coo(
+            rows, cols, vals, nrows=n_neurons, ncols=n_neurons, dtype=np.float64,
+            dup="PLUS",
+        )
+        weights.append(W)
+
+    mask = rng.random((n_samples, n_neurons)) < input_density
+    r, c = np.nonzero(mask)
+    Y0 = Matrix.from_coo(
+        r, c, np.ones(r.size), nrows=n_samples, ncols=n_neurons, dtype=np.float64
+    )
+    return Y0, weights, [float(bias)] * n_layers

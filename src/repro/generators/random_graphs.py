@@ -1,0 +1,142 @@
+"""Uniform random graphs, matrices and vectors for tests and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Matrix, Vector
+from ..graphblas.errors import InvalidValue
+from ..lagraph.graph import Graph, GraphKind
+
+__all__ = [
+    "erdos_renyi_gnp",
+    "erdos_renyi_gnm",
+    "random_bipartite",
+    "random_matrix",
+    "random_vector",
+]
+
+
+def _rng(seed):
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi_gnp(
+    n: int,
+    p: float,
+    *,
+    kind: GraphKind | str = GraphKind.DIRECTED,
+    weighted: bool = False,
+    seed=None,
+) -> Graph:
+    """G(n, p): each ordered pair is an edge independently with prob p.
+
+    Sampled by the geometric skip method, O(expected edges) time/memory.
+    """
+    if not 0 <= p <= 1:
+        raise InvalidValue("p must be in [0, 1]")
+    rng = _rng(seed)
+    total = n * n
+    if p == 0 or n == 0:
+        picks = np.empty(0, dtype=np.int64)
+    elif p == 1:
+        picks = np.arange(total, dtype=np.int64)
+    else:
+        est = int(total * p + 10 * np.sqrt(total * p) + 10)
+        gaps = rng.geometric(p, size=est)
+        pos = np.cumsum(gaps) - 1
+        while pos.size and pos[-1] < total - 1:  # rare: extend the tail
+            more = rng.geometric(p, size=est)
+            pos = np.concatenate([pos, pos[-1] + np.cumsum(more)])
+        picks = pos[pos < total]
+    rows, cols = picks // n, picks % n
+    off = rows != cols
+    rows, cols = rows[off], cols[off]  # simple graph: no self-loops
+    if GraphKind(kind) is GraphKind.UNDIRECTED:
+        keep = rows < cols
+        rows, cols = rows[keep], cols[keep]
+    w = rng.uniform(1, 10, rows.size) if weighted else np.ones(rows.size)
+    return Graph.from_edges(rows, cols, w, n=n, kind=kind, dtype=np.float64)
+
+
+def erdos_renyi_gnm(
+    n: int,
+    m: int,
+    *,
+    kind: GraphKind | str = GraphKind.DIRECTED,
+    weighted: bool = False,
+    seed=None,
+) -> Graph:
+    """G(n, m): exactly m distinct edges sampled uniformly."""
+    rng = _rng(seed)
+    seen: set[tuple[int, int]] = set()
+    undirected = GraphKind(kind) is GraphKind.UNDIRECTED
+    limit = n * (n - 1) // (2 if undirected else 1)
+    if m > limit:
+        raise InvalidValue(f"m={m} exceeds the {limit} possible edges")
+    while len(seen) < m:
+        need = m - len(seen)
+        r = rng.integers(0, n, size=2 * need + 8)
+        c = rng.integers(0, n, size=2 * need + 8)
+        for i, j in zip(r, c):
+            if i == j:
+                continue
+            key = (min(i, j), max(i, j)) if undirected else (int(i), int(j))
+            seen.add((int(key[0]), int(key[1])))
+            if len(seen) == m:
+                break
+    rows = np.fromiter((i for i, _ in seen), dtype=np.int64, count=m)
+    cols = np.fromiter((j for _, j in seen), dtype=np.int64, count=m)
+    w = rng.uniform(1, 10, m) if weighted else np.ones(m)
+    return Graph.from_edges(rows, cols, w, n=n, kind=kind, dtype=np.float64)
+
+
+def random_bipartite(
+    nl: int, nr: int, p: float, *, weighted: bool = False, seed=None
+) -> Matrix:
+    """Random nl x nr biadjacency matrix with density p."""
+    rng = _rng(seed)
+    mask = rng.random((nl, nr)) < p
+    rows, cols = np.nonzero(mask)
+    vals = rng.uniform(1, 10, rows.size) if weighted else np.ones(rows.size)
+    return Matrix.from_coo(rows, cols, vals, nrows=nl, ncols=nr, dtype=np.float64)
+
+
+def random_matrix(
+    nrows: int,
+    ncols: int,
+    density: float,
+    *,
+    dtype=np.float64,
+    low=1,
+    high=9,
+    seed=None,
+) -> Matrix:
+    """Uniform random sparse matrix (test fodder)."""
+    rng = _rng(seed)
+    nnz = int(round(nrows * ncols * density))
+    picks = rng.choice(nrows * ncols, size=min(nnz, nrows * ncols), replace=False)
+    rows, cols = picks // ncols, picks % ncols
+    dt = np.dtype(dtype)
+    if dt.kind == "b":
+        vals = np.ones(rows.size, dtype=bool)
+    elif dt.kind in "iu":
+        vals = rng.integers(low, high + 1, rows.size).astype(dt)
+    else:
+        vals = rng.uniform(low, high, rows.size).astype(dt)
+    return Matrix.from_coo(rows, cols, vals, nrows=nrows, ncols=ncols, dtype=dtype)
+
+
+def random_vector(size: int, density: float, *, dtype=np.float64, seed=None) -> Vector:
+    """Uniform random sparse vector."""
+    rng = _rng(seed)
+    nnz = int(round(size * density))
+    idx = rng.choice(size, size=min(nnz, size), replace=False)
+    dt = np.dtype(dtype)
+    if dt.kind == "b":
+        vals = np.ones(idx.size, dtype=bool)
+    elif dt.kind in "iu":
+        vals = rng.integers(1, 10, idx.size).astype(dt)
+    else:
+        vals = rng.uniform(1, 10, idx.size).astype(dt)
+    return Vector.from_coo(idx, vals, size=size, dtype=dtype)

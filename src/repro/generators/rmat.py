@@ -1,0 +1,86 @@
+"""Scale-free graph generation: RMAT / stochastic Kronecker.
+
+The paper's conclusion names "generation of scale-free graphs" among the
+support libraries LAGraph needs.  The RMAT recursive quadrant sampler (the
+Graph500 generator) produces the skewed degree distributions that stress
+masked/hypersparse code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Matrix
+from ..graphblas import operations as ops
+from ..graphblas.errors import InvalidValue
+from ..lagraph.graph import Graph, GraphKind
+
+__all__ = ["rmat_graph", "kronecker_graph"]
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    kind: GraphKind | str = GraphKind.DIRECTED,
+    weighted: bool = False,
+    dedup: bool = True,
+    seed=None,
+) -> Graph:
+    """RMAT graph with 2**scale vertices and edge_factor * n edge samples.
+
+    Default (a, b, c) are the Graph500 parameters; d = 1 - a - b - c.
+    Duplicate samples are either folded (``dedup``) or summed as weights.
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise InvalidValue("quadrant probabilities must be non-negative")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    # recursive quadrant choice, vectorized one bit per level
+    for level in range(scale):
+        r = rng.random(m)
+        right = (r >= a) & (r < a + b)  # col bit set
+        lower = (r >= a + b) & (r < a + b + c)  # row bit set
+        both = r >= a + b + c
+        bit = np.int64(1 << level)
+        rows += bit * (lower | both)
+        cols += bit * (right | both)
+
+    off = rows != cols
+    rows, cols = rows[off], cols[off]
+    if GraphKind(kind) is GraphKind.UNDIRECTED:
+        swap = rows > cols
+        rows[swap], cols[swap] = cols[swap], rows[swap]
+    if weighted:
+        w = rng.uniform(1, 10, rows.size)
+    else:
+        w = np.ones(rows.size)
+    dup = "FIRST" if dedup else "PLUS"
+    return Graph.from_edges(rows, cols, w, n=n, kind=kind, dtype=np.float64, dup=dup)
+
+
+def kronecker_graph(
+    initiator: Matrix, power: int, *, kind: GraphKind | str = GraphKind.DIRECTED
+) -> Graph:
+    """Deterministic Kronecker-power graph: A = B (x) B (x) ... (x) B.
+
+    Built with ``GrB_kronecker`` — the Table-I operation exercised end to
+    end (this is how Graph500's reference generator is defined).
+    """
+    if power < 1:
+        raise InvalidValue("power must be >= 1")
+    A = initiator.dup()
+    for _ in range(power - 1):
+        nr, nc = A.nrows * initiator.nrows, A.ncols * initiator.ncols
+        K = Matrix(A.dtype, nr, nc)
+        ops.kronecker(K, A, initiator, "TIMES")
+        A = K
+    return Graph(A, kind)

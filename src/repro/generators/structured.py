@@ -1,0 +1,54 @@
+"""Deterministic structured graphs with known analytic properties.
+
+Paths, cycles, grids, stars and cliques: the fixtures whose BFS levels,
+distances, triangle counts and colorings are known in closed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lagraph.graph import Graph, GraphKind
+
+__all__ = ["path_graph", "cycle_graph", "grid_graph", "star_graph", "complete_graph"]
+
+
+def path_graph(n: int, *, kind=GraphKind.UNDIRECTED, weights=None) -> Graph:
+    """0 - 1 - 2 - ... - (n-1)."""
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    w = np.ones(n - 1) if weights is None else np.asarray(weights, dtype=np.float64)
+    return Graph.from_edges(src, dst, w, n=n, kind=kind, dtype=np.float64)
+
+
+def cycle_graph(n: int, *, kind=GraphKind.UNDIRECTED) -> Graph:
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    return Graph.from_edges(src, dst, np.ones(n), n=n, kind=kind, dtype=np.float64)
+
+
+def grid_graph(rows: int, cols: int, *, kind=GraphKind.UNDIRECTED) -> Graph:
+    """rows x cols lattice; vertex (r, c) has id r * cols + c."""
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_s, right_d = ids[:, :-1].ravel(), ids[:, 1:].ravel()
+    down_s, down_d = ids[:-1, :].ravel(), ids[1:, :].ravel()
+    src = np.concatenate([right_s, down_s])
+    dst = np.concatenate([right_d, down_d])
+    return Graph.from_edges(
+        src, dst, np.ones(src.size), n=rows * cols, kind=kind, dtype=np.float64
+    )
+
+
+def star_graph(n: int, *, kind=GraphKind.UNDIRECTED) -> Graph:
+    """Hub 0 connected to spokes 1..n-1."""
+    dst = np.arange(1, n, dtype=np.int64)
+    src = np.zeros(n - 1, dtype=np.int64)
+    return Graph.from_edges(src, dst, np.ones(n - 1), n=n, kind=kind, dtype=np.float64)
+
+
+def complete_graph(n: int, *, kind=GraphKind.UNDIRECTED) -> Graph:
+    i, j = np.triu_indices(n, k=1)
+    return Graph.from_edges(
+        i.astype(np.int64), j.astype(np.int64), np.ones(i.size), n=n, kind=kind,
+        dtype=np.float64,
+    )

@@ -1,0 +1,459 @@
+"""Non-polymorphic GraphBLAS C-API facade (``GrB_*``).
+
+Figure 2(d) of the paper shows level-BFS written against the GraphBLAS C
+API.  This module reproduces that surface in Python: out-parameters become
+return values, every function returns a ``GrB_Info`` code rather than
+raising, and errors raised by the back-end are caught at this boundary and
+converted — exactly the IBM implementation's front-end/back-end contract
+(section II.B: "the body of each GraphBLAS API method is wrapped by a
+try/catch block, which then returns the GraphBLAS execution error code
+corresponding to the caught exception").
+
+The argument order follows the C API: output, mask, accumulator, operator,
+inputs, descriptor.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from . import operations as ops
+from .descriptor import Descriptor
+from .errors import GraphBLASError, Info, NoValue
+from .matrix import Matrix
+from .scalar import Scalar
+from .types import (
+    BOOL,
+    FP32,
+    FP64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+)
+from .vector import Vector
+
+__all__ = [
+    "GrB_SUCCESS",
+    "GrB_NO_VALUE",
+    "GrB_NULL",
+    "GrB_ALL",
+    "GrB_Matrix_new",
+    "GrB_Vector_new",
+    "GrB_Scalar_new",
+    "GrB_Matrix_nrows",
+    "GrB_Matrix_ncols",
+    "GrB_Matrix_nvals",
+    "GrB_Vector_size",
+    "GrB_Vector_nvals",
+    "GrB_Matrix_build",
+    "GrB_Vector_build",
+    "GrB_Matrix_setElement",
+    "GrB_Vector_setElement",
+    "GrB_Matrix_extractElement",
+    "GrB_Vector_extractElement",
+    "GrB_Matrix_extractTuples",
+    "GrB_Vector_extractTuples",
+    "GrB_Matrix_removeElement",
+    "GrB_Vector_removeElement",
+    "GrB_Matrix_dup",
+    "GrB_Vector_dup",
+    "GrB_Matrix_clear",
+    "GrB_Vector_clear",
+    "GrB_Matrix_wait",
+    "GrB_Vector_wait",
+    "GrB_mxm",
+    "GrB_mxv",
+    "GrB_vxm",
+    "GrB_eWiseAdd",
+    "GrB_eWiseMult",
+    "GrB_apply",
+    "GrB_select",
+    "GrB_reduce",
+    "GrB_transpose",
+    "GrB_extract",
+    "GrB_assign",
+    "GrB_kronecker",
+    "GrB_free",
+]
+
+GrB_SUCCESS = Info.SUCCESS
+GrB_NO_VALUE = Info.NO_VALUE
+GrB_NULL = None
+GrB_ALL = ops.ALL
+
+# type aliases in C-API spelling
+GrB_BOOL, GrB_FP32, GrB_FP64 = BOOL, FP32, FP64
+GrB_INT8, GrB_INT16, GrB_INT32, GrB_INT64 = INT8, INT16, INT32, INT64
+GrB_UINT8, GrB_UINT16, GrB_UINT32, GrB_UINT64 = UINT8, UINT16, UINT32, UINT64
+
+
+def _trap(fn):
+    """Convert back-end exceptions into GrB_Info codes (IBM-style)."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        try:
+            return fn(*args, **kwargs)
+        except GraphBLASError as exc:
+            return exc.info
+        except MemoryError:
+            return Info.OUT_OF_MEMORY
+
+    return wrapper
+
+
+# -- object management -------------------------------------------------------
+
+def GrB_Matrix_new(dtype, nrows, ncols):
+    """Returns (info, matrix)."""
+    try:
+        return GrB_SUCCESS, Matrix(dtype, nrows, ncols)
+    except GraphBLASError as exc:
+        return exc.info, None
+
+
+def GrB_Vector_new(dtype, size):
+    """Returns (info, vector)."""
+    try:
+        return GrB_SUCCESS, Vector(dtype, size)
+    except GraphBLASError as exc:
+        return exc.info, None
+
+
+def GrB_Scalar_new(dtype):
+    return GrB_SUCCESS, Scalar(dtype)
+
+
+def GrB_Matrix_nrows(A):
+    return GrB_SUCCESS, A.nrows
+
+
+def GrB_Matrix_ncols(A):
+    return GrB_SUCCESS, A.ncols
+
+
+def GrB_Matrix_nvals(A):
+    try:
+        return GrB_SUCCESS, A.nvals
+    except GraphBLASError as exc:
+        return exc.info, None
+
+
+def GrB_Vector_size(v):
+    return GrB_SUCCESS, v.size
+
+
+def GrB_Vector_nvals(v):
+    try:
+        return GrB_SUCCESS, v.nvals
+    except GraphBLASError as exc:
+        return exc.info, None
+
+
+@_trap
+def GrB_Matrix_build(C, I, J, X, nvals=None, dup="PLUS"):
+    C.build(np.asarray(I)[:nvals], np.asarray(J)[:nvals], np.asarray(X)[:nvals], dup=dup)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_Vector_build(w, I, X, nvals=None, dup="PLUS"):
+    w.build(np.asarray(I)[:nvals], np.asarray(X)[:nvals], dup=dup)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_Matrix_setElement(C, x, i, j):
+    C.set_element(i, j, x)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_Vector_setElement(w, x, i):
+    w.set_element(i, x)
+    return GrB_SUCCESS
+
+
+def GrB_Matrix_extractElement(A, i, j):
+    """Returns (info, value) — info is GrB_NO_VALUE when absent."""
+    try:
+        return GrB_SUCCESS, A.extract_element(i, j)
+    except NoValue:
+        return GrB_NO_VALUE, None
+    except GraphBLASError as exc:
+        return exc.info, None
+
+
+def GrB_Vector_extractElement(v, i):
+    try:
+        return GrB_SUCCESS, v.extract_element(i)
+    except NoValue:
+        return GrB_NO_VALUE, None
+    except GraphBLASError as exc:
+        return exc.info, None
+
+
+def GrB_Matrix_extractTuples(A):
+    try:
+        return (GrB_SUCCESS, *A.extract_tuples())
+    except GraphBLASError as exc:
+        return exc.info, None, None, None
+
+
+def GrB_Vector_extractTuples(v):
+    try:
+        return (GrB_SUCCESS, *v.extract_tuples())
+    except GraphBLASError as exc:
+        return exc.info, None, None
+
+
+@_trap
+def GrB_Matrix_removeElement(C, i, j):
+    C.remove_element(i, j)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_Vector_removeElement(w, i):
+    w.remove_element(i)
+    return GrB_SUCCESS
+
+
+def GrB_Matrix_dup(A):
+    try:
+        return GrB_SUCCESS, A.dup()
+    except GraphBLASError as exc:
+        return exc.info, None
+
+
+def GrB_Vector_dup(v):
+    try:
+        return GrB_SUCCESS, v.dup()
+    except GraphBLASError as exc:
+        return exc.info, None
+
+
+@_trap
+def GrB_Matrix_clear(C):
+    C.clear()
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_Vector_clear(w):
+    w.clear()
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_Matrix_wait(C):
+    C.wait()
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_Vector_wait(w):
+    w.wait()
+    return GrB_SUCCESS
+
+
+def GrB_free(obj):
+    """``GrB_free``: release an object (Python GC does the real work)."""
+    if obj is not None and hasattr(obj, "_valid"):
+        obj._valid = False
+    return GrB_SUCCESS
+
+
+# -- user-defined algebra (GrB_*_new) -----------------------------------------
+
+def GrB_Type_new(np_dtype):
+    """User-defined type from an arbitrary NumPy dtype."""
+    from .types import lookup_type
+
+    try:
+        return GrB_SUCCESS, lookup_type(np_dtype)
+    except GraphBLASError as exc:
+        return exc.info, None
+
+
+def GrB_UnaryOp_new(fn, name="user_unary"):
+    """User-defined unary op from a scalar Python function."""
+    from .ops import UnaryOp
+
+    op = UnaryOp(name, fn, np.vectorize(fn), builtin=False)
+    return GrB_SUCCESS, op
+
+
+def GrB_BinaryOp_new(fn, name="user_binary"):
+    """User-defined binary op from a scalar Python function."""
+    from .ops import BinaryOp
+
+    op = BinaryOp(name, fn, np.vectorize(fn), builtin=False)
+    return GrB_SUCCESS, op
+
+
+def GrB_Monoid_new(op, identity):
+    """``GrB_Monoid_new``: binary op + identity."""
+    from .monoid import make_monoid
+
+    try:
+        return GrB_SUCCESS, make_monoid(op, identity)
+    except GraphBLASError as exc:
+        return exc.info, None
+
+
+def GrB_Semiring_new(add_monoid, mult_op):
+    """``GrB_Semiring_new``: additive monoid + multiplicative op."""
+    from .semiring import make_semiring
+
+    try:
+        return GrB_SUCCESS, make_semiring(add_monoid, mult_op)
+    except GraphBLASError as exc:
+        return exc.info, None
+
+
+def GrB_Descriptor_new():
+    """Returns (info, descriptor); set fields with GrB_Descriptor_set."""
+    return GrB_SUCCESS, Descriptor()
+
+
+_DESC_FIELDS = {
+    ("INP0", "TRAN"): {"transpose_a": True},
+    ("INP1", "TRAN"): {"transpose_b": True},
+    ("MASK", "COMP"): {"complement_mask": True},
+    ("MASK", "STRUCTURE"): {"structural_mask": True},
+    ("OUTP", "REPLACE"): {"replace": True},
+}
+
+
+def GrB_Descriptor_set(desc, field, value):
+    """Returns (info, new descriptor) — descriptors are immutable here."""
+    key = (str(field).upper(), str(value).upper())
+    if key not in _DESC_FIELDS:
+        return Info.INVALID_VALUE, desc
+    return GrB_SUCCESS, desc.with_(**_DESC_FIELDS[key])
+
+
+def GxB_subassign(C, Mask, accum, A, I=None, J=None, desc=None):
+    """SuiteSparse's region-masked assign (see operations.subassign)."""
+    try:
+        if isinstance(C, Vector):
+            ops.subassign(
+                C, A, I if I is not None else GrB_ALL, mask=Mask, accum=accum, desc=desc
+            )
+        else:
+            ops.subassign(
+                C,
+                A,
+                I if I is not None else GrB_ALL,
+                J if J is not None else GrB_ALL,
+                mask=Mask,
+                accum=accum,
+                desc=desc,
+            )
+        return GrB_SUCCESS
+    except GraphBLASError as exc:
+        return exc.info
+
+
+# -- operations (C argument order: out, mask, accum, op, inputs, desc) -------
+
+@_trap
+def GrB_mxm(C, Mask, accum, semiring, A, B, desc=None):
+    ops.mxm(C, A, B, semiring, mask=Mask, accum=accum, desc=desc)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_mxv(w, mask, accum, semiring, A, u, desc=None):
+    ops.mxv(w, A, u, semiring, mask=mask, accum=accum, desc=desc)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_vxm(w, mask, accum, semiring, u, A, desc=None):
+    ops.vxm(w, u, A, semiring, mask=mask, accum=accum, desc=desc)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_eWiseAdd(C, Mask, accum, op, A, B, desc=None):
+    ops.ewise_add(C, A, B, op, mask=Mask, accum=accum, desc=desc)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_eWiseMult(C, Mask, accum, op, A, B, desc=None):
+    ops.ewise_mult(C, A, B, op, mask=Mask, accum=accum, desc=desc)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_apply(C, Mask, accum, op, A, desc=None, *, left=None, right=None, thunk=None):
+    ops.apply(C, A, op, left=left, right=right, thunk=thunk, mask=Mask, accum=accum, desc=desc)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_select(C, Mask, accum, op, A, thunk=0, desc=None):
+    ops.select(C, A, op, thunk, mask=Mask, accum=accum, desc=desc)
+    return GrB_SUCCESS
+
+
+def GrB_reduce(out, mask_or_accum, *args, **kwargs):
+    """Polymorphic reduce.
+
+    * ``GrB_reduce(w, mask, accum, monoid, A, desc)`` — matrix to vector;
+    * ``GrB_reduce(scalar, accum, monoid, A_or_u)`` — to a Scalar object.
+    """
+    try:
+        if isinstance(out, Vector):
+            mask, accum, mon, A = mask_or_accum, args[0], args[1], args[2]
+            desc = args[3] if len(args) > 3 else None
+            ops.reduce_rowwise(out, A, mon, mask=mask, accum=accum, desc=desc)
+            return GrB_SUCCESS
+        accum, mon, A = mask_or_accum, args[0], args[1]
+        if accum is not None and out.nvals:
+            out.set(ops.reduce_scalar(A, mon, accum=accum, init=out.value))
+        else:
+            out.set(ops.reduce_scalar(A, mon))
+        return GrB_SUCCESS
+    except GraphBLASError as exc:
+        return exc.info
+
+
+@_trap
+def GrB_transpose(C, Mask, accum, A, desc=None):
+    ops.transpose(C, A, mask=Mask, accum=accum, desc=desc)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_extract(C, Mask, accum, A, I=GrB_ALL, J=GrB_ALL, desc=None):
+    if isinstance(A, Vector):
+        ops.extract(C, A, I, mask=Mask, accum=accum, desc=desc)
+    else:
+        ops.extract(C, A, I, J, mask=Mask, accum=accum, desc=desc)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_assign(C, Mask, accum, A, I=GrB_ALL, J=GrB_ALL, desc=None):
+    if isinstance(C, Vector):
+        ops.assign(C, A, I, mask=Mask, accum=accum, desc=desc)
+    else:
+        ops.assign(C, A, I, J, mask=Mask, accum=accum, desc=desc)
+    return GrB_SUCCESS
+
+
+@_trap
+def GrB_kronecker(C, Mask, accum, op, A, B, desc=None):
+    ops.kronecker(C, A, B, op, mask=Mask, accum=accum, desc=desc)
+    return GrB_SUCCESS

@@ -1,0 +1,59 @@
+"""Execution modes (``GrB_Mode``): blocking vs non-blocking.
+
+In non-blocking mode (the default here, as in SuiteSparse) incremental
+updates — ``setElement`` / ``removeElement`` — are *deferred* as pending
+tuples and zombies and assembled lazily in one O(e + p log p) step when a
+materialized view is next needed.  In blocking mode every call completes
+fully before returning, so each ``setElement`` costs O(e) — the contrast
+the paper draws in section II.A, reproduced by bench E1.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+__all__ = ["Mode", "get_mode", "set_mode", "blocking", "nonblocking"]
+
+_state = threading.local()
+
+
+class Mode:
+    BLOCKING = "blocking"
+    NONBLOCKING = "nonblocking"
+
+
+def get_mode() -> str:
+    """The current execution mode (blocking or nonblocking)."""
+    return getattr(_state, "mode", Mode.NONBLOCKING)
+
+
+def set_mode(mode: str) -> None:
+    """Set the execution mode (``Mode.BLOCKING`` / ``Mode.NONBLOCKING``)."""
+    if mode not in (Mode.BLOCKING, Mode.NONBLOCKING):
+        from .errors import InvalidValue
+
+        raise InvalidValue(f"unknown mode {mode!r}")
+    _state.mode = mode
+
+
+@contextlib.contextmanager
+def blocking():
+    """Run a block of code in blocking mode."""
+    prev = get_mode()
+    set_mode(Mode.BLOCKING)
+    try:
+        yield
+    finally:
+        set_mode(prev)
+
+
+@contextlib.contextmanager
+def nonblocking():
+    """Run a block of code in non-blocking (lazy) mode."""
+    prev = get_mode()
+    set_mode(Mode.NONBLOCKING)
+    try:
+        yield
+    finally:
+        set_mode(prev)

@@ -1,0 +1,78 @@
+"""``GrB_Descriptor``: per-call behaviour modifiers.
+
+Descriptors select input transposition (INP0/INP1), mask complementing and
+structural interpretation, and output REPLACE semantics — the knobs visible
+in Figure 2(d)'s ``Desc_TranA_ScmpM_Replace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+
+__all__ = ["Descriptor", "NULL_DESC", "desc"]
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Immutable descriptor; compose with the ``&`` operator or keywords."""
+
+    transpose_a: bool = False  # INP0: use A^T
+    transpose_b: bool = False  # INP1: use B^T
+    complement_mask: bool = False  # MASK: use !M
+    structural_mask: bool = False  # MASK: structure only, ignore values
+    replace: bool = False  # OUTP: clear C before writing
+
+    def __and__(self, other: "Descriptor") -> "Descriptor":
+        return Descriptor(
+            self.transpose_a or other.transpose_a,
+            self.transpose_b or other.transpose_b,
+            self.complement_mask or other.complement_mask,
+            self.structural_mask or other.structural_mask,
+            self.replace or other.replace,
+        )
+
+    def with_(self, **kwargs) -> "Descriptor":
+        return _dc_replace(self, **kwargs)
+
+
+NULL_DESC = Descriptor()
+
+# Named descriptors matching the C API's predefined GrB_DESC_* set.
+T0 = Descriptor(transpose_a=True)
+T1 = Descriptor(transpose_b=True)
+T0T1 = Descriptor(transpose_a=True, transpose_b=True)
+C = Descriptor(complement_mask=True)
+S = Descriptor(structural_mask=True)
+SC = Descriptor(complement_mask=True, structural_mask=True)
+R = Descriptor(replace=True)
+RC = Descriptor(replace=True, complement_mask=True)
+RS = Descriptor(replace=True, structural_mask=True)
+RSC = Descriptor(replace=True, complement_mask=True, structural_mask=True)
+
+_NAMED = {
+    "T0": T0,
+    "T1": T1,
+    "T0T1": T0T1,
+    "C": C,
+    "S": S,
+    "SC": SC,
+    "R": R,
+    "RC": RC,
+    "RS": RS,
+    "RSC": RSC,
+    "NULL": NULL_DESC,
+}
+
+
+def desc(spec) -> Descriptor:
+    """Resolve a Descriptor from a Descriptor, None, or predefined name."""
+    if spec is None:
+        return NULL_DESC
+    if isinstance(spec, Descriptor):
+        return spec
+    try:
+        return _NAMED[str(spec).upper()]
+    except KeyError:
+        from .errors import InvalidValue
+
+        raise InvalidValue(f"unknown descriptor {spec!r}") from None

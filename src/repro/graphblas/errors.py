@@ -1,0 +1,121 @@
+"""GraphBLAS error model (C API section 3.4).
+
+The GraphBLAS C API distinguishes *API errors* (incorrect use of the
+interface: wrong dimensions, bad indices, uninitialized objects) from
+*execution errors* (failures while carrying out an otherwise-legal request:
+out of memory, invalid values discovered at execution time).
+
+The C API communicates these through ``GrB_Info`` return codes; the IBM
+implementation (paper section II.B) internally raises C++ exceptions and
+converts them to return codes at the API boundary.  This Python
+implementation exposes the exception hierarchy directly, and the
+:mod:`repro.graphblas.capi` facade converts exceptions back to ``GrB_Info``
+codes exactly like the IBM front-end does.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Info(enum.IntEnum):
+    """``GrB_Info`` return codes from the GraphBLAS C API specification."""
+
+    SUCCESS = 0
+    NO_VALUE = 1
+
+    # API errors
+    UNINITIALIZED_OBJECT = 2
+    NULL_POINTER = 3
+    INVALID_VALUE = 4
+    INVALID_INDEX = 5
+    DOMAIN_MISMATCH = 6
+    DIMENSION_MISMATCH = 7
+    OUTPUT_NOT_EMPTY = 8
+
+    # execution errors
+    OUT_OF_MEMORY = 9
+    INSUFFICIENT_SPACE = 10
+    INVALID_OBJECT = 11
+    INDEX_OUT_OF_BOUNDS = 12
+    PANIC = 13
+
+
+class GraphBLASError(Exception):
+    """Base class for all GraphBLAS errors."""
+
+    info: Info = Info.PANIC
+
+
+class ApiError(GraphBLASError):
+    """Incorrect use of the GraphBLAS API (detected in the front-end)."""
+
+
+class ExecutionError(GraphBLASError):
+    """Failure while executing an otherwise legal operation."""
+
+
+class UninitializedObject(ApiError):
+    info = Info.UNINITIALIZED_OBJECT
+
+
+class NullPointer(ApiError):
+    info = Info.NULL_POINTER
+
+
+class InvalidValue(ApiError):
+    info = Info.INVALID_VALUE
+
+
+class InvalidIndex(ApiError):
+    info = Info.INVALID_INDEX
+
+
+class DomainMismatch(ApiError):
+    info = Info.DOMAIN_MISMATCH
+
+
+class DimensionMismatch(ApiError):
+    info = Info.DIMENSION_MISMATCH
+
+
+class OutputNotEmpty(ApiError):
+    info = Info.OUTPUT_NOT_EMPTY
+
+
+class OutOfMemory(ExecutionError):
+    info = Info.OUT_OF_MEMORY
+
+
+class InsufficientSpace(ExecutionError):
+    info = Info.INSUFFICIENT_SPACE
+
+
+class InvalidObject(ExecutionError):
+    info = Info.INVALID_OBJECT
+
+
+class IndexOutOfBounds(ExecutionError):
+    info = Info.INDEX_OUT_OF_BOUNDS
+
+
+class Panic(ExecutionError):
+    info = Info.PANIC
+
+
+class NoValue(GraphBLASError):
+    """Raised by extractElement when the entry is not present.
+
+    This mirrors ``GrB_NO_VALUE``, which is informational rather than an
+    error in the C API.
+    """
+
+    info = Info.NO_VALUE
+
+
+def check_index(i: int, bound: int, what: str = "index") -> int:
+    """Validate a single index against a dimension bound."""
+    i = int(i)
+    if i < 0 or i >= bound:
+        raise InvalidIndex(f"{what} {i} out of range [0, {bound})")
+    return i

@@ -1,0 +1,361 @@
+"""Sparse storage formats: CSR, CSC, and their hypersparse variants.
+
+The paper (section II.A) describes SuiteSparse's four storage forms: a
+matrix is a packed collection of sparse vectors, stored row-major (CSR) or
+column-major (CSC), each with an optional *hypersparse* variant in which the
+pointer array itself becomes sparse so that storage is O(e) instead of
+O(n + e) — letting matrices of enormous dimension exist as long as e << n.
+
+:class:`SparseStore` implements one orientation of such a structure over
+NumPy arrays.  All kernels consume stores through two access patterns:
+
+* :meth:`SparseStore.to_coo` — the entries as sorted coordinate arrays, and
+* :meth:`SparseStore.major_ranges` — (start, end) slices of selected major
+  vectors, O(k log nvec) for hypersparse, O(k) otherwise;
+
+so every kernel works on all four formats, as the paper requires ("all
+methods can operate on all four matrix formats in any combination").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import InvalidObject, InvalidValue
+from .monoid import Monoid
+from .types import Type
+
+__all__ = ["Orientation", "SparseStore", "reduce_by_segments", "group_starts"]
+
+_INDEX = np.int64
+
+
+class Orientation(str, enum.Enum):
+    ROW = "row"
+    COL = "col"
+
+    @property
+    def flipped(self) -> "Orientation":
+        return Orientation.COL if self is Orientation.ROW else Orientation.ROW
+
+
+def reduce_by_segments(op, values: np.ndarray, starts: np.ndarray, dtype: Type):
+    """Left-fold ``op`` over contiguous segments of ``values``.
+
+    ``op`` may be a :class:`Monoid` or a plain :class:`BinaryOp` (the ``dup``
+    argument of ``build``); the fold is applied in storage order, matching
+    the spec's rule that duplicates combine in sequence order.
+    """
+    if isinstance(op, Monoid):
+        return op.reduce_segments(values, starts, dtype)
+    values = dtype.cast_array(np.asarray(values))
+    starts = np.asarray(starts, dtype=_INDEX)
+    if starts.size == 0:
+        return np.empty(0, dtype=dtype.np_dtype)
+    uf = op.ufunc if isinstance(op.ufunc, np.ufunc) else None
+    if uf is not None:
+        return dtype.cast_array(uf.reduceat(values, starts))
+    ends = np.append(starts[1:], values.size)
+    out = np.empty(starts.size, dtype=dtype.np_dtype)
+    for s in range(starts.size):
+        acc = values[starts[s]]
+        for k in range(starts[s] + 1, ends[s]):
+            acc = op.fn(acc, values[k])
+        out[s] = acc
+    return out
+
+
+def group_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """Offsets where each run of equal keys begins in a sorted key array."""
+    if sorted_keys.size == 0:
+        return np.empty(0, dtype=_INDEX)
+    change = np.empty(sorted_keys.size, dtype=bool)
+    change[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=change[1:])
+    return np.flatnonzero(change).astype(_INDEX)
+
+
+@dataclass
+class SparseStore:
+    """One orientation of a sparse matrix (or a sparse vector when 1 x n).
+
+    Attributes
+    ----------
+    orientation:
+        ROW for CSR/HyperCSR, COL for CSC/HyperCSC.
+    n_major, n_minor:
+        Dimensions along/across the storage direction.
+    h:
+        For hypersparse stores, the sorted ids of non-empty major vectors;
+        ``None`` for plain CSR/CSC.
+    indptr:
+        Vector boundaries: length ``len(h)+1`` if hypersparse else
+        ``n_major+1``.
+    minor:
+        Minor indices of entries, sorted within each major vector.
+    values:
+        Entry values, parallel to ``minor``.
+    """
+
+    orientation: Orientation
+    n_major: int
+    n_minor: int
+    h: np.ndarray | None
+    indptr: np.ndarray
+    minor: np.ndarray
+    values: np.ndarray
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def empty(
+        orientation: Orientation,
+        n_major: int,
+        n_minor: int,
+        dtype: Type,
+        hyper: bool = False,
+    ) -> "SparseStore":
+        if hyper:
+            return SparseStore(
+                orientation,
+                n_major,
+                n_minor,
+                np.empty(0, dtype=_INDEX),
+                np.zeros(1, dtype=_INDEX),
+                np.empty(0, dtype=_INDEX),
+                np.empty(0, dtype=dtype.np_dtype),
+            )
+        return SparseStore(
+            orientation,
+            n_major,
+            n_minor,
+            None,
+            np.zeros(n_major + 1, dtype=_INDEX),
+            np.empty(0, dtype=_INDEX),
+            np.empty(0, dtype=dtype.np_dtype),
+        )
+
+    @staticmethod
+    def from_coo(
+        orientation: Orientation,
+        n_major: int,
+        n_minor: int,
+        major: np.ndarray,
+        minor: np.ndarray,
+        values: np.ndarray,
+        dtype: Type,
+        dup=None,
+        hyper: bool = False,
+        assume_sorted_unique: bool = False,
+    ) -> "SparseStore":
+        """Build a store from coordinate arrays.
+
+        Duplicates are folded with ``dup`` (a BinaryOp or Monoid); if ``dup``
+        is None duplicates raise :class:`InvalidValue`, matching
+        ``GrB_Matrix_build`` with ``dup == NULL``.
+        """
+        major = np.asarray(major, dtype=_INDEX)
+        minor = np.asarray(minor, dtype=_INDEX)
+        values = np.asarray(values)
+        if not (major.shape == minor.shape == values.shape):
+            raise InvalidValue("COO arrays must have identical length")
+        if not assume_sorted_unique and major.size:
+            order = np.lexsort((minor, major))
+            major, minor, values = major[order], minor[order], values[order]
+            # duplicate pairs are adjacent after the lexsort; avoid composite
+            # integer keys, which could overflow for huge hypersparse dims
+            change = np.empty(major.size, dtype=bool)
+            change[0] = True
+            np.logical_or(
+                major[1:] != major[:-1], minor[1:] != minor[:-1], out=change[1:]
+            )
+            starts = np.flatnonzero(change).astype(_INDEX)
+            if starts.size != major.size:  # duplicates present
+                if dup is None:
+                    raise InvalidValue("duplicate indices and no dup operator")
+                values = reduce_by_segments(dup, values, starts, dtype)
+                major, minor = major[starts], minor[starts]
+            else:
+                values = dtype.cast_array(values)
+        else:
+            values = dtype.cast_array(values)
+
+        if hyper:
+            hstarts = group_starts(major)
+            h = major[hstarts] if major.size else np.empty(0, dtype=_INDEX)
+            indptr = np.empty(h.size + 1, dtype=_INDEX)
+            indptr[:-1] = hstarts
+            indptr[-1] = major.size
+        else:
+            h = None
+            indptr = np.zeros(n_major + 1, dtype=_INDEX)
+            if major.size:
+                np.add.at(indptr, major + 1, 1)
+                np.cumsum(indptr, out=indptr)
+        return SparseStore(orientation, n_major, n_minor, h, indptr, minor, values)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def hyper(self) -> bool:
+        return self.h is not None
+
+    @property
+    def nvals(self) -> int:
+        return int(self.minor.size)
+
+    @property
+    def nvec(self) -> int:
+        """Number of (stored) major vectors."""
+        return int(self.h.size) if self.hyper else self.n_major
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of index+value storage: O(e) hypersparse, O(n+e) otherwise."""
+        total = self.indptr.nbytes + self.minor.nbytes + self.values.nbytes
+        if self.hyper:
+            total += self.h.nbytes
+        return total
+
+    def check_valid(self) -> None:
+        """Internal-consistency check (used by tests and GxB-style verify)."""
+        if self.indptr[0] != 0 or self.indptr[-1] != self.nvals:
+            raise InvalidObject("indptr endpoints corrupt")
+        if np.any(np.diff(self.indptr) < 0):
+            raise InvalidObject("indptr not monotone")
+        if self.hyper:
+            if np.any(np.diff(self.h) <= 0):
+                raise InvalidObject("hyperlist not strictly increasing")
+            if self.h.size and (self.h[0] < 0 or self.h[-1] >= self.n_major):
+                raise InvalidObject("hyperlist out of range")
+        if self.minor.size:
+            if self.minor.min() < 0 or self.minor.max() >= self.n_minor:
+                raise InvalidObject("minor index out of range")
+        starts = self.indptr[:-1]
+        ends = self.indptr[1:]
+        for s, e in zip(starts, ends):  # sortedness within each vector
+            seg = self.minor[s:e]
+            if seg.size > 1 and np.any(np.diff(seg) <= 0):
+                raise InvalidObject("minor indices unsorted or duplicated")
+
+    # -- access patterns for kernels ---------------------------------------
+
+    def expand_major(self) -> np.ndarray:
+        """Major index of every entry (COO expansion), O(e)."""
+        counts = np.diff(self.indptr)
+        ids = self.h if self.hyper else np.arange(self.n_major, dtype=_INDEX)
+        return np.repeat(ids, counts)
+
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Entries as (major, minor, values), sorted major-then-minor."""
+        return self.expand_major(), self.minor, self.values
+
+    def major_ranges(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(start, end) positions of each requested major vector's entries.
+
+        Missing (empty) vectors get start == end.  O(k log nvec) for
+        hypersparse stores, O(k) for full stores.
+        """
+        rows = np.asarray(rows, dtype=_INDEX)
+        if self.hyper:
+            pos = np.searchsorted(self.h, rows)
+            pos_c = np.minimum(pos, max(self.h.size - 1, 0))
+            found = (self.h.size > 0) & (
+                self.h[pos_c] == rows if self.h.size else False
+            )
+            starts = np.where(found, self.indptr[pos_c], 0)
+            ends = np.where(found, self.indptr[pos_c + 1], 0)
+            return starts.astype(_INDEX), ends.astype(_INDEX)
+        return self.indptr[rows], self.indptr[rows + 1]
+
+    def vector_counts(self) -> np.ndarray:
+        """Entry count of each major vector, length ``n_major`` (dense)."""
+        counts = np.zeros(self.n_major, dtype=_INDEX)
+        ids = self.h if self.hyper else np.arange(self.n_major, dtype=_INDEX)
+        counts[ids] = np.diff(self.indptr)
+        return counts
+
+    # -- conversions -------------------------------------------------------
+
+    def with_orientation(self, orientation: Orientation) -> "SparseStore":
+        """Convert to the requested orientation (O(e log e) sort if flipped)."""
+        if orientation == self.orientation:
+            return self
+        major, minor, values = self.to_coo()
+        return SparseStore.from_coo(
+            orientation,
+            self.n_minor,
+            self.n_major,
+            minor,
+            major,
+            values,
+            _dtype_of(values),
+            hyper=self.hyper,
+        )
+
+    def transposed(self) -> "SparseStore":
+        """O(1) logical transpose: same arrays, flipped orientation."""
+        return SparseStore(
+            self.orientation.flipped,
+            self.n_major,
+            self.n_minor,
+            self.h,
+            self.indptr,
+            self.minor,
+            self.values,
+        )
+
+    def to_hyper(self) -> "SparseStore":
+        if self.hyper:
+            return self
+        counts = np.diff(self.indptr)
+        nonempty = np.flatnonzero(counts).astype(_INDEX)
+        indptr = np.empty(nonempty.size + 1, dtype=_INDEX)
+        indptr[0] = 0
+        np.cumsum(counts[nonempty], out=indptr[1:])
+        return SparseStore(
+            self.orientation,
+            self.n_major,
+            self.n_minor,
+            nonempty,
+            indptr,
+            self.minor,
+            self.values,
+        )
+
+    def to_full_pointer(self) -> "SparseStore":
+        if not self.hyper:
+            return self
+        indptr = np.zeros(self.n_major + 1, dtype=_INDEX)
+        counts = np.diff(self.indptr)
+        indptr[self.h + 1] = counts
+        np.cumsum(indptr, out=indptr)
+        return SparseStore(
+            self.orientation,
+            self.n_major,
+            self.n_minor,
+            None,
+            indptr,
+            self.minor,
+            self.values,
+        )
+
+    def copy(self) -> "SparseStore":
+        return SparseStore(
+            self.orientation,
+            self.n_major,
+            self.n_minor,
+            None if self.h is None else self.h.copy(),
+            self.indptr.copy(),
+            self.minor.copy(),
+            self.values.copy(),
+        )
+
+
+def _dtype_of(values: np.ndarray) -> Type:
+    from .types import lookup_type
+
+    return lookup_type(values.dtype)

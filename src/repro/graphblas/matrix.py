@@ -1,0 +1,559 @@
+"""The opaque ``GrB_Matrix`` object.
+
+Storage is a :class:`~repro.graphblas.formats.SparseStore` in one of the
+four formats the paper describes (CSR, CSC, HyperCSR, HyperCSC), plus the
+two deferred-update structures of section II.A:
+
+* **pending tuples** — an unordered list of (i, j, v) for fast insertion;
+* **zombies** — entries tagged for deletion but still physically present.
+
+``wait()`` assembles both in a single O(n + e + p log p) pass, which is why
+a sequence of e ``setElement`` calls is as fast as one e-tuple ``build`` —
+the quantitative claim reproduced by bench E1.  In blocking mode each update
+assembles immediately (O(e) per call).
+
+A matrix may cache its opposite-orientation twin (``by_row``/``by_col``
+below) — the dual CSR+CSC storage that GraphBLAST (section II.E, Figure 3)
+uses for direction-optimized traversal, at 2x memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import context
+from .errors import (
+    IndexOutOfBounds,
+    InvalidValue,
+    NoValue,
+    UninitializedObject,
+)
+from .formats import Orientation, SparseStore
+from .ops import SECOND, binary
+from .types import Type, lookup_type
+
+__all__ = ["Matrix"]
+
+_INDEX = np.int64
+
+# Switch to hypersparse when fewer than 1/HYPER_SWITCH of rows are non-empty
+# (SuiteSparse exploits hypersparsity automatically; same spirit here).
+HYPER_SWITCH = 16
+
+# Above this major dimension a full O(n) pointer array is never allocated:
+# matrices are born hypersparse, so "matrices with enormous dimensions can
+# be created, as long as e << n" (section II.A).
+AUTO_HYPER_DIM = 1 << 26
+
+
+class Matrix:
+    """An opaque sparse matrix over a GraphBLAS domain.
+
+    Create with :meth:`Matrix.new`, :meth:`Matrix.from_coo`,
+    :meth:`Matrix.from_dense`, or the capi facade.  All Table-I operations
+    live in :mod:`repro.graphblas.operations`; this class only owns storage,
+    incremental updates, and format control.
+    """
+
+    __slots__ = (
+        "dtype",
+        "nrows",
+        "ncols",
+        "_store",
+        "_alt",
+        "_pend_i",
+        "_pend_j",
+        "_pend_v",
+        "_pend_del",
+        "_valid",
+        "_keep_both",
+    )
+
+    def __init__(self, dtype, nrows: int, ncols: int):
+        nrows = int(nrows)
+        ncols = int(ncols)
+        if nrows <= 0 or ncols <= 0:
+            raise InvalidValue("matrix dimensions must be positive")
+        self.dtype: Type = lookup_type(dtype)
+        self.nrows = nrows
+        self.ncols = ncols
+        self._store = SparseStore.empty(
+            Orientation.ROW, nrows, ncols, self.dtype, hyper=nrows > AUTO_HYPER_DIM
+        )
+        self._alt: SparseStore | None = None  # cached flipped orientation
+        # one ordered update log: insertions (pending tuples) and deletions
+        # (zombies); ordering matters when both touch the same coordinate
+        self._pend_i: list[int] = []
+        self._pend_j: list[int] = []
+        self._pend_v: list = []
+        self._pend_del: list[bool] = []
+        self._valid = True
+        self._keep_both = False
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def new(cls, dtype, nrows: int, ncols: int) -> "Matrix":
+        """``GrB_Matrix_new``."""
+        return cls(dtype, nrows, ncols)
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows,
+        cols,
+        values,
+        *,
+        nrows: int | None = None,
+        ncols: int | None = None,
+        dtype=None,
+        dup="PLUS",
+    ) -> "Matrix":
+        """Build from coordinate arrays (convenience over new + build)."""
+        rows = np.asarray(rows, dtype=_INDEX)
+        cols = np.asarray(cols, dtype=_INDEX)
+        values = np.asarray(values)
+        if np.isscalar(values) or values.ndim == 0:
+            values = np.broadcast_to(values, rows.shape).copy()
+        if nrows is None:
+            nrows = int(rows.max()) + 1 if rows.size else 1
+        if ncols is None:
+            ncols = int(cols.max()) + 1 if cols.size else 1
+        if dtype is None:
+            dtype = values.dtype if values.size else np.float64
+        m = cls(dtype, nrows, ncols)
+        m.build(rows, cols, values, dup=dup)
+        return m
+
+    @classmethod
+    def from_dense(cls, array, *, missing=None, dtype=None) -> "Matrix":
+        """Build from a dense 2-D array; ``missing`` marks absent entries."""
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise InvalidValue("from_dense needs a 2-D array")
+        if missing is None:
+            mask = np.ones(array.shape, dtype=bool)
+        elif missing != missing:  # NaN sentinel
+            mask = ~np.isnan(array)
+        else:
+            mask = array != missing
+        rows, cols = np.nonzero(mask)
+        return cls.from_coo(
+            rows,
+            cols,
+            array[mask],
+            nrows=array.shape[0],
+            ncols=array.shape[1],
+            dtype=dtype or array.dtype,
+        )
+
+    @classmethod
+    def sparse_identity(cls, n: int, dtype=np.float64, value=1) -> "Matrix":
+        idx = np.arange(n, dtype=_INDEX)
+        return cls.from_coo(idx, idx, np.full(n, value), nrows=n, ncols=n, dtype=dtype)
+
+    # -- invariants --------------------------------------------------------
+
+    def _require_valid(self) -> None:
+        if not self._valid:
+            raise UninitializedObject(
+                "matrix contents were moved out by export (section IV move semantics)"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pend_i)
+
+    @property
+    def npending(self) -> int:
+        """Pending insertions (the paper's *pending tuples*)."""
+        return sum(1 for d in self._pend_del if not d)
+
+    @property
+    def nzombies(self) -> int:
+        """Pending deletions (the paper's *zombies*)."""
+        return sum(1 for d in self._pend_del if d)
+
+    @property
+    def nvals(self) -> int:
+        """``GrB_Matrix_nvals``: forces assembly of pending work."""
+        self.wait()
+        return self._store.nvals
+
+    @property
+    def format(self) -> str:
+        s = self._store
+        if s.orientation is Orientation.ROW:
+            return "hypercsr" if s.hyper else "csr"
+        return "hypercsc" if s.hyper else "csc"
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the primary store (pending work not counted)."""
+        self._require_valid()
+        return self._store.nbytes
+
+    # -- deferred updates (zombies & pending tuples) ------------------------
+
+    def set_element(self, i: int, j: int, value) -> None:
+        """``GrB_Matrix_setElement``: O(1) amortized in non-blocking mode."""
+        self._require_valid()
+        i, j = int(i), int(j)
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise IndexOutOfBounds(f"({i},{j}) outside {self.shape}")
+        self._pend_i.append(i)
+        self._pend_j.append(j)
+        self._pend_v.append(value)
+        self._pend_del.append(False)
+        self._alt = None
+        if context.get_mode() == context.Mode.BLOCKING:
+            self.wait()
+
+    def remove_element(self, i: int, j: int) -> None:
+        """``GrB_Matrix_removeElement``: tags a zombie for deferred deletion."""
+        self._require_valid()
+        i, j = int(i), int(j)
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise IndexOutOfBounds(f"({i},{j}) outside {self.shape}")
+        self._pend_i.append(i)
+        self._pend_j.append(j)
+        self._pend_v.append(0)
+        self._pend_del.append(True)
+        self._alt = None
+        if context.get_mode() == context.Mode.BLOCKING:
+            self.wait()
+
+    def wait(self) -> "Matrix":
+        """``GrB_Matrix_wait``: kill zombies and assemble pending tuples.
+
+        A single O(n + e + p log p) pass (hypersparse: O(e + p log p)), per
+        the paper's section II.A.
+        """
+        self._require_valid()
+        if not self.has_pending:
+            return self
+        major, minor, values = self._store.to_coo()
+        if self._store.orientation is Orientation.COL:
+            rows, cols = minor, major
+        else:
+            rows, cols = major, minor
+        vals = values
+
+        pi = np.asarray(self._pend_i, dtype=_INDEX)
+        pj = np.asarray(self._pend_j, dtype=_INDEX)
+        pdel = np.asarray(self._pend_del, dtype=bool)
+        # the last log action per coordinate wins (lexsort is stable, so the
+        # final occurrence in append order is the last within its group)
+        order = np.lexsort((pj, pi))
+        pi_s, pj_s = pi[order], pj[order]
+        last = np.empty(pi_s.size, dtype=bool)
+        last[-1] = True
+        np.logical_or(
+            pi_s[1:] != pi_s[:-1], pj_s[1:] != pj_s[:-1], out=last[:-1]
+        )
+        sel = order[last]
+        li, lj, ldel = pi[sel], pj[sel], pdel[sel]
+        ins = ~ldel
+        lv = self.dtype.cast_array(
+            np.asarray([self._pend_v[k] for k in sel[ins]])
+        ) if np.any(ins) else np.empty(0, dtype=self.dtype.np_dtype)
+
+        # zombie kill + pending override: drop stored entries touched by the
+        # log, then append the surviving insertions
+        keep = ~_coords_isin(rows, cols, li, lj, self.ncols)
+        rows = np.concatenate([rows[keep], li[ins]])
+        cols = np.concatenate([cols[keep], lj[ins]])
+        vals = np.concatenate([vals[keep], lv])
+        self._pend_i, self._pend_j = [], []
+        self._pend_v, self._pend_del = [], []
+
+        orient = self._store.orientation
+        hyper = self._store.hyper
+        if orient is Orientation.COL:
+            major, minor = cols, rows
+            n_major, n_minor = self.ncols, self.nrows
+        else:
+            major, minor = rows, cols
+            n_major, n_minor = self.nrows, self.ncols
+        self._store = SparseStore.from_coo(
+            orient,
+            n_major,
+            n_minor,
+            major,
+            minor,
+            vals,
+            self.dtype,
+            dup=SECOND,
+            hyper=hyper,
+        )
+        self._alt = None
+        return self
+
+    # -- element access ----------------------------------------------------
+
+    def extract_element(self, i: int, j: int):
+        """``GrB_Matrix_extractElement``; raises :class:`NoValue` if absent."""
+        self._require_valid()
+        self.wait()
+        i, j = int(i), int(j)
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise IndexOutOfBounds(f"({i},{j}) outside {self.shape}")
+        s = self._store
+        maj, mino = (i, j) if s.orientation is Orientation.ROW else (j, i)
+        start, end = s.major_ranges(np.array([maj], dtype=_INDEX))
+        lo, hi = int(start[0]), int(end[0])
+        pos = lo + np.searchsorted(s.minor[lo:hi], mino)
+        if pos < hi and s.minor[pos] == mino:
+            return s.values[pos].item() if self.dtype.builtin else s.values[pos]
+        raise NoValue(f"no entry at ({i},{j})")
+
+    def get(self, i: int, j: int, default=None):
+        """Pythonic extract_element returning ``default`` when absent."""
+        try:
+            return self.extract_element(i, j)
+        except NoValue:
+            return default
+
+    def __getitem__(self, key):
+        i, j = key
+        return self.extract_element(i, j)
+
+    def __setitem__(self, key, value) -> None:
+        i, j = key
+        self.set_element(i, j, value)
+
+    def build(self, rows, cols, values, dup="PLUS") -> "Matrix":
+        """``GrB_Matrix_build``: bulk construction from tuples.
+
+        The target must be empty (``OutputNotEmpty`` otherwise, per spec).
+        """
+        from .errors import OutputNotEmpty
+
+        self._require_valid()
+        if self._store.nvals or self.has_pending:
+            raise OutputNotEmpty("build requires an empty matrix")
+        rows = np.asarray(rows, dtype=_INDEX)
+        cols = np.asarray(cols, dtype=_INDEX)
+        values = np.asarray(values)
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= self.nrows:
+                raise IndexOutOfBounds("row index out of bounds in build")
+            if cols.min() < 0 or cols.max() >= self.ncols:
+                raise IndexOutOfBounds("col index out of bounds in build")
+        dup_op = binary(dup) if dup is not None else None
+        hyper = self._store.hyper
+        self._store = SparseStore.from_coo(
+            self._store.orientation,
+            self._store.n_major,
+            self._store.n_minor,
+            rows if self._store.orientation is Orientation.ROW else cols,
+            cols if self._store.orientation is Orientation.ROW else rows,
+            values,
+            self.dtype,
+            dup=dup_op,
+            hyper=hyper,
+        )
+        self._alt = None
+        return self
+
+    def extract_tuples(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``GrB_Matrix_extractTuples``: Omega(e) copy-out of all entries."""
+        self._require_valid()
+        self.wait()
+        major, minor, values = self._store.to_coo()
+        if self._store.orientation is Orientation.COL:
+            rows, cols = minor.copy(), major
+        else:
+            rows, cols = major, minor.copy()
+        return rows, cols, values.copy()
+
+    # -- format control ------------------------------------------------------
+
+    def set_format(self, fmt: str) -> "Matrix":
+        """Switch storage among csr / csc / hypercsr / hypercsc."""
+        self._require_valid()
+        self.wait()
+        fmt = fmt.lower()
+        want_orient = Orientation.COL if fmt.endswith("csc") else Orientation.ROW
+        if fmt not in ("csr", "csc", "hypercsr", "hypercsc"):
+            raise InvalidValue(f"unknown format {fmt!r}")
+        want_hyper = fmt.startswith("hyper")
+        s = self._store.with_orientation(want_orient)
+        s = s.to_hyper() if want_hyper else s.to_full_pointer()
+        self._store = s
+        self._alt = None
+        return self
+
+    def auto_format(self) -> "Matrix":
+        """Pick hypersparse automatically when most vectors are empty."""
+        self._require_valid()
+        self.wait()
+        s = self._store
+        nonempty = s.nvec if s.hyper else int(np.count_nonzero(np.diff(s.indptr)))
+        if nonempty * HYPER_SWITCH < s.n_major:
+            self._store = s.to_hyper()
+        else:
+            self._store = s.to_full_pointer()
+        return self
+
+    def keep_both_orientations(self, flag: bool = True) -> "Matrix":
+        """Keep both CSR and CSC copies alive (GraphBLAST's 2x-memory mode)."""
+        self._keep_both = bool(flag)
+        if not flag:
+            self._alt = None
+        return self
+
+    def by_row(self) -> SparseStore:
+        """Row-oriented store view (converting and caching if needed)."""
+        return self._oriented(Orientation.ROW)
+
+    def by_col(self) -> SparseStore:
+        """Column-oriented store view (converting and caching if needed)."""
+        return self._oriented(Orientation.COL)
+
+    def _oriented(self, orientation: Orientation) -> SparseStore:
+        self._require_valid()
+        self.wait()
+        if self._store.orientation == orientation:
+            return self._store
+        if self._alt is None or self._alt.orientation != orientation:
+            alt = self._store.with_orientation(orientation)
+            if self._keep_both:
+                self._alt = alt
+            return alt
+        return self._alt
+
+    # -- whole-object operations -------------------------------------------
+
+    def dup(self) -> "Matrix":
+        """``GrB_Matrix_dup``: deep copy."""
+        self._require_valid()
+        self.wait()
+        out = Matrix(self.dtype, self.nrows, self.ncols)
+        out._store = self._store.copy()
+        out._keep_both = self._keep_both
+        return out
+
+    def clear(self) -> "Matrix":
+        """``GrB_Matrix_clear``: drop all entries, keep dimensions/type."""
+        self._require_valid()
+        self._pend_i, self._pend_j = [], []
+        self._pend_v, self._pend_del = [], []
+        self._store = SparseStore.empty(
+            self._store.orientation,
+            self._store.n_major,
+            self._store.n_minor,
+            self.dtype,
+            hyper=self._store.hyper,
+        )
+        self._alt = None
+        return self
+
+    def resize(self, nrows: int, ncols: int) -> "Matrix":
+        """``GrB_Matrix_resize``: grow or shrink (dropping outside entries)."""
+        self._require_valid()
+        self.wait()
+        nrows, ncols = int(nrows), int(ncols)
+        if nrows <= 0 or ncols <= 0:
+            raise InvalidValue("matrix dimensions must be positive")
+        rows, cols, vals = self.extract_tuples()
+        keep = (rows < nrows) & (cols < ncols)
+        orient = self._store.orientation
+        hyper = self._store.hyper
+        self.nrows, self.ncols = nrows, ncols
+        n_major, n_minor = (
+            (nrows, ncols) if orient is Orientation.ROW else (ncols, nrows)
+        )
+        major = rows[keep] if orient is Orientation.ROW else cols[keep]
+        minor = cols[keep] if orient is Orientation.ROW else rows[keep]
+        self._store = SparseStore.from_coo(
+            orient,
+            n_major,
+            n_minor,
+            major,
+            minor,
+            vals[keep],
+            self.dtype,
+            hyper=hyper,
+            assume_sorted_unique=(orient is Orientation.ROW),
+        )
+        self._alt = None
+        return self
+
+    def to_dense(self, fill=0) -> np.ndarray:
+        """Dense 2-D array with ``fill`` in empty positions (test helper)."""
+        self._require_valid()
+        self.wait()
+        out = np.full((self.nrows, self.ncols), fill, dtype=self.dtype.np_dtype)
+        rows, cols, vals = self.extract_tuples()
+        out[rows, cols] = vals
+        return out
+
+    def pattern(self) -> np.ndarray:
+        """Dense boolean structure matrix (test helper)."""
+        self._require_valid()
+        self.wait()
+        out = np.zeros((self.nrows, self.ncols), dtype=bool)
+        rows, cols, _ = self.extract_tuples()
+        out[rows, cols] = True
+        return out
+
+    def isequal(self, other: "Matrix") -> bool:
+        """Same type, dimensions, pattern, and values (LAGraph_IsEqual)."""
+        if not isinstance(other, Matrix):
+            return False
+        if self.dtype != other.dtype or self.shape != other.shape:
+            return False
+        r1, c1, v1 = self.extract_tuples()
+        r2, c2, v2 = other.extract_tuples()
+        if r1.size != r2.size:
+            return False
+        # extractTuples order depends on the storage orientation; compare
+        # canonically (row-major) so CSR and CSC twins test equal
+        o1 = np.lexsort((c1, r1))
+        o2 = np.lexsort((c2, r2))
+        return (
+            bool(np.array_equal(r1[o1], r2[o2]))
+            and bool(np.array_equal(c1[o1], c2[o2]))
+            and bool(np.array_equal(v1[o1], v2[o2]))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self._valid:
+            return "Matrix(<moved>)"
+        pend = f", pending={self.npending}, zombies={self.nzombies}" if self.has_pending else ""
+        return (
+            f"Matrix({self.dtype.name}, {self.nrows}x{self.ncols}, "
+            f"nvals={self._store.nvals}{pend}, format={self.format})"
+        )
+
+
+def _coords_isin(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    qi: np.ndarray,
+    qj: np.ndarray,
+    ncols: int,
+) -> np.ndarray:
+    """Boolean mask of which (rows, cols) pairs appear in (qi, qj)."""
+    if rows.size == 0 or qi.size == 0:
+        return np.zeros(rows.size, dtype=bool)
+    if ncols <= 2**31:  # composite key fits comfortably in int64
+        key = rows * np.int64(ncols) + cols
+        qkey = qi * np.int64(ncols) + qj
+        return np.isin(key, qkey)
+    # huge dimensions: sort query pairs and binary-search both coordinates
+    order = np.lexsort((qj, qi))
+    qi, qj = qi[order], qj[order]
+    lo = np.searchsorted(qi, rows, side="left")
+    hi = np.searchsorted(qi, rows, side="right")
+    out = np.zeros(rows.size, dtype=bool)
+    for k in np.flatnonzero(hi > lo):
+        seg = qj[lo[k] : hi[k]]
+        p = np.searchsorted(seg, cols[k])
+        out[k] = p < seg.size and seg[p] == cols[k]
+    return out

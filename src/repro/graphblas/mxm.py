@@ -1,0 +1,389 @@
+"""Sparse matrix-matrix multiply over a semiring: three methods.
+
+The paper (section II.A) describes SuiteSparse's code-generated kernels:
+**Gustavson's method** (row-wise saxpy), a **dot-product method** (with
+no-mask / mask / complemented-mask variants), and a **heap-based method**
+(k-way merge), expanding over all built-in semirings.  It also describes the
+*early-exit* prototype: with a terminal monoid (OR's ``true``, AND's
+``false``, MIN/MAX extrema) a dot product stops as soon as the terminal
+value appears — the enabler for direction-optimized BFS.
+
+All three methods are implemented here over row/col-oriented
+:class:`~repro.graphblas.formats.SparseStore` views and are checked against
+each other (and the dense reference) by the test suite.  Method choice:
+
+* ``gustavson`` — vectorized expansion of all partial products, chunked to
+  bound intermediate memory; the general-purpose workhorse.
+* ``dot`` — computes only requested output positions; the clear winner when
+  a sparse mask limits the output (e.g. masked triangle counting), and the
+  home of the early-exit optimization.
+* ``heap`` — literal k-way ordered merge per output row; fidelity
+  implementation of the third SuiteSparse method.
+* ``auto`` — dot when a (non-complemented) mask is present and selective,
+  else Gustavson.
+
+Positional multiply operators (FIRSTI/SECONDJ/...) are served by the
+Gustavson path, substituting coordinates for values.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .errors import InvalidValue
+from .formats import SparseStore
+from .ops import BinaryOp
+from .semiring import Semiring
+from .types import Type
+
+__all__ = ["mxm_coo", "MXM_METHODS"]
+
+_INDEX = np.int64
+
+# Cap on the number of expanded partial products held at once (per chunk).
+# Chosen by the ablation in benchmarks/bench_ablation_design.py: small
+# chunks keep the expansion buffers cache-resident (up to ~1.5x faster on
+# skewed graphs) while costing nothing on uniform ones.
+GUSTAVSON_CHUNK_FLOPS = 1 << 16
+
+MXM_METHODS = ("auto", "gustavson", "dot", "heap")
+
+
+def _gather_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[k], ends[k])`` for all k, vectorized."""
+    lens = ends - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=_INDEX)
+    offsets = np.repeat(np.cumsum(lens) - lens, lens)
+    return np.arange(total, dtype=_INDEX) - offsets + np.repeat(starts, lens)
+
+
+def _positional_values(
+    mult: BinaryOp,
+    i: np.ndarray,
+    k: np.ndarray,
+    j: np.ndarray,
+) -> np.ndarray:
+    """Coordinate-valued multiply: z = f(i, k, j) per partial product."""
+    kind = mult.positional
+    if kind == "firsti":
+        return i.astype(np.int64)
+    if kind == "firsti1":
+        return i.astype(np.int64) + 1
+    if kind in ("firstj", "secondi"):
+        return k.astype(np.int64)
+    if kind == "secondj":
+        return j.astype(np.int64)
+    if kind == "secondj1":
+        return j.astype(np.int64) + 1
+    raise InvalidValue(f"unknown positional kind {kind!r}")
+
+
+def mxm_coo(
+    a_rows: SparseStore,
+    b_rows: SparseStore,
+    semiring: Semiring,
+    out_type: Type,
+    method: str = "auto",
+    mask_coords: tuple[np.ndarray, np.ndarray] | None = None,
+    mask_complement: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """C = A (+).(x) B on row-oriented stores; returns sorted COO arrays.
+
+    ``mask_coords`` — when given, only those output coordinates need be
+    computed (the structural part of the output mask); the caller still
+    applies the full mask/accum write step afterwards, so producing extra
+    entries would be legal but wasteful.  With ``mask_complement`` the hint
+    is the set of coordinates *not* wanted; the dot method cannot use a
+    complemented hint directly, but Gustavson can drop them post hoc.
+    """
+    if a_rows.n_minor != b_rows.n_major:
+        raise InvalidValue(
+            f"inner dimensions differ: {a_rows.n_minor} vs {b_rows.n_major}"
+        )
+    if method not in MXM_METHODS:
+        raise InvalidValue(f"unknown mxm method {method!r}")
+    if method == "auto":
+        if mask_coords is not None and not mask_complement:
+            method = "dot"
+        else:
+            method = "gustavson"
+    if semiring.mult.positional and method != "gustavson":
+        method = "gustavson"  # positional products need coordinate expansion
+
+    if method == "gustavson":
+        r, c, v = _mxm_gustavson(a_rows, b_rows, semiring, out_type)
+        if mask_coords is not None:
+            from .coords import coords_in
+
+            sel = coords_in(r, c, *mask_coords)
+            if mask_complement:
+                sel = ~sel
+            r, c, v = r[sel], c[sel], v[sel]
+        return r, c, v
+    if method == "dot":
+        return _mxm_dot(a_rows, b_rows, semiring, out_type, mask_coords, mask_complement)
+    return _mxm_heap(a_rows, b_rows, semiring, out_type, mask_coords, mask_complement)
+
+
+# --------------------------------------------------------------------------
+# Gustavson: saxpy expansion
+# --------------------------------------------------------------------------
+
+def _mxm_gustavson(
+    a_rows: SparseStore,
+    b_rows: SparseStore,
+    semiring: Semiring,
+    out_type: Type,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ar, ac, av = a_rows.to_coo()
+    if ar.size == 0 or b_rows.nvals == 0:
+        return (
+            np.empty(0, dtype=_INDEX),
+            np.empty(0, dtype=_INDEX),
+            np.empty(0, dtype=out_type.np_dtype),
+        )
+    starts, ends = b_rows.major_ranges(ac)
+    lens = ends - starts
+    flops = np.cumsum(lens)
+    total = int(flops[-1])
+    if total == 0:
+        return (
+            np.empty(0, dtype=_INDEX),
+            np.empty(0, dtype=_INDEX),
+            np.empty(0, dtype=out_type.np_dtype),
+        )
+
+    out_r: list[np.ndarray] = []
+    out_c: list[np.ndarray] = []
+    out_v: list[np.ndarray] = []
+    # chunk A's entries so each expansion stays below the flop cap, cutting
+    # only at row boundaries of A so per-chunk results concatenate sorted
+    lo = 0
+    while lo < ar.size:
+        base = flops[lo - 1] if lo else 0
+        hi = int(np.searchsorted(flops, base + GUSTAVSON_CHUNK_FLOPS))
+        hi = max(hi, lo + 1)
+        if hi < ar.size:  # extend to finish the current A row
+            row = ar[hi - 1]
+            while hi < ar.size and ar[hi] == row:
+                hi += 1
+        chunk = slice(lo, hi)
+        gather = _gather_ranges(starts[chunk], ends[chunk])
+        reps = lens[chunk]
+        i = np.repeat(ar[chunk], reps)
+        j = b_rows.minor[gather]
+        if semiring.mult.positional is not None:
+            k = np.repeat(ac[chunk], reps)
+            vals = _positional_values(semiring.mult, i, k, j)
+        else:
+            vals = semiring.mult.apply(np.repeat(av[chunk], reps), b_rows.values[gather])
+        # combine duplicates (same output coordinate) with the add monoid
+        order = np.lexsort((j, i))
+        i, j, vals = i[order], j[order], vals[order]
+        seg = _pair_group_starts(i, j)
+        if seg.size != i.size:
+            vals = semiring.add.reduce_segments(vals, seg, out_type)
+            i, j = i[seg], j[seg]
+        else:
+            vals = out_type.cast_array(vals)
+        out_r.append(i)
+        out_c.append(j)
+        out_v.append(vals)
+        lo = hi
+
+    return (
+        np.concatenate(out_r),
+        np.concatenate(out_c),
+        np.concatenate(out_v),
+    )
+
+
+def _pair_group_starts(i: np.ndarray, j: np.ndarray) -> np.ndarray:
+    if i.size == 0:
+        return np.empty(0, dtype=_INDEX)
+    change = np.empty(i.size, dtype=bool)
+    change[0] = True
+    np.logical_or(i[1:] != i[:-1], j[1:] != j[:-1], out=change[1:])
+    return np.flatnonzero(change).astype(_INDEX)
+
+
+# --------------------------------------------------------------------------
+# Dot-product method (masked / unmasked / complemented-mask variants)
+# --------------------------------------------------------------------------
+
+# Scan the intersection in blocks; with a terminal monoid, stop at the first
+# block whose running reduction hits the annihilator (the "early exit").
+_EARLY_EXIT_BLOCK = 64
+
+
+def _mxm_dot(
+    a_rows: SparseStore,
+    b_rows: SparseStore,
+    semiring: Semiring,
+    out_type: Type,
+    mask_coords,
+    mask_complement: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    b_cols = b_rows.with_orientation(b_rows.orientation.flipped)
+    if mask_coords is None or mask_complement:
+        # enumerate candidate output coordinates: (nonempty A rows) x
+        # (nonempty B cols), minus the masked-out set if complemented
+        arows = (
+            a_rows.h
+            if a_rows.hyper
+            else np.flatnonzero(np.diff(a_rows.indptr)).astype(_INDEX)
+        )
+        bcols = (
+            b_cols.h
+            if b_cols.hyper
+            else np.flatnonzero(np.diff(b_cols.indptr)).astype(_INDEX)
+        )
+        out_i = np.repeat(arows, bcols.size)
+        out_j = np.tile(bcols, arows.size)
+        if mask_coords is not None:
+            from .coords import coords_in
+
+            drop = coords_in(out_i, out_j, *mask_coords)
+            out_i, out_j = out_i[~drop], out_j[~drop]
+    else:
+        out_i, out_j = mask_coords
+    if out_i.size == 0:
+        return (
+            np.empty(0, dtype=_INDEX),
+            np.empty(0, dtype=_INDEX),
+            np.empty(0, dtype=out_type.np_dtype),
+        )
+
+    a_start, a_end = a_rows.major_ranges(out_i)
+    b_start, b_end = b_cols.major_ranges(out_j)
+
+    add = semiring.add
+    mult = semiring.mult
+    terminal = add.terminal(out_type)
+    a_minor = a_rows.minor
+    a_vals = a_rows.values
+    b_minor = b_cols.minor
+    b_vals = b_cols.values
+
+    keep = np.zeros(out_i.size, dtype=bool)
+    out_vals = np.empty(out_i.size, dtype=out_type.np_dtype)
+
+    for p in range(out_i.size):
+        asl = slice(a_start[p], a_end[p])
+        bsl = slice(b_start[p], b_end[p])
+        ai = a_minor[asl]
+        bi = b_minor[bsl]
+        if ai.size == 0 or bi.size == 0:
+            continue
+        # sorted intersection: positions of common inner indices
+        pos = np.searchsorted(bi, ai)
+        pos_c = np.minimum(pos, bi.size - 1)
+        hit = bi[pos_c] == ai
+        if not hit.any():
+            continue
+        av = a_vals[asl][hit]
+        bv = b_vals[bsl][pos[hit]]
+        if terminal is not None and av.size > _EARLY_EXIT_BLOCK:
+            acc = None
+            done = False
+            for lo in range(0, av.size, _EARLY_EXIT_BLOCK):
+                blk = mult.apply(
+                    av[lo : lo + _EARLY_EXIT_BLOCK],
+                    bv[lo : lo + _EARLY_EXIT_BLOCK],
+                )
+                blk_red = add.reduce_array(blk, out_type)
+                acc = (
+                    blk_red
+                    if acc is None
+                    else out_type.cast_array(
+                        add.op.apply(np.asarray(acc), np.asarray(blk_red))
+                    ).item()
+                )
+                if acc == terminal:  # early exit: annihilator reached
+                    done = True
+                    break
+            out_vals[p] = acc
+            keep[p] = True
+            del done
+        else:
+            prods = mult.apply(av, bv)
+            out_vals[p] = add.reduce_array(prods, out_type)
+            keep[p] = True
+
+    out_i, out_j, out_vals = out_i[keep], out_j[keep], out_vals[keep]
+    order = np.lexsort((out_j, out_i))
+    return out_i[order], out_j[order], out_vals[order]
+
+
+# --------------------------------------------------------------------------
+# Heap method: literal k-way merge per output row
+# --------------------------------------------------------------------------
+
+def _mxm_heap(
+    a_rows: SparseStore,
+    b_rows: SparseStore,
+    semiring: Semiring,
+    out_type: Type,
+    mask_coords,
+    mask_complement: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    add = semiring.add
+    mult = semiring.mult
+    out_r: list[int] = []
+    out_c: list[int] = []
+    out_v: list = []
+
+    a_full = a_rows.to_full_pointer()
+    indptr = a_full.indptr
+    for i in range(a_full.n_major):
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        if lo == hi:
+            continue
+        ks = a_full.minor[lo:hi]
+        avs = a_full.values[lo:hi]
+        bs, be = b_rows.major_ranges(ks)
+        # heap of (col_index, source_row_position, cursor) — merge the rows
+        # of B selected by A(i,:) in column order
+        heap: list[tuple[int, int, int]] = []
+        for s in range(ks.size):
+            if bs[s] < be[s]:
+                heapq.heappush(heap, (int(b_rows.minor[bs[s]]), s, int(bs[s])))
+        cur_col = -1
+        acc = None
+        while heap:
+            col, s, cursor = heapq.heappop(heap)
+            prod = mult.fn(avs[s], b_rows.values[cursor])
+            if col != cur_col:
+                if acc is not None:
+                    out_r.append(i)
+                    out_c.append(cur_col)
+                    out_v.append(acc)
+                cur_col = col
+                acc = prod
+            else:
+                acc = add.op.fn(acc, prod)
+            cursor += 1
+            if cursor < be[s]:
+                heapq.heappush(heap, (int(b_rows.minor[cursor]), s, cursor))
+        if acc is not None:
+            out_r.append(i)
+            out_c.append(cur_col)
+            out_v.append(acc)
+
+    r = np.asarray(out_r, dtype=_INDEX)
+    c = np.asarray(out_c, dtype=_INDEX)
+    v = out_type.cast_array(np.asarray(out_v)) if out_v else np.empty(
+        0, dtype=out_type.np_dtype
+    )
+    if mask_coords is not None:
+        from .coords import coords_in
+
+        sel = coords_in(r, c, *mask_coords)
+        if mask_complement:
+            sel = ~sel
+        r, c, v = r[sel], c[sel], v[sel]
+    return r, c, v

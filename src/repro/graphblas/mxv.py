@@ -1,0 +1,193 @@
+"""Sparse matrix-vector multiply: push, pull, and direction optimization.
+
+Section II.E of the paper describes GraphBLAST's key optimization,
+direction-optimized traversal (Beamer et al.'s push-pull), implemented
+*inside* ``GrB_mxv``:
+
+* **push** — sparse-matrix sparse-vector product (SpMSpV, Gustavson's
+  method): scatter from the entries of the sparse input vector through the
+  matrix stored so its *inner* dimension is the major axis.  Work is
+  proportional to the frontier's outgoing edges.
+* **pull** — dot-product SpMV against the dense form of the input vector,
+  reading the matrix by its *outer* dimension.  With an output mask, only
+  the admitted output positions are computed.  Work is proportional to the
+  edges incident on the unvisited set.
+* **auto** — the GraphBLAST rule reproduced literally: if the vector's
+  density crossed above the threshold, switch to pull; if below, switch to
+  push; otherwise *keep the direction used last iteration* (hysteresis,
+  held in :class:`DirectionOptimizer`).
+
+The same two kernels serve both ``mxv`` (A's columns indexed by u) and
+``vxm`` (A's rows indexed by u) — the caller passes the appropriately
+oriented store and sets ``matrix_first`` for the multiply argument order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import InvalidValue
+from .formats import SparseStore
+from .mxm import _gather_ranges
+from .semiring import Semiring
+from .types import Type
+
+__all__ = [
+    "spmspv_push",
+    "spmv_pull",
+    "DirectionOptimizer",
+    "DEFAULT_SWITCH_THRESHOLD",
+]
+
+_INDEX = np.int64
+
+# GraphBLAST switches push<->pull when frontier density crosses a threshold;
+# its default is a small constant fraction of the vertices.
+DEFAULT_SWITCH_THRESHOLD = 0.03
+
+
+def _vec_positional(kind: str, k: np.ndarray, m: np.ndarray, matrix_first: bool):
+    """Positional multiply for matrix-vector products.
+
+    ``k`` is the inner (vector) index of each partial product, ``m`` the
+    output index.  With ``matrix_first`` (mxv: A(i,k) x u(k)): FIRSTI = m,
+    FIRSTJ = SECONDI = k, SECONDJ = 0.  Otherwise (vxm: u(k) x A(k,j)):
+    FIRSTI = SECONDI = k, FIRSTJ = 0, SECONDJ = m.
+    """
+    if kind in ("secondi", "secondi1"):
+        base = k
+    elif kind in ("firsti", "firsti1"):
+        base = m if matrix_first else k
+    elif kind in ("firstj", "firstj1"):
+        base = k if matrix_first else np.zeros_like(k)
+    elif kind in ("secondj", "secondj1"):
+        base = np.zeros_like(k) if matrix_first else m
+    else:
+        raise InvalidValue(f"unknown positional kind {kind!r}")
+    out = base.astype(np.int64)
+    return out + 1 if kind.endswith("1") else out
+
+
+def spmspv_push(
+    a_by_inner: SparseStore,
+    u_idx: np.ndarray,
+    u_vals: np.ndarray,
+    semiring: Semiring,
+    out_type: Type,
+    matrix_first: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Push traversal: scatter from each entry of the sparse vector.
+
+    ``a_by_inner`` must be oriented with the vector's dimension as its major
+    axis (CSC for mxv, CSR for vxm).  Returns (indices, values) sorted.
+    """
+    if a_by_inner.n_major != 0 and u_idx.size:
+        if int(u_idx.max()) >= a_by_inner.n_major:
+            raise InvalidValue("vector index outside matrix inner dimension")
+    starts, ends = a_by_inner.major_ranges(u_idx)
+    lens = ends - starts
+    gather = _gather_ranges(starts, ends)
+    if gather.size == 0:
+        return np.empty(0, dtype=_INDEX), np.empty(0, dtype=out_type.np_dtype)
+    out_idx = a_by_inner.minor[gather]
+    mult = semiring.mult
+    if mult.positional is not None:
+        k = np.repeat(u_idx, lens)
+        vals = _vec_positional(mult.positional, k, out_idx, matrix_first)
+    else:
+        a_v = a_by_inner.values[gather]
+        u_v = np.repeat(u_vals, lens)
+        vals = mult.apply(a_v, u_v) if matrix_first else mult.apply(u_v, a_v)
+
+    order = np.argsort(out_idx, kind="stable")
+    out_idx, vals = out_idx[order], vals[order]
+    change = np.empty(out_idx.size, dtype=bool)
+    change[0] = True
+    np.not_equal(out_idx[1:], out_idx[:-1], out=change[1:])
+    seg = np.flatnonzero(change).astype(_INDEX)
+    if seg.size != out_idx.size:
+        vals = semiring.add.reduce_segments(vals, seg, out_type)
+        out_idx = out_idx[seg]
+    else:
+        vals = out_type.cast_array(vals)
+    return out_idx, vals
+
+
+def spmv_pull(
+    a_by_outer: SparseStore,
+    u_dense: np.ndarray,
+    u_present: np.ndarray,
+    semiring: Semiring,
+    out_type: Type,
+    matrix_first: bool = True,
+    outer_hint: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pull traversal: per-output-position dot against the densified vector.
+
+    ``a_by_outer`` is oriented with the *output* dimension major (CSR for
+    mxv, CSC for vxm).  ``outer_hint`` (sorted) restricts computation to
+    those output positions — the pull-side payoff of an output mask.
+    Returns (indices, values) sorted.
+    """
+    mult = semiring.mult
+    if outer_hint is not None:
+        starts, ends = a_by_outer.major_ranges(outer_hint)
+        lens = ends - starts
+        gather = _gather_ranges(starts, ends)
+        major = np.repeat(outer_hint, lens)
+        minor = a_by_outer.minor[gather]
+        a_vals = a_by_outer.values[gather]
+    else:
+        major, minor, a_vals = a_by_outer.to_coo()
+
+    if major.size == 0:
+        return np.empty(0, dtype=_INDEX), np.empty(0, dtype=out_type.np_dtype)
+    sel = u_present[minor]
+    major, minor, a_vals = major[sel], minor[sel], a_vals[sel]
+    if major.size == 0:
+        return np.empty(0, dtype=_INDEX), np.empty(0, dtype=out_type.np_dtype)
+
+    if mult.positional is not None:
+        vals = _vec_positional(mult.positional, minor, major, matrix_first)
+    else:
+        u_v = u_dense[minor]
+        vals = mult.apply(a_vals, u_v) if matrix_first else mult.apply(u_v, a_vals)
+
+    change = np.empty(major.size, dtype=bool)
+    change[0] = True
+    np.not_equal(major[1:], major[:-1], out=change[1:])
+    seg = np.flatnonzero(change).astype(_INDEX)
+    out_idx = major[seg]
+    vals = semiring.add.reduce_segments(vals, seg, out_type)
+    return out_idx, vals
+
+
+class DirectionOptimizer:
+    """Push/pull chooser with GraphBLAST's hysteresis rule (section II.E).
+
+    "In each iteration of an mxv, the backend checks whether the vector
+    sparsity has crossed a threshold k.  If it has gone above, switch from
+    push to pull.  If below, switch from pull to push.  Otherwise use the
+    traversal of the previous iteration."
+    """
+
+    def __init__(self, threshold: float = DEFAULT_SWITCH_THRESHOLD):
+        if not 0 < threshold < 1:
+            raise InvalidValue("threshold must be in (0, 1)")
+        self.threshold = threshold
+        self.direction = "push"
+        self._prev_density: float | None = None
+        self.history: list[str] = []
+
+    def choose(self, density: float) -> str:
+        prev = self._prev_density
+        if prev is None:
+            self.direction = "push" if density <= self.threshold else "pull"
+        elif prev <= self.threshold < density:
+            self.direction = "pull"  # crossed above: switch to pull
+        elif density <= self.threshold < prev:
+            self.direction = "push"  # crossed below: switch to push
+        # else: keep previous direction
+        self._prev_density = density
+        self.history.append(self.direction)
+        return self.direction

@@ -1,0 +1,64 @@
+"""The ``GrB_Scalar`` object: a zero- or one-entry container.
+
+Scalars carry "value or no value" semantics: reductions into a scalar of an
+empty object leave the scalar empty rather than storing the monoid identity.
+"""
+
+from __future__ import annotations
+
+from .errors import NoValue
+from .types import Type, lookup_type
+
+__all__ = ["Scalar"]
+
+
+class Scalar:
+    """A typed scalar that may be empty (``nvals`` is 0 or 1)."""
+
+    __slots__ = ("dtype", "_value", "_has")
+
+    def __init__(self, dtype, value=None):
+        self.dtype: Type = lookup_type(dtype)
+        self._has = value is not None
+        self._value = self.dtype.cast_scalar(value) if value is not None else None
+
+    @classmethod
+    def new(cls, dtype) -> "Scalar":
+        return cls(dtype)
+
+    @property
+    def nvals(self) -> int:
+        return 1 if self._has else 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._has
+
+    def set(self, value) -> "Scalar":
+        self._value = self.dtype.cast_scalar(value)
+        self._has = True
+        return self
+
+    def clear(self) -> "Scalar":
+        self._value = None
+        self._has = False
+        return self
+
+    @property
+    def value(self):
+        if not self._has:
+            raise NoValue("scalar is empty")
+        return self._value
+
+    def get(self, default=None):
+        return self._value if self._has else default
+
+    def dup(self) -> "Scalar":
+        out = Scalar(self.dtype)
+        if self._has:
+            out.set(self._value)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = repr(self._value) if self._has else "<empty>"
+        return f"Scalar({self.dtype.name}, {inner})"

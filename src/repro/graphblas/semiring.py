@@ -1,0 +1,204 @@
+"""GraphBLAS semirings and the built-in semiring census.
+
+A semiring pairs an *additive* monoid with a *multiplicative* binary op.
+``mxm``/``mxv``/``vxm`` are defined over a semiring: C = A (+).(x) B.
+
+The paper (section II.A) reports that SuiteSparse's code generator expands a
+handful of kernel templates into **960 unique built-in semirings**, of which
+**600** can be built from the pure GraphBLAS C API's types and operators.
+:func:`enumerate_builtin_semirings` reproduces both counts from first
+principles:
+
+* *SuiteSparse family* (960): 17 multiply ops {FIRST, SECOND, MIN, MAX,
+  PLUS, MINUS, TIMES, DIV, ISEQ, ISNE, ISGT, ISLT, ISGE, ISLE, LOR, LAND,
+  LXOR} x 4 arithmetic monoids {MIN, MAX, PLUS, TIMES} x 10 non-Boolean
+  domains = **680**; 6 comparison ops {EQ, NE, GT, LT, GE, LE} x 4 Boolean
+  monoids {LOR, LAND, LXOR, EQ} x 10 non-Boolean domains = **240**; and the
+  purely Boolean semirings, where the 17+6 ops collapse to **10** distinct
+  Boolean functions {FIRST, SECOND, LOR, LAND, LXOR, EQ, GT, LT, GE, LE},
+  x 4 Boolean monoids = **40**.  680 + 240 + 40 = 960.
+* *C API family* (600): the C API defines logical ops for BOOL only and has
+  no IS* ops, leaving 8 arithmetic multiply ops: 8 x 4 x 10 = **320**;
+  comparisons contribute the same **240**; Boolean ops again collapse to 10
+  distinct functions for **40**.  320 + 240 + 40 = 600.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .errors import InvalidValue
+from .monoid import ARITH_MONOIDS, BOOL_MONOIDS, Monoid, monoid
+from .ops import (
+    BinaryOp,
+    C_API_BINARY_OPS,
+    COMPARISON_OPS,
+    SUITESPARSE_BINARY_OPS,
+    binary,
+    bool_equivalent,
+)
+from .types import BOOL, BUILTIN_TYPES, Type
+
+__all__ = [
+    "Semiring",
+    "semiring",
+    "SEMIRINGS",
+    "enumerate_builtin_semirings",
+    "semiring_census",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """``GrB_Semiring``: an add monoid plus a multiply op."""
+
+    name: str
+    add: Monoid = field(compare=False)
+    mult: BinaryOp = field(compare=False)
+    builtin: bool = field(default=True, compare=False)
+
+    def out_type(self, atype: Type, btype: Type) -> Type:
+        """Domain of the multiply (and hence of the reduction)."""
+        return self.mult.out_type(atype, btype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+SEMIRINGS: dict[str, Semiring] = {}
+
+
+def _def_semiring(addname: str, multname: str) -> Semiring:
+    name = f"{addname}_{multname}"
+    s = Semiring(name, monoid(addname), binary(multname))
+    SEMIRINGS[name] = s
+    return s
+
+
+# The workhorse semirings used throughout LAGraph.
+PLUS_TIMES = _def_semiring("PLUS", "TIMES")
+MIN_PLUS = _def_semiring("MIN", "PLUS")
+MAX_PLUS = _def_semiring("MAX", "PLUS")
+MIN_TIMES = _def_semiring("MIN", "TIMES")
+MIN_FIRST = _def_semiring("MIN", "FIRST")
+MIN_SECOND = _def_semiring("MIN", "SECOND")
+MIN_MAX = _def_semiring("MIN", "MAX")
+MAX_MIN = _def_semiring("MAX", "MIN")
+MAX_TIMES = _def_semiring("MAX", "TIMES")
+MAX_SECOND = _def_semiring("MAX", "SECOND")
+MAX_FIRST = _def_semiring("MAX", "FIRST")
+PLUS_FIRST = _def_semiring("PLUS", "FIRST")
+PLUS_SECOND = _def_semiring("PLUS", "SECOND")
+PLUS_PLUS = _def_semiring("PLUS", "PLUS")
+PLUS_MIN = _def_semiring("PLUS", "MIN")
+PLUS_ONEB = _def_semiring("PLUS", "ONEB")
+PLUS_PAIR = PLUS_ONEB
+SEMIRINGS["PLUS_PAIR"] = PLUS_ONEB
+LOR_LAND = _def_semiring("LOR", "LAND")
+LAND_LOR = _def_semiring("LAND", "LOR")
+LXOR_LAND = _def_semiring("LXOR", "LAND")
+ANY_ONEB = _def_semiring("ANY", "ONEB")
+ANY_PAIR = ANY_ONEB
+SEMIRINGS["ANY_PAIR"] = ANY_ONEB
+ANY_FIRST = _def_semiring("ANY", "FIRST")
+ANY_SECOND = _def_semiring("ANY", "SECOND")
+# Positional semirings (parent BFS etc.)
+ANY_SECONDI = _def_semiring("ANY", "SECONDI")
+MIN_SECONDI = _def_semiring("MIN", "SECONDI")
+MIN_FIRSTI = _def_semiring("MIN", "FIRSTI")
+ANY_FIRSTI = _def_semiring("ANY", "FIRSTI")
+# The logical semiring of Figure 2's BFS.
+LOGICAL = LOR_LAND
+SEMIRINGS["LOGICAL"] = LOR_LAND
+
+
+def semiring(spec) -> Semiring:
+    """Resolve a Semiring from a Semiring, name, or "add_mult" string."""
+    if isinstance(spec, Semiring):
+        return spec
+    key = str(spec).upper()
+    if key in SEMIRINGS:
+        return SEMIRINGS[key]
+    if "_" in key:
+        addname, _, multname = key.partition("_")
+        try:
+            s = Semiring(key, monoid(addname), binary(multname))
+        except InvalidValue:
+            raise InvalidValue(f"unknown semiring {spec!r}") from None
+        SEMIRINGS[key] = s
+        return s
+    raise InvalidValue(f"unknown semiring {spec!r}")
+
+
+def make_semiring(add, mult, name: str | None = None) -> Semiring:
+    """``GrB_Semiring_new``: build a semiring from a monoid and a binary op."""
+    add = monoid(add)
+    mult = binary(mult)
+    return Semiring(name or f"{add.name}_{mult.name}", add, mult, builtin=False)
+
+
+# --------------------------------------------------------------------------
+# The built-in semiring census (bench E6)
+# --------------------------------------------------------------------------
+
+def enumerate_builtin_semirings(api: str = "suitesparse") -> list[tuple[str, str, Type]]:
+    """Enumerate unique built-in semirings as (monoid, mult-op, domain) triples.
+
+    ``api`` selects the operator family: ``"suitesparse"`` (extensions
+    included; 960 semirings) or ``"c-api"`` (pure C API operators; 600).
+    Uniqueness on the Boolean domain is decided by
+    :func:`repro.graphblas.ops.bool_equivalent`.
+    """
+    api = api.lower()
+    if api in ("suitesparse", "ss", "gxb"):
+        mult_ops: Iterable[str] = SUITESPARSE_BINARY_OPS
+    elif api in ("c-api", "c", "grb"):
+        mult_ops = C_API_BINARY_OPS
+    else:
+        raise InvalidValue(f"unknown api family {api!r}")
+
+    out: list[tuple[str, str, Type]] = []
+    nonbool = [t for t in BUILTIN_TYPES if t is not BOOL]
+
+    # T x T -> T semirings over the ten non-Boolean domains.
+    for add in ARITH_MONOIDS:
+        for mult in mult_ops:
+            for t in nonbool:
+                out.append((add, mult, t))
+
+    # T x T -> BOOL semirings: comparison multiply with a Boolean monoid.
+    for add in BOOL_MONOIDS:
+        for mult in COMPARISON_OPS:
+            for t in nonbool:
+                out.append((add, mult, t))
+
+    # Purely Boolean semirings: ops collapse to distinct Boolean functions.
+    bool_ops = sorted({bool_equivalent(op) for op in (*mult_ops, *COMPARISON_OPS)})
+    for add in BOOL_MONOIDS:
+        for mult in bool_ops:
+            out.append((add, mult, BOOL))
+
+    # Deduplicate (e.g. a future op list with aliases); order-preserving.
+    seen: set[tuple[str, str, str]] = set()
+    unique = []
+    for add, mult, t in out:
+        key = (add, mult, t.name)
+        if key not in seen:
+            seen.add(key)
+            unique.append((add, mult, t))
+    return unique
+
+
+def semiring_census(api: str = "suitesparse") -> dict[str, int]:
+    """Count unique built-in semirings, broken down as in the paper."""
+    triples = enumerate_builtin_semirings(api)
+    arith = sum(1 for a, m, t in triples if t is not BOOL and m not in COMPARISON_OPS)
+    cmp_ = sum(1 for a, m, t in triples if t is not BOOL and m in COMPARISON_OPS)
+    boolean = sum(1 for a, m, t in triples if t is BOOL)
+    return {
+        "arithmetic": arith,
+        "comparison": cmp_,
+        "boolean": boolean,
+        "total": len(triples),
+    }

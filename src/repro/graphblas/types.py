@@ -1,0 +1,179 @@
+"""GraphBLAS domains (``GrB_Type``).
+
+The C API predefines eleven types; implementations map them onto machine
+types.  Here each :class:`Type` wraps a NumPy dtype so that all kernels can
+run vectorized.  User-defined types (``GrB_Type_new``) are supported through
+arbitrary NumPy dtypes (including structured dtypes and ``object``); kernels
+fall back to pure-Python loops when ufunc paths are unavailable.
+
+Typecasting follows the C API rules: any built-in type casts to any other
+built-in type, with C semantics (bool <-> int <-> float truncation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import DomainMismatch
+
+__all__ = [
+    "Type",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FP32",
+    "FP64",
+    "BUILTIN_TYPES",
+    "lookup_type",
+    "unify_types",
+]
+
+
+@dataclass(frozen=True)
+class Type:
+    """An element domain: a named wrapper over a NumPy dtype.
+
+    Parameters
+    ----------
+    name:
+        The GraphBLAS name, e.g. ``"INT32"``.
+    np_dtype:
+        The backing NumPy dtype.
+    builtin:
+        True for the eleven predefined C API types.
+    """
+
+    name: str
+    np_dtype: np.dtype = field(compare=False)
+    builtin: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:  # normalize the dtype
+        object.__setattr__(self, "np_dtype", np.dtype(self.np_dtype))
+
+    @property
+    def is_signed(self) -> bool:
+        return self.np_dtype.kind == "i"
+
+    @property
+    def is_unsigned(self) -> bool:
+        return self.np_dtype.kind == "u"
+
+    @property
+    def is_integral(self) -> bool:
+        return self.np_dtype.kind in "iub"
+
+    @property
+    def is_float(self) -> bool:
+        return self.np_dtype.kind == "f"
+
+    @property
+    def is_bool(self) -> bool:
+        return self.np_dtype.kind == "b"
+
+    def cast_array(self, values: np.ndarray) -> np.ndarray:
+        """Cast ``values`` into this domain with C-style conversion."""
+        values = np.asarray(values)
+        if values.dtype == self.np_dtype:
+            return values
+        if not self.builtin:
+            if values.dtype != self.np_dtype:
+                raise DomainMismatch(
+                    f"cannot typecast to user-defined type {self.name}"
+                )
+            return values
+        if self.is_bool:
+            return values.astype(bool)
+        # C-style: float -> int truncates toward zero; NumPy astype does this.
+        with np.errstate(invalid="ignore", over="ignore"):
+            return values.astype(self.np_dtype)
+
+    def cast_scalar(self, value):
+        """Cast a Python scalar into this domain."""
+        return self.cast_array(np.asarray(value)).item() if self.builtin else value
+
+    def zero(self):
+        """The zero value of the domain (used by the dense reference)."""
+        return np.zeros(1, dtype=self.np_dtype)[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Type({self.name})"
+
+
+BOOL = Type("BOOL", np.bool_, builtin=True)
+INT8 = Type("INT8", np.int8, builtin=True)
+INT16 = Type("INT16", np.int16, builtin=True)
+INT32 = Type("INT32", np.int32, builtin=True)
+INT64 = Type("INT64", np.int64, builtin=True)
+UINT8 = Type("UINT8", np.uint8, builtin=True)
+UINT16 = Type("UINT16", np.uint16, builtin=True)
+UINT32 = Type("UINT32", np.uint32, builtin=True)
+UINT64 = Type("UINT64", np.uint64, builtin=True)
+FP32 = Type("FP32", np.float32, builtin=True)
+FP64 = Type("FP64", np.float64, builtin=True)
+
+BUILTIN_TYPES: tuple[Type, ...] = (
+    BOOL,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    FP32,
+    FP64,
+)
+
+_BY_NAME = {t.name: t for t in BUILTIN_TYPES}
+_BY_DTYPE = {t.np_dtype: t for t in BUILTIN_TYPES}
+
+
+def lookup_type(spec) -> Type:
+    """Resolve a :class:`Type` from a Type, name, dtype, or Python type."""
+    if isinstance(spec, Type):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _BY_NAME[spec.upper()]
+        except KeyError:
+            raise DomainMismatch(f"unknown type name {spec!r}") from None
+    if spec is bool:
+        return BOOL
+    if spec is int:
+        return INT64
+    if spec is float:
+        return FP64
+    dt = np.dtype(spec)
+    if dt in _BY_DTYPE:
+        return _BY_DTYPE[dt]
+    return Type(str(dt), dt, builtin=False)
+
+
+_RANK = {t.name: r for r, t in enumerate(BUILTIN_TYPES)}
+
+
+def unify_types(a: Type, b: Type) -> Type:
+    """Pick the output domain for a polymorphic two-input operation.
+
+    Mirrors SuiteSparse behaviour: use NumPy promotion between the two
+    built-in domains, so ``INT32 + FP64 -> FP64`` etc.  User-defined types
+    must match exactly.
+    """
+    if a == b:
+        return a
+    if not (a.builtin and b.builtin):
+        raise DomainMismatch(f"cannot unify {a.name} with {b.name}")
+    dt = np.promote_types(a.np_dtype, b.np_dtype)
+    if dt in _BY_DTYPE:
+        return _BY_DTYPE[dt]
+    # e.g. int64 + uint64 -> float64 promotion
+    return _BY_DTYPE[np.dtype(np.float64)]

@@ -1,0 +1,300 @@
+"""The opaque ``GrB_Vector`` object.
+
+A sparse vector is a sorted index array plus a parallel value array — the
+same "sparse vector" building block the paper's section II.A describes as
+the component of CSR/CSC matrices, and the ``SparseVector`` half of
+GraphBLAST's Figure 3.  ``to_dense``/``from_dense`` provide the
+``DenseVector`` half used by pull-direction kernels.
+
+Incremental updates use the same ordered pending-log mechanism as
+:class:`~repro.graphblas.matrix.Matrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import context
+from .errors import (
+    IndexOutOfBounds,
+    InvalidValue,
+    NoValue,
+    OutputNotEmpty,
+    UninitializedObject,
+)
+from .formats import group_starts, reduce_by_segments
+from .ops import binary
+from .types import Type, lookup_type
+
+__all__ = ["Vector"]
+
+_INDEX = np.int64
+
+
+class Vector:
+    """An opaque sparse vector over a GraphBLAS domain."""
+
+    __slots__ = (
+        "dtype",
+        "size",
+        "indices",
+        "values",
+        "_pend_i",
+        "_pend_v",
+        "_pend_del",
+        "_valid",
+    )
+
+    def __init__(self, dtype, size: int):
+        size = int(size)
+        if size <= 0:
+            raise InvalidValue("vector size must be positive")
+        self.dtype: Type = lookup_type(dtype)
+        self.size = size
+        self.indices = np.empty(0, dtype=_INDEX)
+        self.values = np.empty(0, dtype=self.dtype.np_dtype)
+        self._pend_i: list[int] = []
+        self._pend_v: list = []
+        self._pend_del: list[bool] = []
+        self._valid = True
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def new(cls, dtype, size: int) -> "Vector":
+        """``GrB_Vector_new``."""
+        return cls(dtype, size)
+
+    @classmethod
+    def from_coo(cls, indices, values, *, size=None, dtype=None, dup="PLUS") -> "Vector":
+        indices = np.asarray(indices, dtype=_INDEX)
+        values = np.asarray(values)
+        if np.isscalar(values) or values.ndim == 0:
+            values = np.broadcast_to(values, indices.shape).copy()
+        if size is None:
+            size = int(indices.max()) + 1 if indices.size else 1
+        if dtype is None:
+            dtype = values.dtype if values.size else np.float64
+        v = cls(dtype, size)
+        v.build(indices, values, dup=dup)
+        return v
+
+    @classmethod
+    def from_dense(cls, array, *, missing=None, dtype=None) -> "Vector":
+        array = np.asarray(array)
+        if array.ndim != 1:
+            raise InvalidValue("from_dense needs a 1-D array")
+        if missing is None:
+            mask = np.ones(array.shape, dtype=bool)
+        elif missing != missing:  # NaN sentinel
+            mask = ~np.isnan(array)
+        else:
+            mask = array != missing
+        (idx,) = np.nonzero(mask)
+        return cls.from_coo(
+            idx, array[mask], size=array.shape[0], dtype=dtype or array.dtype
+        )
+
+    @classmethod
+    def full(cls, value, size: int, dtype=None) -> "Vector":
+        """Dense vector of one value (an iso-valued DenseVector)."""
+        arr = np.full(size, value)
+        return cls.from_dense(arr, dtype=dtype or arr.dtype)
+
+    # -- invariants ----------------------------------------------------------
+
+    def _require_valid(self) -> None:
+        if not self._valid:
+            raise UninitializedObject("vector contents were moved out by export")
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pend_i)
+
+    @property
+    def nvals(self) -> int:
+        self.wait()
+        return int(self.indices.size)
+
+    @property
+    def nbytes(self) -> int:
+        return self.indices.nbytes + self.values.nbytes
+
+    # -- deferred updates ----------------------------------------------------
+
+    def set_element(self, i: int, value) -> None:
+        """``GrB_Vector_setElement`` (pending-tuple deferred)."""
+        self._require_valid()
+        i = int(i)
+        if not 0 <= i < self.size:
+            raise IndexOutOfBounds(f"{i} outside [0,{self.size})")
+        self._pend_i.append(i)
+        self._pend_v.append(value)
+        self._pend_del.append(False)
+        if context.get_mode() == context.Mode.BLOCKING:
+            self.wait()
+
+    def remove_element(self, i: int) -> None:
+        """``GrB_Vector_removeElement`` (zombie deferred)."""
+        self._require_valid()
+        i = int(i)
+        if not 0 <= i < self.size:
+            raise IndexOutOfBounds(f"{i} outside [0,{self.size})")
+        self._pend_i.append(i)
+        self._pend_v.append(0)
+        self._pend_del.append(True)
+        if context.get_mode() == context.Mode.BLOCKING:
+            self.wait()
+
+    def wait(self) -> "Vector":
+        """``GrB_Vector_wait``: assemble the pending log."""
+        self._require_valid()
+        if not self.has_pending:
+            return self
+        pi = np.asarray(self._pend_i, dtype=_INDEX)
+        pdel = np.asarray(self._pend_del, dtype=bool)
+        order = np.argsort(pi, kind="stable")
+        pi_s = pi[order]
+        last = np.empty(pi_s.size, dtype=bool)
+        last[-1] = True
+        np.not_equal(pi_s[1:], pi_s[:-1], out=last[:-1])
+        sel = order[last]
+        li, ldel = pi[sel], pdel[sel]
+        ins = ~ldel
+        if np.any(ins):
+            lv = self.dtype.cast_array(np.asarray([self._pend_v[k] for k in sel[ins]]))
+        else:
+            lv = np.empty(0, dtype=self.dtype.np_dtype)
+
+        keep = ~np.isin(self.indices, li)
+        idx = np.concatenate([self.indices[keep], li[ins]])
+        val = np.concatenate([self.values[keep], lv])
+        order = np.argsort(idx, kind="stable")
+        self.indices, self.values = idx[order], val[order]
+        self._pend_i, self._pend_v, self._pend_del = [], [], []
+        return self
+
+    # -- element access ------------------------------------------------------
+
+    def extract_element(self, i: int):
+        self._require_valid()
+        self.wait()
+        i = int(i)
+        if not 0 <= i < self.size:
+            raise IndexOutOfBounds(f"{i} outside [0,{self.size})")
+        pos = np.searchsorted(self.indices, i)
+        if pos < self.indices.size and self.indices[pos] == i:
+            v = self.values[pos]
+            return v.item() if self.dtype.builtin else v
+        raise NoValue(f"no entry at {i}")
+
+    def get(self, i: int, default=None):
+        try:
+            return self.extract_element(i)
+        except NoValue:
+            return default
+
+    def __getitem__(self, i):
+        return self.extract_element(i)
+
+    def __setitem__(self, i, value) -> None:
+        self.set_element(i, value)
+
+    def build(self, indices, values, dup="PLUS") -> "Vector":
+        """``GrB_Vector_build``: bulk construction; target must be empty."""
+        self._require_valid()
+        if self.indices.size or self.has_pending:
+            raise OutputNotEmpty("build requires an empty vector")
+        indices = np.asarray(indices, dtype=_INDEX)
+        values = np.asarray(values)
+        if indices.shape != values.shape:
+            raise InvalidValue("index/value arrays must have identical length")
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= self.size:
+                raise IndexOutOfBounds("index out of bounds in build")
+            order = np.argsort(indices, kind="stable")
+            indices, values = indices[order], values[order]
+            starts = group_starts(indices)
+            if starts.size != indices.size:
+                if dup is None:
+                    raise InvalidValue("duplicate indices and no dup operator")
+                values = reduce_by_segments(binary(dup), values, starts, self.dtype)
+                indices = indices[starts]
+            else:
+                values = self.dtype.cast_array(values)
+        else:
+            values = self.dtype.cast_array(values)
+        self.indices, self.values = indices, values
+        return self
+
+    def extract_tuples(self) -> tuple[np.ndarray, np.ndarray]:
+        """``GrB_Vector_extractTuples``: Omega(e) copy-out."""
+        self._require_valid()
+        self.wait()
+        return self.indices.copy(), self.values.copy()
+
+    # -- whole-object operations ---------------------------------------------
+
+    def dup(self) -> "Vector":
+        self._require_valid()
+        self.wait()
+        out = Vector(self.dtype, self.size)
+        out.indices = self.indices.copy()
+        out.values = self.values.copy()
+        return out
+
+    def clear(self) -> "Vector":
+        self._require_valid()
+        self.indices = np.empty(0, dtype=_INDEX)
+        self.values = np.empty(0, dtype=self.dtype.np_dtype)
+        self._pend_i, self._pend_v, self._pend_del = [], [], []
+        return self
+
+    def resize(self, size: int) -> "Vector":
+        self._require_valid()
+        self.wait()
+        size = int(size)
+        if size <= 0:
+            raise InvalidValue("vector size must be positive")
+        keep = self.indices < size
+        self.indices = self.indices[keep]
+        self.values = self.values[keep]
+        self.size = size
+        return self
+
+    def to_dense(self, fill=0) -> np.ndarray:
+        """Dense 1-D array (the DenseVector view of Figure 3)."""
+        self._require_valid()
+        self.wait()
+        out = np.full(self.size, fill, dtype=self.dtype.np_dtype)
+        out[self.indices] = self.values
+        return out
+
+    def pattern(self) -> np.ndarray:
+        self._require_valid()
+        self.wait()
+        out = np.zeros(self.size, dtype=bool)
+        out[self.indices] = True
+        return out
+
+    @property
+    def density(self) -> float:
+        """nvals / size — the direction-optimization switch statistic."""
+        return self.nvals / self.size
+
+    def isequal(self, other: "Vector") -> bool:
+        if not isinstance(other, Vector):
+            return False
+        if self.dtype != other.dtype or self.size != other.size:
+            return False
+        i1, v1 = self.extract_tuples()
+        i2, v2 = other.extract_tuples()
+        return bool(np.array_equal(i1, i2)) and bool(np.array_equal(v1, v2))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self._valid:
+            return "Vector(<moved>)"
+        return (
+            f"Vector({self.dtype.name}, size={self.size}, "
+            f"nvals={self.indices.size})"
+        )

@@ -1,0 +1,7 @@
+"""Benchmark/reporting harness: LoC counting (Table II), table printing,
+and experiment bookkeeping."""
+
+from .loc import count_loc, count_function_loc
+from .report import Table, format_table
+
+__all__ = ["count_loc", "count_function_loc", "Table", "format_table"]

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints its paper-table reproduction through this one
+formatter, so EXPERIMENTS.md and the bench output stay visually aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_table"]
+
+
+@dataclass
+class Table:
+    """An incrementally built table: title, column headers, rows."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(row))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.notes)
+
+    def show(self) -> None:
+        print("\n" + self.render())
+
+
+def _cell(x) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.001:
+            return f"{x:.3e}"
+        return f"{x:.4g}"
+    return str(x)
+
+
+def format_table(title: str, columns, rows, notes=()) -> str:
+    cells = [[_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in cells)) if cells else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [title, sep]
+    out.append(
+        "|" + "|".join(f" {str(c).ljust(w)} " for c, w in zip(columns, widths)) + "|"
+    )
+    out.append(sep)
+    for r in cells:
+        out.append("|" + "|".join(f" {c.rjust(w)} " for c, w in zip(r, widths)) + "|")
+    out.append(sep)
+    for n in notes:
+        out.append(f"  note: {n}")
+    return "\n".join(out)

@@ -1,0 +1,23 @@
+"""Graph/matrix I/O utilities (paper section III: "a library of utilities
+including loading matrices from disk in Matrix Market format").
+"""
+
+from .mmio import mmread, mmwrite
+from .edgelist import read_edgelist, write_edgelist
+from .binary import (
+    load_graph_npz,
+    load_matrix_npz,
+    save_graph_npz,
+    save_matrix_npz,
+)
+
+__all__ = [
+    "mmread",
+    "mmwrite",
+    "read_edgelist",
+    "write_edgelist",
+    "load_matrix_npz",
+    "save_matrix_npz",
+    "load_graph_npz",
+    "save_graph_npz",
+]

@@ -1,0 +1,74 @@
+"""Plain edge-list I/O: ``src dst [weight]`` per line, ``#`` comments.
+
+The lowest-common-denominator interchange format (SNAP datasets etc.).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..lagraph.graph import Graph, GraphKind
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+
+def read_edgelist(
+    source,
+    *,
+    kind: GraphKind | str = GraphKind.DIRECTED,
+    n: int | None = None,
+    dtype=np.float64,
+) -> Graph:
+    """Parse an edge list into a :class:`~repro.lagraph.graph.Graph`."""
+    if isinstance(source, (str, os.PathLike)) and os.path.exists(source):
+        with open(source, "r", encoding="utf-8") as f:
+            text = f.read()
+    elif isinstance(source, str):
+        text = source
+    else:
+        text = source.read()
+
+    src, dst, w = [], [], []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        src.append(int(parts[0]))
+        dst.append(int(parts[1]))
+        w.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    return Graph.from_edges(
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(w, dtype=dtype),
+        n=n,
+        kind=kind,
+        dtype=dtype,
+    )
+
+
+def write_edgelist(target, graph: Graph, *, weights: bool = True) -> None:
+    """Write a graph's adjacency entries one edge per line.
+
+    Undirected graphs emit each edge once (upper-triangle convention).
+    """
+    rows, cols, vals = graph.A.extract_tuples()
+    if graph.kind is GraphKind.UNDIRECTED:
+        keep = rows <= cols
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+
+    def _emit(f):
+        f.write(f"# nodes {graph.n} edges {rows.size}\n")
+        for i, j, v in zip(rows, cols, vals):
+            if weights:
+                f.write(f"{i} {j} {v}\n")
+            else:
+                f.write(f"{i} {j}\n")
+
+    if isinstance(target, (str, os.PathLike)):
+        with open(target, "w", encoding="utf-8") as f:
+            _emit(f)
+    else:
+        _emit(target)

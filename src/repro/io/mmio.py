@@ -1,0 +1,142 @@
+"""Matrix Market exchange format (Boisvert, Pozo & Remington [29]).
+
+Implements the coordinate and array formats with general / symmetric /
+skew-symmetric symmetry, real / integer / pattern fields — the subset in
+actual use across SuiteSparse collection graph matrices.  Written from the
+NIST format specification; no scipy dependency.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+
+from ..graphblas import Matrix
+from ..graphblas.errors import InvalidValue
+
+__all__ = ["mmread", "mmwrite"]
+
+_FIELDS = ("real", "integer", "pattern", "complex")
+_SYMMETRIES = ("general", "symmetric", "skew-symmetric", "hermitian")
+
+
+def mmread(source) -> Matrix:
+    """Read a Matrix Market file (path, file object, or string contents)."""
+    if isinstance(source, (str, os.PathLike)) and os.path.exists(source):
+        with open(source, "r", encoding="utf-8") as f:
+            return _parse(f)
+    if isinstance(source, str):
+        return _parse(io.StringIO(source))
+    return _parse(source)
+
+
+def _parse(f) -> Matrix:
+    header = f.readline().strip().split()
+    if len(header) < 5 or header[0] != "%%MatrixMarket" or header[1].lower() != "matrix":
+        raise InvalidValue("not a MatrixMarket matrix file")
+    layout = header[2].lower()
+    field = header[3].lower()
+    symmetry = header[4].lower()
+    if layout not in ("coordinate", "array"):
+        raise InvalidValue(f"unsupported layout {layout!r}")
+    if field not in _FIELDS or field == "complex":
+        raise InvalidValue(f"unsupported field {field!r}")
+    if symmetry not in _SYMMETRIES or symmetry == "hermitian":
+        raise InvalidValue(f"unsupported symmetry {symmetry!r}")
+
+    line = f.readline()
+    while line.startswith("%") or not line.strip():
+        line = f.readline()
+    dims = line.split()
+
+    if layout == "coordinate":
+        nrows, ncols, nnz = int(dims[0]), int(dims[1]), int(dims[2])
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        k = 0
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            rows[k] = int(parts[0]) - 1  # 1-based on disk
+            cols[k] = int(parts[1]) - 1
+            if field == "pattern":
+                vals[k] = 1.0
+            else:
+                vals[k] = float(parts[2])
+            k += 1
+        if k != nnz:
+            raise InvalidValue(f"expected {nnz} entries, found {k}")
+        dtype = np.int64 if field == "integer" else np.float64
+        if symmetry in ("symmetric", "skew-symmetric"):
+            # mirror the stored lower triangle across the diagonal
+            off = rows != cols
+            all_r = np.concatenate([rows, cols[off]])
+            all_c = np.concatenate([cols, rows[off]])
+            all_v = np.concatenate(
+                [vals, -vals[off] if symmetry == "skew-symmetric" else vals[off]]
+            )
+            return Matrix.from_coo(
+                all_r, all_c, all_v.astype(dtype), nrows=nrows, ncols=ncols, dtype=dtype
+            )
+        return Matrix.from_coo(
+            rows, cols, vals.astype(dtype), nrows=nrows, ncols=ncols, dtype=dtype
+        )
+
+    # array (dense, column-major on disk)
+    nrows, ncols = int(dims[0]), int(dims[1])
+    values = []
+    for line in f:
+        line = line.strip()
+        if line and not line.startswith("%"):
+            values.append(float(line.split()[0]))
+    if symmetry == "general":
+        if len(values) != nrows * ncols:
+            raise InvalidValue("array entry count mismatch")
+        dense = np.asarray(values).reshape((ncols, nrows)).T
+    else:
+        dense = np.zeros((nrows, ncols))
+        k = 0
+        for j in range(ncols):
+            for i in range(j, nrows):
+                dense[i, j] = values[k]
+                if i != j:
+                    dense[j, i] = -values[k] if symmetry == "skew-symmetric" else values[k]
+                k += 1
+    dtype = np.int64 if field == "integer" else np.float64
+    return Matrix.from_dense(dense.astype(dtype), missing=None)
+
+
+def mmwrite(target, A: Matrix, *, comment: str | None = None, field: str | None = None) -> None:
+    """Write a Matrix in coordinate format (1-based, general symmetry)."""
+    rows, cols, vals = A.extract_tuples()
+    if field is None:
+        field = (
+            "pattern"
+            if A.dtype.is_bool
+            else ("integer" if A.dtype.is_integral else "real")
+        )
+
+    def _emit(f):
+        f.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        if comment:
+            for ln in comment.splitlines():
+                f.write(f"% {ln}\n")
+        f.write(f"{A.nrows} {A.ncols} {rows.size}\n")
+        for i, j, v in zip(rows, cols, vals):
+            if field == "pattern":
+                f.write(f"{i + 1} {j + 1}\n")
+            elif field == "integer":
+                f.write(f"{i + 1} {j + 1} {int(v)}\n")
+            else:
+                f.write(f"{i + 1} {j + 1} {float(v):.17g}\n")
+
+    if isinstance(target, (str, os.PathLike)):
+        with open(target, "w", encoding="utf-8") as f:
+            _emit(f)
+    else:
+        _emit(target)

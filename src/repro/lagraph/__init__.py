@@ -1,0 +1,154 @@
+"""LAGraph: high-level graph algorithms on top of the GraphBLAS.
+
+This package is the paper's primary contribution surface: the section V
+catalogue of graph algorithms, every one written against the GraphBLAS
+operations of :mod:`repro.graphblas`, plus the Graph object and the
+per-algorithm test harness the paper's Figure 1 and section III call for.
+"""
+
+from .apsp import apsp, apsp_distances_dense
+from .bnb import max_independent_set_size, maximum_independent_set
+from .astar import astar_distance, astar_path
+from .bfs import bfs, bfs_level, bfs_levels_batch, bfs_parent
+from .centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    hits,
+    pagerank,
+)
+from .cf import CFModel, cf_rmse, train_cf
+from .clustering import (
+    conductance,
+    local_clustering,
+    markov_clustering,
+    peer_pressure_clustering,
+)
+from .coloring import color_count, greedy_color, is_valid_coloring
+from .components import (
+    cc_label_propagation,
+    component_sizes,
+    connected_components,
+)
+from .dnn import dnn_categories, dnn_inference
+from .gnn import GCN, normalized_propagation
+from .graph_kernels import (
+    shortest_path_kernel,
+    sp_kernel_matrix,
+    wl_kernel_matrix,
+    wl_subtree_kernel,
+)
+from .graph import Graph, GraphKind
+from .ktruss import all_ktruss, ktruss, trussness
+from .measurements import (
+    average_clustering,
+    degree_assortativity,
+    degree_statistics,
+    density,
+    estimate_diameter,
+    global_clustering,
+    graph_summary,
+    kcore_decomposition,
+    reciprocity,
+)
+from .matching import (
+    is_matching,
+    is_maximal_matching,
+    maximal_matching,
+    maximum_matching,
+)
+from .mis import (
+    is_independent_set,
+    is_maximal_independent_set,
+    maximal_independent_set,
+)
+from .sssp import bellman_ford_sssp, delta_stepping_sssp, sssp
+from .subgraph import subgraph_census
+from .triangles import (
+    triangle_count,
+    triangle_counts_per_vertex,
+    triangle_matrix,
+)
+from .utils import (
+    check_bfs_levels,
+    check_bfs_parents,
+    check_component_labels,
+    check_pagerank,
+    check_sssp_distances,
+)
+
+__all__ = [
+    "Graph",
+    "GraphKind",
+    # traversal / paths
+    "bfs",
+    "bfs_level",
+    "bfs_parent",
+    "bfs_levels_batch",
+    "sssp",
+    "bellman_ford_sssp",
+    "delta_stepping_sssp",
+    "apsp",
+    "apsp_distances_dense",
+    "astar_path",
+    "astar_distance",
+    "maximum_independent_set",
+    "max_independent_set_size",
+    # centrality
+    "pagerank",
+    "betweenness_centrality",
+    "closeness_centrality",
+    "hits",
+    # structure
+    "triangle_count",
+    "triangle_counts_per_vertex",
+    "triangle_matrix",
+    "ktruss",
+    "all_ktruss",
+    "trussness",
+    "connected_components",
+    "cc_label_propagation",
+    "component_sizes",
+    "subgraph_census",
+    # sets & matching
+    "maximal_independent_set",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "greedy_color",
+    "is_valid_coloring",
+    "color_count",
+    "maximal_matching",
+    "maximum_matching",
+    "is_matching",
+    "is_maximal_matching",
+    # clustering & ML
+    "markov_clustering",
+    "peer_pressure_clustering",
+    "local_clustering",
+    "conductance",
+    "dnn_inference",
+    "dnn_categories",
+    "GCN",
+    "normalized_propagation",
+    "wl_subtree_kernel",
+    "wl_kernel_matrix",
+    "shortest_path_kernel",
+    "sp_kernel_matrix",
+    "degree_statistics",
+    "density",
+    "reciprocity",
+    "degree_assortativity",
+    "average_clustering",
+    "global_clustering",
+    "estimate_diameter",
+    "kcore_decomposition",
+    "graph_summary",
+    "train_cf",
+    "cf_rmse",
+    "CFModel",
+    # harness
+    "check_bfs_levels",
+    "check_bfs_parents",
+    "check_sssp_distances",
+    "check_component_labels",
+    "check_pagerank",
+]

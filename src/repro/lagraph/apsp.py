@@ -1,0 +1,51 @@
+"""All-pairs shortest paths by (min, +) repeated squaring.
+
+The paper cites Solomonik, Buluç and Demmel [33] for communication-optimal
+APSP; their algebraic core is the min-plus closure computed here: with
+``D_1 = A (+) 0-diagonal``, repeated semiring squaring ``D_{2k} = D_k
+(min).(+) D_k`` converges to the distance matrix in ceil(log2(n)) rounds
+(or earlier, at the first fixpoint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Matrix
+from ..graphblas import operations as ops
+from ..graphblas.errors import InvalidValue
+from .graph import Graph
+
+__all__ = ["apsp", "apsp_distances_dense"]
+
+
+def apsp(graph: Graph) -> Matrix:
+    """Distance matrix D: D(i, j) = shortest-path weight i -> j.
+
+    Unreachable pairs have no entry.  Requires non-negative weights (a
+    negative cycle would prevent the fixpoint).
+    """
+    n = graph.n
+    _, _, weights = graph.A.extract_tuples()
+    if weights.size and float(np.min(weights)) < 0:
+        raise InvalidValue("apsp requires non-negative weights")
+
+    D = Matrix("FP64", n, n)
+    ops.apply(D, graph.A, "identity")
+    # distance 0 to self: fold in a zero diagonal with MIN
+    eye = Matrix.sparse_identity(n, dtype="FP64", value=0.0)
+    ops.ewise_add(D, D, eye, "MIN")
+
+    rounds = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    for _ in range(rounds):
+        prev = D.dup()
+        # D = min(D, D min.+ D): squaring doubles the path-length horizon
+        ops.mxm(D, D, D, "MIN_PLUS", accum="MIN")
+        if D.isequal(prev):
+            break
+    return D
+
+
+def apsp_distances_dense(graph: Graph) -> np.ndarray:
+    """Dense convenience view: np.inf marks unreachable pairs."""
+    return apsp(graph).to_dense(fill=np.inf)

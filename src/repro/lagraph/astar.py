@@ -1,0 +1,79 @@
+"""A* search — the paper's "important but not yet implemented on a
+GraphBLAS-like library" list (section V).
+
+This extension shows the natural decomposition: the priority queue and
+admissible heuristic stay in the host language, while neighbour expansion
+is a GraphBLAS row extract on the opaque adjacency matrix — no adjacency
+lists ever materialize outside the GraphBLAS.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from ..graphblas import Vector
+from ..graphblas import operations as ops
+from ..graphblas.errors import InvalidValue
+from .graph import Graph
+
+__all__ = ["astar_path", "astar_distance"]
+
+
+def _expand(graph: Graph, u: int) -> tuple[np.ndarray, np.ndarray]:
+    """Out-neighbours of u and edge weights, via a GrB column extract of A^T."""
+    w = Vector(graph.A.dtype, graph.n)
+    ops.extract(w, graph.A, ops.ALL, int(u), desc="T0")  # w = A(u, :)
+    return w.extract_tuples()
+
+
+def astar_path(
+    source: int,
+    target: int,
+    graph: Graph,
+    heuristic: Callable[[int], float] | None = None,
+) -> tuple[list[int], float]:
+    """A* shortest path; returns (vertex path, distance).
+
+    ``heuristic(v)`` must lower-bound the distance v -> target (defaults to
+    0, i.e. Dijkstra).  Raises if no path exists or weights are negative.
+    """
+    n = graph.n
+    if not (0 <= source < n and 0 <= target < n):
+        raise InvalidValue("source/target out of range")
+    h = heuristic if heuristic is not None else (lambda v: 0.0)
+
+    dist = {source: 0.0}
+    parent: dict[int, int] = {}
+    heap: list[tuple[float, int]] = [(h(source), source)]
+    done: set[int] = set()
+
+    while heap:
+        f, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        if u == target:
+            path = [u]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            return path[::-1], dist[u]
+        done.add(u)
+        nbrs, weights = _expand(graph, u)
+        for v, w in zip(nbrs, weights):
+            w = float(w)
+            if w < 0:
+                raise InvalidValue("A* requires non-negative weights")
+            nd = dist[u] + w
+            v = int(v)
+            if v not in dist or nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd + h(v), v))
+    raise InvalidValue(f"no path from {source} to {target}")
+
+
+def astar_distance(source: int, target: int, graph: Graph, heuristic=None) -> float:
+    """Shortest-path weight from :func:`astar_path` (path discarded)."""
+    return astar_path(source, target, graph, heuristic)[1]

@@ -1,0 +1,136 @@
+"""Breadth-first search: level, parent, and direction-optimizing variants.
+
+BFS heads the paper's algorithm catalogue (section V) and is the paper's
+running example: Figure 2 shows level BFS in four notations; section II.E
+explains how GraphBLAST folds Beamer's direction-optimizing (push-pull)
+traversal into ``GrB_mxv``; and section II.A notes that SuiteSparse's
+terminal-monoid early exit "will enable a fast direction-optimizing BFS".
+
+Conventions: the source vertex has level 0; unreachable vertices have no
+entry in the level vector; the source's parent is itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Matrix, Vector
+from ..graphblas import operations as ops
+from ..graphblas.descriptor import Descriptor
+from ..graphblas.errors import InvalidValue
+from ..graphblas.mxv import DirectionOptimizer
+from .graph import Graph
+
+__all__ = ["bfs_level", "bfs_parent", "bfs", "bfs_levels_batch"]
+
+# mask = complement of the structural visited set; replace the frontier
+_RSC = Descriptor(replace=True, complement_mask=True, structural_mask=True)
+_S = Descriptor(structural_mask=True)
+
+
+def bfs_level(
+    source: int,
+    graph: Graph,
+    *,
+    method: str = "auto",
+    optimizer: DirectionOptimizer | None = None,
+) -> Vector:
+    """Level BFS (Figure 2): v -> hops from ``source``; INT64 vector.
+
+    ``method`` forces ``"push"`` or ``"pull"``; ``"auto"`` applies the
+    direction-optimization rule (supply a :class:`DirectionOptimizer` to
+    observe or tune the switching behaviour).
+    """
+    level, _ = bfs(source, graph, parent=False, method=method, optimizer=optimizer)
+    return level
+
+
+def bfs_parent(
+    source: int,
+    graph: Graph,
+    *,
+    method: str = "auto",
+    optimizer: DirectionOptimizer | None = None,
+) -> Vector:
+    """Parent BFS: v -> its BFS-tree parent (positional ANY_SECONDI semiring)."""
+    _, parent = bfs(
+        source, graph, level=False, parent=True, method=method, optimizer=optimizer
+    )
+    return parent
+
+
+def bfs(
+    source: int,
+    graph: Graph,
+    *,
+    level: bool = True,
+    parent: bool = False,
+    method: str = "auto",
+    optimizer: DirectionOptimizer | None = None,
+) -> tuple[Vector | None, Vector | None]:
+    """Combined level/parent BFS over out-edges of ``graph``.
+
+    Returns ``(level_vector, parent_vector)`` with None for outputs not
+    requested.  The traversal is the Figure 2 loop: assign the depth (or
+    parents) under the frontier mask, then advance the frontier through the
+    adjacency transpose under the complemented visited mask with replace.
+    """
+    n = graph.n
+    if not 0 <= int(source) < n:
+        raise InvalidValue(f"source {source} outside [0,{n})")
+    if not (level or parent):
+        raise InvalidValue("request at least one of level/parent")
+    AT = graph.AT
+
+    levels = Vector("INT64", n) if level else None
+    parents = Vector("INT64", n) if parent else None
+    # visited mask: any vector that has an entry exactly at visited vertices
+    visited = levels if levels is not None else parents
+
+    if parent:
+        frontier = Vector("INT64", n)
+        frontier.set_element(source, source)
+        semiring = "ANY_SECONDI"  # product value = the frontier vertex id
+    else:
+        frontier = Vector("BOOL", n)
+        frontier.set_element(source, True)
+        semiring = "LOR_LAND"
+
+    depth = 0
+    while frontier.nvals > 0:
+        if levels is not None:
+            ops.assign(levels, depth, ops.ALL, mask=frontier, desc=_S)
+        if parents is not None:
+            ops.assign(parents, frontier, ops.ALL, mask=frontier, desc=_S)
+        ops.mxv(
+            frontier,
+            AT,
+            frontier,
+            semiring,
+            mask=visited,
+            desc=_RSC,
+            method=method,
+            optimizer=optimizer,
+        )
+        depth += 1
+    return levels, parents
+
+
+def bfs_levels_batch(sources, graph: Graph) -> Matrix:
+    """Multi-source BFS: row s of the result holds levels from sources[s].
+
+    The frontier is an ns x n Boolean matrix advanced with masked ``mxm`` —
+    the batched form used by betweenness centrality.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    ns, n = sources.size, graph.n
+    levels = Matrix("INT64", ns, n)
+    frontier = Matrix.from_coo(
+        np.arange(ns), sources, np.ones(ns, dtype=bool), nrows=ns, ncols=n
+    )
+    depth = 0
+    while frontier.nvals > 0:
+        ops.assign(levels, depth, ops.ALL, ops.ALL, mask=frontier, desc=_S)
+        ops.mxm(frontier, frontier, graph.A, "LOR_LAND", mask=levels, desc=_RSC)
+        depth += 1
+    return levels

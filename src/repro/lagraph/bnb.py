@@ -1,0 +1,110 @@
+"""Branch and bound on the GraphBLAS (paper section V "future work" list).
+
+An exact maximum-independent-set solver: branch on the highest-degree
+undecided vertex (in / out), prune with the classic bound
+|current| + |candidates| and a greedy-coloring bound on the candidate
+subgraph (an independent set holds at most one vertex per color class).
+
+Graph state during the search is kept in GraphBLAS vectors; candidate
+neighborhoods and subgraph degrees come from masked ``mxv``/``extract``,
+so the search tree logic stays in the host language and every graph
+operation stays in the GraphBLAS — the same division of labor as A*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Matrix, Vector
+from ..graphblas import operations as ops
+from ..graphblas.descriptor import Descriptor
+from .graph import Graph
+from .mis import maximal_independent_set
+
+__all__ = ["maximum_independent_set", "max_independent_set_size"]
+
+_RS = Descriptor(replace=True, structural_mask=True)
+
+
+def _matching_bound(S: Matrix, cand: np.ndarray) -> int:
+    """Upper bound for alpha(G[cand]): |cand| - (greedy matching size).
+
+    Each matched edge contributes at least one vertex *outside* any
+    independent set, so alpha <= n - |matching|.  The candidate subgraph
+    comes out of the GraphBLAS with one ``extract``.
+    """
+    if cand.size <= 1:
+        return cand.size
+    sub = Matrix("BOOL", cand.size, cand.size)
+    ops.extract(sub, S, cand, cand)
+    r, c, _ = sub.extract_tuples()
+    adj: list[list[int]] = [[] for _ in range(cand.size)]
+    for i, j in zip(r, c):
+        adj[i].append(int(j))
+    matched = np.zeros(cand.size, dtype=bool)
+    msize = 0
+    for v in range(cand.size):
+        if matched[v]:
+            continue
+        for u in adj[v]:
+            if not matched[u] and u != v:
+                matched[v] = matched[u] = True
+                msize += 1
+                break
+    return cand.size - msize
+
+
+def maximum_independent_set(graph: Graph, *, node_limit: int = 2_000_000) -> Vector:
+    """Exact maximum independent set (exponential worst case; use on small
+    or sparse graphs).  Returns a Boolean membership vector."""
+    n = graph.n
+    S = graph.without_self_edges().structure("BOOL")
+    deg_dense = graph.without_self_edges().out_degree.to_dense(fill=0)
+
+    # warm start: any maximal independent set is a lower bound
+    warm = maximal_independent_set(graph, seed=0)
+    wi, _ = warm.extract_tuples()
+    best = {"size": int(wi.size), "members": set(int(i) for i in wi)}
+
+    neighbors: dict[int, np.ndarray] = {}
+
+    def nbrs(v: int) -> np.ndarray:
+        if v not in neighbors:
+            w = Vector("BOOL", n)
+            ops.extract(w, S, ops.ALL, int(v), desc="T0")  # row v of S
+            idx, _ = w.extract_tuples()
+            neighbors[v] = idx
+        return neighbors[v]
+
+    visited = {"nodes": 0}
+
+    def search(chosen: set[int], cand: np.ndarray) -> None:
+        visited["nodes"] += 1
+        if visited["nodes"] > node_limit:
+            raise RuntimeError("branch-and-bound node limit exceeded")
+        if len(chosen) > best["size"]:
+            best["size"] = len(chosen)
+            best["members"] = set(chosen)
+        if cand.size == 0:
+            return
+        if len(chosen) + cand.size <= best["size"]:
+            return  # trivial bound
+        if cand.size > 4 and len(chosen) + _matching_bound(S, cand) <= best["size"]:
+            return  # matching-based bound on the candidate subgraph
+        # branch on the max-degree candidate
+        v = int(cand[np.argmax(deg_dense[cand])])
+        rest = cand[cand != v]
+        # include v: drop v's neighbourhood from the candidates
+        nv = nbrs(v)
+        search(chosen | {v}, np.setdiff1d(rest, nv, assume_unique=True))
+        # exclude v
+        search(chosen, rest)
+
+    search(set(), np.arange(n, dtype=np.int64))
+    members = np.array(sorted(best["members"]), dtype=np.int64)
+    return Vector.from_coo(members, np.ones(members.size, bool), size=n)
+
+
+def max_independent_set_size(graph: Graph) -> int:
+    """alpha(G): the exact maximum-independent-set cardinality."""
+    return int(maximum_independent_set(graph).nvals)

@@ -1,0 +1,139 @@
+"""Collaborative filtering by stochastic gradient descent (section V, [39]).
+
+GraphMat-style matrix-factorization CF: factor a sparse rating matrix
+``R ~ U V^T`` (U: users x k, V: items x k) by gradient descent on the
+squared error over R's *stored entries only*.  The signature GraphBLAS
+step is the masked product ``P<R> = U (+).(x) V^T`` — predictions are
+computed exactly on the rating pattern, never densified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Matrix
+from ..graphblas import operations as ops
+from ..graphblas.descriptor import Descriptor
+from ..graphblas.errors import InvalidValue
+
+__all__ = ["CFModel", "train_cf", "cf_rmse"]
+
+_RS = Descriptor(replace=True, structural_mask=True)
+
+
+class CFModel:
+    """Learned factors; predict with :meth:`predict` / score with rmse."""
+
+    def __init__(self, U: Matrix, V: Matrix):
+        self.U = U
+        self.V = V
+
+    def predict(self, R_pattern: Matrix) -> Matrix:
+        """Masked predictions on the given rating pattern."""
+        P = Matrix("FP64", R_pattern.nrows, R_pattern.ncols)
+        ops.mxm(
+            P,
+            self.U,
+            self.V,
+            "PLUS_TIMES",
+            mask=R_pattern,
+            desc=_RS & Descriptor(transpose_b=True),
+        )
+        return P
+
+    def predict_one(self, user: int, item: int) -> float:
+        urow = self.U.to_dense()[user]
+        vrow = self.V.to_dense()[item]
+        return float(urow @ vrow)
+
+
+def cf_rmse(R: Matrix, model: CFModel) -> float:
+    """Root-mean-squared error over R's stored ratings."""
+    P = model.predict(R)
+    E = Matrix("FP64", R.nrows, R.ncols)
+    ops.ewise_add(E, R, _neg(P), "PLUS")
+    sq = Matrix("FP64", R.nrows, R.ncols)
+    ops.ewise_mult(sq, E, E, "TIMES")
+    return float(np.sqrt(ops.reduce_scalar(sq, "PLUS") / max(R.nvals, 1)))
+
+
+def _neg(M: Matrix) -> Matrix:
+    out = Matrix("FP64", *M.shape)
+    ops.apply(out, M, "ainv")
+    return out
+
+
+def train_cf(
+    R: Matrix,
+    rank: int = 8,
+    *,
+    epochs: int = 30,
+    lr: float = 0.01,
+    reg: float = 0.05,
+    seed: int | None = 0,
+) -> tuple[CFModel, list[float]]:
+    """Batch-gradient matrix factorization; returns (model, rmse history).
+
+    Per epoch (all as GraphBLAS products):
+
+    * ``E<R> = R - U V^T``                 (masked error)
+    * ``U  += lr * (D_u E V - reg U)``     (user-factor gradient, mxm)
+    * ``V  += lr * (D_i E^T U - reg V)``   (item-factor gradient, mxm)
+
+    ``D_u``/``D_i`` scale each row by 1/(its rating count), making the
+    per-epoch step an *average* gradient so ``lr`` is independent of how
+    many ratings a user or item has.
+    """
+    if rank <= 0:
+        raise InvalidValue("rank must be positive")
+    rng = np.random.default_rng(seed)
+    nu, ni = R.shape
+    scale = 1.0 / np.sqrt(rank)
+    U = Matrix.from_dense(rng.normal(0, scale, (nu, rank)))
+    V = Matrix.from_dense(rng.normal(0, scale, (ni, rank)))
+    model = CFModel(U, V)
+    Du = ops.diag(_inv_counts(R, rows=True))
+    Di = ops.diag(_inv_counts(R, rows=False))
+
+    history = [cf_rmse(R, model)]
+    for _ in range(epochs):
+        P = model.predict(R)
+        E = Matrix("FP64", nu, ni)
+        ops.ewise_add(E, R, _neg(P), "PLUS")  # E = R - P on R's pattern
+
+        GU = Matrix("FP64", nu, rank)
+        ops.mxm(GU, E, model.V, "PLUS_TIMES")  # E V
+        ops.mxm(GU, Du, GU, "PLUS_TIMES")  # average over each user's ratings
+        GV = Matrix("FP64", ni, rank)
+        ops.mxm(GV, E, model.U, "PLUS_TIMES", desc="T0")  # E^T U
+        ops.mxm(GV, Di, GV, "PLUS_TIMES")
+
+        model.U = _axpy(model.U, GU, lr, reg)
+        model.V = _axpy(model.V, GV, lr, reg)
+        history.append(cf_rmse(R, model))
+    return model, history
+
+
+def _inv_counts(R: Matrix, rows: bool) -> "Vector":
+    """1 / (entries per row or column), entries only where count > 0."""
+    from ..graphblas import Vector
+
+    n = R.nrows if rows else R.ncols
+    ones = Matrix("FP64", *R.shape)
+    ops.apply(ones, R, "one")
+    counts = Vector("FP64", n)
+    ops.reduce_rowwise(counts, ones, "PLUS", desc=None if rows else "T0")
+    inv = Vector("FP64", n)
+    ops.apply(inv, counts, "minv")
+    return inv
+
+
+def _axpy(X: Matrix, G: Matrix, lr: float, reg: float) -> Matrix:
+    """X <- (1 - lr*reg) * X + lr * G."""
+    shrunk = Matrix("FP64", *X.shape)
+    ops.apply(shrunk, X, "times", right=1.0 - lr * reg)
+    step = Matrix("FP64", *G.shape)
+    ops.apply(step, G, "times", right=lr)
+    out = Matrix("FP64", *X.shape)
+    ops.ewise_add(out, shrunk, step, "PLUS")
+    return out

@@ -1,0 +1,93 @@
+"""Graph coloring (paper section V, ref [40] — Osama et al., IPDPSW'19).
+
+Independent-set coloring: repeatedly extract a maximal independent set of
+the still-uncolored subgraph (Luby rounds restricted by a mask) and give
+the whole set the next color.  This is the Jones-Plassmann family that the
+cited GPU paper builds on, expressed with masked (max, second) products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Vector
+from ..graphblas import operations as ops
+from ..graphblas.descriptor import Descriptor
+from .graph import Graph
+
+__all__ = ["greedy_color", "is_valid_coloring", "color_count"]
+
+_S = Descriptor(structural_mask=True)
+_RS = Descriptor(replace=True, structural_mask=True)
+
+
+def greedy_color(graph: Graph, *, seed: int | None = None) -> Vector:
+    """Color vertices; returns an INT64 vector of colors 1, 2, 3, ...
+
+    Self-loops are ignored (a self-loop would make coloring impossible).
+    """
+    n = graph.n
+    S = graph.without_self_edges().structure("BOOL")
+    rng = np.random.default_rng(seed)
+
+    colors = Vector("INT64", n)
+    uncolored = Vector("BOOL", n)
+    ops.assign(uncolored, True, ops.ALL)
+    color = 0
+
+    while uncolored.nvals > 0:
+        color += 1
+        # one Luby round per color: candidates are the uncolored vertices
+        candidates = uncolored.dup()
+        while candidates.nvals > 0:
+            ci, _ = candidates.extract_tuples()
+            scores = Vector.from_coo(
+                ci, rng.permutation(ci.size).astype(np.float64) + 1.0, size=n
+            )
+            nbr_max = Vector("FP64", n)
+            ops.mxv(nbr_max, S, scores, "MAX_SECOND", mask=candidates, desc=_RS)
+            diff = Vector("FP64", n)
+            neg = Vector("FP64", n)
+            ops.apply(neg, nbr_max, "ainv")
+            ops.ewise_add(diff, scores, neg, "PLUS")
+            winners = Vector("FP64", n)
+            ops.select(winners, diff, "VALUEGT", 0.0)
+            ops.assign(colors, color, ops.ALL, mask=winners, desc=_S)
+            # drop winners and their neighbours from this round's pool,
+            # and winners from the uncolored set
+            nbrs = Vector("BOOL", n)
+            ops.mxv(nbrs, S, winners, "LOR_LAND")
+            dead = Vector("BOOL", n)
+            w_b = Vector("BOOL", n)
+            ops.apply(w_b, winners, "one")
+            ops.ewise_add(dead, w_b, nbrs, "LOR")
+            ops.assign(
+                candidates,
+                candidates,
+                ops.ALL,
+                mask=dead,
+                desc=Descriptor(replace=True, structural_mask=True, complement_mask=True),
+            )
+            ops.assign(
+                uncolored,
+                uncolored,
+                ops.ALL,
+                mask=w_b,
+                desc=Descriptor(replace=True, structural_mask=True, complement_mask=True),
+            )
+    return colors
+
+
+def is_valid_coloring(graph: Graph, colors: Vector) -> bool:
+    """Validator: every vertex colored, no edge monochromatic."""
+    if colors.nvals != graph.n:
+        return False
+    r, c, _ = graph.without_self_edges().A.extract_tuples()
+    cd = colors.to_dense()
+    return not np.any(cd[r] == cd[c])
+
+
+def color_count(colors: Vector) -> int:
+    """Number of distinct colors used by a coloring vector."""
+    _, vals = colors.extract_tuples()
+    return int(np.unique(vals).size) if vals.size else 0

@@ -1,0 +1,195 @@
+"""Graph neural network training and inference on the GraphBLAS.
+
+The paper's section V closes with algorithms "we consider to be important
+but [that have] so far not been implemented using a GraphBLAS-like
+library", headed by *graph neural network training and inference*.  This
+module delivers that extension: a two-layer graph convolutional network
+(Kipf & Welling GCN) for semi-supervised node classification in which
+every tensor is a GraphBLAS matrix and every contraction is ``mxm``.
+
+Forward pass (per layer):  H' = act(S H W),  with the renormalized
+propagation operator  S = D^-1/2 (A + I) D^-1/2  built once from Table-I
+operations.  Training runs full-batch gradient descent with a manual
+backward pass — also entirely ``mxm``/``eWise`` (S is symmetric, so
+backprop through the propagation is another S-multiply).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Matrix, Vector
+from ..graphblas import operations as ops
+from ..graphblas.errors import InvalidValue
+from .graph import Graph
+
+__all__ = ["GCN", "normalized_propagation"]
+
+
+def normalized_propagation(graph: Graph) -> Matrix:
+    """S = D^-1/2 (A + I) D^-1/2 — the renormalized GCN operator."""
+    n = graph.n
+    A_hat = Matrix("FP64", n, n)
+    ops.apply(A_hat, graph.A, "one")
+    eye = Matrix.sparse_identity(n, dtype="FP64", value=1.0)
+    ops.ewise_add(A_hat, A_hat, eye, "MAX")  # add self-loops
+
+    deg = Vector("FP64", n)
+    ops.reduce_rowwise(deg, A_hat, "PLUS")
+    dinv_sqrt = Vector("FP64", n)
+    ops.apply(dinv_sqrt, deg, "sqrt")
+    ops.apply(dinv_sqrt, dinv_sqrt, "minv")
+    D = ops.diag(dinv_sqrt)
+
+    T = Matrix("FP64", n, n)
+    ops.mxm(T, D, A_hat, "PLUS_TIMES")
+    S = Matrix("FP64", n, n)
+    ops.mxm(S, T, D, "PLUS_TIMES")
+    return S
+
+
+def _mm(A: Matrix, B: Matrix, *, ta=False, tb=False) -> Matrix:
+    from ..graphblas.descriptor import Descriptor
+
+    nr = A.ncols if ta else A.nrows
+    nc = B.nrows if tb else B.ncols
+    C = Matrix("FP64", nr, nc)
+    ops.mxm(C, A, B, "PLUS_TIMES", desc=Descriptor(transpose_a=ta, transpose_b=tb))
+    return C
+
+
+def _relu(A: Matrix) -> Matrix:
+    out = Matrix("FP64", *A.shape)
+    ops.select(out, A, "VALUEGT", 0.0)
+    return out
+
+
+def _relu_grad_mask(A: Matrix, G: Matrix) -> Matrix:
+    """Zero the gradient where the pre-activation was <= 0."""
+    pos = Matrix("FP64", *A.shape)
+    ops.select(pos, A, "VALUEGT", 0.0)
+    out = Matrix("FP64", *G.shape)
+    ops.ewise_mult(out, G, _ones_like(pos), "TIMES")
+    return out
+
+
+def _ones_like(A: Matrix) -> Matrix:
+    out = Matrix("FP64", *A.shape)
+    ops.apply(out, A, "one")
+    return out
+
+
+def _scale(A: Matrix, s: float) -> Matrix:
+    out = Matrix("FP64", *A.shape)
+    ops.apply(out, A, "times", right=s)
+    return out
+
+
+def _add(A: Matrix, B: Matrix) -> Matrix:
+    out = Matrix("FP64", *A.shape)
+    ops.ewise_add(out, A, B, "PLUS")
+    return out
+
+
+class GCN:
+    """A two-layer GCN:  softmax(S relu(S X W1) W2).
+
+    Parameters are dense (stored as GraphBLAS matrices); the graph
+    propagation S and feature matrix X may be arbitrarily sparse.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        n_features: int,
+        n_hidden: int,
+        n_classes: int,
+        *,
+        seed: int | None = 0,
+    ):
+        if min(n_features, n_hidden, n_classes) <= 0:
+            raise InvalidValue("layer sizes must be positive")
+        rng = np.random.default_rng(seed)
+        self.S = normalized_propagation(graph)
+        s1 = np.sqrt(2.0 / (n_features + n_hidden))
+        s2 = np.sqrt(2.0 / (n_hidden + n_classes))
+        self.W1 = Matrix.from_dense(rng.normal(0, s1, (n_features, n_hidden)))
+        self.W2 = Matrix.from_dense(rng.normal(0, s2, (n_hidden, n_classes)))
+        self.n_classes = n_classes
+
+    # -- inference -----------------------------------------------------------
+
+    def forward(self, X: Matrix):
+        """Returns (logits, cache-for-backprop)."""
+        SX = _mm(self.S, X)  # n x f
+        Z1 = _mm(SX, self.W1)  # n x h (pre-activation)
+        H1 = _relu(Z1)
+        SH = _mm(self.S, H1)
+        logits = _mm(SH, self.W2)  # n x c
+        return logits, (SX, Z1, SH)
+
+    def predict(self, X: Matrix) -> np.ndarray:
+        """Class id per vertex."""
+        logits, _ = self.forward(X)
+        return np.argmax(logits.to_dense(), axis=1)
+
+    # -- training ------------------------------------------------------------
+
+    def fit(
+        self,
+        X: Matrix,
+        labels: np.ndarray,
+        train_mask: np.ndarray,
+        *,
+        epochs: int = 100,
+        lr: float = 0.5,
+        verbose: bool = False,
+    ) -> list[float]:
+        """Full-batch gradient descent on masked softmax cross-entropy.
+
+        Returns the loss history over the training vertices.
+        """
+        labels = np.asarray(labels)
+        train_idx = np.flatnonzero(np.asarray(train_mask))
+        if train_idx.size == 0:
+            raise InvalidValue("empty training mask")
+        n = self.S.nrows
+        Y = np.zeros((n, self.n_classes))
+        Y[train_idx, labels[train_idx]] = 1.0
+
+        history: list[float] = []
+        for _ in range(epochs):
+            logits, (SX, Z1, SH) = self.forward(X)
+            L = logits.to_dense()
+            # masked softmax cross-entropy and its gradient
+            shifted = L - L.max(axis=1, keepdims=True)
+            expL = np.exp(shifted)
+            P = expL / expL.sum(axis=1, keepdims=True)
+            loss = -np.mean(
+                np.log(P[train_idx, labels[train_idx]] + 1e-12)
+            )
+            history.append(float(loss))
+            G = (P - Y) / train_idx.size
+            G[np.setdiff1d(np.arange(n), train_idx)] = 0.0
+            G_logits = Matrix.from_dense(G)
+
+            # backward: logits = SH @ W2
+            gW2 = _mm(SH, G_logits, ta=True)
+            gSH = _mm(G_logits, self.W2, tb=True)
+            # SH = S @ H1, S symmetric: gH1 = S^T gSH = S gSH
+            gH1 = _mm(self.S, gSH)
+            gZ1 = _relu_grad_mask(Z1, gH1)
+            # Z1 = SX @ W1
+            gW1 = _mm(SX, gZ1, ta=True)
+
+            self.W1 = _add(self.W1, _scale(gW1, -lr))
+            self.W2 = _add(self.W2, _scale(gW2, -lr))
+        return history
+
+    def accuracy(self, X: Matrix, labels: np.ndarray, mask=None) -> float:
+        pred = self.predict(X)
+        labels = np.asarray(labels)
+        if mask is None:
+            return float((pred == labels).mean())
+        idx = np.flatnonzero(np.asarray(mask))
+        return float((pred[idx] == labels[idx]).mean())

@@ -1,0 +1,209 @@
+"""The LAGraph ``Graph`` object: an adjacency matrix plus cached properties.
+
+The paper's section IV stresses that "graph algorithms do not occur in
+isolation": the library hands algorithms a graph whose expensive derived
+objects — the transpose, degree vectors, structural symmetry — are computed
+once and cached, and returns opaque GraphBLAS handles so downstream
+operations pay no copy cost.  This mirrors the ``LAGraph_Graph`` /
+``LAGraph_Cached_*`` design the LAGraph project converged on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..graphblas import Matrix, Vector
+from ..graphblas import operations as ops
+from ..graphblas.errors import InvalidValue
+
+__all__ = ["Graph", "GraphKind"]
+
+
+class GraphKind(str, enum.Enum):
+    """Adjacency interpretation (LAGraph_Kind)."""
+
+    DIRECTED = "directed"
+    UNDIRECTED = "undirected"
+
+
+class Graph:
+    """A graph held as an n x n adjacency matrix with cached properties.
+
+    ``A[i, j]`` is the weight of edge i -> j (any GraphBLAS domain).  For
+    ``UNDIRECTED`` graphs the matrix must be structurally symmetric (each
+    edge stored in both directions), which :meth:`from_edges` arranges.
+    """
+
+    def __init__(self, A: Matrix, kind: GraphKind | str = GraphKind.DIRECTED):
+        if A.nrows != A.ncols:
+            raise InvalidValue("adjacency matrix must be square")
+        self.A = A
+        self.kind = GraphKind(kind)
+        self._cache: dict[str, object] = {}
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        sources,
+        targets,
+        weights=None,
+        *,
+        n: int | None = None,
+        kind: GraphKind | str = GraphKind.DIRECTED,
+        dtype=None,
+        dup="PLUS",
+    ) -> "Graph":
+        """Build from edge lists; undirected graphs get both directions."""
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if weights is None:
+            weights = np.ones(sources.size, dtype=dtype or np.bool_)
+        else:
+            weights = np.asarray(weights)
+        kind = GraphKind(kind)
+        if n is None:
+            n = int(max(sources.max(initial=-1), targets.max(initial=-1))) + 1
+            n = max(n, 1)
+        weights = np.resize(weights, sources.shape)
+        if kind is GraphKind.UNDIRECTED:
+            keep = sources != targets  # do not double self-loops
+            sources, targets = (
+                np.concatenate([sources, targets[keep]]),
+                np.concatenate([targets, sources[keep]]),
+            )
+            weights = np.concatenate([weights, weights[keep]])
+        A = Matrix.from_coo(
+            sources,
+            targets,
+            weights,
+            nrows=n,
+            ncols=n,
+            dtype=dtype or weights.dtype,
+            dup=dup,
+        )
+        return cls(A, kind)
+
+    @classmethod
+    def from_dense(cls, array, *, missing=0, kind=GraphKind.DIRECTED) -> "Graph":
+        return cls(Matrix.from_dense(array, missing=missing), kind)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.A.nrows
+
+    @property
+    def nvals(self) -> int:
+        """Number of stored adjacency entries (2x edges if undirected)."""
+        return self.A.nvals
+
+    @property
+    def nedges(self) -> int:
+        """Number of edges (self-loops counted once)."""
+        if self.kind is GraphKind.UNDIRECTED:
+            return (self.nvals + self.nself_edges) // 2
+        return self.nvals
+
+    # -- cached properties (LAGraph_Cached_*) --------------------------------
+
+    def delete_cached(self) -> None:
+        """Drop every cached property (after mutating ``A``)."""
+        self._cache.clear()
+
+    @property
+    def AT(self) -> Matrix:
+        """Cached transpose (LAGraph_Cached_AT); A itself if undirected."""
+        if self.kind is GraphKind.UNDIRECTED:
+            return self.A
+        if "AT" not in self._cache:
+            T = Matrix(self.A.dtype, self.n, self.n)
+            ops.transpose(T, self.A)
+            self._cache["AT"] = T
+        return self._cache["AT"]
+
+    @property
+    def out_degree(self) -> Vector:
+        """Cached out-degree vector (LAGraph_Cached_OutDegree)."""
+        if "out_degree" not in self._cache:
+            d = Vector("INT64", self.n)
+            # count in INT64: a BOOL-domain PLUS would saturate at one
+            ones = Matrix("INT64", self.n, self.n)
+            ops.apply(ones, self.A, "one")
+            ops.reduce_rowwise(d, ones, "plus")
+            self._cache["out_degree"] = d
+        return self._cache["out_degree"]
+
+    @property
+    def in_degree(self) -> Vector:
+        """Cached in-degree vector (LAGraph_Cached_InDegree)."""
+        if self.kind is GraphKind.UNDIRECTED:
+            return self.out_degree
+        if "in_degree" not in self._cache:
+            d = Vector("INT64", self.n)
+            ones = Matrix("INT64", self.n, self.n)
+            ops.apply(ones, self.A, "one")
+            ops.reduce_rowwise(d, ones, "plus", desc="T0")
+            self._cache["in_degree"] = d
+        return self._cache["in_degree"]
+
+    @property
+    def is_symmetric_structure(self) -> bool:
+        """Cached structural symmetry test."""
+        if self.kind is GraphKind.UNDIRECTED:
+            return True
+        if "symmetric" not in self._cache:
+            r1, c1, _ = self.A.extract_tuples()
+            r2, c2, _ = self.AT.extract_tuples()
+            self._cache["symmetric"] = bool(
+                np.array_equal(r1, r2) and np.array_equal(c1, c2)
+            )
+        return self._cache["symmetric"]
+
+    @property
+    def nself_edges(self) -> int:
+        """Cached count of self-loops (LAGraph_Cached_NSelfEdges)."""
+        if "nself" not in self._cache:
+            r, c, _ = self.A.extract_tuples()
+            self._cache["nself"] = int(np.count_nonzero(r == c))
+        return self._cache["nself"]
+
+    def without_self_edges(self) -> "Graph":
+        """A copy with the diagonal removed (LAGraph_DeleteSelfEdges)."""
+        B = Matrix(self.A.dtype, self.n, self.n)
+        ops.select(B, self.A, "offdiag")
+        return Graph(B, self.kind)
+
+    def enable_dual_storage(self) -> "Graph":
+        """Keep CSR and CSC twins of A (and its cached transpose) alive.
+
+        This is GraphBLAST's performance-oriented storage (section II.E,
+        Figure 3): push traversal reads one orientation, pull the other, at
+        2x memory.  Without it each push/pull switch pays an O(e log e)
+        conversion.
+        """
+        self.A.keep_both_orientations(True)
+        self.A.by_col()
+        self.A.by_row()
+        AT = self.AT
+        if AT is not self.A:
+            AT.keep_both_orientations(True)
+            AT.by_col()
+            AT.by_row()
+        return self
+
+    def structure(self, dtype="BOOL") -> Matrix:
+        """The pattern of A as a boolean matrix of True entries."""
+        B = Matrix(dtype, self.n, self.n)
+        ops.apply(B, self.A, "one")
+        return B
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph({self.kind.value}, n={self.n}, nvals={self.A._store.nvals})"
+        )

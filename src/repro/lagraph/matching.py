@@ -1,0 +1,180 @@
+"""Bipartite matching (paper section V, refs [42], [43] — Azad & Buluç).
+
+The bipartite graph is an nl x nr sparse matrix (rows = left side,
+columns = right side).
+
+* :func:`maximal_matching` — the Azad-Buluç greedy pattern: every
+  unmatched left vertex proposes to its minimum unmatched right neighbour
+  (a masked (min, secondi) row reduction), each right vertex accepts its
+  minimum proposer (a scatter-min, ``build`` with dup=MIN), repeat until no
+  proposals; guarantees a maximal matching.
+* :func:`maximum_matching` — maximum-cardinality matching by repeated
+  alternating-BFS phases with augmentation (the linear-algebraic
+  Hopcroft-Karp of [43]): a multi-source BFS from all free left vertices
+  alternates unmatched/matched edges, recording parents with positional
+  semirings; every phase augments a maximal set of vertex-disjoint paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Matrix, Vector
+from ..graphblas import operations as ops
+from ..graphblas.descriptor import Descriptor
+
+__all__ = ["maximal_matching", "maximum_matching", "is_matching", "is_maximal_matching"]
+
+_RS = Descriptor(replace=True, structural_mask=True)
+_RSC = Descriptor(replace=True, structural_mask=True, complement_mask=True)
+_S = Descriptor(structural_mask=True)
+
+
+def maximal_matching(B: Matrix, *, seed: int | None = None) -> Vector:
+    """Greedy maximal matching; returns mate_left (left i -> right j).
+
+    ``B`` is the nl x nr biadjacency matrix.  Result vector has an entry
+    for every matched left vertex; unmatched left vertices have none.
+    """
+    nl, nr = B.shape
+    mate_l = Vector("INT64", nl)  # left -> right
+    matched_r = Vector("BOOL", nr)
+
+    free_l = Vector("BOOL", nl)
+    ops.assign(free_l, True, ops.ALL)
+    # only left vertices with at least one neighbour can ever match
+    deg = Vector("INT64", nl)
+    ones = Matrix("INT64", nl, nr)
+    ops.apply(ones, B, "one")
+    ops.reduce_rowwise(deg, ones, "PLUS")
+    d_b = Vector("BOOL", nl)
+    ops.apply(d_b, deg, "one")
+    ops.ewise_mult(free_l, free_l, d_b, "LAND")
+
+    while True:
+        # proposals: each free left vertex picks its min unmatched right nbr
+        # (row-wise reduction over the complement mask of matched rights is
+        # expressed by first removing matched columns from consideration)
+        avail = Vector("INT64", nr)
+        ops.assign(avail, 1, ops.ALL)
+        ops.assign(avail, avail, ops.ALL, mask=matched_r, desc=_RSC)
+        prop = Vector("INT64", nl)
+        # prop(i) = min { j : B(i,j) and avail(j) } via (min, secondj)...
+        # expressed as mxv over B with the positional SECONDI on B^T's view:
+        ops.mxv(prop, B, avail, "MIN_SECONDI", mask=free_l, desc=_RS)
+        if prop.nvals == 0:
+            return mate_l
+        # acceptances: right vertex takes the min proposer
+        pi, pj = prop.extract_tuples()
+        accept = Vector("INT64", nr)
+        accept.build(pj, pi, dup="MIN")
+        aj, ai = accept.extract_tuples()
+        # commit the accepted pairs
+        for j, i in zip(aj, ai):
+            mate_l.set_element(int(i), int(j))
+            matched_r.set_element(int(j), True)
+        mate_l.wait()
+        matched_r.wait()
+        newly = Vector.from_coo(np.sort(ai), np.ones(ai.size, bool), size=nl)
+        ops.assign(free_l, free_l, ops.ALL, mask=newly, desc=_RSC)
+
+
+def maximum_matching(B: Matrix, *, init: Vector | None = None) -> Vector:
+    """Maximum-cardinality bipartite matching (alternating BFS phases)."""
+    nl, nr = B.shape
+    mate_l = init.dup() if init is not None else maximal_matching(B)
+
+    while True:
+        li, lv = mate_l.extract_tuples()
+        mate_l_d = np.full(nl, -1, dtype=np.int64)
+        mate_l_d[li] = lv
+        mate_r_d = np.full(nr, -1, dtype=np.int64)
+        mate_r_d[lv] = li
+
+        # multi-source alternating BFS from free left vertices
+        free_left = np.flatnonzero(mate_l_d < 0)
+        if free_left.size == 0:
+            return mate_l
+        parent_r = np.full(nr, -1, dtype=np.int64)  # right -> left parent
+        origin_l = np.full(nl, -1, dtype=np.int64)  # left vertex -> is reached
+        origin_l[free_left] = free_left
+        frontier = Vector.from_coo(free_left, free_left.astype(np.int64), size=nl)
+        reached_r = Vector("BOOL", nr)
+        augment_ends = []
+
+        while frontier.nvals > 0 and not augment_ends:
+            # explore unmatched edges left->right, recording a left parent
+            q = Vector("INT64", nr)
+            ops.vxm(q, frontier, B, "ANY_SECONDI", mask=reached_r, desc=_RSC)
+            qi, qparent = q.extract_tuples()
+            if qi.size == 0:
+                break
+            for j in qi:
+                reached_r.set_element(int(j), True)
+            reached_r.wait()
+            parent_r[qi] = qparent
+            # free right vertices end augmenting paths
+            free_hits = qi[mate_r_d[qi] < 0]
+            if free_hits.size:
+                augment_ends = list(free_hits)
+                break
+            # follow matched edges right->left to build the next frontier
+            nxt_l = mate_r_d[qi]
+            fresh = nxt_l[origin_l[nxt_l] < 0]
+            origin_l[fresh] = fresh
+            frontier = Vector.from_coo(
+                np.sort(fresh), np.sort(fresh).astype(np.int64), size=nl
+            ) if fresh.size else Vector("INT64", nl)
+
+        if not augment_ends:
+            return mate_l
+
+        # augment vertex-disjoint paths found this phase (greedy subset)
+        used_l: set[int] = set()
+        for j in augment_ends:
+            # walk back: j <- parent_r[j] = i; edge (i, j) becomes matched;
+            # previous mate of i (if any) continues the walk
+            path = []
+            jj = int(j)
+            ok = True
+            while True:
+                i = int(parent_r[jj])
+                if i in used_l:
+                    ok = False
+                    break
+                path.append((i, jj))
+                used_l.add(i)
+                prev = int(mate_l_d[i])
+                if prev < 0:
+                    break
+                jj = prev
+            if ok:
+                for i, jj2 in path:
+                    mate_l.set_element(i, jj2)
+                    mate_l_d[i] = jj2
+        mate_l.wait()
+
+
+def is_matching(B: Matrix, mate_l: Vector) -> bool:
+    """Validator: edges exist and no endpoint is reused."""
+    li, lv = mate_l.extract_tuples()
+    if np.unique(lv).size != lv.size:
+        return False
+    for i, j in zip(li, lv):
+        if B.get(int(i), int(j)) is None:
+            return False
+    return True
+
+
+def is_maximal_matching(B: Matrix, mate_l: Vector) -> bool:
+    """Validator: matching, and no edge has both endpoints free."""
+    if not is_matching(B, mate_l):
+        return False
+    li, lv = mate_l.extract_tuples()
+    matched_l = set(int(i) for i in li)
+    matched_r = set(int(j) for j in lv)
+    r, c, _ = B.extract_tuples()
+    for i, j in zip(r, c):
+        if int(i) not in matched_l and int(j) not in matched_r:
+            return False
+    return True

@@ -1,0 +1,207 @@
+"""Basic measurements on graphs (paper section VI's support-library list).
+
+The paper's conclusion names "basic measurements on graphs" among the
+support libraries LAGraph owes its users.  Everything here reduces to
+Table-I operations: degree moments, density, reciprocity, degree
+assortativity, clustering coefficients, diameter estimation by multi-source
+BFS, and k-core decomposition by repeated masked degree filtering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Matrix, Vector
+from ..graphblas import operations as ops
+from ..graphblas.descriptor import Descriptor
+from .bfs import bfs_level
+from .graph import Graph, GraphKind
+from .triangles import triangle_counts_per_vertex
+
+__all__ = [
+    "degree_statistics",
+    "density",
+    "reciprocity",
+    "degree_assortativity",
+    "average_clustering",
+    "global_clustering",
+    "estimate_diameter",
+    "kcore_decomposition",
+    "graph_summary",
+]
+
+_RS = Descriptor(replace=True, structural_mask=True)
+
+
+def degree_statistics(graph: Graph) -> dict[str, float]:
+    """min / max / mean / median out-degree and the skew ratio max/mean."""
+    d = graph.out_degree.to_dense(fill=0).astype(np.float64)
+    mean = float(d.mean()) if d.size else 0.0
+    return {
+        "min": float(d.min()) if d.size else 0.0,
+        "max": float(d.max()) if d.size else 0.0,
+        "mean": mean,
+        "median": float(np.median(d)) if d.size else 0.0,
+        "skew": float(d.max() / mean) if mean else 0.0,
+    }
+
+
+def density(graph: Graph) -> float:
+    """Stored edges / possible edges (self-loops excluded)."""
+    n = graph.n
+    possible = n * (n - 1)
+    if graph.kind is GraphKind.UNDIRECTED:
+        possible //= 2
+    return graph.nedges / possible if possible else 0.0
+
+
+def reciprocity(graph: Graph) -> float:
+    """Fraction of directed edges whose reverse edge also exists."""
+    if graph.kind is GraphKind.UNDIRECTED:
+        return 1.0
+    S = graph.without_self_edges().structure("BOOL")
+    both = Matrix("BOOL", graph.n, graph.n)
+    ops.ewise_mult(both, S, S, "LAND", desc="T1")  # S .* S^T
+    total = S.nvals
+    return both.nvals / total if total else 0.0
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson correlation of endpoint degrees over the edges."""
+    g = graph.without_self_edges()
+    r, c, _ = g.A.extract_tuples()
+    if r.size < 2:
+        return 0.0
+    if graph.kind is GraphKind.UNDIRECTED:
+        deg = g.out_degree.to_dense(fill=0).astype(np.float64)
+        x, y = deg[r], deg[c]
+    else:
+        dout = g.out_degree.to_dense(fill=0).astype(np.float64)
+        din = g.in_degree.to_dense(fill=0).astype(np.float64)
+        x, y = dout[r], din[c]
+    sx, sy = x.std(), y.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean local clustering coefficient (undirected, simple)."""
+    g = graph.without_self_edges()
+    tri = triangle_counts_per_vertex(g).astype(np.float64)
+    d = g.out_degree.to_dense(fill=0).astype(np.float64)
+    possible = d * (d - 1) / 2
+    with np.errstate(invalid="ignore", divide="ignore"):
+        cc = np.where(possible > 0, tri / possible, 0.0)
+    return float(cc.mean()) if cc.size else 0.0
+
+
+def global_clustering(graph: Graph) -> float:
+    """Transitivity: 3 * triangles / wedges."""
+    from .subgraph import subgraph_census
+
+    c = subgraph_census(graph)
+    return 3 * c["triangles"] / c["wedges"] if c["wedges"] else 0.0
+
+
+def estimate_diameter(graph: Graph, *, samples: int = 8, seed=None) -> int:
+    """Lower bound on the diameter by BFS eccentricities from samples.
+
+    Exact when ``samples >= n``.  Unreachable pairs are ignored (per-
+    component eccentricity).
+    """
+    n = graph.n
+    rng = np.random.default_rng(seed)
+    if samples >= n:
+        sources = np.arange(n)
+    else:
+        sources = rng.choice(n, size=samples, replace=False)
+    best = 0
+    far = None
+    for s in map(int, sources):
+        lv = bfs_level(s, graph)
+        _, vals = lv.extract_tuples()
+        if vals.size:
+            ecc = int(vals.max())
+            if ecc > best:
+                best = ecc
+                far = lv
+    # one refinement sweep from the farthest vertex found (double sweep)
+    if far is not None:
+        idx, vals = far.extract_tuples()
+        v = int(idx[np.argmax(vals)])
+        lv = bfs_level(v, graph)
+        _, vals = lv.extract_tuples()
+        if vals.size:
+            best = max(best, int(vals.max()))
+    return best
+
+
+def kcore_decomposition(graph: Graph) -> Vector:
+    """Core number per vertex: the largest k with the vertex in the k-core.
+
+    Peeling in linear algebra: repeatedly select the vertices of degree
+    < k within the surviving subgraph (a masked reduce) and remove them.
+    """
+    n = graph.n
+    S = graph.without_self_edges().structure("INT64")
+    if graph.kind is not GraphKind.UNDIRECTED and not graph.is_symmetric_structure:
+        sym = Matrix("INT64", n, n)
+        ops.ewise_add(sym, S, S, "MAX", desc="T1")
+        S = sym
+    alive = Vector("BOOL", n)
+    ops.assign(alive, True, ops.ALL)
+    core = Vector("INT64", n)
+    ops.assign(core, 0, ops.ALL)
+
+    k = 1
+    while alive.nvals > 0:
+        while True:
+            # degrees within the surviving subgraph
+            deg = Vector("INT64", n)
+            ops.mxv(deg, S, alive_ones(alive), "PLUS_TIMES", mask=alive, desc=_RS)
+            low_idx = _low_degree(deg, alive, k)
+            if low_idx.size == 0:
+                break
+            dead = Vector.from_coo(low_idx, np.ones(low_idx.size, bool), size=n)
+            ops.assign(
+                alive,
+                alive,
+                ops.ALL,
+                mask=dead,
+                desc=Descriptor(replace=True, structural_mask=True, complement_mask=True),
+            )
+        if alive.nvals == 0:
+            break
+        ops.assign(core, k, ops.ALL, mask=alive, desc="S")
+        k += 1
+    return core
+
+
+def alive_ones(alive: Vector) -> Vector:
+    out = Vector("INT64", alive.size)
+    ops.apply(out, alive, "one")
+    return out
+
+
+def _low_degree(deg: Vector, alive: Vector, k: int) -> np.ndarray:
+    """Alive vertices with surviving degree < k (missing degree = 0)."""
+    ai, _ = alive.extract_tuples()
+    di, dv = deg.extract_tuples()
+    dense = np.zeros(alive.size, dtype=np.int64)
+    dense[di] = dv
+    return ai[dense[ai] < k]
+
+
+def graph_summary(graph: Graph) -> dict[str, float]:
+    """One-call overview used by examples and the bench harness."""
+    stats = degree_statistics(graph)
+    return {
+        "vertices": graph.n,
+        "edges": graph.nedges,
+        "density": density(graph),
+        "max_degree": stats["max"],
+        "mean_degree": stats["mean"],
+        "reciprocity": reciprocity(graph),
+        "assortativity": degree_assortativity(graph),
+    }

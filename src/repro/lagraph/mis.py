@@ -1,0 +1,89 @@
+"""Maximal independent set — Luby's algorithm (paper section V, ref [44]).
+
+Each round every remaining candidate draws a random score; a vertex joins
+the independent set iff its score beats every remaining neighbour's score
+(computed with one (max, second) masked mxv).  Winners and their
+neighbours leave the candidate set.  Expected O(log n) rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Vector
+from ..graphblas import operations as ops
+from ..graphblas.descriptor import Descriptor
+from .graph import Graph
+
+__all__ = ["maximal_independent_set", "is_independent_set", "is_maximal_independent_set"]
+
+_S = Descriptor(structural_mask=True)
+_RS = Descriptor(replace=True, structural_mask=True)
+_RSC = Descriptor(replace=True, structural_mask=True, complement_mask=True)
+
+
+def maximal_independent_set(graph: Graph, *, seed: int | None = None) -> Vector:
+    """Boolean vector marking a maximal independent set (ignores self-loops)."""
+    n = graph.n
+    S = graph.without_self_edges().structure("BOOL")
+    rng = np.random.default_rng(seed)
+
+    iset = Vector("BOOL", n)
+    candidates = Vector("BOOL", n)
+    ops.assign(candidates, True, ops.ALL)
+
+    while candidates.nvals > 0:
+        ci, _ = candidates.extract_tuples()
+        # unique random scores prevent livelock on score ties
+        scores = Vector.from_coo(
+            ci, rng.permutation(ci.size).astype(np.float64) + 1.0, size=n
+        )
+        # each candidate's strongest remaining neighbour
+        nbr_max = Vector("FP64", n)
+        ops.mxv(nbr_max, S, scores, "MAX_SECOND", mask=candidates, desc=_RS)
+        # winners: score exceeds all neighbours' (missing nbr_max => isolated)
+        diff = Vector("FP64", n)
+        ops.ewise_add(diff, scores, neg(nbr_max), "PLUS")
+        winners = Vector("FP64", n)
+        ops.select(winners, diff, "VALUEGT", 0.0)
+        if winners.nvals == 0:  # defensive: cannot happen with unique scores
+            break
+        ops.assign(iset, True, ops.ALL, mask=winners, desc=_S)
+        # remove winners and their neighbourhoods from the candidate pool
+        nbrs = Vector("BOOL", n)
+        ops.mxv(nbrs, S, winners, "LOR_LAND", mask=None)
+        dead = Vector("BOOL", n)
+        ops.ewise_add(dead, bool_of(winners), nbrs, "LOR")
+        ops.assign(candidates, candidates, ops.ALL, mask=dead, desc=_RSC)
+    return iset
+
+
+def neg(v: Vector) -> Vector:
+    out = Vector("FP64", v.size)
+    ops.apply(out, v, "ainv")
+    return out
+
+
+def bool_of(v: Vector) -> Vector:
+    out = Vector("BOOL", v.size)
+    ops.apply(out, v, "one")
+    return out
+
+
+def is_independent_set(graph: Graph, iset: Vector) -> bool:
+    """Validator: no two set members are adjacent (self-loops ignored)."""
+    S = graph.without_self_edges().structure("BOOL")
+    touched = Vector("BOOL", graph.n)
+    ops.mxv(touched, S, iset, "LOR_LAND", mask=iset, desc=_RS)
+    return touched.nvals == 0
+
+
+def is_maximal_independent_set(graph: Graph, iset: Vector) -> bool:
+    """Validator: independent, and every non-member has a member neighbour."""
+    if not is_independent_set(graph, iset):
+        return False
+    S = graph.without_self_edges().structure("BOOL")
+    covered = Vector("BOOL", graph.n)
+    ops.mxv(covered, S, iset, "LOR_LAND")
+    ops.ewise_add(covered, covered, iset, "LOR")
+    return covered.nvals == graph.n

@@ -1,0 +1,102 @@
+"""Per-algorithm validators — the paper's "test harness for each algorithm".
+
+Section III lists a test harness among the repository's basic elements.
+These checkers validate algorithm *outputs* from first principles (no
+oracle), so they run both in the pytest suite and inside the benchmark
+harness on large random graphs where oracles are too slow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Vector
+from .graph import Graph
+
+__all__ = [
+    "check_bfs_levels",
+    "check_bfs_parents",
+    "check_sssp_distances",
+    "check_component_labels",
+    "check_pagerank",
+]
+
+
+def check_bfs_levels(graph: Graph, source: int, levels: Vector) -> None:
+    """BFS-level invariants: source at 0; every edge spans <= 1 level;
+    every reached non-source vertex has an in-neighbour one level up."""
+    li, lvl = levels.extract_tuples()
+    lv = {int(i): int(x) for i, x in zip(li, lvl)}
+    assert lv.get(source) == 0, "source level must be 0"
+    r, c, _ = graph.A.extract_tuples()
+    for u, v in zip(r, c):
+        u, v = int(u), int(v)
+        if u in lv:
+            assert v in lv, f"reached {u} has unreached successor {v}"
+            assert lv[v] <= lv[u] + 1, f"edge ({u},{v}) spans >1 level"
+    preds: dict[int, set[int]] = {}
+    for u, v in zip(r, c):
+        preds.setdefault(int(v), set()).add(int(u))
+    for v, d in lv.items():
+        if v == source:
+            continue
+        assert any(
+            lv.get(p) == d - 1 for p in preds.get(v, ())
+        ), f"{v} at level {d} lacks a level-{d-1} predecessor"
+
+
+def check_bfs_parents(graph: Graph, source: int, parents: Vector, levels: Vector) -> None:
+    """Parent invariants: parent edges exist and climb exactly one level."""
+    pi, pv = parents.extract_tuples()
+    li, lvl = levels.extract_tuples()
+    lv = {int(i): int(x) for i, x in zip(li, lvl)}
+    assert set(int(i) for i in pi) == set(lv), "parent/level patterns differ"
+    for v, p in zip(pi, pv):
+        v, p = int(v), int(p)
+        if v == source:
+            assert p == source, "source must be its own parent"
+            continue
+        assert graph.A.get(p, v) is not None, f"parent edge ({p},{v}) missing"
+        assert lv[p] == lv[v] - 1, f"parent of {v} not one level up"
+
+
+def check_sssp_distances(graph: Graph, source: int, dist: Vector) -> None:
+    """SSSP invariants: d(source)=0; triangle inequality tight somewhere."""
+    di, dv = dist.extract_tuples()
+    d = {int(i): float(x) for i, x in zip(di, dv)}
+    assert d.get(source) == 0.0, "source distance must be 0"
+    r, c, w = graph.A.extract_tuples()
+    ins: dict[int, list[tuple[int, float]]] = {}
+    for u, v, x in zip(r, c, w):
+        u, v, x = int(u), int(v), float(x)
+        if u in d:
+            assert v in d, f"finite {u} has unreached successor {v}"
+            assert d[v] <= d[u] + x + 1e-9, f"edge ({u},{v}) relaxable"
+        ins.setdefault(v, []).append((u, x))
+    for v, dval in d.items():
+        if v == source:
+            continue
+        assert any(
+            abs(d.get(u, np.inf) + x - dval) < 1e-9 for u, x in ins.get(v, [])
+        ), f"{v} has no tight incoming edge"
+
+
+def check_component_labels(graph: Graph, labels: Vector) -> None:
+    """CC invariants: every vertex labelled; endpoints share labels; labels
+    are the minimum vertex id of their component (canonical form)."""
+    li, lval = labels.extract_tuples()
+    assert li.size == graph.n, "every vertex needs a label"
+    lab = np.asarray(lval)
+    r, c, _ = graph.A.extract_tuples()
+    assert np.all(lab[r] == lab[c]), "edge endpoints in different components"
+    for comp in np.unique(lab):
+        members = np.flatnonzero(lab == comp)
+        assert comp == members.min(), "label must be min member id"
+
+
+def check_pagerank(rank: Vector, tol: float = 1e-6) -> None:
+    """PageRank invariants: dense, positive, sums to 1."""
+    assert rank.nvals == rank.size, "rank vector must be dense"
+    vals = rank.to_dense()
+    assert np.all(vals > 0), "ranks must be positive"
+    assert abs(vals.sum() - 1.0) < tol, "ranks must sum to 1"

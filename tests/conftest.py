@@ -1,0 +1,14 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[0, 1, 2])
+def seeded_rng(request):
+    return np.random.default_rng(1000 + request.param)

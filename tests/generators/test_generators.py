@@ -1,0 +1,180 @@
+"""Random and structured graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas.errors import InvalidValue
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    grid_graph,
+    kronecker_graph,
+    path_graph,
+    random_bipartite,
+    random_matrix,
+    random_vector,
+    rmat_graph,
+    star_graph,
+    synthetic_dnn,
+)
+from repro.graphblas import Matrix
+from repro.lagraph import GraphKind, connected_components
+
+
+class TestErdosRenyi:
+    def test_gnp_edge_count_near_expectation(self):
+        g = erdos_renyi_gnp(200, 0.05, seed=0)
+        expected = 200 * 199 * 0.05
+        assert 0.7 * expected < g.nvals < 1.3 * expected
+
+    def test_gnp_no_self_loops(self):
+        g = erdos_renyi_gnp(50, 0.2, seed=1)
+        assert g.nself_edges == 0
+
+    def test_gnp_undirected_symmetric(self):
+        g = erdos_renyi_gnp(40, 0.1, kind="undirected", seed=2)
+        assert g.is_symmetric_structure
+
+    def test_gnp_p_zero_and_one(self):
+        assert erdos_renyi_gnp(10, 0.0, seed=0).nvals == 0
+        assert erdos_renyi_gnp(10, 1.0, seed=0).nvals == 90
+
+    def test_gnp_bad_p(self):
+        with pytest.raises(InvalidValue):
+            erdos_renyi_gnp(10, 1.5)
+
+    def test_gnp_deterministic_seed(self):
+        a = erdos_renyi_gnp(30, 0.1, seed=7)
+        b = erdos_renyi_gnp(30, 0.1, seed=7)
+        assert a.A.isequal(b.A)
+
+    def test_gnm_exact_edge_count(self):
+        g = erdos_renyi_gnm(50, 100, seed=3)
+        assert g.nvals == 100
+
+    def test_gnm_undirected(self):
+        g = erdos_renyi_gnm(30, 40, kind="undirected", seed=4)
+        assert g.nedges == 40 and g.is_symmetric_structure
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(InvalidValue):
+            erdos_renyi_gnm(5, 100)
+
+    def test_weighted(self):
+        g = erdos_renyi_gnp(30, 0.2, weighted=True, seed=5)
+        _, _, v = g.A.extract_tuples()
+        assert v.min() >= 1 and v.max() <= 10 and np.unique(v).size > 1
+
+
+class TestRMAT:
+    def test_size_and_dims(self):
+        g = rmat_graph(8, 8, seed=0)
+        assert g.n == 256
+        assert 0 < g.nvals <= 8 * 256
+
+    def test_degree_skew(self):
+        """Scale-free: max degree far exceeds the mean (vs flat for ER)."""
+        g = rmat_graph(10, 16, seed=1)
+        deg = g.out_degree.to_dense()
+        er = erdos_renyi_gnm(1 << 10, int(g.nvals), seed=1)
+        er_deg = er.out_degree.to_dense()
+        assert deg.max() > 3 * er_deg.max()
+
+    def test_undirected(self):
+        g = rmat_graph(7, 8, kind="undirected", seed=2)
+        assert g.is_symmetric_structure
+
+    def test_weighted_sum_mode(self):
+        g = rmat_graph(6, 16, seed=3, dedup=False)
+        _, _, v = g.A.extract_tuples()
+        assert v.max() >= 2  # duplicates summed into multiplicities
+
+    def test_bad_probabilities(self):
+        with pytest.raises(InvalidValue):
+            rmat_graph(4, 4, a=0.9, b=0.2, c=0.2)
+
+    def test_kronecker_power(self):
+        B = Matrix.from_coo([0, 0, 1], [0, 1, 1], [1.0, 1.0, 1.0], nrows=2, ncols=2)
+        g = kronecker_graph(B, 3)
+        assert g.n == 8
+        assert g.nvals == 27  # nnz(B)^3
+
+    def test_kronecker_bad_power(self):
+        B = Matrix.sparse_identity(2)
+        with pytest.raises(InvalidValue):
+            kronecker_graph(B, 0)
+
+
+class TestStructured:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.nedges == 4 and g.kind is GraphKind.UNDIRECTED
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.nedges == 6
+        assert g.out_degree.to_dense().tolist() == [2] * 6
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12 and g.nedges == 3 * 3 + 2 * 4
+
+    def test_star(self):
+        g = star_graph(7)
+        deg = g.out_degree.to_dense(fill=0)
+        assert deg[0] == 6 and deg[1:].tolist() == [1] * 6
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.nedges == 10
+
+    def test_all_connected(self):
+        for g in (path_graph(9), cycle_graph(9), grid_graph(3, 3), star_graph(9), complete_graph(9)):
+            labels = connected_components(g)
+            assert len(set(labels.to_dense().tolist())) == 1
+
+
+class TestRandomObjects:
+    def test_random_matrix_density(self):
+        A = random_matrix(40, 40, 0.1, seed=0)
+        assert abs(A.nvals - 160) <= 1
+
+    def test_random_matrix_dtypes(self):
+        for dt in (np.bool_, np.int32, np.float64):
+            A = random_matrix(10, 10, 0.3, dtype=dt, seed=1)
+            assert A.dtype.np_dtype == np.dtype(dt)
+
+    def test_random_vector(self):
+        v = random_vector(100, 0.2, seed=2)
+        assert abs(v.nvals - 20) <= 1
+
+    def test_random_bipartite(self):
+        B = random_bipartite(20, 30, 0.1, seed=3)
+        assert B.shape == (20, 30)
+        assert 20 < B.nvals < 100
+
+
+class TestSyntheticDNN:
+    def test_shapes(self):
+        Y0, Ws, bs = synthetic_dnn(10, 64, 3, seed=0)
+        assert Y0.shape == (10, 64)
+        assert len(Ws) == len(bs) == 3
+        assert all(W.shape == (64, 64) for W in Ws)
+
+    def test_fan_in(self):
+        _, Ws, _ = synthetic_dnn(2, 32, 1, fan_in=4, seed=1)
+        # each column has at most fan_in entries (duplicates folded)
+        from repro.graphblas import Vector
+        from repro.graphblas import operations as ops
+
+        ones = Matrix("INT64", 32, 32)
+        ops.apply(ones, Ws[0], "one")
+        cols = Vector("INT64", 32)
+        ops.reduce_rowwise(cols, ones, "PLUS", desc="T0")
+        assert cols.to_dense().max() <= 4
+
+    def test_bias_default_negative(self):
+        _, _, bs = synthetic_dnn(2, 8, 2, seed=2)
+        assert all(b < 0 for b in bs)

@@ -1,0 +1,161 @@
+"""The non-polymorphic GrB_* facade, including Figure 2(d)'s BFS."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import capi as grb
+from repro.graphblas.errors import Info
+
+
+class TestObjectManagement:
+    def test_new_and_size_queries(self):
+        info, A = grb.GrB_Matrix_new(grb.GrB_FP64, 3, 4)
+        assert info == grb.GrB_SUCCESS
+        assert grb.GrB_Matrix_nrows(A) == (grb.GrB_SUCCESS, 3)
+        assert grb.GrB_Matrix_ncols(A) == (grb.GrB_SUCCESS, 4)
+        assert grb.GrB_Matrix_nvals(A) == (grb.GrB_SUCCESS, 0)
+
+    def test_new_invalid_returns_code_not_raise(self):
+        info, A = grb.GrB_Matrix_new(grb.GrB_FP64, -1, 4)
+        assert info == Info.INVALID_VALUE and A is None
+
+    def test_set_extract_element(self):
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        assert grb.GrB_Matrix_setElement(A, 3.5, 0, 1) == grb.GrB_SUCCESS
+        info, val = grb.GrB_Matrix_extractElement(A, 0, 1)
+        assert info == grb.GrB_SUCCESS and val == 3.5
+
+    def test_extract_missing_returns_no_value(self):
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        info, val = grb.GrB_Matrix_extractElement(A, 0, 0)
+        assert info == grb.GrB_NO_VALUE and val is None
+
+    def test_set_element_out_of_bounds_code(self):
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        assert grb.GrB_Matrix_setElement(A, 1.0, 9, 0) == Info.INDEX_OUT_OF_BOUNDS
+
+    def test_build_and_extract_tuples(self):
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 3, 3)
+        assert grb.GrB_Matrix_build(A, [0, 1], [1, 2], [5.0, 6.0]) == grb.GrB_SUCCESS
+        info, r, c, v = grb.GrB_Matrix_extractTuples(A)
+        assert info == grb.GrB_SUCCESS
+        assert r.tolist() == [0, 1] and c.tolist() == [1, 2]
+
+    def test_build_nonempty_is_output_not_empty(self):
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        grb.GrB_Matrix_build(A, [0], [0], [1.0])
+        assert grb.GrB_Matrix_build(A, [1], [1], [1.0]) == Info.OUTPUT_NOT_EMPTY
+
+    def test_dup_clear_wait_remove(self):
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        grb.GrB_Matrix_setElement(A, 1.0, 0, 0)
+        info, B = grb.GrB_Matrix_dup(A)
+        assert info == grb.GrB_SUCCESS
+        assert grb.GrB_Matrix_removeElement(B, 0, 0) == grb.GrB_SUCCESS
+        assert grb.GrB_Matrix_wait(B) == grb.GrB_SUCCESS
+        assert grb.GrB_Matrix_nvals(B) == (grb.GrB_SUCCESS, 0)
+        assert grb.GrB_Matrix_clear(A) == grb.GrB_SUCCESS
+
+    def test_free(self):
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        assert grb.GrB_free(A) == grb.GrB_SUCCESS
+        assert grb.GrB_Matrix_nvals(A)[0] == Info.UNINITIALIZED_OBJECT
+
+    def test_vector_surface(self):
+        info, v = grb.GrB_Vector_new(grb.GrB_INT64, 5)
+        assert info == grb.GrB_SUCCESS
+        assert grb.GrB_Vector_size(v) == (grb.GrB_SUCCESS, 5)
+        grb.GrB_Vector_setElement(v, 7, 2)
+        assert grb.GrB_Vector_nvals(v) == (grb.GrB_SUCCESS, 1)
+        info, val = grb.GrB_Vector_extractElement(v, 2)
+        assert val == 7
+        info, idx, vals = grb.GrB_Vector_extractTuples(v)
+        assert idx.tolist() == [2]
+        assert grb.GrB_Vector_removeElement(v, 2) == grb.GrB_SUCCESS
+        info, w = grb.GrB_Vector_dup(v)
+        assert grb.GrB_Vector_clear(w) == grb.GrB_SUCCESS
+        assert grb.GrB_Vector_wait(v) == grb.GrB_SUCCESS
+
+
+class TestOperations:
+    def test_mxm_dimension_mismatch_code(self):
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 3)
+        _, B = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 3)
+        _, C = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 3)
+        assert (
+            grb.GrB_mxm(C, grb.GrB_NULL, grb.GrB_NULL, "PLUS_TIMES", A, B)
+            == Info.DIMENSION_MISMATCH
+        )
+
+    def test_mxm_success(self):
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        grb.GrB_Matrix_build(A, [0, 1], [1, 0], [2.0, 3.0])
+        _, C = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        assert (
+            grb.GrB_mxm(C, grb.GrB_NULL, grb.GrB_NULL, "PLUS_TIMES", A, A)
+            == grb.GrB_SUCCESS
+        )
+        assert grb.GrB_Matrix_extractElement(C, 0, 0)[1] == 6.0
+
+    def test_reduce_to_scalar_object(self):
+        _, v = grb.GrB_Vector_new(grb.GrB_FP64, 4)
+        grb.GrB_Vector_build(v, [0, 1], [2.0, 5.0])
+        _, s = grb.GrB_Scalar_new(grb.GrB_FP64)
+        assert grb.GrB_reduce(s, grb.GrB_NULL, "PLUS", v) == grb.GrB_SUCCESS
+        assert s.value == 7.0
+        # accumulate a second reduction into the scalar
+        assert grb.GrB_reduce(s, "PLUS", "PLUS", v) == grb.GrB_SUCCESS
+        assert s.value == 14.0
+
+    def test_ewise_apply_select_transpose(self):
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        grb.GrB_Matrix_build(A, [0, 1], [1, 0], [2.0, -3.0])
+        _, C = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        assert grb.GrB_eWiseAdd(C, None, None, "PLUS", A, A) == grb.GrB_SUCCESS
+        assert grb.GrB_Matrix_extractElement(C, 0, 1)[1] == 4.0
+        assert grb.GrB_eWiseMult(C, None, None, "TIMES", A, A) == grb.GrB_SUCCESS
+        assert grb.GrB_apply(C, None, None, "ABS", A) == grb.GrB_SUCCESS
+        assert grb.GrB_Matrix_extractElement(C, 1, 0)[1] == 3.0
+        assert grb.GrB_select(C, None, None, "VALUEGT", A, 0.0) == grb.GrB_SUCCESS
+        assert grb.GrB_Matrix_nvals(C)[1] == 1
+        _, T = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        assert grb.GrB_transpose(T, None, None, A) == grb.GrB_SUCCESS
+        assert grb.GrB_Matrix_extractElement(T, 1, 0)[1] == 2.0
+
+    def test_extract_assign_kronecker(self):
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 3, 3)
+        grb.GrB_Matrix_build(A, [0, 1, 2], [0, 1, 2], [1.0, 2.0, 3.0])
+        _, S = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        assert grb.GrB_extract(S, None, None, A, [0, 2], [0, 2]) == grb.GrB_SUCCESS
+        assert grb.GrB_Matrix_extractElement(S, 1, 1)[1] == 3.0
+        assert grb.GrB_assign(A, None, None, 9.0, [1], [0]) == grb.GrB_SUCCESS
+        assert grb.GrB_Matrix_extractElement(A, 1, 0)[1] == 9.0
+        _, K = grb.GrB_Matrix_new(grb.GrB_FP64, 4, 4)
+        assert grb.GrB_kronecker(K, None, None, "TIMES", S, S) == grb.GrB_SUCCESS
+
+
+def bfs_fig2d(graph, frontier):
+    """Figure 2(d): level BFS against the C API surface, line for line."""
+    info, n = grb.GrB_Matrix_nrows(graph)
+    info, levels = grb.GrB_Vector_new(grb.GrB_INT64, n)
+    info, nvals = grb.GrB_Vector_nvals(frontier)
+    depth = 0
+    while nvals > 0:
+        depth += 1
+        grb.GrB_assign(levels, frontier, grb.GrB_NULL, depth, grb.GrB_ALL)
+        grb.GrB_mxv(
+            frontier, levels, grb.GrB_NULL, "LOR_LAND", graph, frontier, "RSC"
+        )
+        info, nvals = grb.GrB_Vector_nvals(frontier)
+    return levels
+
+
+def test_bfs_figure_2d():
+    # 0 -> 1 -> 2 -> 3 with shortcut 0 -> 2; traverse via A^T like Fig. 2
+    info, G = grb.GrB_Matrix_new(grb.GrB_BOOL, 4, 4)
+    grb.GrB_Matrix_build(G, [1, 2, 3, 2], [0, 1, 2, 0], [True] * 4, dup="LOR")
+    info, frontier = grb.GrB_Vector_new(grb.GrB_BOOL, 4)
+    grb.GrB_Vector_setElement(frontier, True, 0)
+    levels = bfs_fig2d(G, frontier)
+    info, idx, vals = grb.GrB_Vector_extractTuples(levels)
+    assert dict(zip(idx.tolist(), vals.tolist())) == {0: 1, 1: 2, 2: 2, 3: 3}

@@ -1,0 +1,95 @@
+"""User-defined algebra through the C-API facade (GrB_*_new)."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import capi as grb
+from repro.graphblas.errors import Info
+
+
+class TestUserDefinedOps:
+    def test_unary_op_new_and_apply(self):
+        info, clamp = grb.GrB_UnaryOp_new(lambda x: min(x, 5.0), "clamp5")
+        assert info == grb.GrB_SUCCESS and not clamp.builtin
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 1, 2)
+        grb.GrB_Matrix_build(A, [0, 0], [0, 1], [3.0, 9.0])
+        _, C = grb.GrB_Matrix_new(grb.GrB_FP64, 1, 2)
+        assert grb.GrB_apply(C, None, None, clamp, A) == grb.GrB_SUCCESS
+        assert C.to_dense().tolist() == [[3.0, 5.0]]
+
+    def test_binary_op_new_in_ewise(self):
+        info, hyp = grb.GrB_BinaryOp_new(lambda x, y: (x**2 + y**2) ** 0.5, "hypot")
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 1, 1)
+        grb.GrB_Matrix_build(A, [0], [0], [3.0])
+        _, B = grb.GrB_Matrix_new(grb.GrB_FP64, 1, 1)
+        grb.GrB_Matrix_build(B, [0], [0], [4.0])
+        _, C = grb.GrB_Matrix_new(grb.GrB_FP64, 1, 1)
+        assert grb.GrB_eWiseMult(C, None, None, hyp, A, B) == grb.GrB_SUCCESS
+        assert C[0, 0] == 5.0
+
+    def test_monoid_and_semiring_new_drive_mxm(self):
+        info, mx = grb.GrB_BinaryOp_new(max, "mymax")
+        info, mon = grb.GrB_Monoid_new(mx, 0)
+        info, sr = grb.GrB_Semiring_new(mon, "PLUS")  # max-plus algebra
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        grb.GrB_Matrix_build(A, [0, 0, 1], [0, 1, 0], [1.0, 2.0, 3.0])
+        _, C = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        assert grb.GrB_mxm(C, None, None, sr, A, A) == grb.GrB_SUCCESS
+        assert C[0, 0] == 5.0  # max(1+1, 2+3)
+
+    def test_monoid_new_rejects_positional(self):
+        info, mon = grb.GrB_Monoid_new("FIRSTI", 0)
+        assert info == Info.DOMAIN_MISMATCH and mon is None
+
+    def test_type_new(self):
+        info, t = grb.GrB_Type_new(np.dtype([("re", "f8"), ("im", "f8")]))
+        assert info == grb.GrB_SUCCESS and not t.builtin
+
+    def test_user_monoid_reduce(self):
+        from repro.graphblas import Vector, operations as ops
+
+        _, gcd_op = grb.GrB_BinaryOp_new(np.gcd, "gcd")
+        _, mon = grb.GrB_Monoid_new(gcd_op, 0)
+        v = Vector.from_coo([0, 1, 2], [12, 18, 30], size=3, dtype="INT64")
+        assert ops.reduce_scalar(v, mon) == 6
+
+
+class TestDescriptorBuilder:
+    def test_build_fig2d_descriptor(self):
+        info, d = grb.GrB_Descriptor_new()
+        info, d = grb.GrB_Descriptor_set(d, "INP0", "TRAN")
+        info, d = grb.GrB_Descriptor_set(d, "MASK", "COMP")
+        info, d = grb.GrB_Descriptor_set(d, "OUTP", "REPLACE")
+        assert d.transpose_a and d.complement_mask and d.replace
+        assert not d.structural_mask
+
+    def test_bad_field(self):
+        info, d = grb.GrB_Descriptor_new()
+        info, d2 = grb.GrB_Descriptor_set(d, "WARP", "DRIVE")
+        assert info == Info.INVALID_VALUE and d2 is d
+
+    def test_descriptor_used_in_operation(self):
+        info, d = grb.GrB_Descriptor_new()
+        info, d = grb.GrB_Descriptor_set(d, "INP0", "TRAN")
+        _, A = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        grb.GrB_Matrix_build(A, [0], [1], [7.0])
+        _, C = grb.GrB_Matrix_new(grb.GrB_FP64, 2, 2)
+        # transpose of transpose: C = A
+        assert grb.GrB_transpose(C, None, None, A, d) == grb.GrB_SUCCESS
+        assert C[0, 1] == 7.0
+
+
+class TestGxBSubassign:
+    def test_matrix_region(self):
+        _, C = grb.GrB_Matrix_new(grb.GrB_FP64, 3, 3)
+        assert grb.GxB_subassign(C, None, None, 5.0, [0, 2], [0, 2]) == grb.GrB_SUCCESS
+        assert C.nvals == 4 and C[2, 2] == 5.0 and C.get(1, 1) is None
+
+    def test_vector_region(self):
+        _, v = grb.GrB_Vector_new(grb.GrB_FP64, 4)
+        assert grb.GxB_subassign(v, None, None, 1.5, [1, 3]) == grb.GrB_SUCCESS
+        assert v.to_dense().tolist() == [0.0, 1.5, 0.0, 1.5]
+
+    def test_error_code_on_duplicates(self):
+        _, C = grb.GrB_Matrix_new(grb.GrB_FP64, 3, 3)
+        assert grb.GxB_subassign(C, None, None, 1.0, [0, 0], [1]) == Info.INVALID_VALUE

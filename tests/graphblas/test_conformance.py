@@ -1,0 +1,325 @@
+"""The paper's testing methodology (section II.A): every operation is run
+both by the optimized sparse engine and by the dense spec-literal
+"MATLAB mimic", and the results must agree in value AND pattern.
+
+This is the core correctness suite: it sweeps operations x descriptors x
+accumulators x domains over randomized inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import Matrix, Vector
+from repro.graphblas import operations as ops
+from repro.graphblas import reference as ref
+
+from tests.helpers import random_matrix_np, random_vector_np
+
+DESCS = [None, "R", "C", "S", "RC", "SC", "RSC", "T0"]
+ACCUMS = [None, "PLUS", "MAX"]
+SEEDS = [0, 1]
+
+
+def _mk(rng, m, n, density=0.4, dtype=np.float64):
+    A, dense, mask = random_matrix_np(rng, m, n, density, dtype)
+    return A, ref.RefMatrix.from_matrix(A)
+
+
+def _mkv(rng, n, density=0.5, dtype=np.float64):
+    v, dense, mask = random_vector_np(rng, n, density, dtype)
+    return v, ref.RefVector.from_vector(v)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("desc", DESCS)
+@pytest.mark.parametrize("accum", ACCUMS)
+@pytest.mark.parametrize("semiring", ["PLUS_TIMES", "MIN_PLUS", "MAX_FIRST"])
+def test_mxm_conformance(seed, desc, accum, semiring):
+    rng = np.random.default_rng(seed)
+    n = 7
+    A, rA = _mk(rng, n, n)
+    B, rB = _mk(rng, n, n)
+    C0, rC0 = _mk(rng, n, n, density=0.3)
+    M, rM = _mk(rng, n, n, density=0.5)
+    C = C0.dup()
+    ops.mxm(C, A, B, semiring, mask=M, accum=accum, desc=desc)
+    expected = ref.ref_mxm(rC0, rA, rB, semiring, mask=rM, accum=accum, desc=desc)
+    assert expected.matches(C)
+
+
+@pytest.mark.parametrize("method", ["gustavson", "dot", "heap"])
+@pytest.mark.parametrize("desc", [None, "RSC", "S"])
+def test_mxm_methods_conform(method, desc):
+    rng = np.random.default_rng(3)
+    A, rA = _mk(rng, 6, 8)
+    B, rB = _mk(rng, 8, 5)
+    C0, rC0 = _mk(rng, 6, 5, density=0.3)
+    M, rM = _mk(rng, 6, 5, density=0.5)
+    C = C0.dup()
+    ops.mxm(C, A, B, "PLUS_TIMES", mask=M, accum="PLUS", desc=desc, method=method)
+    expected = ref.ref_mxm(rC0, rA, rB, "PLUS_TIMES", mask=rM, accum="PLUS", desc=desc)
+    assert expected.matches(C)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("desc", DESCS)
+@pytest.mark.parametrize("accum", ACCUMS)
+@pytest.mark.parametrize("method", ["push", "pull"])
+def test_mxv_conformance(seed, desc, accum, method):
+    rng = np.random.default_rng(10 + seed)
+    A, rA = _mk(rng, 6, 6)
+    u, ru = _mkv(rng, 6)
+    w0, rw0 = _mkv(rng, 6, density=0.3)
+    m, rm = _mkv(rng, 6, density=0.5)
+    w = w0.dup()
+    ops.mxv(w, A, u, "PLUS_TIMES", mask=m, accum=accum, desc=desc, method=method)
+    expected = ref.ref_mxv(rw0, rA, ru, "PLUS_TIMES", mask=rm, accum=accum, desc=desc)
+    assert expected.matches(w)
+
+
+@pytest.mark.parametrize("desc", DESCS)
+@pytest.mark.parametrize("accum", ACCUMS)
+def test_vxm_conformance(desc, accum):
+    rng = np.random.default_rng(20)
+    A, rA = _mk(rng, 6, 6)
+    u, ru = _mkv(rng, 6)
+    w0, rw0 = _mkv(rng, 6, density=0.3)
+    m, rm = _mkv(rng, 6, density=0.5)
+    w = w0.dup()
+    ops.vxm(w, u, A, "MIN_PLUS", mask=m, accum=accum, desc=desc)
+    expected = ref.ref_vxm(rw0, ru, rA, "MIN_PLUS", mask=rm, accum=accum, desc=desc)
+    assert expected.matches(w)
+
+
+@pytest.mark.parametrize("op", ["PLUS", "TIMES", "MIN", "MINUS", "FIRST"])
+@pytest.mark.parametrize("desc", [None, "R", "C", "T0"])
+@pytest.mark.parametrize("which", ["add", "mult"])
+def test_ewise_matrix_conformance(op, desc, which):
+    rng = np.random.default_rng(30)
+    A, rA = _mk(rng, 7, 5)
+    B, rB = _mk(rng, 7, 5) if desc != "T0" else _mk(rng, 5, 7)
+    C0, rC0 = _mk(rng, 7, 5, density=0.3)
+    M, rM = _mk(rng, 7, 5, density=0.5)
+    C = C0.dup()
+    fn = ops.ewise_add if which == "add" else ops.ewise_mult
+    rfn = ref.ref_ewise_add if which == "add" else ref.ref_ewise_mult
+    if desc == "T0":
+        # transpose applies to A; build shapes accordingly
+        A, rA = _mk(rng, 5, 7)
+        B, rB = _mk(rng, 7, 5)
+    fn(C, A, B, op, mask=M, accum="PLUS", desc=desc)
+    expected = rfn(rC0, rA, rB, op, mask=rM, accum="PLUS", desc=desc)
+    assert expected.matches(C)
+
+
+@pytest.mark.parametrize("op", ["PLUS", "MAX", "SECOND"])
+@pytest.mark.parametrize("which", ["add", "mult"])
+def test_ewise_vector_conformance(op, which):
+    rng = np.random.default_rng(31)
+    u, ru = _mkv(rng, 9)
+    v, rv = _mkv(rng, 9)
+    w0, rw0 = _mkv(rng, 9, density=0.3)
+    m, rm = _mkv(rng, 9, density=0.5)
+    w = w0.dup()
+    fn = ops.ewise_add if which == "add" else ops.ewise_mult
+    rfn = ref.ref_ewise_add if which == "add" else ref.ref_ewise_mult
+    fn(w, u, v, op, mask=m, accum="MAX", desc="S")
+    expected = rfn(rw0, ru, rv, op, mask=rm, accum="MAX", desc="S")
+    assert expected.matches(w)
+
+
+@pytest.mark.parametrize(
+    "kind,op,kw",
+    [
+        ("unary", "AINV", {}),
+        ("unary", "ABS", {}),
+        ("unary", "MINV", {}),
+        ("bind", "PLUS", {"right": 3.0}),
+        ("bind", "MINUS", {"left": 10.0}),
+        ("iu", "ROWINDEX", {"thunk": 1}),
+        ("iu", "VALUEGT", {"thunk": 4.0}),
+    ],
+)
+@pytest.mark.parametrize("desc", [None, "R", "T0"])
+def test_apply_conformance(kind, op, kw, desc):
+    rng = np.random.default_rng(40)
+    A, rA = _mk(rng, 6, 7)
+    shape = (7, 6) if desc == "T0" else (6, 7)
+    C0, rC0 = _mk(rng, *shape, density=0.3)
+    M, rM = _mk(rng, *shape, density=0.5)
+    C = C0.dup()
+    ops.apply(C, A, op, mask=M, accum="PLUS", desc=desc, **kw)
+    expected = ref.ref_apply(rC0, rA, op, mask=rM, accum="PLUS", desc=desc, **kw)
+    assert expected.matches(C)
+
+
+@pytest.mark.parametrize(
+    "op,thunk", [("TRIL", 0), ("TRIU", 1), ("VALUEGT", 5.0), ("OFFDIAG", 0)]
+)
+def test_select_conformance(op, thunk):
+    rng = np.random.default_rng(50)
+    A, rA = _mk(rng, 7, 7)
+    C0, rC0 = _mk(rng, 7, 7, density=0.2)
+    C = C0.dup()
+    ops.select(C, A, op, thunk, accum="PLUS")
+    expected = ref.ref_select(rC0, rA, op, thunk, accum="PLUS")
+    assert expected.matches(C)
+
+
+@pytest.mark.parametrize("mon", ["PLUS", "MIN", "MAX", "TIMES"])
+@pytest.mark.parametrize("desc", [None, "T0"])
+def test_reduce_conformance(mon, desc):
+    rng = np.random.default_rng(60)
+    A, rA = _mk(rng, 6, 8)
+    size = 8 if desc == "T0" else 6
+    w0, rw0 = _mkv(rng, size, density=0.3)
+    w = w0.dup()
+    ops.reduce_rowwise(w, A, mon, accum="PLUS", desc=desc)
+    expected = ref.ref_reduce_rowwise(rw0, rA, mon, accum="PLUS", desc=desc)
+    assert expected.matches(w)
+    # scalar reduce
+    assert np.isclose(
+        float(ops.reduce_scalar(A, mon)), float(ref.ref_reduce_scalar(rA, mon))
+    )
+
+
+@pytest.mark.parametrize("desc", [None, "R", "C"])
+def test_transpose_conformance(desc):
+    rng = np.random.default_rng(70)
+    A, rA = _mk(rng, 5, 8)
+    C0, rC0 = _mk(rng, 8, 5, density=0.3)
+    M, rM = _mk(rng, 8, 5, density=0.5)
+    C = C0.dup()
+    ops.transpose(C, A, mask=M, accum="PLUS", desc=desc)
+    expected = ref.ref_transpose(rC0, rA, mask=rM, accum="PLUS", desc=desc)
+    assert expected.matches(C)
+
+
+@pytest.mark.parametrize("dup_idx", [False, True])
+def test_extract_conformance(dup_idx):
+    rng = np.random.default_rng(80)
+    A, rA = _mk(rng, 8, 8)
+    I = np.array([1, 3, 3, 5]) if dup_idx else np.array([0, 2, 5, 7])
+    J = np.array([6, 0, 0]) if dup_idx else np.array([1, 4, 6])
+    C0, rC0 = _mk(rng, 4, 3, density=0.3)
+    C = C0.dup()
+    ops.extract(C, A, I, J, accum="PLUS")
+    expected = ref.ref_extract(rC0, rA, I, J, accum="PLUS")
+    assert expected.matches(C)
+
+
+def test_extract_vector_and_column_conformance():
+    rng = np.random.default_rng(81)
+    u, ru = _mkv(rng, 10)
+    I = np.array([2, 4, 4, 9])
+    w = Vector("FP64", 4)
+    ops.extract(w, u, I)
+    expected = ref.ref_extract(ref.RefVector.zeros(w.dtype, 4), ru, I)
+    assert expected.matches(w)
+
+    A, rA = _mk(rng, 6, 6)
+    col = Vector("FP64", 3)
+    ops.extract(col, A, np.array([0, 2, 4]), 3)
+    expected = ref.ref_extract(
+        ref.RefVector.zeros(col.dtype, 3), rA, np.array([0, 2, 4]), 3
+    )
+    assert expected.matches(col)
+
+
+@pytest.mark.parametrize("accum", [None, "PLUS"])
+@pytest.mark.parametrize("what", ["matrix", "scalar", "row", "col"])
+def test_assign_conformance(accum, what):
+    rng = np.random.default_rng(90)
+    C0, rC0 = _mk(rng, 8, 8, density=0.4)
+    M, rM = _mk(rng, 8, 8, density=0.5)
+    I = np.array([1, 4, 6])
+    J = np.array([0, 3, 7])
+    if what == "matrix":
+        A, rA = _mk(rng, 3, 3, density=0.6)
+    elif what == "scalar":
+        A, rA = 7.5, 7.5
+    elif what == "row":
+        v, rA = _mkv(rng, 3, density=0.7)
+        A = v
+        I = np.array([4])
+    else:
+        v, rA = _mkv(rng, 3, density=0.7)
+        A = v
+        J = np.array([5])
+    C = C0.dup()
+    ops.assign(C, A, I, J, mask=M, accum=accum)
+    expected = ref.ref_assign(rC0, rA, I, J, mask=rM, accum=accum)
+    assert expected.matches(C)
+
+
+@pytest.mark.parametrize("accum", [None, "PLUS"])
+def test_assign_vector_conformance(accum):
+    rng = np.random.default_rng(91)
+    w0, rw0 = _mkv(rng, 9, density=0.4)
+    m, rm = _mkv(rng, 9, density=0.5)
+    u, ru = _mkv(rng, 3, density=0.8)
+    I = np.array([2, 5, 8])
+    w = w0.dup()
+    ops.assign(w, u, I, mask=m, accum=accum)
+    expected = ref.ref_assign(rw0, ru, I, mask=rm, accum=accum)
+    assert expected.matches(w)
+
+
+def test_assign_scalar_masked_fastpath_conformance():
+    """The BFS 'levels<frontier> = depth' shape uses a dedicated fast path."""
+    rng = np.random.default_rng(92)
+    w0, rw0 = _mkv(rng, 12, density=0.4)
+    m, rm = _mkv(rng, 12, density=0.4)
+    w = w0.dup()
+    ops.assign(w, 42.0, ops.ALL, mask=m)
+    expected = ref.ref_assign(rw0, 42.0, None, mask=rm)
+    assert expected.matches(w)
+    # structural variant
+    w2 = w0.dup()
+    ops.assign(w2, 42.0, ops.ALL, mask=m, desc="S")
+    expected2 = ref.ref_assign(rw0, 42.0, None, mask=rm, desc="S")
+    assert expected2.matches(w2)
+
+
+@pytest.mark.parametrize("desc", [None, "T0", "T1"])
+def test_kronecker_conformance(desc):
+    rng = np.random.default_rng(100)
+    A, rA = _mk(rng, 3, 4)
+    B, rB = _mk(rng, 2, 3)
+    if desc == "T0":
+        shape = (4 * 2, 3 * 3)
+    elif desc == "T1":
+        shape = (3 * 3, 4 * 2)
+    else:
+        shape = (3 * 2, 4 * 3)
+    C0, rC0 = _mk(rng, *shape, density=0.2)
+    C = C0.dup()
+    ops.kronecker(C, A, B, "TIMES", accum="PLUS", desc=desc)
+    expected = ref.ref_kronecker(rC0, rA, rB, "TIMES", accum="PLUS", desc=desc)
+    assert expected.matches(C)
+
+
+def test_positional_semiring_conformance():
+    rng = np.random.default_rng(110)
+    A, rA = _mk(rng, 6, 6)
+    B, rB = _mk(rng, 6, 6)
+    for sr in ("MIN_SECONDI", "MIN_FIRSTI"):
+        C = Matrix("INT64", 6, 6)
+        ops.mxm(C, A, B, sr)
+        expected = ref.ref_mxm(
+            ref.RefMatrix.zeros(C.dtype, 6, 6), rA, rB, sr
+        )
+        assert expected.matches(C), sr
+
+
+@pytest.mark.parametrize("dtype", [np.bool_, np.int32, np.float32])
+def test_mxm_conformance_across_domains(dtype):
+    rng = np.random.default_rng(120)
+    A, rA = _mk(rng, 6, 6, dtype=dtype)
+    B, rB = _mk(rng, 6, 6, dtype=dtype)
+    sr = "LOR_LAND" if dtype == np.bool_ else "PLUS_TIMES"
+    out_dtype = np.bool_ if dtype == np.bool_ else dtype
+    C = Matrix(out_dtype, 6, 6)
+    ops.mxm(C, A, B, sr)
+    expected = ref.ref_mxm(ref.RefMatrix.zeros(C.dtype, 6, 6), rA, rB, sr)
+    assert expected.matches(C)

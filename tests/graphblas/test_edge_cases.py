@@ -1,0 +1,213 @@
+"""Edge cases and failure injection: empty objects, moved handles, extremes."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    Matrix,
+    UninitializedObject,
+    Vector,
+    export_matrix,
+    export_vector,
+    subassign,
+)
+from repro.graphblas import operations as ops
+from repro.graphblas.errors import NoValue
+
+
+@pytest.fixture
+def empty_m():
+    return Matrix("FP64", 5, 5)
+
+
+@pytest.fixture
+def empty_v():
+    return Vector("FP64", 5)
+
+
+class TestEmptyInputs:
+    """Every operation must behave on fully empty objects."""
+
+    def test_mxm_empty(self, empty_m):
+        C = Matrix("FP64", 5, 5)
+        for method in ("gustavson", "dot", "heap"):
+            ops.mxm(C, empty_m, empty_m, method=method)
+            assert C.nvals == 0
+
+    def test_mxm_one_side_empty(self, empty_m):
+        A = Matrix.sparse_identity(5)
+        C = Matrix("FP64", 5, 5)
+        ops.mxm(C, A, empty_m)
+        assert C.nvals == 0
+        ops.mxm(C, empty_m, A)
+        assert C.nvals == 0
+
+    def test_mxv_empty_vector(self, empty_v):
+        A = Matrix.sparse_identity(5)
+        w = Vector("FP64", 5)
+        for method in ("push", "pull"):
+            ops.mxv(w, A, empty_v, method=method)
+            assert w.nvals == 0
+
+    def test_ewise_with_empty(self, empty_m):
+        A = Matrix.sparse_identity(5)
+        C = Matrix("FP64", 5, 5)
+        ops.ewise_add(C, A, empty_m, "PLUS")
+        assert C.isequal(A)
+        ops.ewise_mult(C, A, empty_m, "TIMES")
+        assert C.nvals == 0
+
+    def test_reduce_empty(self, empty_m, empty_v):
+        assert ops.reduce_scalar(empty_m, "PLUS") == 0
+        assert ops.reduce_scalar(empty_v, "MIN") == np.inf
+        w = Vector("FP64", 5)
+        ops.reduce_rowwise(w, empty_m, "PLUS")
+        assert w.nvals == 0
+
+    def test_apply_select_transpose_empty(self, empty_m):
+        C = Matrix("FP64", 5, 5)
+        ops.apply(C, empty_m, "AINV")
+        assert C.nvals == 0
+        ops.select(C, empty_m, "TRIL")
+        assert C.nvals == 0
+        ops.transpose(C, empty_m)
+        assert C.nvals == 0
+
+    def test_extract_assign_empty(self, empty_m):
+        C = Matrix("FP64", 2, 2)
+        ops.extract(C, empty_m, [0, 1], [0, 1])
+        assert C.nvals == 0
+        D = Matrix.sparse_identity(5)
+        ops.assign(D, empty_m.dup().resize(2, 2), [0, 1], [0, 1])
+        assert D.get(0, 0) is None and D.get(1, 1) is None  # region cleared
+        assert D.get(2, 2) == 1
+
+    def test_subassign_empty_operand(self):
+        D = Matrix.sparse_identity(4)
+        subassign(D, Matrix("FP64", 2, 2), [0, 1], [0, 1])
+        assert D.get(0, 0) is None and D.get(3, 3) == 1
+
+    def test_kronecker_empty(self, empty_m):
+        C = Matrix("FP64", 25, 25)
+        ops.kronecker(C, empty_m, empty_m, "TIMES")
+        assert C.nvals == 0
+
+    def test_empty_mask_admits_nothing(self, empty_m):
+        A = Matrix.sparse_identity(5)
+        C = Matrix.sparse_identity(5)
+        ops.mxm(C, A, A, mask=empty_m, desc="RS")
+        assert C.nvals == 0  # replace + empty mask clears everything
+
+    def test_empty_mask_without_replace_keeps_c(self, empty_m):
+        A = Matrix.sparse_identity(5)
+        C = Matrix.sparse_identity(5)
+        ops.mxm(C, A, A, mask=empty_m, desc="S")
+        assert C.nvals == 5
+
+
+class TestMovedHandles:
+    """Section IV: after export the remains of the object are deleted."""
+
+    def test_every_matrix_entry_point_rejects_moved(self):
+        A = Matrix.sparse_identity(3)
+        export_matrix(A)
+        C = Matrix("FP64", 3, 3)
+        for action in (
+            lambda: A.nvals,
+            lambda: A.dup(),
+            lambda: A.extract_tuples(),
+            lambda: A.set_element(0, 0, 1.0),
+            lambda: A.remove_element(0, 0),
+            lambda: A.resize(2, 2),
+            lambda: A.set_format("csc"),
+            lambda: A.to_dense(),
+            lambda: ops.mxm(C, A, C),
+            lambda: ops.apply(C, A, "AINV"),
+            lambda: export_matrix(A),
+        ):
+            with pytest.raises(UninitializedObject):
+                action()
+
+    def test_vector_moved(self):
+        v = Vector.from_coo([0], [1.0], size=3)
+        export_vector(v)
+        with pytest.raises(UninitializedObject):
+            v.extract_tuples()
+        with pytest.raises(UninitializedObject):
+            v.set_element(0, 2.0)
+
+
+class TestExtremes:
+    def test_one_by_one_matrix(self):
+        A = Matrix.from_coo([0], [0], [2.0], nrows=1, ncols=1)
+        C = Matrix("FP64", 1, 1)
+        ops.mxm(C, A, A)
+        assert C[0, 0] == 4.0
+        assert ops.reduce_scalar(A, "PLUS") == 2.0
+
+    def test_single_entry_vector_ops(self):
+        v = Vector.from_coo([0], [3.0], size=1)
+        w = Vector("FP64", 1)
+        ops.ewise_mult(w, v, v, "TIMES")
+        assert w[0] == 9.0
+
+    def test_dense_matrix_through_sparse_engine(self):
+        d = np.arange(16.0).reshape(4, 4) + 1
+        A = Matrix.from_dense(d)
+        C = Matrix("FP64", 4, 4)
+        ops.mxm(C, A, A)
+        assert np.allclose(C.to_dense(), d @ d)
+
+    def test_explicit_zeros_are_entries(self):
+        """A stored zero participates in patterns (GraphBLAS semantics)."""
+        A = Matrix.from_coo([0], [0], [0.0], nrows=2, ncols=2)
+        assert A.nvals == 1
+        C = Matrix("FP64", 2, 2)
+        ops.ewise_add(C, A, A, "PLUS")
+        assert C.nvals == 1 and C[0, 0] == 0.0
+        B = Matrix("FP64", 2, 2)
+        ops.select(B, A, "VALUEEQ", 0.0)
+        assert B.nvals == 1
+
+    def test_nan_values_survive_roundtrip(self):
+        A = Matrix.from_coo([0], [1], [np.nan], nrows=2, ncols=2)
+        r, c, v = A.extract_tuples()
+        assert np.isnan(v[0])
+        B = A.dup()
+        assert np.isnan(B.to_dense(fill=0.0)[0, 1])
+
+    def test_inf_in_min_plus(self):
+        A = Matrix.from_coo([0, 1], [1, 0], [np.inf, 1.0], nrows=2, ncols=2)
+        C = Matrix("FP64", 2, 2)
+        ops.mxm(C, A, A, "MIN_PLUS")
+        assert C[0, 0] == np.inf  # inf + 1
+        assert C[1, 1] == np.inf
+
+    def test_int_overflow_wraps_like_c(self):
+        A = Matrix.from_coo([0], [0], [np.iinfo(np.int8).max], nrows=1, ncols=1, dtype="INT8")
+        C = Matrix("INT8", 1, 1)
+        ops.ewise_add(C, A, A, "PLUS")
+        assert C[0, 0] == -2  # 127 + 127 wraps in int8
+
+    def test_uint_domain(self):
+        A = Matrix.from_coo([0], [0], [250], nrows=1, ncols=1, dtype="UINT8")
+        C = Matrix("UINT8", 1, 1)
+        ops.apply(C, A, "plus", right=10)
+        assert C[0, 0] == (250 + 10) % 256
+
+    def test_full_slice_and_step_index_specs(self):
+        A = Matrix.from_dense(np.arange(16.0).reshape(4, 4))
+        C = Matrix("FP64", 2, 4)
+        ops.extract(C, A, slice(0, 4, 2), ops.ALL)
+        assert np.allclose(C.to_dense(), A.to_dense()[::2])
+
+    def test_scalar_index_extract(self):
+        u = Vector.from_dense(np.array([1.0, 2.0, 3.0]))
+        w = Vector("FP64", 1)
+        ops.extract(w, u, 1)
+        assert w[0] == 2.0
+
+    def test_get_missing_via_novalue(self):
+        A = Matrix("FP64", 2, 2)
+        with pytest.raises(NoValue):
+            A.extract_element(1, 1)

@@ -1,0 +1,161 @@
+"""Error model (API vs execution errors) and execution modes."""
+
+import pytest
+
+from repro.graphblas import (
+    ApiError,
+    ExecutionError,
+    GraphBLASError,
+    Info,
+    Matrix,
+    Mode,
+    Vector,
+    blocking,
+    get_mode,
+    nonblocking,
+    set_mode,
+)
+from repro.graphblas import operations as ops
+from repro.graphblas.errors import (
+    DimensionMismatch,
+    DomainMismatch,
+    IndexOutOfBounds,
+    InvalidIndex,
+    InvalidValue,
+    NoValue,
+    check_index,
+)
+
+
+class TestHierarchy:
+    """Paper II.B: API errors vs execution errors are distinct classes."""
+
+    def test_api_errors(self):
+        assert issubclass(DimensionMismatch, ApiError)
+        assert issubclass(DomainMismatch, ApiError)
+        assert issubclass(InvalidValue, ApiError)
+        assert issubclass(InvalidIndex, ApiError)
+
+    def test_execution_errors(self):
+        assert issubclass(IndexOutOfBounds, ExecutionError)
+
+    def test_all_are_graphblas_errors(self):
+        assert issubclass(ApiError, GraphBLASError)
+        assert issubclass(ExecutionError, GraphBLASError)
+        assert issubclass(NoValue, GraphBLASError)
+
+    def test_info_codes_unique(self):
+        codes = [
+            DimensionMismatch.info,
+            DomainMismatch.info,
+            InvalidValue.info,
+            IndexOutOfBounds.info,
+            NoValue.info,
+        ]
+        assert len(set(codes)) == len(codes)
+        assert NoValue.info == Info.NO_VALUE
+
+    def test_check_index(self):
+        assert check_index(3, 5) == 3
+        with pytest.raises(InvalidIndex):
+            check_index(5, 5)
+        with pytest.raises(InvalidIndex):
+            check_index(-1, 5)
+
+
+class TestDimensionChecks:
+    def test_mxm(self):
+        A = Matrix("FP64", 2, 3)
+        B = Matrix("FP64", 2, 3)
+        C = Matrix("FP64", 2, 3)
+        with pytest.raises(DimensionMismatch):
+            ops.mxm(C, A, B)
+
+    def test_mxm_output_shape(self):
+        A = Matrix("FP64", 2, 3)
+        B = Matrix("FP64", 3, 4)
+        C = Matrix("FP64", 9, 9)
+        with pytest.raises(DimensionMismatch):
+            ops.mxm(C, A, B)
+
+    def test_mxv_sizes(self):
+        A = Matrix("FP64", 2, 3)
+        with pytest.raises(DimensionMismatch):
+            ops.mxv(Vector("FP64", 2), A, Vector("FP64", 9))
+        with pytest.raises(DimensionMismatch):
+            ops.mxv(Vector("FP64", 9), A, Vector("FP64", 3))
+
+    def test_mask_shape(self):
+        A = Matrix("FP64", 2, 2)
+        C = Matrix("FP64", 2, 2)
+        M = Matrix("FP64", 3, 3)
+        with pytest.raises(DimensionMismatch):
+            ops.ewise_add(C, A, A, "PLUS", mask=M)
+
+    def test_ewise_shapes(self):
+        A = Matrix("FP64", 2, 2)
+        B = Matrix("FP64", 2, 3)
+        with pytest.raises(DimensionMismatch):
+            ops.ewise_mult(Matrix("FP64", 2, 2), A, B)
+
+    def test_positional_accum_rejected(self):
+        A = Matrix.sparse_identity(2)
+        with pytest.raises(DomainMismatch):
+            ops.ewise_add(Matrix("FP64", 2, 2), A, A, "PLUS", accum="FIRSTI")
+
+    def test_positional_ewise_rejected(self):
+        A = Matrix.sparse_identity(2)
+        with pytest.raises(DomainMismatch):
+            ops.ewise_add(Matrix("FP64", 2, 2), A, A, "SECONDI")
+
+    def test_assign_duplicate_indices_rejected(self):
+        C = Matrix("FP64", 4, 4)
+        with pytest.raises(InvalidValue):
+            ops.assign(C, 1.0, [1, 1], [0])
+
+    def test_bad_descriptor_name(self):
+        A = Matrix.sparse_identity(2)
+        with pytest.raises(InvalidValue):
+            ops.transpose(Matrix("FP64", 2, 2), A, desc="T9")
+
+
+class TestModes:
+    def test_default_is_nonblocking(self):
+        assert get_mode() == Mode.NONBLOCKING
+
+    def test_set_mode(self):
+        set_mode(Mode.BLOCKING)
+        try:
+            assert get_mode() == Mode.BLOCKING
+        finally:
+            set_mode(Mode.NONBLOCKING)
+
+    def test_set_bad_mode(self):
+        with pytest.raises(InvalidValue):
+            set_mode("warp-speed")
+
+    def test_contexts_nest_and_restore(self):
+        with blocking():
+            assert get_mode() == Mode.BLOCKING
+            with nonblocking():
+                assert get_mode() == Mode.NONBLOCKING
+            assert get_mode() == Mode.BLOCKING
+        assert get_mode() == Mode.NONBLOCKING
+
+    def test_nonblocking_defers_blocking_does_not(self):
+        with nonblocking():
+            A = Matrix("FP64", 2, 2)
+            A.set_element(0, 0, 1.0)
+            assert A.has_pending
+        with blocking():
+            B = Matrix("FP64", 2, 2)
+            B.set_element(0, 0, 1.0)
+            assert not B.has_pending
+
+    def test_operations_force_materialization(self):
+        with nonblocking():
+            A = Matrix("FP64", 2, 2)
+            A.set_element(0, 0, 2.0)
+            C = Matrix("FP64", 2, 2)
+            ops.mxm(C, A, A)  # must see the pending entry
+            assert C[0, 0] == 4.0

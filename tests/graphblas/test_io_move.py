@@ -1,0 +1,147 @@
+"""O(1) move-semantics import/export (paper section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    Matrix,
+    UninitializedObject,
+    Vector,
+    export_matrix,
+    export_vector,
+    import_matrix,
+    import_vector,
+)
+from repro.graphblas.errors import InvalidObject, InvalidValue
+from tests.helpers import random_matrix_np
+
+
+@pytest.fixture
+def A(rng):
+    M, _, _ = random_matrix_np(rng, 10, 8, 0.3)
+    return M
+
+
+class TestExport:
+    def test_export_poisons_handle(self, A):
+        export_matrix(A)
+        with pytest.raises(UninitializedObject):
+            A.nvals
+        with pytest.raises(UninitializedObject):
+            A.set_element(0, 0, 1.0)
+
+    def test_export_same_format_shares_memory(self, A):
+        """O(1) path: the exported arrays ARE the matrix's arrays."""
+        store_vals = A.by_row().values
+        ex = export_matrix(A, "csr")
+        assert ex.Ax is store_vals
+
+    def test_export_fields(self, A):
+        nvals = A.nvals
+        ex = export_matrix(A, "csr")
+        assert ex.nrows == 10 and ex.ncols == 8 and ex.nvals == nvals
+        assert ex.Ap.size == 11 and ex.Ah is None
+
+    def test_export_hyper_includes_h(self, A):
+        ex = export_matrix(A, "hypercsr")
+        assert ex.Ah is not None
+        assert ex.Ap.size == ex.Ah.size + 1
+
+    def test_export_unknown_format(self, A):
+        with pytest.raises(InvalidValue):
+            export_matrix(A, "coo")
+
+    @pytest.mark.parametrize("fmt", ["csr", "csc", "hypercsr", "hypercsc"])
+    def test_roundtrip_exact(self, rng, fmt):
+        A, _, _ = random_matrix_np(rng, 12, 9, 0.35)
+        expect = A.dup()
+        ex = export_matrix(A, fmt)
+        B = import_matrix(ex)
+        assert B.format == fmt
+        assert B.isequal(expect)
+
+    def test_roundtrip_is_zero_copy(self, A):
+        ex = export_matrix(A, "csr")
+        B = import_matrix(ex)
+        assert np.shares_memory(B.by_row().values, ex.Ax)
+        assert np.shares_memory(B.by_row().indptr, ex.Ap)
+
+    def test_import_copy_mode_does_not_share(self, A):
+        ex = export_matrix(A, "csr")
+        B = import_matrix(ex, copy=True)
+        assert not np.shares_memory(B.by_row().values, ex.Ax)
+        ex.Ax[:] = -1  # caller still owns its arrays
+        assert float(B.by_row().values.min()) > 0
+
+
+class TestImportValidation:
+    def test_import_requires_arrays(self):
+        with pytest.raises(InvalidValue):
+            import_matrix(format="csr", nrows=2, ncols=2)
+
+    def test_import_requires_dims(self):
+        with pytest.raises(InvalidValue):
+            import_matrix(Ap=np.zeros(3), Ai=np.zeros(0), Ax=np.zeros(0))
+
+    def test_hyper_needs_ah(self):
+        with pytest.raises(InvalidValue):
+            import_matrix(
+                format="hypercsr",
+                nrows=4,
+                ncols=4,
+                Ap=np.array([0, 1]),
+                Ai=np.array([0]),
+                Ax=np.array([1.0]),
+            )
+
+    def test_wrong_pointer_length_rejected(self):
+        with pytest.raises(InvalidObject):
+            import_matrix(
+                format="csr",
+                nrows=4,
+                ncols=4,
+                Ap=np.array([0, 1]),
+                Ai=np.array([0]),
+                Ax=np.array([1.0]),
+            )
+
+    def test_check_mode_catches_corruption(self):
+        with pytest.raises(InvalidObject):
+            import_matrix(
+                format="csr",
+                nrows=2,
+                ncols=2,
+                Ap=np.array([0, 1, 2]),
+                Ai=np.array([5, 0]),  # column out of range
+                Ax=np.array([1.0, 2.0]),
+                check=True,
+            )
+
+    def test_import_from_raw_arrays(self):
+        # a hand-built 2x2 CSR: [[., 7], [8, .]]
+        B = import_matrix(
+            format="csr",
+            nrows=2,
+            ncols=2,
+            Ap=np.array([0, 1, 2]),
+            Ai=np.array([1, 0]),
+            Ax=np.array([7.0, 8.0]),
+        )
+        assert B[0, 1] == 7.0 and B[1, 0] == 8.0
+
+
+class TestVectorMove:
+    def test_roundtrip(self):
+        v = Vector.from_coo([1, 4], [2.0, 3.0], size=6)
+        size, idx, vals = export_vector(v)
+        with pytest.raises(UninitializedObject):
+            v.nvals
+        w = import_vector(size, idx, vals)
+        assert w.size == 6 and w[1] == 2.0 and w[4] == 3.0
+        assert np.shares_memory(w.values, vals)
+
+    def test_copy_mode(self):
+        v = Vector.from_coo([0], [1.0], size=3)
+        size, idx, vals = export_vector(v)
+        w = import_vector(size, idx, vals, copy=True)
+        assert not np.shares_memory(w.values, vals)

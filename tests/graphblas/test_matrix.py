@@ -1,0 +1,273 @@
+"""The opaque Matrix: construction, deferred updates, formats, moves."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    FP64,
+    INT64,
+    Matrix,
+    NoValue,
+    blocking,
+    nonblocking,
+)
+from repro.graphblas.errors import (
+    IndexOutOfBounds,
+    InvalidValue,
+    OutputNotEmpty,
+    UninitializedObject,
+)
+
+
+class TestConstruction:
+    def test_new_empty(self):
+        A = Matrix.new("FP64", 3, 4)
+        assert A.shape == (3, 4) and A.nvals == 0 and A.dtype is FP64
+
+    def test_nonpositive_dims_raise(self):
+        with pytest.raises(InvalidValue):
+            Matrix("FP64", 0, 3)
+
+    def test_from_coo_with_dup(self):
+        A = Matrix.from_coo([0, 0], [1, 1], [2.0, 3.0], nrows=2, ncols=2, dup="PLUS")
+        assert A[0, 1] == 5.0
+
+    def test_from_coo_infers_dims(self):
+        A = Matrix.from_coo([3], [7], [1.0])
+        assert A.shape == (4, 8)
+
+    def test_from_dense_missing_sentinel(self):
+        A = Matrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]), missing=0)
+        assert A.nvals == 2 and A[1, 1] == 2.0
+
+    def test_from_dense_nan_sentinel(self):
+        A = Matrix.from_dense(np.array([[1.0, np.nan]]), missing=np.nan)
+        assert A.nvals == 1
+
+    def test_from_dense_all_entries(self):
+        A = Matrix.from_dense(np.zeros((2, 2)))
+        assert A.nvals == 4
+
+    def test_sparse_identity(self):
+        eye = Matrix.sparse_identity(3, value=5)
+        assert eye.to_dense().tolist() == [[5, 0, 0], [0, 5, 0], [0, 0, 5]]
+
+    def test_scalar_broadcast_values(self):
+        A = Matrix.from_coo([0, 1], [1, 0], 7.0, nrows=2, ncols=2)
+        assert A[0, 1] == 7.0 and A[1, 0] == 7.0
+
+
+class TestElementAccess:
+    def test_set_get(self):
+        A = Matrix.new("FP64", 3, 3)
+        A.set_element(1, 2, 4.5)
+        assert A.extract_element(1, 2) == 4.5
+        assert A[1, 2] == 4.5
+
+    def test_missing_raises_novalue(self):
+        A = Matrix.new("FP64", 2, 2)
+        with pytest.raises(NoValue):
+            A.extract_element(0, 0)
+        assert A.get(0, 0, default=-1) == -1
+
+    def test_out_of_bounds(self):
+        A = Matrix.new("FP64", 2, 2)
+        with pytest.raises(IndexOutOfBounds):
+            A.set_element(5, 0, 1.0)
+        with pytest.raises(IndexOutOfBounds):
+            A.extract_element(0, 9)
+
+    def test_setitem_sugar(self):
+        A = Matrix.new("INT64", 2, 2)
+        A[0, 1] = 9
+        assert A[0, 1] == 9
+
+    def test_casting_on_insert(self):
+        A = Matrix.new("INT64", 2, 2)
+        A[0, 0] = 3.9
+        assert A[0, 0] == 3
+
+
+class TestPendingLog:
+    """Zombies + pending tuples (paper section II.A)."""
+
+    def test_pending_counts(self):
+        with nonblocking():
+            A = Matrix.new("FP64", 4, 4)
+            A.set_element(0, 0, 1.0)
+            A.set_element(1, 1, 2.0)
+            A.remove_element(2, 2)
+            assert A.npending == 2 and A.nzombies == 1
+            A.wait()
+            assert A.npending == 0 and A.nzombies == 0
+
+    def test_last_writer_wins(self):
+        with nonblocking():
+            A = Matrix.new("FP64", 2, 2)
+            A.set_element(0, 0, 1.0)
+            A.set_element(0, 0, 2.0)
+            assert A.nvals == 1 and A[0, 0] == 2.0
+
+    def test_set_then_remove_is_absent(self):
+        with nonblocking():
+            A = Matrix.new("FP64", 2, 2)
+            A.set_element(0, 0, 1.0)
+            A.remove_element(0, 0)
+            assert A.nvals == 0
+
+    def test_remove_then_set_is_present(self):
+        with nonblocking():
+            A = Matrix.new("FP64", 2, 2)
+            A.set_element(0, 0, 1.0)
+            A.wait()
+            A.remove_element(0, 0)
+            A.set_element(0, 0, 7.0)
+            assert A[0, 0] == 7.0
+
+    def test_zombie_kills_stored_entry(self):
+        A = Matrix.from_coo([0, 1], [0, 1], [1.0, 2.0], nrows=2, ncols=2)
+        A.remove_element(0, 0)
+        assert A.nvals == 1 and A.get(0, 0) is None
+
+    def test_remove_nonexistent_is_noop(self):
+        A = Matrix.new("FP64", 2, 2)
+        A.remove_element(1, 1)
+        assert A.nvals == 0
+
+    def test_blocking_mode_materializes_immediately(self):
+        with blocking():
+            A = Matrix.new("FP64", 2, 2)
+            A.set_element(0, 0, 1.0)
+            assert not A.has_pending
+
+    def test_incremental_equals_build(self):
+        """Section II.A: e setElements produce the same matrix as one build."""
+        rng = np.random.default_rng(0)
+        r = rng.integers(0, 20, 100)
+        c = rng.integers(0, 20, 100)
+        v = rng.random(100)
+        with nonblocking():
+            A = Matrix.new("FP64", 20, 20)
+            for i, j, x in zip(r, c, v):
+                A.set_element(i, j, x)
+        # build semantics with dup=SECOND == last writer wins
+        B = Matrix.new("FP64", 20, 20)
+        B.build(r, c, v, dup="SECOND")
+        assert A.isequal(B)
+
+
+class TestBuild:
+    def test_build_requires_empty(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=2, ncols=2)
+        with pytest.raises(OutputNotEmpty):
+            A.build([1], [1], [2.0])
+
+    def test_build_bounds_check(self):
+        A = Matrix.new("FP64", 2, 2)
+        with pytest.raises(IndexOutOfBounds):
+            A.build([5], [0], [1.0])
+
+    def test_build_no_dup_raises_on_duplicates(self):
+        A = Matrix.new("FP64", 2, 2)
+        with pytest.raises(InvalidValue):
+            A.build([0, 0], [0, 0], [1.0, 2.0], dup=None)
+
+    def test_extract_tuples_roundtrip(self):
+        r = [0, 1, 1]
+        c = [2, 0, 3]
+        v = [1.0, 2.0, 3.0]
+        A = Matrix.from_coo(r, c, v, nrows=2, ncols=4)
+        rr, cc, vv = A.extract_tuples()
+        B = Matrix.new("FP64", 2, 4)
+        B.build(rr, cc, vv)
+        assert A.isequal(B)
+
+    def test_extract_tuples_returns_copies(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=1, ncols=1)
+        r, c, v = A.extract_tuples()
+        v[0] = 99.0
+        assert A[0, 0] == 1.0
+
+
+class TestFormats:
+    @pytest.mark.parametrize("fmt", ["csr", "csc", "hypercsr", "hypercsc"])
+    def test_format_switch_preserves_content(self, fmt):
+        A = Matrix.from_coo([0, 3, 3], [1, 0, 2], [1.0, 2.0, 3.0], nrows=5, ncols=5)
+        dense = A.to_dense()
+        A.set_format(fmt)
+        assert A.format == fmt
+        assert np.array_equal(A.to_dense(), dense)
+
+    def test_unknown_format(self):
+        A = Matrix.new("FP64", 2, 2)
+        with pytest.raises(InvalidValue):
+            A.set_format("coo")
+
+    def test_auto_format_picks_hyper_when_sparse(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=10_000, ncols=10_000)
+        A.auto_format()
+        assert A.format == "hypercsr"
+
+    def test_auto_format_picks_full_when_dense(self):
+        A = Matrix.from_dense(np.ones((8, 8)))
+        A.auto_format()
+        assert A.format == "csr"
+
+    def test_by_row_by_col_agree(self):
+        A = Matrix.from_coo([0, 1, 2], [2, 0, 1], [1.0, 2.0, 3.0], nrows=3, ncols=3)
+        r = A.by_row()
+        c = A.by_col()
+        assert r.orientation.value == "row" and c.orientation.value == "col"
+        assert r.nvals == c.nvals == 3
+
+    def test_keep_both_orientations_caches(self):
+        A = Matrix.from_coo([0, 1], [1, 0], [1.0, 2.0], nrows=2, ncols=2)
+        A.keep_both_orientations(True)
+        c1 = A.by_col()
+        c2 = A.by_col()
+        assert c1 is c2  # cached
+        A.set_element(0, 0, 5.0)
+        c3 = A.by_col()  # invalidated by mutation
+        assert c3.nvals == 3
+
+    def test_huge_dimension_is_born_hypersparse(self):
+        A = Matrix.new("FP64", 1 << 40, 1 << 40)
+        assert A.format == "hypercsr"
+        A.set_element(123456789012, 7, 1.0)
+        assert A.nvals == 1 and A.nbytes < 200
+
+
+class TestWholeObject:
+    def test_dup_is_deep(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=2, ncols=2)
+        B = A.dup()
+        B.set_element(1, 1, 2.0)
+        assert A.nvals == 1 and B.nvals == 2
+
+    def test_clear_keeps_shape(self):
+        A = Matrix.from_coo([0], [0], [1.0], nrows=2, ncols=3)
+        A.clear()
+        assert A.nvals == 0 and A.shape == (2, 3)
+
+    def test_resize_grow_and_shrink(self):
+        A = Matrix.from_coo([0, 2], [0, 2], [1.0, 2.0], nrows=3, ncols=3)
+        A.resize(5, 5)
+        assert A.shape == (5, 5) and A.nvals == 2
+        A.resize(2, 2)
+        assert A.nvals == 1 and A[0, 0] == 1.0
+
+    def test_isequal(self):
+        A = Matrix.from_coo([0], [1], [2.0], nrows=2, ncols=2)
+        B = Matrix.from_coo([0], [1], [2.0], nrows=2, ncols=2)
+        C = Matrix.from_coo([0], [1], [3.0], nrows=2, ncols=2)
+        D = Matrix.from_coo([0], [1], [2], nrows=2, ncols=2, dtype="INT64")
+        assert A.isequal(B)
+        assert not A.isequal(C)  # different value
+        assert not A.isequal(D)  # different type
+        assert not A.isequal("nope")
+
+    def test_pattern(self):
+        A = Matrix.from_coo([0], [1], [0.0], nrows=2, ncols=2)
+        assert A.pattern()[0, 1] and not A.pattern()[0, 0]
+        # explicit zero is a stored entry: pattern yes, value zero
+        assert A.to_dense()[0, 1] == 0.0

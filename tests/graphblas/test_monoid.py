@@ -1,0 +1,141 @@
+"""Monoids: identities, terminals, scalar and segmented reductions."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import BOOL, FP64, INT8, INT32, INT64, monoid
+from repro.graphblas.errors import DomainMismatch, InvalidValue
+from repro.graphblas.monoid import ARITH_MONOIDS, BOOL_MONOIDS, MONOIDS, make_monoid
+
+RNG = np.random.default_rng(11)
+
+
+class TestIdentities:
+    def test_plus_times(self):
+        assert monoid("PLUS").identity(INT64) == 0
+        assert monoid("TIMES").identity(INT64) == 1
+
+    def test_min_max_depend_on_domain(self):
+        assert monoid("MIN").identity(INT8) == 127
+        assert monoid("MAX").identity(INT8) == -128
+        assert monoid("MIN").identity(FP64) == np.inf
+        assert monoid("MAX").identity(FP64) == -np.inf
+
+    def test_bool_monoids(self):
+        assert monoid("LOR").identity(BOOL) == False  # noqa: E712
+        assert monoid("LAND").identity(BOOL) == True  # noqa: E712
+        assert monoid("LXOR").identity(BOOL) == False  # noqa: E712
+        assert monoid("EQ").identity(BOOL) == True  # noqa: E712
+
+    @pytest.mark.parametrize("name", sorted(set(MONOIDS)))
+    def test_identity_is_neutral(self, name):
+        m = monoid(name)
+        dtype = BOOL if name in BOOL_MONOIDS or name == "LXNOR" else INT32
+        ident = m.identity(dtype)
+        for v in ([0, 1, 5] if dtype is INT32 else [False, True]):
+            v = dtype.np_dtype.type(v)
+            if name == "ANY":  # ANY may return either argument
+                continue
+            assert m.op.fn(ident, v) == v, name
+            assert m.op.fn(v, ident) == v, name
+
+
+class TestTerminals:
+    """The early-exit (annihilator) values of paper section II.A."""
+
+    def test_lor_terminal_true(self):
+        assert monoid("LOR").terminal(BOOL) == True  # noqa: E712
+
+    def test_land_terminal_false(self):
+        assert monoid("LAND").terminal(BOOL) == False  # noqa: E712
+
+    def test_min_max_terminals(self):
+        assert monoid("MIN").terminal(INT8) == -128
+        assert monoid("MAX").terminal(INT8) == 127
+
+    def test_times_terminal_zero(self):
+        assert monoid("TIMES").terminal(INT64) == 0
+
+    def test_plus_has_no_terminal(self):
+        assert monoid("PLUS").terminal(INT64) is None
+
+    @pytest.mark.parametrize("name", ["MIN", "MAX", "LOR", "LAND", "TIMES"])
+    def test_terminal_annihilates(self, name):
+        m = monoid(name)
+        dtype = BOOL if name in ("LOR", "LAND") else INT32
+        t = m.terminal(dtype)
+        for v in ([0, 1, 7] if dtype is INT32 else [False, True]):
+            v = dtype.np_dtype.type(v)
+            assert m.op.fn(t, v) == t
+
+
+class TestReduce:
+    def test_empty_reduces_to_identity(self):
+        assert monoid("PLUS").reduce_array(np.empty(0), INT64) == 0
+        assert monoid("MIN").reduce_array(np.empty(0), FP64) == np.inf
+
+    def test_plus(self):
+        assert monoid("PLUS").reduce_array(np.array([1, 2, 3]), INT64) == 6
+
+    def test_min(self):
+        assert monoid("MIN").reduce_array(np.array([5.0, -1.0, 2.0]), FP64) == -1.0
+
+    def test_lxor_parity(self):
+        vals = np.array([True, True, True])
+        assert monoid("LXOR").reduce_array(vals, BOOL) == True  # noqa: E712
+
+    def test_any_picks_a_member(self):
+        vals = np.array([42, 42, 42])
+        assert monoid("ANY").reduce_array(vals, INT64) == 42
+
+    def test_segments_basic(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        starts = np.array([0, 2, 2, 3])  # segment 1 empty
+        out = monoid("PLUS").reduce_segments(vals, starts, FP64)
+        assert out.tolist() == [3.0, 0.0, 3.0, 9.0]
+
+    def test_segments_trailing_empty(self):
+        vals = np.array([1.0, 2.0])
+        starts = np.array([0, 2])
+        out = monoid("MIN").reduce_segments(vals, starts, FP64)
+        assert out[0] == 1.0 and out[1] == np.inf
+
+    def test_segments_any(self):
+        vals = np.array([7, 8, 9], dtype=np.int64)
+        out = monoid("ANY").reduce_segments(vals, np.array([0, 1]), INT64)
+        assert out[0] in (7,) and out[1] in (8, 9)
+
+    @pytest.mark.parametrize("name", sorted(set(MONOIDS) - {"ANY"}))
+    def test_segments_match_scalar_reduce(self, name):
+        m = monoid(name)
+        dtype = BOOL if name in BOOL_MONOIDS or name == "LXNOR" else FP64
+        vals = (
+            RNG.random(30) < 0.5
+            if dtype is BOOL
+            else RNG.uniform(0.5, 2.0, 30)
+        )
+        starts = np.array([0, 7, 7, 20], dtype=np.int64)
+        seg = m.reduce_segments(np.asarray(vals), starts, dtype)
+        ends = [7, 7, 20, 30]
+        for k, (s, e) in enumerate(zip(starts, ends)):
+            expect = m.reduce_array(np.asarray(vals)[s:e], dtype)
+            assert np.isclose(float(seg[k]), float(expect)), (name, k)
+
+
+class TestUserDefined:
+    def test_make_monoid(self):
+        m = make_monoid("MAX", identity=0, name="max0")
+        assert not m.builtin
+        assert m.reduce_array(np.array([3, 9, 1]), INT64) == 9
+
+    def test_positional_rejected(self):
+        with pytest.raises(DomainMismatch):
+            make_monoid("FIRSTI", identity=0)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(InvalidValue):
+            monoid("NOPE")
+
+    def test_census_families(self):
+        assert ARITH_MONOIDS == ("MIN", "MAX", "PLUS", "TIMES")
+        assert BOOL_MONOIDS == ("LOR", "LAND", "LXOR", "EQ")

@@ -1,0 +1,187 @@
+"""Rectangular-shape operations against direct NumPy dense oracles.
+
+Independent of the reference mimic: these tests validate operations on
+non-square shapes by computing the expected dense result directly with
+NumPy, guarding against row/column transposition bugs that square-matrix
+tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import Matrix, Vector
+from repro.graphblas import operations as ops
+from tests.helpers import random_matrix_np, random_vector_np
+
+SHAPES = [(3, 9), (9, 3), (1, 8), (8, 1), (5, 7)]
+
+
+@pytest.mark.parametrize("m,n", SHAPES)
+class TestRectangular:
+    def test_mxm_chain(self, m, n, rng):
+        A, dA, _ = random_matrix_np(rng, m, n, 0.5)
+        B, dB, _ = random_matrix_np(rng, n, m, 0.5)
+        C = Matrix("FP64", m, m)
+        ops.mxm(C, A, B)
+        assert np.allclose(C.to_dense(), dA @ dB)
+
+    def test_mxm_transposes(self, m, n, rng):
+        A, dA, _ = random_matrix_np(rng, m, n, 0.5)
+        B, dB, _ = random_matrix_np(rng, m, n, 0.5)
+        C = Matrix("FP64", n, n)
+        ops.mxm(C, A, B, desc="T0")
+        assert np.allclose(C.to_dense(), dA.T @ dB)
+        C2 = Matrix("FP64", m, m)
+        ops.mxm(C2, A, B, desc="T1")
+        assert np.allclose(C2.to_dense(), dA @ dB.T)
+
+    def test_mxv_and_vxm(self, m, n, rng):
+        A, dA, _ = random_matrix_np(rng, m, n, 0.5)
+        u, du, _ = random_vector_np(rng, n, 0.6)
+        w = Vector("FP64", m)
+        ops.mxv(w, A, u)
+        assert np.allclose(w.to_dense(), dA @ du)
+        v, dv, _ = random_vector_np(rng, m, 0.6)
+        x = Vector("FP64", n)
+        ops.vxm(x, v, A)
+        assert np.allclose(x.to_dense(), dv @ dA)
+
+    def test_mxv_transposed(self, m, n, rng):
+        A, dA, _ = random_matrix_np(rng, m, n, 0.5)
+        u, du, _ = random_vector_np(rng, m, 0.6)
+        w = Vector("FP64", n)
+        ops.mxv(w, A, u, desc="T0")
+        assert np.allclose(w.to_dense(), dA.T @ du)
+
+    def test_transpose(self, m, n, rng):
+        A, dA, mask = random_matrix_np(rng, m, n, 0.5)
+        C = Matrix("FP64", n, m)
+        ops.transpose(C, A)
+        assert np.allclose(C.to_dense(), dA.T)
+        assert np.array_equal(C.pattern(), mask.T)
+
+    def test_reduce_rows_and_cols(self, m, n, rng):
+        A, dA, mask = random_matrix_np(rng, m, n, 0.5)
+        wr = Vector("FP64", m)
+        ops.reduce_rowwise(wr, A)
+        assert np.allclose(wr.to_dense(), dA.sum(axis=1))
+        wc = Vector("FP64", n)
+        ops.reduce_rowwise(wc, A, desc="T0")
+        assert np.allclose(wc.to_dense(), dA.sum(axis=0))
+
+    def test_extract_block(self, m, n, rng):
+        A, dA, _ = random_matrix_np(rng, m, n, 0.6)
+        I = np.arange(0, m, 2)
+        J = np.arange(0, n, 3)
+        C = Matrix("FP64", I.size, J.size)
+        ops.extract(C, A, I, J)
+        assert np.allclose(C.to_dense(), dA[np.ix_(I, J)])
+
+    def test_kron_shape(self, m, n, rng):
+        A, dA, _ = random_matrix_np(rng, m, n, 0.4)
+        B, dB, _ = random_matrix_np(rng, 2, 3, 0.8)
+        C = Matrix("FP64", m * 2, n * 3)
+        ops.kronecker(C, A, B, "TIMES")
+        assert np.allclose(C.to_dense(), np.kron(dA, dB))
+
+
+class TestAccumAgainstNumpy:
+    def test_accum_union_semantics(self, rng):
+        C, dC, mC = random_matrix_np(rng, 6, 6, 0.3)
+        A, dA, mA = random_matrix_np(rng, 6, 6, 0.3)
+        out = C.dup()
+        ops.apply(out, A, "IDENTITY", accum="PLUS")
+        exp_val = np.where(mC & mA, dC + dA, np.where(mC, dC, dA))
+        exp_pat = mC | mA
+        assert np.array_equal(out.pattern(), exp_pat)
+        assert np.allclose(np.where(exp_pat, out.to_dense(), 0),
+                           np.where(exp_pat, exp_val, 0))
+
+    def test_noncommutative_accum_order(self, rng):
+        """accum(C, T): the old value of C is the LEFT operand."""
+        C = Matrix.from_coo([0], [0], [10.0], nrows=1, ncols=1)
+        A = Matrix.from_coo([0], [0], [3.0], nrows=1, ncols=1)
+        ops.apply(C, A, "IDENTITY", accum="MINUS")
+        assert C[0, 0] == 7.0  # 10 - 3, not 3 - 10
+
+    def test_replace_clears_unwritten(self, rng):
+        C, dC, mC = random_matrix_np(rng, 5, 5, 0.8)
+        M, dM, mM = random_matrix_np(rng, 5, 5, 0.3, dtype=np.bool_)
+        A, dA, mA = random_matrix_np(rng, 5, 5, 0.8)
+        out = C.dup()
+        ops.apply(out, A, "IDENTITY", mask=M, desc="RS")
+        assert np.array_equal(out.pattern(), mM & mA)
+
+
+class TestConcatSplit:
+    def test_concat_blocks(self, rng):
+        A, dA, _ = random_matrix_np(rng, 3, 4, 0.6)
+        B, dB, _ = random_matrix_np(rng, 3, 2, 0.6)
+        C, dC, _ = random_matrix_np(rng, 2, 4, 0.6)
+        D, dD, _ = random_matrix_np(rng, 2, 2, 0.6)
+        M = ops.concat([[A, B], [C, D]])
+        assert M.shape == (5, 6)
+        assert np.allclose(M.to_dense(), np.block([[dA, dB], [dC, dD]]))
+
+    def test_split_is_inverse_of_concat(self, rng):
+        A, dA, _ = random_matrix_np(rng, 7, 9, 0.5)
+        tiles = ops.split(A, [3, 4], [4, 5])
+        back = ops.concat(tiles)
+        assert back.isequal(A)
+
+    def test_concat_casts_to_requested_dtype(self, rng):
+        A, _, _ = random_matrix_np(rng, 2, 2, 0.9)
+        M = ops.concat([[A]], dtype="INT64")
+        assert M.dtype.name == "INT64"
+
+    def test_bad_grids(self, rng):
+        from repro.graphblas.errors import DimensionMismatch, InvalidValue
+
+        A, _, _ = random_matrix_np(rng, 2, 2, 0.5)
+        B, _, _ = random_matrix_np(rng, 3, 2, 0.5)
+        with pytest.raises(DimensionMismatch):
+            ops.concat([[A, B]])  # differing heights in a grid row
+        with pytest.raises(InvalidValue):
+            ops.concat([])
+        with pytest.raises(DimensionMismatch):
+            ops.split(A, [1], [2])  # rows do not sum to nrows
+
+
+class TestDiag:
+    def test_diag_build_and_extract_roundtrip(self, rng):
+        from repro.graphblas import Vector, diag, diag_extract
+
+        v = Vector.from_coo([0, 2], [1.5, 2.5], size=4)
+        M = diag(v)
+        assert M.shape == (4, 4) and M[0, 0] == 1.5 and M[2, 2] == 2.5
+        back = diag_extract(M)
+        assert back.isequal(v)
+
+    def test_offdiagonals(self, rng):
+        from repro.graphblas import Vector, diag, diag_extract
+
+        v = Vector.from_coo([1], [7.0], size=3)
+        up = diag(v, k=1)
+        assert up.shape == (4, 4) and up[1, 2] == 7.0
+        assert diag_extract(up, 1).isequal(v.resize(3) or v)
+        down = diag(v, k=-2)
+        assert down[3, 1] == 7.0
+        got = diag_extract(down, -2)
+        assert got[1] == 7.0
+
+    def test_diag_extract_rectangular(self, rng):
+        A, dA, _ = random_matrix_np(rng, 4, 7, 0.7)
+        d0 = diag_np = np.diagonal(dA)
+        from repro.graphblas import diag_extract
+
+        got = diag_extract(A).to_dense()
+        assert np.allclose(got, np.where(np.diagonal(dA) != 0, np.diagonal(dA), got))
+        assert got.size == 4
+
+    def test_out_of_range_diagonal(self, rng):
+        from repro.graphblas import diag_extract
+        from repro.graphblas.errors import InvalidValue
+
+        A = Matrix("FP64", 2, 2)
+        with pytest.raises(InvalidValue):
+            diag_extract(A, 5)

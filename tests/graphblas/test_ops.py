@@ -1,0 +1,190 @@
+"""Operator algebra: every built-in op's scalar fn and ufunc agree."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import BOOL, FP64, INT32, INT64, binary, indexunary, unary
+from repro.graphblas.errors import InvalidValue
+from repro.graphblas.ops import (
+    BINARY_OPS,
+    C_API_BINARY_OPS,
+    COMPARISON_OPS,
+    INDEXUNARY_OPS,
+    SUITESPARSE_BINARY_OPS,
+    UNARY_OPS,
+    bool_equivalent,
+)
+
+RNG = np.random.default_rng(7)
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert binary("plus") is binary("PLUS")
+
+    def test_unknown_raises(self):
+        with pytest.raises(InvalidValue):
+            binary("frobnicate")
+        with pytest.raises(InvalidValue):
+            unary("frobnicate")
+        with pytest.raises(InvalidValue):
+            indexunary("frobnicate")
+
+    def test_pair_aliases_oneb(self):
+        assert binary("PAIR") is binary("ONEB")
+
+
+NONPOSITIONAL = sorted(
+    name for name, op in BINARY_OPS.items() if op.positional is None
+)
+
+
+class TestBinaryFnUfuncAgree:
+    """The scalar fn (reference path) must equal the ufunc (fast path)."""
+
+    @pytest.mark.parametrize("name", NONPOSITIONAL)
+    def test_float_inputs(self, name):
+        op = binary(name)
+        x = RNG.uniform(1, 5, 20)
+        y = RNG.uniform(1, 5, 20)
+        fast = np.asarray(op.ufunc(x, y), dtype=np.float64)
+        slow = np.array([float(op.fn(a, b)) for a, b in zip(x, y)])
+        assert np.allclose(fast.astype(np.float64), slow)
+
+    @pytest.mark.parametrize("name", NONPOSITIONAL)
+    def test_bool_inputs(self, name):
+        op = binary(name)
+        x = RNG.random(16) < 0.5
+        y = RNG.random(16) < 0.5
+        if name == "POW":  # bool**bool is ill-defined in numpy float path
+            pytest.skip("POW not defined on BOOL")
+        fast = np.asarray(op.ufunc(x, y))
+        slow = np.array([op.fn(bool(a), bool(b)) for a, b in zip(x, y)])
+        assert np.array_equal(fast.astype(np.float64), slow.astype(np.float64))
+
+
+class TestBinarySemantics:
+    def test_first_second(self):
+        assert binary("FIRST").fn(3, 9) == 3
+        assert binary("SECOND").fn(3, 9) == 9
+
+    def test_div_by_zero_integer_is_zero(self):
+        out = binary("DIV").ufunc(np.array([6, 7]), np.array([0, 2]))
+        assert out[0] == 0 and out[1] == 3
+
+    def test_div_by_zero_float_is_inf(self):
+        out = binary("DIV").ufunc(np.array([1.0]), np.array([0.0]))
+        assert np.isinf(out[0])
+
+    def test_rminus_rdiv(self):
+        assert binary("RMINUS").ufunc(np.array([2.0]), np.array([7.0]))[0] == 5.0
+        assert binary("RDIV").ufunc(np.array([2.0]), np.array([8.0]))[0] == 4.0
+
+    def test_comparison_output_type_is_bool(self):
+        assert binary("GT").out_type(INT64, INT64) is BOOL
+        assert binary("ISGT").out_type(INT64, INT64) is INT64
+
+    def test_first_preserves_its_side_type(self):
+        assert binary("FIRST").out_type(INT32, FP64) is INT32
+        assert binary("SECOND").out_type(INT32, FP64) is FP64
+
+    def test_positional_out_type_is_int64(self):
+        assert binary("FIRSTI").out_type(FP64, FP64) is INT64
+
+    def test_positional_apply_raises(self):
+        with pytest.raises(InvalidValue):
+            binary("SECONDI").apply(np.ones(3), np.ones(3))
+
+    def test_oneb_is_one(self):
+        out = binary("ONEB").ufunc(np.array([5.0, 6.0]), np.array([7.0, 8.0]))
+        assert out.tolist() == [1.0, 1.0]
+
+    def test_logical_on_nonbool(self):
+        out = binary("LOR").ufunc(np.array([0, 2]), np.array([0, 0]))
+        assert out.tolist() == [False, True]
+
+
+class TestUnary:
+    @pytest.mark.parametrize("name", sorted(UNARY_OPS))
+    def test_fn_ufunc_agree(self, name):
+        op = unary(name)
+        x = RNG.uniform(0.5, 5, 20)
+        fast = np.asarray(op.ufunc(x), dtype=np.float64)
+        slow = np.array([float(op.fn(a)) for a in x])
+        assert np.allclose(fast, slow)
+
+    def test_minv_integer(self):
+        out = unary("MINV").ufunc(np.array([1, 2, 0]))
+        assert out.tolist() == [1, 0, 0]
+
+    def test_lnot(self):
+        assert unary("LNOT").ufunc(np.array([True, False])).tolist() == [False, True]
+
+    def test_sqrt_promotes_int_to_float(self):
+        assert unary("SQRT").out_type(INT64) is FP64
+        out = unary("SQRT").apply(np.array([4]), FP64)
+        assert out[0] == 2.0
+
+
+class TestIndexUnary:
+    def test_tril_triu(self):
+        r = np.array([0, 1, 2])
+        c = np.array([1, 1, 1])
+        v = np.zeros(3)
+        assert indexunary("TRIL").apply(v, r, c, 0).tolist() == [False, True, True]
+        assert indexunary("TRIU").apply(v, r, c, 0).tolist() == [True, True, False]
+
+    def test_diag_offdiag(self):
+        r = np.array([0, 1])
+        c = np.array([0, 2])
+        v = np.zeros(2)
+        assert indexunary("DIAG").apply(v, r, c, 0).tolist() == [True, False]
+        assert indexunary("OFFDIAG").apply(v, r, c, 0).tolist() == [False, True]
+
+    def test_rowindex_thunk(self):
+        r = np.array([3, 5])
+        out = indexunary("ROWINDEX").apply(np.zeros(2), r, r, 1)
+        assert out.tolist() == [4, 6]
+
+    def test_value_predicates(self):
+        v = np.array([1.0, 5.0, 9.0])
+        z = np.zeros(3, dtype=np.int64)
+        assert indexunary("VALUEGT").apply(v, z, z, 4.0).tolist() == [False, True, True]
+        assert indexunary("VALUELE").apply(v, z, z, 5.0).tolist() == [True, True, False]
+        assert indexunary("VALUEEQ").apply(v, z, z, 5.0).tolist() == [False, True, False]
+
+    def test_all_registered_have_both_paths(self):
+        r = np.array([0, 1, 2])
+        c = np.array([2, 1, 0])
+        v = np.array([1.0, 2.0, 3.0])
+        for name in INDEXUNARY_OPS:
+            op = indexunary(name)
+            fast = np.asarray(op.apply(v, r, c, 1))
+            slow = np.array([op.fn(v[k], r[k], c[k], 1) for k in range(3)])
+            assert np.array_equal(
+                fast.astype(np.float64), slow.astype(np.float64)
+            ), name
+
+
+class TestBoolEquivalence:
+    def test_known_collapses(self):
+        assert bool_equivalent("MIN") == "LAND"
+        assert bool_equivalent("MAX") == "LOR"
+        assert bool_equivalent("PLUS") == "LOR"
+        assert bool_equivalent("TIMES") == "LAND"
+        assert bool_equivalent("MINUS") == "LXOR"
+        assert bool_equivalent("DIV") == "FIRST"
+
+    @pytest.mark.parametrize("name", sorted(set(SUITESPARSE_BINARY_OPS + COMPARISON_OPS)))
+    def test_equivalence_is_truthful(self, name):
+        """The claimed boolean-restriction really computes the same function."""
+        op = binary(name)
+        eq = binary(bool_equivalent(name))
+        for x in (False, True):
+            for y in (False, True):
+                assert bool(op.fn(x, y)) == bool(eq.fn(x, y)), (name, x, y)
+
+    def test_op_families(self):
+        assert len(C_API_BINARY_OPS) == 8
+        assert len(SUITESPARSE_BINARY_OPS) == 17
+        assert len(COMPARISON_OPS) == 6

@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) on the core algebra and kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.graphblas import (
+    BOOL,
+    FP64,
+    INT64,
+    Matrix,
+    Vector,
+    monoid,
+    semiring,
+)
+from repro.graphblas import operations as ops
+from repro.graphblas.monoid import ARITH_MONOIDS, BOOL_MONOIDS
+
+# -- strategies -------------------------------------------------------------
+
+coords = st.tuples(st.integers(0, 6), st.integers(0, 6))
+fvalues = st.floats(-8, 8, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def sparse_matrix(draw, n=7, dtype=np.float64):
+    entries = draw(st.dictionaries(coords, fvalues, max_size=25))
+    if entries:
+        r, c = map(np.asarray, zip(*entries))
+        v = np.asarray(list(entries.values()))
+    else:
+        r = c = np.empty(0, dtype=np.int64)
+        v = np.empty(0)
+    return Matrix.from_coo(r, c, v, nrows=n, ncols=n, dtype=dtype)
+
+
+@st.composite
+def sparse_vector(draw, n=7):
+    entries = draw(st.dictionaries(st.integers(0, 6), fvalues, max_size=7))
+    idx = np.asarray(sorted(entries), dtype=np.int64)
+    vals = np.asarray([entries[i] for i in sorted(entries)])
+    return Vector.from_coo(idx, vals, size=n, dtype=np.float64)
+
+
+# -- monoid laws --------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(set(ARITH_MONOIDS)))
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-50, 50), min_size=1, max_size=12))
+def test_monoid_associativity_int(name, xs):
+    """Left fold == right fold for every arithmetic monoid."""
+    m = monoid(name)
+    xs = [np.int64(x) for x in xs]
+    left = xs[0]
+    for x in xs[1:]:
+        left = m.op.fn(left, x)
+    right = xs[-1]
+    for x in reversed(xs[:-1]):
+        right = m.op.fn(x, right)
+    assert INT64.cast_scalar(left) == INT64.cast_scalar(right)
+
+
+@pytest.mark.parametrize("name", sorted(set(BOOL_MONOIDS)))
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=10))
+def test_monoid_associativity_bool(name, xs):
+    m = monoid(name)
+    left = xs[0]
+    for x in xs[1:]:
+        left = bool(m.op.fn(left, x))
+    right = xs[-1]
+    for x in reversed(xs[:-1]):
+        right = bool(m.op.fn(x, right))
+    assert left == right
+
+
+@pytest.mark.parametrize("name", sorted(set(ARITH_MONOIDS + BOOL_MONOIDS)))
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_monoid_commutativity(name, data):
+    m = monoid(name)
+    if name in BOOL_MONOIDS:
+        x = data.draw(st.booleans())
+        y = data.draw(st.booleans())
+        assert bool(m.op.fn(x, y)) == bool(m.op.fn(y, x))
+    else:
+        x = data.draw(st.integers(-100, 100))
+        y = data.draw(st.integers(-100, 100))
+        assert m.op.fn(x, y) == m.op.fn(y, x)
+
+
+# -- semiring / kernel equivalences -------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_matrix(), sparse_matrix())
+def test_mxm_methods_agree(A, B):
+    """Gustavson == dot == heap on arbitrary inputs (PLUS_TIMES)."""
+    outs = []
+    for method in ("gustavson", "dot", "heap"):
+        C = Matrix(FP64, 7, 7)
+        ops.mxm(C, A, B, "PLUS_TIMES", method=method)
+        outs.append(C)
+    assert np.allclose(outs[0].to_dense(), outs[1].to_dense())
+    assert np.allclose(outs[0].to_dense(), outs[2].to_dense())
+    assert outs[0].pattern().tolist() == outs[1].pattern().tolist()
+    assert outs[0].pattern().tolist() == outs[2].pattern().tolist()
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_matrix(), sparse_vector())
+def test_push_pull_agree(A, u):
+    w1 = Vector(FP64, 7)
+    w2 = Vector(FP64, 7)
+    ops.mxv(w1, A, u, "PLUS_TIMES", method="push")
+    ops.mxv(w2, A, u, "PLUS_TIMES", method="pull")
+    assert w1.pattern().tolist() == w2.pattern().tolist()
+    assert np.allclose(w1.to_dense(), w2.to_dense())
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_matrix())
+def test_transpose_is_involution(A):
+    T = Matrix(FP64, 7, 7)
+    ops.transpose(T, A)
+    TT = Matrix(FP64, 7, 7)
+    ops.transpose(TT, T)
+    assert TT.isequal(A)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_matrix(), sparse_matrix())
+def test_ewise_add_commutative_plus(A, B):
+    C1 = Matrix(FP64, 7, 7)
+    C2 = Matrix(FP64, 7, 7)
+    ops.ewise_add(C1, A, B, "PLUS")
+    ops.ewise_add(C2, B, A, "PLUS")
+    assert C1.isequal(C2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_matrix(), sparse_matrix())
+def test_ewise_mult_pattern_is_intersection(A, B):
+    C = Matrix(FP64, 7, 7)
+    ops.ewise_mult(C, A, B, "TIMES")
+    assert np.array_equal(C.pattern(), A.pattern() & B.pattern())
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_matrix(), sparse_matrix())
+def test_ewise_add_pattern_is_union(A, B):
+    C = Matrix(FP64, 7, 7)
+    ops.ewise_add(C, A, B, "PLUS")
+    assert np.array_equal(C.pattern(), A.pattern() | B.pattern())
+
+
+@settings(max_examples=25, deadline=None)
+@given(sparse_matrix(), sparse_matrix(), sparse_matrix())
+def test_mask_and_complement_partition_output(A, B, M):
+    """C<M> union C<!M> (both with replace) == unmasked C."""
+    full = Matrix(FP64, 7, 7)
+    ops.mxm(full, A, B, "PLUS_TIMES")
+    pos = Matrix(FP64, 7, 7)
+    ops.mxm(pos, A, B, "PLUS_TIMES", mask=M, desc="RS")
+    neg = Matrix(FP64, 7, 7)
+    ops.mxm(neg, A, B, "PLUS_TIMES", mask=M, desc="RSC")
+    union = Matrix(FP64, 7, 7)
+    ops.ewise_add(union, pos, neg, "PLUS")  # patterns disjoint: PLUS is safe
+    assert union.isequal(full)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sparse_matrix())
+def test_extract_tuples_build_roundtrip(A):
+    r, c, v = A.extract_tuples()
+    B = Matrix(FP64, 7, 7)
+    B.build(r, c, v)
+    assert B.isequal(A)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sparse_matrix(), st.sampled_from(["csr", "csc", "hypercsr", "hypercsc"]))
+def test_format_changes_never_change_content(A, fmt):
+    before = A.dup()
+    A.set_format(fmt)
+    assert A.format == fmt
+    assert A.isequal(before) or A.dtype != before.dtype  # dtype same: equal
+    assert A.isequal(before)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sparse_matrix())
+def test_export_import_roundtrip_property(A):
+    from repro.graphblas import export_matrix, import_matrix
+
+    expect = A.dup()
+    ex = export_matrix(A)
+    B = import_matrix(ex)
+    assert B.isequal(expect)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sparse_matrix())
+def test_reduce_scalar_equals_sum_of_rowwise(A):
+    w = Vector(FP64, 7)
+    ops.reduce_rowwise(w, A, "PLUS")
+    total = ops.reduce_scalar(A, "PLUS")
+    assert np.isclose(float(ops.reduce_scalar(w, "PLUS")), float(total))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), fvalues, st.booleans()),
+        max_size=30,
+    )
+)
+def test_pending_log_equals_eager_application(updates):
+    """Replaying a set/remove log lazily == applying it eagerly."""
+    from repro.graphblas import blocking, nonblocking
+
+    with nonblocking():
+        lazy = Matrix(FP64, 6, 6)
+        for i, j, v, is_del in updates:
+            if is_del:
+                lazy.remove_element(i, j)
+            else:
+                lazy.set_element(i, j, v)
+        lazy.wait()
+    with blocking():
+        eager = Matrix(FP64, 6, 6)
+        for i, j, v, is_del in updates:
+            if is_del:
+                eager.remove_element(i, j)
+            else:
+                eager.set_element(i, j, v)
+    assert lazy.isequal(eager)
+
+
+@settings(max_examples=20, deadline=None)
+@given(sparse_matrix(), sparse_matrix())
+def test_min_plus_distributes_like_shortest_paths(A, B):
+    """(min,+) product lower-bounds any single term: C[i,j] <= a_ik + b_kj."""
+    C = Matrix(FP64, 7, 7)
+    ops.mxm(C, A, B, "MIN_PLUS")
+    ar, ac, av = A.extract_tuples()
+    bd = B.to_dense(fill=np.inf)
+    bp = B.pattern()
+    cd = C.to_dense(fill=np.inf)
+    cp = C.pattern()
+    for i, k, x in zip(ar, ac, av):
+        for j in range(7):
+            if bp[k, j]:
+                assert cp[i, j]
+                assert cd[i, j] <= x + bd[k, j] + 1e-9

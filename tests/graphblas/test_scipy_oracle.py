@@ -1,0 +1,92 @@
+"""Large-scale kernel checks against scipy.sparse (independent oracle).
+
+The dense reference can only cover small shapes; scipy.sparse validates
+the vectorized kernels at realistic sizes and sparsities.
+"""
+
+import numpy as np
+import pytest
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+
+from repro.generators import random_matrix, random_vector
+from repro.graphblas import Matrix, Vector
+from repro.graphblas import operations as ops
+
+
+def to_scipy(A: Matrix):
+    r, c, v = A.extract_tuples()
+    return scipy_sparse.coo_matrix((v, (r, c)), shape=A.shape).tocsr()
+
+
+SIZES = [(500, 500, 0.01), (1000, 300, 0.02), (200, 1500, 0.015)]
+
+
+@pytest.mark.parametrize("m,n,d", SIZES)
+class TestLargeKernels:
+    def test_mxm(self, m, n, d):
+        A = random_matrix(m, n, d, seed=1)
+        B = random_matrix(n, m, d, seed=2)
+        C = Matrix("FP64", m, m)
+        ops.mxm(C, A, B)
+        expected = (to_scipy(A) @ to_scipy(B)).toarray()
+        got = C.to_dense()
+        assert np.allclose(got, expected)
+        # patterns agree up to numerically-cancelled entries
+        assert np.count_nonzero(C.pattern()) >= np.count_nonzero(expected)
+
+    def test_mxm_transpose(self, m, n, d):
+        A = random_matrix(m, n, d, seed=3)
+        C = Matrix("FP64", n, n)
+        ops.mxm(C, A, A, desc="T0")
+        expected = (to_scipy(A).T @ to_scipy(A)).toarray()
+        assert np.allclose(C.to_dense(), expected)
+
+    def test_mxv_push_pull(self, m, n, d):
+        A = random_matrix(m, n, d, seed=4)
+        u = random_vector(n, 0.05, seed=5)
+        expected = to_scipy(A) @ u.to_dense()
+        for method in ("push", "pull"):
+            w = Vector("FP64", m)
+            ops.mxv(w, A, u, method=method)
+            assert np.allclose(w.to_dense(), expected), method
+
+    def test_ewise(self, m, n, d):
+        A = random_matrix(m, n, d, seed=6)
+        B = random_matrix(m, n, d, seed=7)
+        C = Matrix("FP64", m, n)
+        ops.ewise_add(C, A, B, "PLUS")
+        expected = (to_scipy(A) + to_scipy(B)).toarray()
+        assert np.allclose(C.to_dense(), expected)
+        D = Matrix("FP64", m, n)
+        ops.ewise_mult(D, A, B, "TIMES")
+        expected_m = to_scipy(A).multiply(to_scipy(B)).toarray()
+        assert np.allclose(D.to_dense(), expected_m)
+
+    def test_reduce(self, m, n, d):
+        A = random_matrix(m, n, d, seed=8)
+        w = Vector("FP64", m)
+        ops.reduce_rowwise(w, A)
+        assert np.allclose(w.to_dense(), np.asarray(to_scipy(A).sum(axis=1)).ravel())
+        assert np.isclose(ops.reduce_scalar(A), to_scipy(A).sum())
+
+    def test_transpose(self, m, n, d):
+        A = random_matrix(m, n, d, seed=9)
+        C = Matrix("FP64", n, m)
+        ops.transpose(C, A)
+        assert np.allclose(C.to_dense(), to_scipy(A).T.toarray())
+
+
+def test_min_plus_against_scipy_shortest_path():
+    from scipy.sparse.csgraph import dijkstra
+
+    A = random_matrix(120, 120, 0.04, seed=10, low=1, high=9)
+    S = to_scipy(A)
+    expected = dijkstra(S, indices=0)
+    from repro.lagraph import Graph, bellman_ford_sssp
+
+    g = Graph(A, "directed")
+    d = bellman_ford_sssp(0, g)
+    got = d.to_dense(fill=np.inf)
+    got[0] = 0.0
+    assert np.allclose(got, expected)

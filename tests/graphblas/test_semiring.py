@@ -1,0 +1,138 @@
+"""Semirings and the built-in census (the paper's 960 / 600 counts)."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    BOOL,
+    FP64,
+    INT64,
+    Matrix,
+    enumerate_builtin_semirings,
+    semiring,
+    semiring_census,
+)
+from repro.graphblas import operations as ops
+from repro.graphblas.errors import InvalidValue
+from repro.graphblas.semiring import make_semiring
+
+
+class TestLookup:
+    def test_named(self):
+        s = semiring("PLUS_TIMES")
+        assert s.add.name == "PLUS" and s.mult.name == "TIMES"
+
+    def test_compound_name_parsing(self):
+        s = semiring("max_iseq")
+        assert s.add.name == "MAX" and s.mult.name == "ISEQ"
+
+    def test_logical_alias(self):
+        assert semiring("LOGICAL") is semiring("LOR_LAND")
+
+    def test_unknown(self):
+        with pytest.raises(InvalidValue):
+            semiring("FOO_BAR_BAZ")
+        with pytest.raises(InvalidValue):
+            semiring("JUSTONEWORD")
+
+    def test_make_semiring(self):
+        s = make_semiring("MIN", "PLUS", name="tropical")
+        assert s.name == "tropical" and not s.builtin
+
+    def test_out_type(self):
+        assert semiring("PLUS_TIMES").out_type(INT64, FP64) is FP64
+        # SuiteSparse-style logical ops are TxT -> T (BOOL only with BOOL in)
+        assert semiring("LOR_LAND").out_type(FP64, FP64) is FP64
+        assert semiring("LOR_LAND").out_type(BOOL, BOOL) is BOOL
+
+
+class TestCensus:
+    """Reproduces section II.A: 960 SuiteSparse / 600 pure-C-API semirings."""
+
+    def test_suitesparse_census_is_960(self):
+        c = semiring_census("suitesparse")
+        assert c == {
+            "arithmetic": 680,
+            "comparison": 240,
+            "boolean": 40,
+            "total": 960,
+        }
+
+    def test_c_api_census_is_600(self):
+        c = semiring_census("c-api")
+        assert c == {
+            "arithmetic": 320,
+            "comparison": 240,
+            "boolean": 40,
+            "total": 600,
+        }
+
+    def test_c_api_is_subset_of_suitesparse(self):
+        ss = set(
+            (a, m, t.name) for a, m, t in enumerate_builtin_semirings("suitesparse")
+        )
+        capi = set(
+            (a, m, t.name) for a, m, t in enumerate_builtin_semirings("c-api")
+        )
+        assert capi <= ss
+
+    def test_all_triples_unique(self):
+        triples = enumerate_builtin_semirings("suitesparse")
+        assert len(triples) == len(set((a, m, t.name) for a, m, t in triples))
+
+    def test_unknown_family(self):
+        with pytest.raises(InvalidValue):
+            enumerate_builtin_semirings("fortran")
+
+    def test_every_census_semiring_is_usable(self):
+        """Spot-run an mxv under one semiring from each census class."""
+        picked = {}
+        for a, m, t in enumerate_builtin_semirings("suitesparse"):
+            key = (t.name == "BOOL", m in ("EQ", "NE", "GT", "LT", "GE", "LE"))
+            picked.setdefault(key, (a, m, t))
+        assert len(picked) >= 3
+        for a, m, t in picked.values():
+            A = Matrix.from_coo(
+                [0, 0, 1], [0, 1, 1], np.array([1, 0, 1]), nrows=2, ncols=2, dtype=t
+            )
+            s = semiring(f"{a}_{m}")
+            C = Matrix(s.out_type(t, t), 2, 2)
+            ops.mxm(C, A, A, s)  # must not raise
+            assert C.nvals >= 0
+
+
+class TestSemiringAlgebra:
+    """mxm results match manual fold for exotic semirings."""
+
+    def _check(self, name, a, b, expected):
+        A = Matrix.from_dense(np.asarray(a, dtype=float), missing=None)
+        B = Matrix.from_dense(np.asarray(b, dtype=float), missing=None)
+        C = Matrix(FP64, A.nrows, B.ncols)
+        ops.mxm(C, A, B, name)
+        assert np.allclose(C.to_dense(), expected), name
+
+    def test_min_plus_is_shortest_path_step(self):
+        a = [[0.0, 3.0], [2.0, 0.0]]
+        b = [[0.0, 1.0], [5.0, 0.0]]
+        exp = [[min(0 + 0, 3 + 5), min(0 + 1, 3 + 0)],
+               [min(2 + 0, 0 + 5), min(2 + 1, 0 + 0)]]
+        self._check("MIN_PLUS", a, b, exp)
+
+    def test_max_times(self):
+        a = [[1.0, 2.0]]
+        b = [[3.0], [4.0]]
+        self._check("MAX_TIMES", a, b, [[8.0]])
+
+    def test_plus_min(self):
+        a = [[1.0, 5.0]]
+        b = [[2.0], [3.0]]
+        self._check("PLUS_MIN", a, b, [[1.0 + 3.0]])
+
+    def test_plus_oneb_counts_intersections(self):
+        a = [[7.0, 9.0, 0.0]]
+        b = [[1.0], [1.0], [1.0]]
+        A = Matrix.from_dense(np.asarray(a), missing=0)
+        B = Matrix.from_dense(np.asarray(b), missing=None)
+        C = Matrix(FP64, 1, 1)
+        ops.mxm(C, A, B, "PLUS_ONEB")
+        assert C[0, 0] == 2.0  # two overlapping entries, each counted as 1

@@ -1,0 +1,116 @@
+"""GxB_subassign: region-scoped masks, conformance with the dense mimic."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import Matrix, Vector, subassign
+from repro.graphblas import operations as ops
+from repro.graphblas import reference as ref
+from repro.graphblas.errors import DimensionMismatch, InvalidValue
+from tests.helpers import random_matrix_np, random_vector_np
+
+
+def _mk(rng, m, n, density=0.4):
+    A, _, _ = random_matrix_np(rng, m, n, density)
+    return A, ref.RefMatrix.from_matrix(A)
+
+
+def _mkv(rng, n, density=0.5):
+    v, _, _ = random_vector_np(rng, n, density)
+    return v, ref.RefVector.from_vector(v)
+
+
+class TestSubassignConformance:
+    @pytest.mark.parametrize("accum", [None, "PLUS"])
+    @pytest.mark.parametrize("desc", [None, "R", "C", "S", "RSC"])
+    @pytest.mark.parametrize("what", ["matrix", "scalar"])
+    def test_matrix_region(self, accum, desc, what):
+        rng = np.random.default_rng(7)
+        C0, rC0 = _mk(rng, 8, 8)
+        I = np.array([1, 4, 6])
+        J = np.array([0, 3, 7])
+        M, rM = _mk(rng, 3, 3, density=0.5)  # region-sized mask
+        if what == "matrix":
+            A, rA = _mk(rng, 3, 3, density=0.7)
+        else:
+            A, rA = 9.5, 9.5
+        C = C0.dup()
+        subassign(C, A, I, J, mask=M, accum=accum, desc=desc)
+        expected = ref.ref_subassign(rC0, rA, I, J, mask=rM, accum=accum, desc=desc)
+        assert expected.matches(C), (accum, desc, what)
+
+    @pytest.mark.parametrize("accum", [None, "MAX"])
+    @pytest.mark.parametrize("desc", [None, "R", "SC"])
+    def test_vector_region(self, accum, desc):
+        rng = np.random.default_rng(8)
+        w0, rw0 = _mkv(rng, 10)
+        I = np.array([2, 5, 9])
+        m, rm = _mkv(rng, 3, density=0.6)
+        u, ru = _mkv(rng, 3, density=0.7)
+        w = w0.dup()
+        subassign(w, u, I, mask=m, accum=accum, desc=desc)
+        expected = ref.ref_subassign(rw0, ru, I, mask=rm, accum=accum, desc=desc)
+        assert expected.matches(w), (accum, desc)
+
+    def test_row_and_col_vector_operand(self):
+        rng = np.random.default_rng(9)
+        C0, rC0 = _mk(rng, 6, 6)
+        u, ru = _mkv(rng, 4, density=0.8)
+        C = C0.dup()
+        subassign(C, u, np.array([2]), np.array([0, 1, 3, 5]))
+        expected = ref.ref_subassign(rC0, ru, np.array([2]), np.array([0, 1, 3, 5]))
+        assert expected.matches(C)
+        C2 = C0.dup()
+        subassign(C2, u, np.array([0, 1, 3, 5]), np.array([4]))
+        expected2 = ref.ref_subassign(
+            rC0, ru, np.array([0, 1, 3, 5]), np.array([4])
+        )
+        assert expected2.matches(C2)
+
+
+class TestSubassignVsAssign:
+    def test_replace_is_region_scoped(self):
+        """The defining difference: REPLACE only clears inside the region."""
+        C = Matrix.from_dense(np.ones((4, 4)))
+        A = Matrix("FP64", 2, 2)  # empty operand
+        M = Matrix("BOOL", 2, 2)  # empty mask: nothing admitted
+        sub = C.dup()
+        subassign(sub, A, [0, 1], [0, 1], mask=M, desc="RS")
+        # region cleared, everything outside untouched
+        assert sub.nvals == 12
+        assert sub.get(0, 0) is None and sub.get(3, 3) == 1.0
+
+    def test_mask_dimensions_differ_from_assign(self):
+        C = Matrix.from_dense(np.ones((4, 4)))
+        region_mask = Matrix.from_coo([0], [0], [True], nrows=2, ncols=2)
+        # subassign wants a region-shaped mask; assign wants a C-shaped one
+        subassign(C.dup(), 5.0, [0, 1], [0, 1], mask=region_mask)
+        with pytest.raises(DimensionMismatch):
+            ops.assign(C.dup(), 5.0, [0, 1], [0, 1], mask=region_mask)
+        with pytest.raises(DimensionMismatch):
+            subassign(
+                C.dup(), 5.0, [0, 1], [0, 1],
+                mask=Matrix.from_dense(np.ones((4, 4), dtype=bool)),
+            )
+
+    def test_equivalent_when_unmasked(self):
+        rng = np.random.default_rng(11)
+        C0, _ = _mk(rng, 7, 7)
+        A, _ = _mk(rng, 2, 3, density=0.8)
+        I, J = np.array([1, 5]), np.array([0, 2, 6])
+        via_assign = C0.dup()
+        ops.assign(via_assign, A, I, J)
+        via_sub = C0.dup()
+        subassign(via_sub, A, I, J)
+        assert via_assign.isequal(via_sub)
+
+    def test_duplicate_indices_rejected(self):
+        C = Matrix("FP64", 3, 3)
+        with pytest.raises(InvalidValue):
+            subassign(C, 1.0, [0, 0], [1])
+
+    def test_shape_mismatch(self):
+        C = Matrix("FP64", 4, 4)
+        A = Matrix("FP64", 3, 3)
+        with pytest.raises(DimensionMismatch):
+            subassign(C, A, [0, 1], [0, 1])

@@ -1,0 +1,123 @@
+"""Domain sweep: core operations across all eleven built-in types.
+
+The conformance suite checks deep mask/accum combinations on FP64; this
+sweep checks the *domain* axis — every built-in type through mxm, eWise,
+reduce, apply and a build/extract round trip, against the dense reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import BUILTIN_TYPES, Matrix, Vector
+from repro.graphblas import operations as ops
+from repro.graphblas import reference as ref
+
+TYPES = [t.np_dtype.type for t in BUILTIN_TYPES]
+IDS = [t.name for t in BUILTIN_TYPES]
+
+
+def _mk_typed(rng, m, n, np_type, density=0.5):
+    mask = rng.random((m, n)) < density
+    if np_type == np.bool_:
+        dense = np.ones((m, n), dtype=bool)
+    elif np.issubdtype(np_type, np.integer):
+        lo, hi = (0, 5) if np.issubdtype(np_type, np.unsignedinteger) else (-4, 5)
+        dense = rng.integers(lo, hi, (m, n)).astype(np_type)
+    else:
+        dense = rng.uniform(-4, 4, (m, n)).astype(np_type)
+    r, c = np.nonzero(mask)
+    A = Matrix.from_coo(r, c, dense[mask], nrows=m, ncols=n, dtype=np_type)
+    return A, ref.RefMatrix.from_matrix(A)
+
+
+@pytest.mark.parametrize("np_type", TYPES, ids=IDS)
+class TestTypedSweep:
+    def test_mxm(self, np_type, rng):
+        A, rA = _mk_typed(rng, 5, 5, np_type)
+        sr = "LOR_LAND" if np_type == np.bool_ else "PLUS_TIMES"
+        C = Matrix(np_type, 5, 5)
+        ops.mxm(C, A, A, sr)
+        expected = ref.ref_mxm(ref.RefMatrix.zeros(C.dtype, 5, 5), rA, rA, sr)
+        assert expected.matches(C)
+
+    def test_ewise_add_and_mult(self, np_type, rng):
+        A, rA = _mk_typed(rng, 6, 4, np_type)
+        B, rB = _mk_typed(rng, 6, 4, np_type)
+        for which, fn, rfn in (
+            ("add", ops.ewise_add, ref.ref_ewise_add),
+            ("mult", ops.ewise_mult, ref.ref_ewise_mult),
+        ):
+            op = "LOR" if np_type == np.bool_ else "PLUS"
+            C = Matrix(np_type, 6, 4)
+            fn(C, A, B, op)
+            expected = rfn(ref.RefMatrix.zeros(C.dtype, 6, 4), rA, rB, op)
+            assert expected.matches(C), which
+
+    def test_reduce(self, np_type, rng):
+        A, rA = _mk_typed(rng, 5, 7, np_type)
+        mon = "LOR" if np_type == np.bool_ else "PLUS"
+        got = ops.reduce_scalar(A, mon)
+        exp = ref.ref_reduce_scalar(rA, mon)
+        assert got == exp or np.isclose(float(got), float(exp))
+        mon2 = "LAND" if np_type == np.bool_ else "MAX"
+        w = Vector(np_type, 5)
+        ops.reduce_rowwise(w, A, mon2)
+        expected = ref.ref_reduce_rowwise(ref.RefVector.zeros(w.dtype, 5), rA, mon2)
+        assert expected.matches(w)
+
+    def test_apply_identity_roundtrip(self, np_type, rng):
+        A, rA = _mk_typed(rng, 5, 5, np_type)
+        C = Matrix(np_type, 5, 5)
+        ops.apply(C, A, "IDENTITY")
+        assert C.isequal(A)
+
+    def test_build_extract_roundtrip(self, np_type, rng):
+        A, _ = _mk_typed(rng, 6, 6, np_type)
+        r, c, v = A.extract_tuples()
+        B = Matrix(np_type, 6, 6)
+        B.build(r, c, v)
+        assert B.isequal(A)
+
+    def test_format_conversions(self, np_type, rng):
+        A, _ = _mk_typed(rng, 6, 6, np_type)
+        before = A.dup()
+        for fmt in ("csc", "hypercsr", "hypercsc", "csr"):
+            A.set_format(fmt)
+            assert A.isequal(before)
+
+    def test_select_value_predicate(self, np_type, rng):
+        A, rA = _mk_typed(rng, 6, 6, np_type)
+        thunk = np_type(1) if np_type != np.bool_ else True
+        C = Matrix(np_type, 6, 6)
+        ops.select(C, A, "VALUEGE", thunk)
+        expected = ref.ref_select(ref.RefMatrix.zeros(C.dtype, 6, 6), rA, "VALUEGE", thunk)
+        assert expected.matches(C)
+
+
+class TestCrossDomain:
+    """Mixed-domain operations promote like the C API."""
+
+    def test_int_float_mxm_promotes(self, rng):
+        A, _ = _mk_typed(rng, 4, 4, np.int32)
+        B, _ = _mk_typed(rng, 4, 4, np.float64)
+        C = Matrix("FP64", 4, 4)
+        ops.mxm(C, A, B, "PLUS_TIMES")
+        exp = A.to_dense().astype(np.float64) @ B.to_dense()
+        assert np.allclose(np.where(C.pattern(), C.to_dense(), 0),
+                           np.where(C.pattern(), exp, 0))
+
+    def test_output_cast_on_write(self, rng):
+        A, _ = _mk_typed(rng, 4, 4, np.float64)
+        C = Matrix("INT32", 4, 4)  # float results truncate into int32 C
+        ops.apply(C, A, "IDENTITY")
+        assert np.array_equal(C.to_dense(), A.to_dense().astype(np.int32))
+
+    def test_bool_mask_from_float_values(self, rng):
+        A, _ = _mk_typed(rng, 5, 5, np.float64, density=0.9)
+        M = Matrix.from_coo([0, 1], [0, 1], [0.0, 2.5], nrows=5, ncols=5)
+        C = Matrix("FP64", 5, 5)
+        # value mask: the explicit 0.0 entry must NOT admit
+        ops.apply(C, A, "IDENTITY", mask=M, desc="R")
+        assert C.get(0, 0) is None
+        if A.get(1, 1) is not None:
+            assert C.get(1, 1) == A.get(1, 1)

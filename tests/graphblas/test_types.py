@@ -1,0 +1,110 @@
+"""Domain (GrB_Type) behaviour: lookup, casting, promotion."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    BOOL,
+    BUILTIN_TYPES,
+    FP32,
+    FP64,
+    INT8,
+    INT32,
+    INT64,
+    UINT8,
+    UINT64,
+    lookup_type,
+    unify_types,
+)
+from repro.graphblas.errors import DomainMismatch
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert lookup_type("INT32") is INT32
+        assert lookup_type("fp64") is FP64
+
+    def test_by_python_type(self):
+        assert lookup_type(bool) is BOOL
+        assert lookup_type(int) is INT64
+        assert lookup_type(float) is FP64
+
+    def test_by_dtype(self):
+        assert lookup_type(np.int8) is INT8
+        assert lookup_type(np.dtype(np.float32)) is FP32
+
+    def test_identity(self):
+        assert lookup_type(INT64) is INT64
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DomainMismatch):
+            lookup_type("INT128")
+
+    def test_user_defined_from_structured_dtype(self):
+        dt = np.dtype([("x", np.float64), ("y", np.float64)])
+        t = lookup_type(dt)
+        assert not t.builtin
+        assert t.np_dtype == dt
+
+    def test_eleven_builtin_types(self):
+        assert len(BUILTIN_TYPES) == 11
+        assert len({t.name for t in BUILTIN_TYPES}) == 11
+
+
+class TestPredicates:
+    def test_bool(self):
+        assert BOOL.is_bool and BOOL.is_integral and not BOOL.is_float
+
+    def test_signed(self):
+        assert INT8.is_signed and not INT8.is_unsigned
+
+    def test_unsigned(self):
+        assert UINT8.is_unsigned and not UINT8.is_signed
+
+    def test_float(self):
+        assert FP32.is_float and not FP32.is_integral
+
+
+class TestCasting:
+    def test_float_to_int_truncates(self):
+        out = INT32.cast_array(np.array([1.9, -1.9, 2.5]))
+        assert out.tolist() == [1, -1, 2]
+
+    def test_to_bool_is_nonzero(self):
+        out = BOOL.cast_array(np.array([0.0, 0.5, -3.0]))
+        assert out.tolist() == [False, True, True]
+
+    def test_noop_when_same_dtype(self):
+        arr = np.array([1, 2, 3], dtype=np.int64)
+        assert INT64.cast_array(arr) is arr
+
+    def test_cast_scalar(self):
+        assert INT8.cast_scalar(3.7) == 3
+        assert isinstance(BOOL.cast_scalar(2), (bool, np.bool_))
+
+    def test_zero(self):
+        assert FP64.zero() == 0.0
+        assert BOOL.zero() == False  # noqa: E712
+
+
+class TestUnify:
+    def test_same(self):
+        assert unify_types(INT32, INT32) is INT32
+
+    def test_int_float(self):
+        assert unify_types(INT32, FP64) is FP64
+
+    def test_bool_int(self):
+        assert unify_types(BOOL, INT8) is INT8
+
+    def test_int64_uint64_promotes_to_float(self):
+        assert unify_types(INT64, UINT64) is FP64
+
+    def test_user_defined_mismatch_raises(self):
+        dt = lookup_type(np.dtype([("x", np.float64)]))
+        with pytest.raises(DomainMismatch):
+            unify_types(dt, INT64)
+
+    @pytest.mark.parametrize("t", BUILTIN_TYPES)
+    def test_unify_reflexive_all(self, t):
+        assert unify_types(t, t) is t

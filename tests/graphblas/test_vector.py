@@ -1,0 +1,157 @@
+"""The opaque Vector: construction, pending log, access, whole-object ops."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import FP64, NoValue, Vector, blocking, nonblocking
+from repro.graphblas.errors import (
+    IndexOutOfBounds,
+    InvalidValue,
+    OutputNotEmpty,
+)
+
+
+class TestConstruction:
+    def test_new(self):
+        v = Vector.new("FP64", 5)
+        assert v.size == 5 and v.nvals == 0
+
+    def test_nonpositive_size(self):
+        with pytest.raises(InvalidValue):
+            Vector("FP64", 0)
+
+    def test_from_coo(self):
+        v = Vector.from_coo([3, 1], [1.0, 2.0], size=5)
+        assert v.nvals == 2 and v[1] == 2.0 and v[3] == 1.0
+
+    def test_from_coo_dup(self):
+        v = Vector.from_coo([1, 1], [1.0, 2.0], size=3, dup="PLUS")
+        assert v[1] == 3.0
+
+    def test_from_dense(self):
+        v = Vector.from_dense(np.array([1.0, 0.0, 3.0]), missing=0)
+        assert v.nvals == 2
+
+    def test_full(self):
+        v = Vector.full(7.0, 4)
+        assert v.nvals == 4 and v.to_dense().tolist() == [7.0] * 4
+
+    def test_infer_size(self):
+        v = Vector.from_coo([9], [1.0])
+        assert v.size == 10
+
+
+class TestAccess:
+    def test_set_get(self):
+        v = Vector.new("INT64", 3)
+        v[1] = 5
+        assert v[1] == 5
+
+    def test_missing(self):
+        v = Vector.new("FP64", 3)
+        with pytest.raises(NoValue):
+            v.extract_element(0)
+        assert v.get(0, default=99) == 99
+
+    def test_bounds(self):
+        v = Vector.new("FP64", 3)
+        with pytest.raises(IndexOutOfBounds):
+            v.set_element(3, 1.0)
+        with pytest.raises(IndexOutOfBounds):
+            v.extract_element(-1)
+
+
+class TestPendingLog:
+    def test_set_remove_ordering(self):
+        with nonblocking():
+            v = Vector.new("FP64", 4)
+            v.set_element(0, 1.0)
+            v.remove_element(0)
+            v.set_element(1, 2.0)
+            assert v.nvals == 1 and v[1] == 2.0
+
+    def test_last_writer_wins(self):
+        with nonblocking():
+            v = Vector.new("FP64", 2)
+            v.set_element(0, 1.0)
+            v.set_element(0, 9.0)
+            assert v[0] == 9.0
+
+    def test_blocking(self):
+        with blocking():
+            v = Vector.new("FP64", 2)
+            v.set_element(0, 1.0)
+            assert not v.has_pending
+
+    def test_zombie_on_stored(self):
+        v = Vector.from_coo([0, 1], [1.0, 2.0], size=3)
+        v.remove_element(1)
+        assert v.nvals == 1
+
+
+class TestBuild:
+    def test_requires_empty(self):
+        v = Vector.from_coo([0], [1.0], size=2)
+        with pytest.raises(OutputNotEmpty):
+            v.build([1], [2.0])
+
+    def test_bounds(self):
+        v = Vector.new("FP64", 2)
+        with pytest.raises(IndexOutOfBounds):
+            v.build([5], [1.0])
+
+    def test_dup_min_scatter(self):
+        v = Vector.new("INT64", 4)
+        v.build([2, 2, 0], [5, 3, 1], dup="MIN")
+        assert v[2] == 3 and v[0] == 1
+
+    def test_no_dup_raises(self):
+        v = Vector.new("FP64", 3)
+        with pytest.raises(InvalidValue):
+            v.build([1, 1], [1.0, 2.0], dup=None)
+
+    def test_length_mismatch(self):
+        v = Vector.new("FP64", 3)
+        with pytest.raises(InvalidValue):
+            v.build([1, 2], [1.0])
+
+
+class TestWholeObject:
+    def test_dup_deep(self):
+        v = Vector.from_coo([0], [1.0], size=2)
+        w = v.dup()
+        w.set_element(1, 2.0)
+        assert v.nvals == 1 and w.nvals == 2
+
+    def test_clear(self):
+        v = Vector.from_coo([0], [1.0], size=2)
+        v.clear()
+        assert v.nvals == 0 and v.size == 2
+
+    def test_resize(self):
+        v = Vector.from_coo([0, 4], [1.0, 2.0], size=5)
+        v.resize(3)
+        assert v.size == 3 and v.nvals == 1
+        v.resize(10)
+        assert v.size == 10 and v.nvals == 1
+
+    def test_to_dense_fill(self):
+        v = Vector.from_coo([1], [5.0], size=3)
+        assert v.to_dense(fill=-1).tolist() == [-1.0, 5.0, -1.0]
+
+    def test_pattern_and_density(self):
+        v = Vector.from_coo([0, 2], [1.0, 2.0], size=4)
+        assert v.pattern().tolist() == [True, False, True, False]
+        assert v.density == 0.5
+
+    def test_isequal(self):
+        a = Vector.from_coo([0], [1.0], size=2)
+        b = Vector.from_coo([0], [1.0], size=2)
+        c = Vector.from_coo([1], [1.0], size=2)
+        assert a.isequal(b) and not a.isequal(c) and not a.isequal(42)
+
+    def test_extract_tuples_sorted(self):
+        v = Vector.from_coo([5, 1, 3], [1.0, 2.0, 3.0], size=6)
+        idx, vals = v.extract_tuples()
+        assert idx.tolist() == [1, 3, 5]
+        assert vals.tolist() == [2.0, 3.0, 1.0]

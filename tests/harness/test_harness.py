@@ -1,0 +1,78 @@
+"""LoC counter (Table II methodology) and table rendering."""
+
+import pytest
+
+from repro.harness import Table, count_function_loc, count_loc, format_table
+
+
+class TestLoc:
+    def test_counts_code_lines(self):
+        src = "x = 1\ny = 2\n"
+        assert count_loc(src) == 2
+
+    def test_blank_lines_excluded(self):
+        assert count_loc("x = 1\n\n\ny = 2\n") == 2
+
+    def test_comment_lines_excluded(self):
+        assert count_loc("# comment\nx = 1\n# another\n") == 1
+
+    def test_trailing_comment_line_counts(self):
+        assert count_loc("x = 1  # inline comment\n") == 1
+
+    def test_docstrings_excluded(self):
+        src = 'def f():\n    """Docs.\n\n    More docs.\n    """\n    return 1\n'
+        assert count_loc(src) == 2
+
+    def test_module_docstring_excluded(self):
+        assert count_loc('"""Module docs."""\nx = 1\n') == 1
+
+    def test_dedent_handled(self):
+        src = "    def f():\n        return 1\n"
+        assert count_loc(src) == 2
+
+    def test_function_counter(self):
+        def sample():
+            """Ignored docstring."""
+            a = 1
+            # a comment
+            return a
+
+        assert count_function_loc(sample) == 3  # def, a=1, return
+
+    def test_real_algorithms_have_sane_counts(self):
+        from repro.lagraph.bfs import bfs
+        from repro.lagraph.clustering import local_clustering
+        from repro.lagraph.sssp import delta_stepping_sssp
+
+        assert 10 <= count_function_loc(bfs) <= 60
+        assert 10 <= count_function_loc(delta_stepping_sssp) <= 70
+        assert 15 <= count_function_loc(local_clustering) <= 70
+
+
+class TestTable:
+    def test_render_contains_all_cells(self):
+        t = Table("Title", ["a", "b"])
+        t.add(1, "x")
+        t.add(2.5, "y")
+        out = t.render()
+        assert "Title" in out and "2.5" in out and "x" in out
+
+    def test_row_arity_checked(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_notes_rendered(self):
+        t = Table("T", ["a"])
+        t.add(1)
+        t.note("hello note")
+        assert "hello note" in t.render()
+
+    def test_float_formatting(self):
+        out = format_table("t", ["x"], [[0.000001], [12345678.0], [3.25]])
+        assert "e" in out  # scientific for extremes
+        assert "3.25" in out
+
+    def test_empty_table(self):
+        out = format_table("t", ["col"], [])
+        assert "col" in out

@@ -1,0 +1,179 @@
+"""Matrix Market, edge-list, and binary I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graphblas import Matrix
+from repro.graphblas.errors import InvalidValue
+from repro.io import (
+    load_matrix_npz,
+    mmread,
+    mmwrite,
+    read_edgelist,
+    save_matrix_npz,
+    write_edgelist,
+)
+from repro.lagraph import Graph, GraphKind
+from tests.helpers import random_matrix_np
+
+
+class TestMatrixMarket:
+    def test_coordinate_real_roundtrip(self, rng, tmp_path):
+        A, _, _ = random_matrix_np(rng, 10, 7, 0.3)
+        path = tmp_path / "a.mtx"
+        mmwrite(path, A)
+        B = mmread(path)
+        assert B.isequal(A)
+
+    def test_string_and_fileobj(self, rng):
+        A, _, _ = random_matrix_np(rng, 5, 5, 0.4)
+        buf = io.StringIO()
+        mmwrite(buf, A, comment="hello\nworld")
+        B = mmread(buf.getvalue())
+        assert B.isequal(A)
+
+    def test_pattern_field(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n3 1\n"
+        A = mmread(text)
+        assert A.nvals == 2 and A[0, 1] == 1.0 and A[2, 0] == 1.0
+
+    def test_integer_field(self):
+        text = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 2 7\n"
+        A = mmread(text)
+        assert A.dtype.name == "INT64" and A[1, 1] == 7
+
+    def test_symmetric_mirrored(self):
+        text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n"
+        A = mmread(text)
+        assert A[1, 0] == 5.0 and A[0, 1] == 5.0 and A[2, 2] == 1.0
+        assert A.nvals == 3
+
+    def test_skew_symmetric(self):
+        text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 4.0\n"
+        A = mmread(text)
+        assert A[1, 0] == 4.0 and A[0, 1] == -4.0
+
+    def test_array_format(self):
+        text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n3.0\n4.0\n"
+        A = mmread(text)  # column-major on disk
+        assert A.to_dense().tolist() == [[1.0, 3.0], [2.0, 4.0]]
+
+    def test_array_symmetric(self):
+        text = "%%MatrixMarket matrix array real symmetric\n2 2\n1.0\n2.0\n3.0\n"
+        A = mmread(text)
+        assert A.to_dense().tolist() == [[1.0, 2.0], [2.0, 3.0]]
+
+    def test_comments_and_blanks_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n\n"
+            "2 2 1\n"
+            "% another\n"
+            "1 1 3.5\n"
+        )
+        assert mmread(text)[0, 0] == 3.5
+
+    def test_bad_header(self):
+        with pytest.raises(InvalidValue):
+            mmread("not a matrix market file\n1 1 1\n")
+
+    def test_unsupported_field(self):
+        with pytest.raises(InvalidValue):
+            mmread("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 2\n")
+
+    def test_entry_count_mismatch(self):
+        with pytest.raises(InvalidValue):
+            mmread("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n")
+
+    def test_write_pattern_for_bool(self):
+        A = Matrix.from_coo([0], [1], [True], nrows=2, ncols=2, dtype=bool)
+        buf = io.StringIO()
+        mmwrite(buf, A)
+        assert "pattern" in buf.getvalue().splitlines()[0]
+
+    def test_write_integer_for_ints(self, rng):
+        A, _, _ = random_matrix_np(rng, 4, 4, 0.5, dtype=np.int64)
+        buf = io.StringIO()
+        mmwrite(buf, A)
+        assert "integer" in buf.getvalue().splitlines()[0]
+        assert mmread(buf.getvalue()).isequal(A)
+
+
+class TestEdgeList:
+    def test_roundtrip_directed(self, tmp_path):
+        g = Graph.from_edges([0, 1], [1, 2], [5.0, 6.0], n=3)
+        path = tmp_path / "g.el"
+        write_edgelist(path, g)
+        g2 = read_edgelist(path, n=3)
+        assert g2.A.isequal(g.A)
+
+    def test_roundtrip_undirected(self):
+        g = Graph.from_edges([0], [1], [2.0], n=3, kind="undirected")
+        buf = io.StringIO()
+        write_edgelist(buf, g)
+        g2 = read_edgelist(buf.getvalue(), kind="undirected", n=3)
+        assert g2.A.isequal(g.A)
+        # undirected writer emits each edge once
+        data_lines = [
+            ln for ln in buf.getvalue().splitlines() if not ln.startswith("#")
+        ]
+        assert len(data_lines) == 1
+
+    def test_default_weight_one(self):
+        g = read_edgelist("0 1\n1 2\n", n=3)
+        assert g.A[0, 1] == 1.0
+
+    def test_comments_ignored(self):
+        g = read_edgelist("# c\n% c\n0 1 3.0\n", n=2)
+        assert g.A[0, 1] == 3.0
+
+    def test_unweighted_write(self):
+        g = Graph.from_edges([0], [1], [5.0], n=2)
+        buf = io.StringIO()
+        write_edgelist(buf, g, weights=False)
+        assert "5.0" not in buf.getvalue()
+
+
+class TestBinary:
+    @pytest.mark.parametrize("fmt", ["csr", "csc", "hypercsr"])
+    def test_npz_roundtrip_preserves_format(self, rng, tmp_path, fmt):
+        A, _, _ = random_matrix_np(rng, 9, 9, 0.3)
+        A.set_format(fmt)
+        path = tmp_path / "m.npz"
+        save_matrix_npz(path, A)
+        B = load_matrix_npz(path)
+        assert B.format == fmt
+        assert B.isequal(A)
+
+    def test_save_is_nondestructive(self, rng, tmp_path):
+        A, _, _ = random_matrix_np(rng, 5, 5, 0.4)
+        save_matrix_npz(tmp_path / "m.npz", A)
+        assert A.nvals > 0  # handle still usable
+
+    def test_dtype_preserved(self, rng, tmp_path):
+        A, _, _ = random_matrix_np(rng, 5, 5, 0.4, dtype=np.int32)
+        save_matrix_npz(tmp_path / "m.npz", A)
+        B = load_matrix_npz(tmp_path / "m.npz")
+        assert B.dtype.name == "INT32"
+
+
+class TestGraphSerialization:
+    def test_roundtrip_kind_and_content(self, tmp_path):
+        from repro.io import load_graph_npz, save_graph_npz
+
+        g = Graph.from_edges([0, 1], [1, 2], [5.0, 6.0], n=4, kind="undirected")
+        save_graph_npz(tmp_path / "g.npz", g)
+        g2 = load_graph_npz(tmp_path / "g.npz")
+        assert g2.kind == g.kind
+        assert g2.A.isequal(g.A)
+
+    def test_directed_roundtrip(self, tmp_path):
+        from repro.io import load_graph_npz, save_graph_npz
+
+        g = Graph.from_edges([0, 2], [1, 3], n=5, kind="directed")
+        save_graph_npz(tmp_path / "g.npz", g)
+        g2 = load_graph_npz(tmp_path / "g.npz")
+        assert g2.kind.value == "directed" and g2.n == 5
+        assert g2.A.isequal(g.A)

@@ -1,0 +1,148 @@
+"""BFS: level, parent, batch, and direction variants vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphblas import DirectionOptimizer
+from repro.graphblas.errors import InvalidValue
+from repro.generators import grid_graph, path_graph, star_graph
+from repro.lagraph import (
+    Graph,
+    bfs,
+    bfs_level,
+    bfs_levels_batch,
+    bfs_parent,
+    check_bfs_levels,
+    check_bfs_parents,
+)
+
+
+def nx_to_graph(G_nx, n, kind="directed"):
+    e = list(G_nx.edges)
+    return Graph.from_edges(
+        [u for u, v in e], [v for u, v in e], np.ones(len(e)), n=n, kind=kind
+    )
+
+
+@pytest.fixture(params=[(25, 0.1, 3), (40, 0.07, 4), (60, 0.05, 5)])
+def random_pair(request):
+    n, p, seed = request.param
+    G_nx = nx.gnp_random_graph(n, p, seed=seed, directed=True)
+    return G_nx, nx_to_graph(G_nx, n), n
+
+
+class TestLevelBFS:
+    @pytest.mark.parametrize("method", ["auto", "push", "pull"])
+    def test_matches_networkx(self, random_pair, method):
+        G_nx, g, n = random_pair
+        lv = bfs_level(0, g, method=method)
+        got = dict(zip(*(a.tolist() for a in lv.extract_tuples())))
+        assert got == dict(nx.single_source_shortest_path_length(G_nx, 0))
+
+    def test_source_level_zero_and_unreached_absent(self):
+        g = Graph.from_edges([0], [1], n=4)
+        lv = bfs_level(0, g)
+        assert lv[0] == 0 and lv[1] == 1
+        assert lv.get(2) is None and lv.get(3) is None
+
+    def test_path_graph_levels(self):
+        g = path_graph(6)
+        lv = bfs_level(0, g)
+        assert lv.to_dense().tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_star_graph(self):
+        g = star_graph(10)
+        lv = bfs_level(0, g)
+        assert lv.to_dense(fill=-1).tolist() == [0] + [1] * 9
+
+    def test_grid_graph_levels_are_manhattan(self):
+        g = grid_graph(4, 5)
+        lv = bfs_level(0, g).to_dense()
+        for r in range(4):
+            for c in range(5):
+                assert lv[r * 5 + c] == r + c
+
+    def test_bad_source(self):
+        g = path_graph(3)
+        with pytest.raises(InvalidValue):
+            bfs_level(99, g)
+
+    def test_validator_accepts(self, random_pair):
+        G_nx, g, n = random_pair
+        check_bfs_levels(g, 0, bfs_level(0, g))
+
+    def test_different_source(self, random_pair):
+        G_nx, g, n = random_pair
+        lv = bfs_level(7, g)
+        got = dict(zip(*(a.tolist() for a in lv.extract_tuples())))
+        assert got == dict(nx.single_source_shortest_path_length(G_nx, 7))
+
+
+class TestParentBFS:
+    def test_parents_validate(self, random_pair):
+        _, g, n = random_pair
+        levels, parents = bfs(0, g, level=True, parent=True)
+        check_bfs_parents(g, 0, parents, levels)
+
+    def test_source_is_own_parent(self):
+        g = path_graph(4)
+        p = bfs_parent(0, g)
+        assert p[0] == 0 and p[1] == 0 and p[2] == 1
+
+    def test_parent_pattern_matches_level_pattern(self, random_pair):
+        _, g, n = random_pair
+        levels, parents = bfs(0, g, level=True, parent=True)
+        assert levels.pattern().tolist() == parents.pattern().tolist()
+
+    def test_request_nothing_raises(self):
+        g = path_graph(3)
+        with pytest.raises(InvalidValue):
+            bfs(0, g, level=False, parent=False)
+
+
+class TestBatchBFS:
+    def test_matches_single_source(self, random_pair):
+        G_nx, g, n = random_pair
+        sources = [0, 3, 9]
+        B = bfs_levels_batch(sources, g)
+        for s_i, s in enumerate(sources):
+            single = bfs_level(s, g)
+            r, c, v = B.extract_tuples()
+            got = {int(c[k]): int(v[k]) for k in range(r.size) if r[k] == s_i}
+            exp = dict(zip(*(a.tolist() for a in single.extract_tuples())))
+            assert got == exp
+
+    def test_single_row(self):
+        g = path_graph(5)
+        B = bfs_levels_batch([2], g)
+        r, c, v = B.extract_tuples()
+        assert dict(zip(c.tolist(), v.tolist())) == {2: 0, 1: 1, 3: 1, 0: 2, 4: 2}
+
+
+class TestDirectionOptimized:
+    def test_optimizer_history_populates(self):
+        g = grid_graph(8, 8)
+        opt = DirectionOptimizer(threshold=0.05)
+        lv = bfs_level(0, g, optimizer=opt)
+        assert len(opt.history) > 0
+        assert lv[63] == 14
+
+    @pytest.mark.parametrize("threshold", [0.01, 0.1, 0.5])
+    def test_all_thresholds_give_same_levels(self, threshold):
+        G_nx = nx.gnp_random_graph(50, 0.08, seed=9, directed=True)
+        g = nx_to_graph(G_nx, 50)
+        base = bfs_level(0, g, method="push")
+        opt = DirectionOptimizer(threshold=threshold)
+        lv = bfs_level(0, g, optimizer=opt)
+        assert lv.isequal(base)
+
+    def test_undirected_bfs(self):
+        G_nx = nx.gnp_random_graph(40, 0.08, seed=2)
+        e = list(G_nx.edges)
+        g = Graph.from_edges(
+            [u for u, v in e], [v for u, v in e], n=40, kind="undirected"
+        )
+        lv = bfs_level(0, g)
+        got = dict(zip(*(a.tolist() for a in lv.extract_tuples())))
+        assert got == dict(nx.single_source_shortest_path_length(G_nx, 0))

@@ -1,0 +1,160 @@
+"""PageRank and betweenness centrality vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.generators import path_graph, star_graph
+from repro.lagraph import (
+    Graph,
+    betweenness_centrality,
+    check_pagerank,
+    pagerank,
+)
+
+
+def nx_pair(n=40, p=0.08, seed=3, directed=True):
+    G_nx = nx.gnp_random_graph(n, p, seed=seed, directed=directed)
+    e = list(G_nx.edges)
+    g = Graph.from_edges(
+        [u for u, v in e],
+        [v for u, v in e],
+        np.ones(len(e)),
+        n=n,
+        kind="directed" if directed else "undirected",
+    )
+    return G_nx, g
+
+
+class TestPageRank:
+    @pytest.mark.parametrize("seed,directed", [(3, True), (5, False), (7, True)])
+    def test_matches_networkx(self, seed, directed):
+        G_nx, g = nx_pair(seed=seed, directed=directed)
+        r, iters = pagerank(g, tol=1e-10)
+        exp = nx.pagerank(G_nx, alpha=0.85, tol=1e-12, weight=None)
+        got = r.to_dense()
+        assert max(abs(got[i] - exp[i]) for i in range(40)) < 1e-7
+        assert 0 < iters <= 100
+
+    def test_invariants(self):
+        _, g = nx_pair(seed=9)
+        r, _ = pagerank(g)
+        check_pagerank(r)
+
+    def test_dangling_vertices_handled(self):
+        # vertex 2 has no out-edges: its rank must be redistributed
+        g = Graph.from_edges([0, 1], [2, 2], n=3)
+        r, _ = pagerank(g, tol=1e-12)
+        G_nx = nx.DiGraph([(0, 2), (1, 2)])
+        G_nx.add_nodes_from(range(3))
+        exp = nx.pagerank(G_nx, alpha=0.85, tol=1e-13, weight=None)
+        got = r.to_dense()
+        assert max(abs(got[i] - exp[i]) for i in range(3)) < 1e-8
+
+    def test_star_hub_dominates(self):
+        # spokes point at the hub
+        g = Graph.from_edges(list(range(1, 10)), [0] * 9, n=10)
+        r, _ = pagerank(g)
+        vals = r.to_dense()
+        assert vals[0] > vals[1] * 3
+
+    def test_damping_extremes(self):
+        _, g = nx_pair(seed=4)
+        r_low, _ = pagerank(g, damping=0.05, tol=1e-12)
+        # with damping -> 0 ranks approach uniform
+        assert np.allclose(r_low.to_dense(), 1 / 40, atol=0.01)
+
+    def test_iteration_cap_respected(self):
+        _, g = nx_pair(seed=4)
+        _, iters = pagerank(g, tol=0.0, max_iters=7)
+        assert iters == 7
+
+
+class TestBetweenness:
+    @pytest.mark.parametrize("seed,directed", [(3, True), (5, False), (11, True), (13, False)])
+    def test_matches_networkx_exact(self, seed, directed):
+        G_nx, g = nx_pair(n=35, p=0.1, seed=seed, directed=directed)
+        bc = betweenness_centrality(g).to_dense()
+        exp = nx.betweenness_centrality(G_nx, normalized=False)
+        assert max(abs(bc[i] - exp[i]) for i in range(35)) < 1e-8
+
+    def test_path_graph_middle_is_max(self):
+        g = path_graph(7)
+        bc = betweenness_centrality(g).to_dense()
+        assert np.argmax(bc) == 3
+        # endpoints lie on no shortest path interior
+        assert bc[0] == 0 and bc[6] == 0
+
+    def test_star_center(self):
+        g = star_graph(8)
+        bc = betweenness_centrality(g).to_dense()
+        # center lies between all C(7,2) spoke pairs
+        assert bc[0] == 7 * 6 / 2
+        assert np.allclose(bc[1:], 0)
+
+    def test_batch_sources_subset(self):
+        """Per-source batching sums to the exact result."""
+        G_nx, g = nx_pair(n=20, p=0.15, seed=6)
+        full = betweenness_centrality(g).to_dense()
+        part1 = betweenness_centrality(g, sources=range(10)).to_dense()
+        part2 = betweenness_centrality(g, sources=range(10, 20)).to_dense()
+        assert np.allclose(part1 + part2, full)
+
+    def test_disconnected_graph(self):
+        g = Graph.from_edges([0, 1, 3, 4], [1, 2, 4, 5], n=6)
+        bc = betweenness_centrality(g).to_dense()
+        assert bc[1] == 1 and bc[4] == 1
+
+
+class TestCloseness:
+    @pytest.mark.parametrize("seed,directed", [(4, False), (6, True), (9, False)])
+    def test_matches_networkx(self, seed, directed):
+        G_nx, g = nx_pair(n=35, p=0.08, seed=seed, directed=directed)
+        from repro.lagraph import closeness_centrality
+
+        got = closeness_centrality(g).to_dense()
+        exp = nx.closeness_centrality(G_nx)
+        assert max(abs(got[v] - exp[v]) for v in range(35)) < 1e-10
+
+    def test_path_graph_endpoints_minimal(self):
+        from repro.lagraph import closeness_centrality
+
+        got = closeness_centrality(path_graph(7)).to_dense()
+        assert np.argmax(got) == 3
+        assert got[0] == got[6] and got[0] < got[3]
+
+    def test_star_center_maximal(self):
+        from repro.lagraph import closeness_centrality
+
+        got = closeness_centrality(star_graph(9)).to_dense()
+        assert got[0] == 1.0  # center is at distance 1 from everyone
+
+
+class TestHITS:
+    @pytest.mark.parametrize("seed", [6, 11])
+    def test_matches_networkx(self, seed):
+        G_nx, g = nx_pair(n=30, p=0.1, seed=seed, directed=True)
+        from repro.lagraph import hits
+
+        h, a = hits(g, tol=1e-12)
+        nh, na = nx.hits(G_nx, max_iter=1000, tol=1e-12)
+        assert max(abs(h.to_dense()[v] - nh[v]) for v in range(30)) < 1e-6
+        assert max(abs(a.to_dense()[v] - na[v]) for v in range(30)) < 1e-6
+
+    def test_hub_and_authority_split(self):
+        from repro.lagraph import hits
+
+        # vertices 0,1 point at 2,3: pure hubs and pure authorities
+        g = Graph.from_edges([0, 0, 1, 1], [2, 3, 2, 3], n=4)
+        h, a = hits(g)
+        hd, ad = h.to_dense(), a.to_dense()
+        assert hd[0] > 0.4 and hd[2] < 1e-9
+        assert ad[2] > 0.4 and ad[0] < 1e-9
+
+    def test_normalization(self):
+        from repro.lagraph import hits
+
+        _, g = nx_pair(n=20, p=0.15, seed=3)
+        h, a = hits(g)
+        assert abs(sum(h.to_dense()) - 1) < 1e-9
+        assert abs(sum(a.to_dense()) - 1) < 1e-9

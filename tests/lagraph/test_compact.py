@@ -1,0 +1,54 @@
+"""The Table-II "application-style" variants must match the library ones."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.lagraph import Graph, bellman_ford_sssp, bfs_level, local_clustering
+from repro.lagraph.compact import (
+    bfs_levels_compact,
+    local_clustering_compact,
+    sssp_compact,
+)
+
+
+@pytest.fixture(params=[3, 5, 9])
+def weighted(request):
+    seed = request.param
+    rng = np.random.default_rng(seed)
+    G_nx = nx.gnp_random_graph(40, 0.1, seed=seed, directed=True)
+    e = list(G_nx.edges)
+    w = rng.integers(1, 8, len(e)).astype(float)
+    return Graph.from_edges(
+        [u for u, v in e], [v for u, v in e], w, n=40, dtype=np.float64
+    )
+
+
+def test_bfs_compact_matches_library(weighted):
+    full = bfs_level(0, weighted)
+    compact = bfs_levels_compact(0, weighted)
+    assert compact.isequal(full)
+
+
+def test_sssp_compact_matches_library(weighted):
+    full = bellman_ford_sssp(0, weighted)
+    compact = sssp_compact(0, weighted, delta=3.0)
+    i1, v1 = full.extract_tuples()
+    i2, v2 = compact.extract_tuples()
+    assert i1.tolist() == i2.tolist()
+    assert np.allclose(v1, v2)
+
+
+def test_local_clustering_compact_matches_library():
+    edges = []
+    for base in (0, 5):
+        for i in range(base, base + 5):
+            for j in range(i + 1, base + 5):
+                edges.append((i, j))
+    edges.append((0, 5))
+    g = Graph.from_edges(
+        [u for u, v in edges], [v for u, v in edges], n=10, kind="undirected"
+    )
+    full, _ = local_clustering(1, g)
+    compact = local_clustering_compact(1, g)
+    assert compact.tolist() == full.tolist()

@@ -1,0 +1,184 @@
+"""The paper's "future work" extensions: GNN, branch & bound, graph kernels."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnp,
+    path_graph,
+    star_graph,
+)
+from repro.graphblas import Matrix
+from repro.graphblas.errors import InvalidValue
+from repro.lagraph import (
+    GCN,
+    Graph,
+    max_independent_set_size,
+    maximum_independent_set,
+    is_independent_set,
+    normalized_propagation,
+    shortest_path_kernel,
+    sp_kernel_matrix,
+    wl_kernel_matrix,
+    wl_subtree_kernel,
+)
+
+
+def two_blobs(k=10, p_in=0.8, p_out=0.05, seed=0):
+    """Two dense communities, sparse cross edges, labels 0/1."""
+    rng = np.random.default_rng(seed)
+    edges = []
+    for i in range(2 * k):
+        for j in range(i + 1, 2 * k):
+            same = (i < k) == (j < k)
+            if rng.random() < (p_in if same else p_out):
+                edges.append((i, j))
+    g = Graph.from_edges(
+        [u for u, v in edges], [v for u, v in edges], n=2 * k, kind="undirected"
+    )
+    labels = np.array([0] * k + [1] * k)
+    return g, labels
+
+
+class TestGCN:
+    def test_propagation_operator_rows_behave(self):
+        g = cycle_graph(6)
+        S = normalized_propagation(g)
+        # S is symmetric with positive entries; row sums <= sqrt bound
+        assert np.allclose(S.to_dense(), S.to_dense().T)
+        assert (S.to_dense() >= 0).all()
+        # degree-regular graph: S row sums are exactly 1
+        assert np.allclose(S.to_dense().sum(axis=1), 1.0)
+
+    def test_learns_two_communities(self):
+        g, labels = two_blobs(seed=1)
+        n = g.n
+        X = Matrix.sparse_identity(n, dtype="FP64", value=1.0)  # one-hot feats
+        rng = np.random.default_rng(0)
+        train = rng.random(n) < 0.5
+        model = GCN(g, n_features=n, n_hidden=8, n_classes=2, seed=0)
+        history = model.fit(X, labels, train, epochs=80, lr=0.8)
+        assert history[-1] < history[0] / 3  # loss drops
+        acc = model.accuracy(X, labels, ~train)  # held-out vertices
+        assert acc >= 0.9, acc
+
+    def test_predict_shape(self):
+        g, labels = two_blobs(k=5)
+        X = Matrix.sparse_identity(g.n, dtype="FP64", value=1.0)
+        model = GCN(g, g.n, 4, 2, seed=1)
+        pred = model.predict(X)
+        assert pred.shape == (g.n,)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_bad_sizes(self):
+        g, _ = two_blobs(k=3)
+        with pytest.raises(InvalidValue):
+            GCN(g, 0, 4, 2)
+
+    def test_empty_train_mask(self):
+        g, labels = two_blobs(k=3)
+        X = Matrix.sparse_identity(g.n, dtype="FP64", value=1.0)
+        model = GCN(g, g.n, 4, 2)
+        with pytest.raises(InvalidValue):
+            model.fit(X, labels, np.zeros(g.n, dtype=bool))
+
+
+def brute_force_alpha(G_nx) -> int:
+    n = G_nx.number_of_nodes()
+    best = 0
+    nodes = list(G_nx.nodes)
+    for r in range(n, 0, -1):
+        if r <= best:
+            break
+        for comb in itertools.combinations(nodes, r):
+            if not any(G_nx.has_edge(u, v) for u, v in itertools.combinations(comb, 2)):
+                best = max(best, r)
+                break
+    return best
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5])
+    def test_matches_brute_force(self, seed):
+        G_nx = nx.gnp_random_graph(14, 0.3, seed=seed)
+        e = list(G_nx.edges)
+        g = Graph.from_edges(
+            [u for u, v in e], [v for u, v in e], n=14, kind="undirected"
+        )
+        iset = maximum_independent_set(g)
+        assert is_independent_set(g, iset)
+        assert iset.nvals == brute_force_alpha(G_nx)
+
+    def test_known_closed_forms(self):
+        assert max_independent_set_size(complete_graph(6)) == 1
+        assert max_independent_set_size(star_graph(8)) == 7
+        assert max_independent_set_size(cycle_graph(7)) == 3  # floor(7/2)
+        assert max_independent_set_size(path_graph(7)) == 4  # ceil(7/2)
+
+    def test_empty_graph(self):
+        g = Graph.from_edges([], [], n=5, kind="undirected")
+        assert max_independent_set_size(g) == 5
+
+    def test_at_least_luby(self):
+        g = erdos_renyi_gnp(18, 0.25, kind="undirected", seed=3)
+        from repro.lagraph import maximal_independent_set
+
+        greedy = maximal_independent_set(g, seed=0).nvals
+        assert maximum_independent_set(g).nvals >= greedy
+
+
+class TestGraphKernels:
+    def g(self, edges, n):
+        return Graph.from_edges(
+            [u for u, v in edges], [v for u, v in edges], n=n, kind="undirected"
+        )
+
+    def test_isomorphic_graphs_equal_kernel(self):
+        g1 = self.g([(0, 1), (1, 2), (2, 3)], 4)  # path relabeled
+        g2 = self.g([(3, 2), (2, 0), (0, 1)], 4)
+        k11 = wl_subtree_kernel(g1, g1)
+        k12 = wl_subtree_kernel(g1, g2)
+        assert k11 == k12
+
+    def test_wl_distinguishes_path_from_star(self):
+        p = path_graph(5)
+        s = star_graph(5)
+        K = wl_kernel_matrix([p, s, p])
+        assert np.isclose(K[0, 2], 1.0)  # identical graphs: similarity 1
+        assert K[0, 1] < 0.95  # path vs star are distinguished
+
+    def test_kernel_matrix_is_psd(self):
+        graphs = [path_graph(6), cycle_graph(6), star_graph(6), complete_graph(5)]
+        for K in (wl_kernel_matrix(graphs), sp_kernel_matrix(graphs)):
+            assert np.allclose(K, K.T)
+            eig = np.linalg.eigvalsh(K)
+            assert eig.min() > -1e-9  # PSD
+
+    def test_sp_kernel_isomorphic(self):
+        g1 = self.g([(0, 1), (1, 2)], 3)
+        g2 = self.g([(2, 1), (1, 0)], 3)
+        assert shortest_path_kernel(g1, g1) == shortest_path_kernel(g1, g2)
+
+    def test_sp_kernel_cycle_vs_path(self):
+        K = sp_kernel_matrix([cycle_graph(8), path_graph(8)])
+        assert K[0, 1] < 1.0
+
+    def test_custom_labels_change_wl(self):
+        g = path_graph(4)
+        same = wl_subtree_kernel(
+            g, g, labels1=np.zeros(4, int), labels2=np.zeros(4, int)
+        )
+        diff = wl_subtree_kernel(
+            g, g, labels1=np.zeros(4, int), labels2=np.arange(4)
+        )
+        assert diff < same
+
+    def test_wl_self_similarity_normalized(self):
+        graphs = [path_graph(5), cycle_graph(5)]
+        K = wl_kernel_matrix(graphs)
+        assert np.allclose(np.diag(K), 1.0)

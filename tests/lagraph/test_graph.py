@@ -1,0 +1,87 @@
+"""The Graph object and its cached properties."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas.errors import InvalidValue
+from repro.lagraph import Graph, GraphKind
+
+
+class TestConstruction:
+    def test_from_edges_directed(self):
+        g = Graph.from_edges([0, 1], [1, 2], [5.0, 6.0], n=3)
+        assert g.kind is GraphKind.DIRECTED
+        assert g.n == 3 and g.nvals == 2 and g.nedges == 2
+        assert g.A[0, 1] == 5.0
+
+    def test_from_edges_undirected_mirrors(self):
+        g = Graph.from_edges([0], [1], [3.0], n=2, kind="undirected")
+        assert g.nvals == 2 and g.nedges == 1
+        assert g.A[0, 1] == 3.0 and g.A[1, 0] == 3.0
+
+    def test_undirected_self_loop_not_doubled(self):
+        g = Graph.from_edges([0, 1], [0, 0], n=2, kind="undirected")
+        assert g.A.nvals == 3  # (0,0), (1,0), (0,1)
+        assert g.nself_edges == 1
+        assert g.nedges == 2
+
+    def test_default_weights_are_bool_ones(self):
+        g = Graph.from_edges([0], [1], n=2)
+        assert g.A[0, 1] == True  # noqa: E712
+
+    def test_nonsquare_rejected(self):
+        from repro.graphblas import Matrix
+
+        with pytest.raises(InvalidValue):
+            Graph(Matrix("FP64", 2, 3))
+
+    def test_from_dense(self):
+        g = Graph.from_dense(np.array([[0, 1], [1, 0]]))
+        assert g.nvals == 2
+
+
+class TestCachedProperties:
+    def g(self):
+        return Graph.from_edges([0, 0, 1, 3], [1, 2, 2, 3], n=4)
+
+    def test_at_is_transpose_and_cached(self):
+        g = self.g()
+        AT = g.AT
+        assert AT.get(1, 0) is not None and AT.get(0, 1) is None
+        assert g.AT is AT  # cached object identity
+
+    def test_at_of_undirected_is_a(self):
+        g = Graph.from_edges([0], [1], n=2, kind="undirected")
+        assert g.AT is g.A
+
+    def test_degrees(self):
+        g = self.g()
+        assert g.out_degree.to_dense().tolist() == [2, 1, 0, 1]
+        assert g.in_degree.to_dense(fill=0).tolist() == [0, 1, 2, 1]
+
+    def test_undirected_in_degree_is_out_degree(self):
+        g = Graph.from_edges([0], [1], n=3, kind="undirected")
+        assert g.in_degree is g.out_degree
+
+    def test_symmetry_detection(self):
+        asym = self.g()
+        assert not asym.is_symmetric_structure
+        sym = Graph.from_edges([0, 1], [1, 0], n=2)
+        assert sym.is_symmetric_structure
+
+    def test_nself_edges_and_removal(self):
+        g = Graph.from_edges([0, 1, 1], [0, 1, 0], n=2)
+        assert g.nself_edges == 2
+        clean = g.without_self_edges()
+        assert clean.nself_edges == 0 and clean.nvals == 1
+
+    def test_delete_cached(self):
+        g = self.g()
+        _ = g.AT
+        g.delete_cached()
+        assert "AT" not in g._cache
+
+    def test_structure_is_boolean_ones(self):
+        g = Graph.from_edges([0], [1], [123.0], n=2)
+        S = g.structure()
+        assert S[0, 1] == True  # noqa: E712

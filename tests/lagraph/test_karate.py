@@ -1,0 +1,109 @@
+"""End-to-end sanity on a real classic graph: Zachary's karate club.
+
+The bundled ``data/karate.mtx`` exercises the Matrix Market symmetric
+reader and pins well-known ground-truth values for the whole algorithm
+stack — the repository's "known answers on real data" regression net.
+"""
+
+import os
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import lagraph as lg
+from repro.io import mmread
+
+DATA = os.path.join(os.path.dirname(__file__), "..", "..", "data", "karate.mtx")
+
+
+@pytest.fixture(scope="module")
+def karate():
+    A = mmread(DATA)
+    return lg.Graph(A, "undirected")
+
+
+@pytest.fixture(scope="module")
+def karate_nx():
+    return nx.karate_club_graph()
+
+
+class TestKarateClub:
+    def test_shape(self, karate):
+        assert karate.n == 34
+        assert karate.nedges == 78
+
+    def test_known_triangle_count(self, karate):
+        assert lg.triangle_count(karate) == 45  # classic known value
+
+    def test_degrees_match(self, karate, karate_nx):
+        deg = karate.out_degree.to_dense()
+        assert deg[0] == 16 and deg[33] == 17  # instructor & president
+        for v in range(34):
+            assert deg[v] == karate_nx.degree[v]
+
+    def test_connected_single_component(self, karate):
+        sizes = lg.component_sizes(lg.connected_components(karate))
+        assert sizes == {0: 34}
+
+    def test_pagerank_leaders(self, karate, karate_nx):
+        rank, _ = lg.pagerank(karate, tol=1e-12)
+        exp = nx.pagerank(karate_nx, tol=1e-12, weight=None)
+        got = rank.to_dense()
+        assert all(abs(got[v] - exp[v]) < 1e-8 for v in range(34))
+        # vertices 33 and 0 (president, instructor) rank 1-2
+        assert set(np.argsort(-got)[:2]) == {0, 33}
+
+    def test_betweenness_exact(self, karate, karate_nx):
+        bc = lg.betweenness_centrality(karate).to_dense()
+        exp = nx.betweenness_centrality(karate_nx, normalized=False)
+        assert all(abs(bc[v] - exp[v]) < 1e-8 for v in range(34))
+
+    def test_bfs_eccentricity_from_instructor(self, karate):
+        lv = lg.bfs_level(0, karate)
+        _, vals = lv.extract_tuples()
+        assert vals.max() == 3  # known eccentricity of vertex 0
+
+    def test_diameter(self, karate):
+        assert lg.estimate_diameter(karate, samples=34) == 5
+
+    def test_core_numbers(self, karate, karate_nx):
+        got = lg.kcore_decomposition(karate).to_dense()
+        exp = nx.core_number(karate_nx)
+        assert all(got[v] == exp[v] for v in range(34))
+
+    def test_local_clustering_finds_faction(self, karate):
+        # seeding at the president finds a low-conductance community
+        members, cond = lg.local_clustering(33, karate)
+        assert 33 in members and cond < 0.5
+
+    def test_coloring_and_mis(self, karate):
+        colors = lg.greedy_color(karate, seed=0)
+        assert lg.is_valid_coloring(karate, colors)
+        iset = lg.maximal_independent_set(karate, seed=0)
+        assert lg.is_maximal_independent_set(karate, iset)
+
+    def test_maximum_independent_set(self, karate, karate_nx):
+        # alpha(karate) = 20 (known)
+        assert lg.max_independent_set_size(karate) == 20
+
+    def test_assortativity(self, karate, karate_nx):
+        assert np.isclose(
+            lg.degree_assortativity(karate),
+            nx.degree_assortativity_coefficient(karate_nx),
+            atol=1e-9,
+        )
+
+    def test_transitivity(self, karate, karate_nx):
+        assert np.isclose(lg.global_clustering(karate), nx.transitivity(karate_nx))
+
+    def test_mcl_separates_factions_roughly(self, karate, karate_nx):
+        labels = lg.markov_clustering(karate, inflation=1.8).to_dense()
+        clubs = np.array(
+            [0 if karate_nx.nodes[v]["club"] == "Mr. Hi" else 1 for v in range(34)]
+        )
+        # most pairs in the same club should share a cluster label
+        same_club = clubs[:, None] == clubs[None, :]
+        same_lab = labels[:, None] == labels[None, :]
+        agreement = (same_club == same_lab).mean()
+        assert agreement > 0.6

@@ -1,0 +1,129 @@
+"""Graph measurements (paper section VI's support-library list) vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.generators import complete_graph, cycle_graph, grid_graph, path_graph, star_graph
+from repro.lagraph import (
+    Graph,
+    average_clustering,
+    degree_assortativity,
+    degree_statistics,
+    density,
+    estimate_diameter,
+    global_clustering,
+    graph_summary,
+    kcore_decomposition,
+    reciprocity,
+)
+
+
+def und_pair(n=40, p=0.12, seed=1):
+    G_nx = nx.gnp_random_graph(n, p, seed=seed)
+    e = list(G_nx.edges)
+    g = Graph.from_edges([u for u, v in e], [v for u, v in e], n=n, kind="undirected")
+    return G_nx, g
+
+
+class TestBasicStats:
+    def test_degree_statistics(self):
+        g = star_graph(9)
+        s = degree_statistics(g)
+        assert s["max"] == 8 and s["min"] == 1
+        assert np.isclose(s["mean"], (8 + 8) / 9)
+
+    def test_density_undirected(self):
+        assert density(complete_graph(6)) == 1.0
+        assert np.isclose(density(cycle_graph(10)), 10 / 45)
+
+    def test_density_directed(self):
+        g = Graph.from_edges([0, 1], [1, 2], n=3)
+        assert np.isclose(density(g), 2 / 6)
+
+    def test_reciprocity(self):
+        g = Graph.from_edges([0, 1, 1], [1, 0, 2], n=3)
+        G_nx = nx.DiGraph([(0, 1), (1, 0), (1, 2)])
+        assert np.isclose(reciprocity(g), nx.reciprocity(G_nx))
+
+    def test_reciprocity_undirected_is_one(self):
+        assert reciprocity(cycle_graph(5)) == 1.0
+
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_assortativity_matches_networkx(self, seed):
+        G_nx, g = und_pair(seed=seed)
+        exp = nx.degree_assortativity_coefficient(G_nx)
+        assert np.isclose(degree_assortativity(g), exp, atol=1e-9)
+
+    def test_star_is_disassortative(self):
+        assert degree_assortativity(star_graph(10)) < -0.99
+
+    def test_summary_keys(self):
+        _, g = und_pair()
+        s = graph_summary(g)
+        assert set(s) >= {"vertices", "edges", "density", "max_degree"}
+
+
+class TestClustering:
+    @pytest.mark.parametrize("seed", [1, 3, 7])
+    def test_average_clustering_matches_networkx(self, seed):
+        G_nx, g = und_pair(seed=seed)
+        assert np.isclose(average_clustering(g), nx.average_clustering(G_nx))
+
+    @pytest.mark.parametrize("seed", [1, 3])
+    def test_transitivity_matches_networkx(self, seed):
+        G_nx, g = und_pair(p=0.2, seed=seed)
+        assert np.isclose(global_clustering(g), nx.transitivity(G_nx))
+
+    def test_complete_graph_fully_clustered(self):
+        g = complete_graph(6)
+        assert average_clustering(g) == 1.0
+        assert global_clustering(g) == 1.0
+
+    def test_triangle_free(self):
+        assert global_clustering(cycle_graph(8)) == 0.0
+
+
+class TestDiameter:
+    def test_exact_small_graphs(self):
+        assert estimate_diameter(path_graph(9), samples=9) == 8
+        assert estimate_diameter(cycle_graph(10), samples=10) == 5
+        assert estimate_diameter(grid_graph(4, 6), samples=24) == 3 + 5
+
+    def test_sampled_is_lower_bound(self):
+        G_nx, g = und_pair(n=50, p=0.08, seed=2)
+        comp = max(nx.connected_components(G_nx), key=len)
+        exact = nx.diameter(G_nx.subgraph(comp))
+        est = estimate_diameter(g, samples=12, seed=0)
+        assert est <= exact + 0  # never overestimates
+        assert est >= exact // 2  # the double sweep gets at least half
+
+    def test_star(self):
+        assert estimate_diameter(star_graph(12), samples=2, seed=1) == 2
+
+
+class TestKCore:
+    @pytest.mark.parametrize("seed", [1, 4, 9])
+    def test_matches_networkx_core_numbers(self, seed):
+        G_nx, g = und_pair(p=0.15, seed=seed)
+        exp = nx.core_number(G_nx)
+        got = kcore_decomposition(g).to_dense()
+        assert all(got[v] == exp[v] for v in range(g.n))
+
+    def test_complete_graph_core(self):
+        got = kcore_decomposition(complete_graph(6)).to_dense()
+        assert got.tolist() == [5] * 6
+
+    def test_path_core_is_one(self):
+        got = kcore_decomposition(path_graph(8)).to_dense()
+        assert got.tolist() == [1] * 8
+
+    def test_isolated_vertices_core_zero(self):
+        g = Graph.from_edges([0], [1], n=4, kind="undirected")
+        got = kcore_decomposition(g).to_dense()
+        assert got.tolist() == [1, 1, 0, 0]
+
+    def test_directed_uses_symmetrized_structure(self):
+        g = Graph.from_edges([0, 1, 2], [1, 2, 0], n=3)  # directed triangle
+        got = kcore_decomposition(g).to_dense()
+        assert got.tolist() == [2, 2, 2]

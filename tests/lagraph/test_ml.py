@@ -1,0 +1,186 @@
+"""Clustering (MCL, peer pressure, local), sparse DNN, and CF by SGD."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.generators import complete_graph, random_bipartite, synthetic_dnn
+from repro.graphblas import Matrix, Vector
+from repro.graphblas.errors import InvalidValue
+from repro.lagraph import (
+    CFModel,
+    Graph,
+    cf_rmse,
+    conductance,
+    dnn_categories,
+    dnn_inference,
+    local_clustering,
+    markov_clustering,
+    peer_pressure_clustering,
+    train_cf,
+)
+
+
+def two_cliques(k=5, bridges=1):
+    """Two k-cliques joined by `bridges` edges — the canonical clustering case."""
+    edges = []
+    for base in (0, k):
+        for i in range(base, base + k):
+            for j in range(i + 1, base + k):
+                edges.append((i, j))
+    for b in range(bridges):
+        edges.append((b, k + b))
+    return Graph.from_edges(
+        [u for u, v in edges], [v for u, v in edges], n=2 * k, kind="undirected"
+    )
+
+
+class TestMCL:
+    def test_separates_two_cliques(self):
+        g = two_cliques()
+        labels = markov_clustering(g).to_dense()
+        assert len(set(labels[:5])) == 1
+        assert len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_every_vertex_labelled(self):
+        g = two_cliques(4)
+        labels = markov_clustering(g).to_dense()
+        assert (labels >= 0).all()
+
+    def test_single_clique_single_cluster(self):
+        g = complete_graph(6)
+        labels = markov_clustering(g).to_dense()
+        assert len(set(labels.tolist())) == 1
+
+    def test_inflation_must_exceed_one_cluster_count(self):
+        g = two_cliques()
+        few = markov_clustering(g, inflation=1.5).to_dense()
+        many = markov_clustering(g, inflation=4.0).to_dense()
+        assert len(set(many.tolist())) >= len(set(few.tolist()))
+
+    def test_bad_expansion(self):
+        with pytest.raises(InvalidValue):
+            markov_clustering(two_cliques(), expansion=1)
+
+
+class TestPeerPressure:
+    def test_separates_two_cliques(self):
+        g = two_cliques()
+        labels = peer_pressure_clustering(g).to_dense()
+        assert len(set(labels[:5])) == 1 and len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_labels_are_representative_members(self):
+        g = two_cliques(4)
+        labels = peer_pressure_clustering(g).to_dense()
+        for v, c in enumerate(labels):
+            assert 0 <= c < g.n
+
+
+class TestLocalClustering:
+    def test_finds_seed_community(self):
+        g = two_cliques()
+        members, cond = local_clustering(1, g)
+        assert set(members) == set(range(5))
+        assert cond < 0.3
+
+    def test_other_side(self):
+        g = two_cliques()
+        members, _ = local_clustering(7, g)
+        assert set(members) == set(range(5, 10))
+
+    def test_conductance_definition(self):
+        g = two_cliques(5, bridges=1)
+        # S = one clique: cut=1, vol(S)=2*10+1... degrees: 4 each +1 bridge
+        cond = conductance(g, range(5))
+        cut, vol = 1, 4 * 5 + 1
+        assert np.isclose(cond, cut / vol)
+
+    def test_whole_graph_conductance_is_one(self):
+        g = two_cliques()
+        assert conductance(g, range(10)) == 1.0
+
+
+class TestDNN:
+    def test_shapes_and_relu(self):
+        Y0, Ws, bs = synthetic_dnn(12, 32, 3, seed=0)
+        Y = dnn_inference(Y0, Ws, bs)
+        assert Y.shape == (12, 32)
+        _, _, vals = Y.extract_tuples()
+        assert (vals > 0).all()  # ReLU output strictly positive
+        assert (vals <= 32.0).all()  # clip
+
+    def test_matches_dense_oracle(self):
+        rng = np.random.default_rng(1)
+        Y0, Ws, bs = synthetic_dnn(6, 16, 2, seed=1)
+        Yd = Y0.to_dense()
+        pattern = Yd != 0
+        for W, b in zip(Ws, bs):
+            Z = Yd @ W.to_dense()
+            # bias applies only to stored entries of the product
+            Zp = Z != 0
+            Z = np.where(Zp, Z + b, 0.0)
+            Z = np.where(Z > 0, np.minimum(Z, 32.0), 0.0)
+            Yd = Z
+        got = dnn_inference(Y0, Ws, bs).to_dense()
+        assert np.allclose(got, Yd)
+
+    def test_vector_bias(self):
+        Y0 = Matrix.from_dense(np.array([[1.0, 1.0]]))
+        W = Matrix.from_dense(np.array([[1.0, 0.0], [0.0, 1.0]]), missing=0)
+        bias = Vector.from_dense(np.array([0.5, -2.0]))
+        Y = dnn_inference(Y0, [W], [bias], relu_clip=None)
+        assert Y.get(0, 0) == 1.5 and Y.get(0, 1) is None  # 1-2 < 0: ReLU kills
+
+    def test_layer_shape_mismatch(self):
+        Y0 = Matrix.from_dense(np.ones((2, 3)))
+        W = Matrix.from_dense(np.ones((4, 4)))
+        with pytest.raises(InvalidValue):
+            dnn_inference(Y0, [W], [0.0])
+
+    def test_bias_count_mismatch(self):
+        Y0 = Matrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(InvalidValue):
+            dnn_inference(Y0, [], [0.0])
+
+    def test_categories(self):
+        Y = Matrix.from_coo([0, 2], [1, 3], [1.0, 1.0], nrows=4, ncols=5)
+        assert dnn_categories(Y).tolist() == [0, 2]
+
+
+class TestCF:
+    def test_sgd_reduces_rmse_on_low_rank_data(self):
+        rng = np.random.default_rng(0)
+        U = rng.normal(0, 1, (25, 3))
+        V = rng.normal(0, 1, (18, 3))
+        dense = U @ V.T
+        mask = rng.random((25, 18)) < 0.5
+        r, c = np.nonzero(mask)
+        R = Matrix.from_coo(r, c, dense[mask], nrows=25, ncols=18)
+        model, hist = train_cf(R, rank=3, epochs=80, lr=0.2, reg=0.01, seed=1)
+        assert hist[-1] < 0.3 * hist[0]
+        assert len(hist) == 81
+
+    def test_rmse_zero_for_exact_model(self):
+        U = Matrix.from_dense(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        V = Matrix.from_dense(np.array([[2.0, 0.0], [0.0, 3.0]]), missing=None)
+        R = Matrix.from_coo([0, 1], [0, 1], [2.0, 3.0], nrows=2, ncols=2)
+        assert cf_rmse(R, CFModel(U, V)) < 1e-12
+
+    def test_predictions_masked_to_pattern(self):
+        rng = np.random.default_rng(3)
+        R = Matrix.from_coo([0, 1], [1, 0], [4.0, 2.0], nrows=2, ncols=2)
+        model, _ = train_cf(R, rank=2, epochs=1, seed=0)
+        P = model.predict(R)
+        assert P.pattern().tolist() == R.pattern().tolist()
+
+    def test_bad_rank(self):
+        R = Matrix.from_coo([0], [0], [1.0], nrows=1, ncols=1)
+        with pytest.raises(InvalidValue):
+            train_cf(R, rank=0)
+
+    def test_predict_one(self):
+        U = Matrix.from_dense(np.array([[1.0, 2.0]]))
+        V = Matrix.from_dense(np.array([[3.0, 4.0]]))
+        assert CFModel(U, V).predict_one(0, 0) == 11.0

@@ -1,0 +1,148 @@
+"""Property-based algorithm tests: invariants over hypothesis-random graphs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lagraph import (
+    Graph,
+    bellman_ford_sssp,
+    bfs,
+    bfs_level,
+    check_bfs_levels,
+    check_bfs_parents,
+    check_component_labels,
+    connected_components,
+    cc_label_propagation,
+    delta_stepping_sssp,
+    greedy_color,
+    is_maximal_independent_set,
+    is_valid_coloring,
+    kcore_decomposition,
+    maximal_independent_set,
+    triangle_count,
+)
+
+N = 12
+
+
+@st.composite
+def undirected_graph(draw):
+    pairs = draw(
+        st.sets(
+            st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)).map(
+                lambda t: (min(t), max(t))
+            ),
+            max_size=40,
+        )
+    )
+    edges = [(u, v) for u, v in pairs if u != v]
+    src = [u for u, v in edges]
+    dst = [v for u, v in edges]
+    return Graph.from_edges(src, dst, n=N, kind="undirected")
+
+
+@st.composite
+def weighted_digraph(draw):
+    entries = draw(
+        st.dictionaries(
+            st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)),
+            st.integers(1, 9),
+            max_size=40,
+        )
+    )
+    edges = {(u, v): w for (u, v), w in entries.items() if u != v}
+    if not edges:
+        return Graph.from_edges([], [], n=N, dtype=np.float64)
+    src, dst = zip(*edges)
+    return Graph.from_edges(
+        src, dst, [float(edges[k]) for k in edges], n=N, dtype=np.float64
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_digraph())
+def test_bfs_levels_and_parents_invariants(g):
+    levels, parents = bfs(0, g, level=True, parent=True)
+    check_bfs_levels(g, 0, levels)
+    check_bfs_parents(g, 0, parents, levels)
+
+
+@settings(max_examples=30, deadline=None)
+@given(weighted_digraph())
+def test_sssp_methods_agree(g):
+    bf = bellman_ford_sssp(0, g)
+    ds = delta_stepping_sssp(0, g, delta=3.0)
+    i1, v1 = bf.extract_tuples()
+    i2, v2 = ds.extract_tuples()
+    assert i1.tolist() == i2.tolist()
+    assert np.allclose(v1, v2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(weighted_digraph())
+def test_sssp_lower_bounded_by_hops(g):
+    """Weighted distance >= (unweighted hops) * (minimum edge weight >= 1)."""
+    d = bellman_ford_sssp(0, g)
+    lv = bfs_level(0, g)
+    di, dv = d.extract_tuples()
+    li, lvv = lv.extract_tuples()
+    assert di.tolist() == li.tolist()  # same reachable set
+    hops = dict(zip(li.tolist(), lvv.tolist()))
+    for i, dist in zip(di.tolist(), dv.tolist()):
+        assert dist >= hops[i] - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(undirected_graph())
+def test_components_invariants_and_methods_agree(g):
+    cc = connected_components(g)
+    check_component_labels(g, cc)
+    assert cc.isequal(cc_label_propagation(g))
+
+
+@settings(max_examples=40, deadline=None)
+@given(undirected_graph())
+def test_triangle_methods_agree(g):
+    counts = {m: triangle_count(g, m) for m in ("burkhardt", "cohen", "sandia_ll")}
+    assert len(set(counts.values())) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(undirected_graph(), st.integers(0, 2**31 - 1))
+def test_mis_always_maximal(g, seed):
+    iset = maximal_independent_set(g, seed=seed)
+    assert is_maximal_independent_set(g, iset)
+
+
+@settings(max_examples=30, deadline=None)
+@given(undirected_graph(), st.integers(0, 2**31 - 1))
+def test_coloring_always_valid(g, seed):
+    colors = greedy_color(g, seed=seed)
+    assert is_valid_coloring(g, colors)
+
+
+@settings(max_examples=25, deadline=None)
+@given(undirected_graph())
+def test_kcore_matches_networkx(g):
+    r, c, _ = g.A.extract_tuples()
+    G_nx = nx.Graph()
+    G_nx.add_nodes_from(range(N))
+    G_nx.add_edges_from((int(u), int(v)) for u, v in zip(r, c) if u < c.max() + 1)
+    G_nx.add_edges_from((int(u), int(v)) for u, v in zip(r, c))
+    got = kcore_decomposition(g).to_dense()
+    exp = nx.core_number(G_nx)
+    assert all(got[v] == exp[v] for v in range(N))
+
+
+@settings(max_examples=25, deadline=None)
+@given(undirected_graph())
+def test_bfs_levels_match_networkx(g):
+    r, c, _ = g.A.extract_tuples()
+    G_nx = nx.Graph()
+    G_nx.add_nodes_from(range(N))
+    G_nx.add_edges_from((int(u), int(v)) for u, v in zip(r, c))
+    lv = bfs_level(0, g)
+    got = dict(zip(*(a.tolist() for a in lv.extract_tuples())))
+    assert got == dict(nx.single_source_shortest_path_length(G_nx, 0))

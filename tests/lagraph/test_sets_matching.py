@@ -1,0 +1,161 @@
+"""MIS, coloring, and bipartite matching."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.generators import complete_graph, cycle_graph, random_bipartite, star_graph
+from repro.graphblas import Matrix, Vector
+from repro.lagraph import (
+    Graph,
+    color_count,
+    greedy_color,
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_valid_coloring,
+    maximal_independent_set,
+    maximal_matching,
+    maximum_matching,
+)
+from repro.lagraph.matching import maximum_matching as _mm
+
+
+def und_pair(n=50, p=0.1, seed=2):
+    G_nx = nx.gnp_random_graph(n, p, seed=seed)
+    e = list(G_nx.edges)
+    g = Graph.from_edges([u for u, v in e], [v for u, v in e], n=n, kind="undirected")
+    return G_nx, g
+
+
+class TestMIS:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_luby_produces_maximal_independent_set(self, seed):
+        _, g = und_pair(seed=seed)
+        iset = maximal_independent_set(g, seed=seed)
+        assert is_maximal_independent_set(g, iset)
+
+    def test_empty_graph_mis_is_everything(self):
+        g = Graph.from_edges([], [], n=5, kind="undirected")
+        iset = maximal_independent_set(g, seed=0)
+        assert iset.nvals == 5
+
+    def test_complete_graph_mis_is_one_vertex(self):
+        g = complete_graph(6)
+        iset = maximal_independent_set(g, seed=0)
+        assert iset.nvals == 1
+
+    def test_star_graph_spokes_or_hub(self):
+        g = star_graph(10)
+        iset = maximal_independent_set(g, seed=3)
+        assert iset.nvals in (1, 9)
+        assert is_maximal_independent_set(g, iset)
+
+    def test_validators_reject_bad_sets(self):
+        g = cycle_graph(4)
+        adjacent = Vector.from_coo([0, 1], [True, True], size=4)
+        assert not is_independent_set(g, adjacent)
+        not_maximal = Vector.from_coo([0], [True], size=4)
+        assert is_independent_set(g, not_maximal)
+        assert not is_maximal_independent_set(g, not_maximal)
+
+    def test_self_loops_ignored(self):
+        g = Graph.from_edges([0, 0], [0, 1], n=2, kind="undirected")
+        iset = maximal_independent_set(g, seed=0)
+        assert iset.nvals == 1
+
+
+class TestColoring:
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    def test_valid_coloring(self, seed):
+        _, g = und_pair(seed=seed)
+        colors = greedy_color(g, seed=seed)
+        assert is_valid_coloring(g, colors)
+
+    def test_bipartite_uses_two_colors(self):
+        g = cycle_graph(8)  # even cycle: chromatic number 2
+        colors = greedy_color(g, seed=0)
+        assert is_valid_coloring(g, colors)
+        assert color_count(colors) <= 3  # Luby greedy may use one extra
+
+    def test_complete_graph_needs_n_colors(self):
+        g = complete_graph(5)
+        colors = greedy_color(g, seed=0)
+        assert is_valid_coloring(g, colors)
+        assert color_count(colors) == 5
+
+    def test_at_most_max_degree_plus_one(self):
+        G_nx, g = und_pair(seed=7, p=0.15)
+        colors = greedy_color(g, seed=7)
+        assert is_valid_coloring(g, colors)
+        dmax = max(d for _, d in G_nx.degree)
+        assert color_count(colors) <= dmax + 1
+
+    def test_validator_rejects_monochromatic_edge(self):
+        g = cycle_graph(4)
+        bad = Vector.from_dense(np.array([1, 1, 2, 2], dtype=np.int64))
+        assert not is_valid_coloring(g, bad)
+
+    def test_validator_requires_total_coloring(self):
+        g = cycle_graph(4)
+        partial = Vector.from_coo([0, 1], [1, 2], size=4)
+        assert not is_valid_coloring(g, partial)
+
+    def test_empty_color_count(self):
+        assert color_count(Vector("INT64", 3)) == 0
+
+
+class TestMatching:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 4])
+    def test_maximal_matching_valid_and_maximal(self, seed):
+        B = random_bipartite(20, 25, 0.15, seed=seed)
+        m = maximal_matching(B, seed=seed)
+        assert is_maximal_matching(B, m)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 4])
+    def test_maximum_matching_size_matches_networkx(self, seed):
+        B = random_bipartite(18, 22, 0.15, seed=seed)
+        r, c, _ = B.extract_tuples()
+        G_nx = nx.Graph((int(i), int(j) + 18) for i, j in zip(r, c))
+        G_nx.add_nodes_from(range(18 + 22))
+        exp = len(nx.bipartite.maximum_matching(G_nx, top_nodes=set(range(18)))) // 2
+        mm = maximum_matching(B)
+        assert is_matching(B, mm)
+        assert mm.nvals == exp
+
+    def test_maximum_at_least_maximal(self):
+        B = random_bipartite(15, 15, 0.2, seed=9)
+        ml = maximal_matching(B, seed=9)
+        mm = maximum_matching(B, init=ml)
+        assert mm.nvals >= ml.nvals
+
+    def test_perfect_matching_on_identity(self):
+        B = Matrix.sparse_identity(6, dtype=bool)
+        mm = maximum_matching(B)
+        assert mm.nvals == 6
+        li, lv = mm.extract_tuples()
+        assert np.array_equal(li, lv)
+
+    def test_augmenting_path_found(self):
+        # maximal greedy can pick (0,0); maximum must augment to size 2:
+        # edges: 0-0, 0-1, 1-0
+        B = Matrix.from_coo([0, 0, 1], [0, 1, 0], [True] * 3, nrows=2, ncols=2)
+        start = Vector("INT64", 2)
+        start.set_element(0, 0)  # deliberately bad: left 0 -> right 0
+        mm = maximum_matching(B, init=start)
+        assert mm.nvals == 2
+
+    def test_empty_biadjacency(self):
+        B = Matrix("BOOL", 4, 4)
+        assert maximal_matching(B).nvals == 0
+        assert maximum_matching(B).nvals == 0
+
+    def test_validators_reject_bad_matchings(self):
+        B = Matrix.from_coo([0, 1], [0, 0], [True, True], nrows=2, ncols=2)
+        conflict = Vector.from_coo([0, 1], [0, 0], size=2)  # both take right 0
+        assert not is_matching(B, conflict)
+        phantom = Vector.from_coo([0], [1], size=2)  # edge (0,1) absent
+        assert not is_matching(B, phantom)
+        empty = Vector("INT64", 2)
+        assert is_matching(B, empty) and not is_maximal_matching(B, empty)

@@ -1,0 +1,218 @@
+"""The PyGB DSL (Figure 2b) — BFS verbatim, contexts, operator sugar."""
+
+import numpy as np
+import pytest
+
+from repro import pygb as gb
+from repro.graphblas.errors import InvalidValue
+
+
+def bfs_fig2b(graph, frontier, levels):
+    """Figure 2(b), verbatim modulo the import line."""
+    depth = 0
+    while frontier.nvals > 0:
+        depth += 1
+        levels[frontier][:] = depth
+        with gb.LogicalSemiring, gb.Replace:
+            frontier[~levels] = graph.T @ frontier
+
+
+@pytest.fixture
+def diamond():
+    # 0 -> {1, 2} -> 3
+    return gb.Matrix.from_coo(
+        [0, 0, 1, 2], [1, 2, 3, 3], [True] * 4, nrows=4, ncols=4, dtype=bool
+    )
+
+
+class TestFigure2b:
+    def test_bfs_levels(self, diamond):
+        frontier = gb.Vector.from_coo([0], [True], size=4, dtype=bool)
+        levels = gb.Vector.new("INT64", 4)
+        bfs_fig2b(diamond, frontier, levels)
+        assert levels.to_dense(fill=-1).tolist() == [1, 2, 2, 3]
+
+    def test_bfs_unreachable_stays_absent(self):
+        graph = gb.Matrix.from_coo([0], [1], [True], nrows=3, ncols=3, dtype=bool)
+        frontier = gb.Vector.from_coo([0], [True], size=3, dtype=bool)
+        levels = gb.Vector.new("INT64", 3)
+        bfs_fig2b(graph, frontier, levels)
+        assert levels.nvals == 2
+
+    def test_matches_lagraph_bfs(self):
+        from repro.generators import rmat_graph
+        from repro.lagraph import bfs_level
+
+        g = rmat_graph(7, 8, seed=3)
+        levels_core = bfs_level(0, g)
+        graph = gb.Matrix(g.A)
+        frontier = gb.Vector.from_coo([0], [True], size=g.n, dtype=bool)
+        levels = gb.Vector.new("INT64", g.n)
+        bfs_fig2b(graph, frontier, levels)
+        # Figure 2 counts the source as depth 1; LAGraph as 0
+        got = {
+            i: v - 1
+            for i, v in zip(*(a.tolist() for a in levels._obj.extract_tuples()))
+        }
+        exp = dict(zip(*(a.tolist() for a in levels_core.extract_tuples())))
+        assert got == exp
+
+
+class TestContexts:
+    def test_ambient_default(self):
+        assert gb.ambient_semiring().name == "PLUS_TIMES"
+
+    def test_context_sets_and_restores(self):
+        with gb.MinPlusSemiring:
+            assert gb.ambient_semiring().name == "MIN_PLUS"
+        assert gb.ambient_semiring().name == "PLUS_TIMES"
+
+    def test_contexts_nest(self):
+        with gb.MinPlusSemiring:
+            with gb.LogicalSemiring:
+                assert gb.ambient_semiring().name == "LOR_LAND"
+            assert gb.ambient_semiring().name == "MIN_PLUS"
+
+    def test_named_context_factory(self):
+        with gb.semiring_context("MAX_PLUS"):
+            assert gb.ambient_semiring().name == "MAX_PLUS"
+
+
+class TestOperatorSugar:
+    def test_matvec(self):
+        A = gb.Matrix.from_coo([0, 1], [1, 0], [2.0, 3.0], nrows=2, ncols=2)
+        u = gb.Vector.from_coo([0], [5.0], size=2)
+        w = (A @ u).new()
+        assert w.to_dense().tolist() == [0.0, 15.0]
+
+    def test_transposed_matvec(self):
+        A = gb.Matrix.from_coo([0], [1], [2.0], nrows=2, ncols=2)
+        u = gb.Vector.from_coo([0], [3.0], size=2)
+        w = (A.T @ u).new()
+        assert w.to_dense().tolist() == [0.0, 6.0]
+
+    def test_matmat(self):
+        A = gb.Matrix.from_coo([0, 1], [1, 0], [2.0, 3.0], nrows=2, ncols=2)
+        C = (A @ A).new()
+        assert C.to_dense().tolist() == [[6.0, 0.0], [0.0, 6.0]]
+
+    def test_matmat_with_transpose(self):
+        A = gb.Matrix.from_coo([0], [1], [2.0], nrows=2, ncols=2)
+        C = (A @ A.T).new()
+        assert C.to_dense()[0][0] == 4.0
+
+    def test_semiring_context_changes_product(self):
+        A = gb.Matrix.from_coo([0, 0], [0, 1], [2.0, 3.0], nrows=2, ncols=2)
+        B = gb.Matrix.from_coo([0, 1], [0, 0], [4.0, 5.0], nrows=2, ncols=2)
+        plus_times = (A @ B).new().to_dense()[0][0]
+        with gb.MinPlusSemiring:
+            min_plus = (A @ B).new().to_dense()[0][0]
+        assert plus_times == 2 * 4 + 3 * 5
+        assert min_plus == min(2 + 4, 3 + 5)
+
+    def test_ewise_add_and_mult(self):
+        a = gb.Vector.from_coo([0, 1], [1.0, 2.0], size=3)
+        b = gb.Vector.from_coo([1, 2], [10.0, 20.0], size=3)
+        assert (a + b).to_dense().tolist() == [1.0, 12.0, 20.0]
+        assert (a * b).to_dense().tolist() == [0.0, 20.0, 0.0]
+
+    def test_reduce_and_apply(self):
+        v = gb.Vector.from_coo([0, 1], [3.0, 4.0], size=2)
+        assert v.reduce("PLUS") == 7.0
+        assert v.apply("AINV").to_dense().tolist() == [-3.0, -4.0]
+
+    def test_matrix_reduce(self):
+        A = gb.Matrix.from_coo([0, 1], [0, 1], [1.0, 2.0], nrows=2, ncols=2)
+        assert A.reduce("PLUS") == 3.0
+
+    def test_element_access(self):
+        A = gb.Matrix.new("FP64", 2, 2)
+        A[0, 1] = 5.0
+        assert A[0, 1] == 5.0
+        v = gb.Vector.new("FP64", 2)
+        v[1] = 3.0
+        assert v[1] == 3.0
+
+
+class TestMaskedAssignment:
+    def test_masked_constant_assign(self):
+        v = gb.Vector.from_coo([0, 1, 2], [1.0, 2.0, 3.0], size=3)
+        m = gb.Vector.from_coo([0, 2], [True, True], size=3, dtype=bool)
+        v[m][:] = 9.0
+        assert v.to_dense().tolist() == [9.0, 2.0, 9.0]
+
+    def test_complemented_mask_assign(self):
+        v = gb.Vector.from_coo([0, 1, 2], [1.0, 2.0, 3.0], size=3)
+        m = gb.Vector.from_coo([1], [True], size=3, dtype=bool)
+        v[~m][:] = 0.0
+        assert v.to_dense().tolist() == [0.0, 2.0, 0.0]
+
+    def test_masked_expression_assign_with_replace(self):
+        A = gb.Matrix.from_coo([0, 1], [1, 0], [True, True], nrows=2, ncols=2, dtype=bool)
+        u = gb.Vector.from_coo([0], [True], size=2, dtype=bool)
+        m = gb.Vector.from_coo([0], [1], size=2)
+        with gb.LogicalSemiring, gb.Replace:
+            u[~m] = A.T @ u
+        assert u.to_dense().tolist() == [False, True]
+
+    def test_bad_masked_constant_key(self):
+        v = gb.Vector.new("FP64", 3)
+        m = gb.Vector.from_coo([0], [True], size=3, dtype=bool)
+        with pytest.raises(InvalidValue):
+            v[m][0] = 1.0
+
+    def test_full_assign(self):
+        v = gb.Vector.new("FP64", 3)
+        v[:] = 4.0
+        assert v.to_dense().tolist() == [4.0, 4.0, 4.0]
+
+    def test_vector_to_vector_masked_copy(self):
+        v = gb.Vector.from_coo([0, 1], [1.0, 2.0], size=3)
+        src = gb.Vector.from_coo([0, 2], [8.0, 9.0], size=3)
+        m = gb.Vector.from_coo([0], [True], size=3, dtype=bool)
+        v[m] = src
+        assert v.to_dense().tolist() == [8.0, 2.0, 0.0]
+
+    def test_dup_and_clear(self):
+        v = gb.Vector.from_coo([0], [1.0], size=2)
+        w = v.dup()
+        w.clear()
+        assert v.nvals == 1 and w.nvals == 0
+
+
+class TestMatrixMaskedExpressions:
+    def test_masked_matmul_assign(self):
+        A = gb.Matrix.from_coo([0, 1], [1, 0], [2.0, 3.0], nrows=2, ncols=2)
+        mask = gb.Matrix.from_coo([0], [0], [True], nrows=2, ncols=2)
+        C = gb.Matrix.new("FP64", 2, 2)
+        with gb.Replace:
+            C[mask] = A @ A
+        assert C.to_dense().tolist() == [[6.0, 0.0], [0.0, 0.0]]
+
+    def test_complemented_matrix_mask(self):
+        A = gb.Matrix.from_coo([0, 1], [1, 0], [2.0, 3.0], nrows=2, ncols=2)
+        mask = gb.Matrix.from_coo([0], [0], [True], nrows=2, ncols=2)
+        C = gb.Matrix.new("FP64", 2, 2)
+        with gb.Replace:
+            C[~mask] = A @ A
+        assert C.to_dense().tolist() == [[0.0, 0.0], [0.0, 6.0]]
+
+    def test_structural_context(self):
+        v = gb.Vector.from_coo([0, 1], [1.0, 2.0], size=3)
+        # mask with a false value: structural context admits it anyway
+        m = gb.Vector.from_coo([1], [False], size=3, dtype=bool)
+        with gb.Structural:
+            v[m][:] = 9.0
+        assert v.to_dense().tolist() == [1.0, 9.0, 0.0]
+
+    def test_matrix_masked_copy(self):
+        A = gb.Matrix.from_coo([0, 1], [0, 1], [1.0, 2.0], nrows=2, ncols=2)
+        src = gb.Matrix.from_coo([0, 1], [1, 0], [8.0, 9.0], nrows=2, ncols=2)
+        m = gb.Matrix.from_coo([0], [1], [True], nrows=2, ncols=2)
+        A[m] = src
+        assert A.to_dense().tolist() == [[1.0, 8.0], [0.0, 2.0]]
+
+    def test_transposed_matmat_chain(self):
+        A = gb.Matrix.from_coo([0], [1], [3.0], nrows=2, ncols=2)
+        C = (A.T @ A).new()
+        assert C.to_dense().tolist() == [[0.0, 0.0], [0.0, 9.0]]

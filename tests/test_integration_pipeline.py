@@ -1,0 +1,132 @@
+"""End-to-end pipeline integration: the paper's data-science story.
+
+Section IV frames the use case: data arrives from outside, becomes an
+opaque GraphBLAS graph, flows through algorithms, and results flow back
+out — with I/O, incremental updates, and move semantics along the way.
+This test walks one miniature pipeline through every layer.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import lagraph as lg
+from repro import pygb
+from repro.generators import rmat_graph
+from repro.graphblas import (
+    Matrix,
+    Vector,
+    export_matrix,
+    import_matrix,
+    nonblocking,
+)
+from repro.io import (
+    load_graph_npz,
+    mmread,
+    mmwrite,
+    read_edgelist,
+    save_graph_npz,
+    write_edgelist,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_graph():
+    return rmat_graph(8, 8, seed=21, kind="undirected")
+
+
+class TestFullPipeline:
+    def test_generate_analyze_serialize_roundtrip(self, pipeline_graph, tmp_path):
+        g = pipeline_graph
+
+        # 1. analytics pass
+        rank, _ = lg.pagerank(g)
+        lg.check_pagerank(rank)
+        cc = lg.connected_components(g)
+        lg.check_component_labels(g, cc)
+        tri = lg.triangle_count(g)
+        assert tri >= 0
+
+        # 2. binary serialization round trip preserves every result input
+        save_graph_npz(tmp_path / "g.npz", g)
+        g2 = load_graph_npz(tmp_path / "g.npz")
+        assert g2.A.isequal(g.A)
+        rank2, _ = lg.pagerank(g2)
+        assert np.allclose(rank.to_dense(), rank2.to_dense())
+
+        # 3. Matrix Market round trip through a text buffer
+        buf = io.StringIO()
+        mmwrite(buf, g.A)
+        A3 = mmread(buf.getvalue())
+        assert A3.isequal(g.A)
+
+        # 4. edge-list round trip
+        buf = io.StringIO()
+        write_edgelist(buf, g)
+        g4 = read_edgelist(buf.getvalue(), kind="undirected", n=g.n)
+        assert lg.triangle_count(g4) == tri
+
+    def test_streaming_update_then_reanalyze(self, pipeline_graph):
+        g = pipeline_graph
+        before = lg.connected_components(g)
+        n_before = len(lg.component_sizes(before))
+        # stream in a star of new edges from vertex 0 in non-blocking mode
+        A = g.A.dup()
+        with nonblocking():
+            targets = np.arange(1, g.n, 7)
+            for t in targets:
+                A.set_element(0, int(t), 1.0)
+                A.set_element(int(t), 0, 1.0)
+            assert A.has_pending
+        g2 = lg.Graph(A, "undirected")
+        after = lg.connected_components(g2)
+        n_after = len(lg.component_sizes(after))
+        assert n_after <= n_before  # new edges can only merge components
+
+    def test_move_out_compute_move_in(self, pipeline_graph):
+        g = pipeline_graph
+        tri = lg.triangle_count(g)
+        # move the adjacency out, let "another library" normalize weights,
+        # and move it back — zero copies end to end
+        ex = export_matrix(g.A.dup(), "csr")
+        ex.Ax[:] = 1.0  # the external consumer owns the arrays now
+        A2 = import_matrix(ex)
+        g2 = lg.Graph(A2, "undirected")
+        assert lg.triangle_count(g2) == tri  # structure untouched
+
+    def test_dsl_and_library_agree_end_to_end(self, pipeline_graph):
+        g = pipeline_graph
+        lib_levels = lg.bfs_level(0, g)
+
+        graph = pygb.Matrix(g.A)
+        frontier = pygb.Vector(Vector("BOOL", g.n))
+        frontier[0] = True
+        levels = pygb.Vector(Vector("INT64", g.n))
+        depth = 0
+        while frontier.nvals > 0:
+            depth += 1
+            levels[frontier][:] = depth
+            with pygb.LogicalSemiring, pygb.Replace:
+                frontier[~levels] = graph.T @ frontier
+        got = {
+            i: v - 1
+            for i, v in zip(*(a.tolist() for a in levels._obj.extract_tuples()))
+        }
+        exp = dict(zip(*(a.tolist() for a in lib_levels.extract_tuples())))
+        assert got == exp
+
+    def test_block_assembly_of_bipartite_system(self, pipeline_graph):
+        """concat builds the symmetric [0 B; B^T 0] bipartite embedding."""
+        from repro.graphblas import operations as ops
+
+        B = Matrix.from_coo([0, 1, 2], [1, 0, 2], np.ones(3), nrows=3, ncols=3)
+        Z = Matrix("FP64", 3, 3)
+        BT = Matrix("FP64", 3, 3)
+        ops.transpose(BT, B)
+        M = ops.concat([[Z, B], [BT, Z]])
+        g = lg.Graph(M, "undirected")
+        assert g.is_symmetric_structure
+        # a bipartite embedding is 2-colorable
+        colors = lg.greedy_color(g, seed=0)
+        assert lg.is_valid_coloring(g, colors)
