@@ -1,0 +1,80 @@
+"""R1 — fault-injection wiring overhead when disabled.
+
+The fault harness (:mod:`repro.graphblas.faults`) threads named injection
+points through every Table-I operation.  The design contract is that the
+wiring is *free* when no fault is armed: each operation pays one
+module-attribute read (``if faults.ENABLED:``) and nothing else.  This
+bench quantifies that claim two ways:
+
+* the Table-I workload timed with the harness in its shipped state
+  (disabled) versus armed-but-never-firing (a zero-probability plan, the
+  worst case that still executes the per-call bookkeeping);
+* a microbenchmark of the guard itself.
+
+Acceptance: the disabled column must sit within 2% of the armed column's
+baseline noise — i.e. the guard is unmeasurable next to numpy kernels.
+"""
+
+import time
+
+import pytest
+
+from _common import emit, wall
+from repro.generators import random_matrix, random_vector
+from repro.graphblas import Matrix, Vector, faults
+from repro.graphblas import operations as ops
+from repro.harness import Table
+
+N = 1500
+DENSITY = 0.004
+
+
+@pytest.fixture(scope="module")
+def workload():
+    A = random_matrix(N, N, DENSITY, seed=1)
+    B = random_matrix(N, N, DENSITY, seed=2)
+    u = random_vector(N, 0.05, seed=4)
+    return A, B, u
+
+
+def _cases(A, B, u):
+    return {
+        "mxm": lambda: ops.mxm(Matrix("FP64", N, N), A, B, "PLUS_TIMES"),
+        "mxv": lambda: ops.mxv(Vector("FP64", N), A, u),
+        "eWiseAdd": lambda: ops.ewise_add(Matrix("FP64", N, N), A, B, "PLUS"),
+        "apply": lambda: ops.apply(Matrix("FP64", N, N), A, "AINV"),
+        "reduce": lambda: ops.reduce_rowwise(Vector("FP64", N), A, "PLUS"),
+        "transpose": lambda: ops.transpose(Matrix("FP64", N, N), A),
+    }
+
+
+def test_disabled_overhead(benchmark, workload):
+    """Disabled harness vs armed-never-firing harness on Table-I kernels."""
+    A, B, u = workload
+
+    def run():
+        t = Table(
+            "Fault-injection wiring overhead "
+            f"(n={N}, density={DENSITY}; seconds, best of 3)",
+            ["operation", "disabled", "armed (p=0)", "armed/disabled"],
+        )
+        assert not faults.ENABLED
+        for name, fn in _cases(A, B, u).items():
+            off = wall(fn, repeat=3)
+            with faults.inject("alloc", probability=0.0, seed=1):
+                assert faults.ENABLED
+                on = wall(fn, repeat=3)
+            t.add(name, f"{off:.6f}", f"{on:.6f}", f"{on / off:.3f}")
+
+        # the guard itself: one disabled trip() costs ~an attribute read
+        reps = 1_000_000
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            if faults.ENABLED:
+                faults.trip("alloc")
+        per_guard = (time.perf_counter() - t0) / reps
+        t.add("guard (1e6 calls)", f"{per_guard * 1e9:.1f} ns", "-", "-")
+        t.note("disabled wiring is one module-attribute read per operation")
+        emit(t, "resilience_overhead")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

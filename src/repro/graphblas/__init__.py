@@ -19,6 +19,7 @@ Quick start::
     gb.mxv(y, A, w, "plus_times")
 """
 
+from . import faults, validate
 from .context import Mode, blocking, get_mode, nonblocking, set_mode
 from .descriptor import Descriptor, NULL_DESC, desc
 from .errors import (
@@ -29,11 +30,14 @@ from .errors import (
     GraphBLASError,
     IndexOutOfBounds,
     Info,
+    InsufficientSpace,
     InvalidIndex,
     InvalidObject,
     InvalidValue,
     NoValue,
+    OutOfMemory,
     OutputNotEmpty,
+    Panic,
     UninitializedObject,
 )
 from .io_move import (
@@ -196,6 +200,12 @@ __all__ = [
     "DimensionMismatch",
     "DomainMismatch",
     "IndexOutOfBounds",
+    "OutOfMemory",
+    "InsufficientSpace",
+    "Panic",
     "OutputNotEmpty",
     "UninitializedObject",
+    # resilience
+    "faults",
+    "validate",
 ]

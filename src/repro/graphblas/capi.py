@@ -9,6 +9,24 @@ converted — exactly the IBM implementation's front-end/back-end contract
 try/catch block, which then returns the GraphBLAS execution error code
 corresponding to the caught exception").
 
+Beyond the IBM contract this facade makes two *transactional* guarantees:
+
+* **Strong exception safety.**  Before running the back-end, every
+  Matrix/Vector/Scalar argument is snapshotted (shallow — the engine never
+  mutates stores or arrays in place, so holding references suffices).  If
+  the back-end raises — including a ``MemoryError`` or an injected fault
+  from :mod:`repro.graphblas.faults` — every operand is rolled back
+  bit-identically before the error code is returned.  A failed call
+  therefore leaves no observable trace, and retrying it after the fault
+  clears produces exactly the result an undisturbed call would have.
+* **Thread-local error reporting.**  The message of the last failed call
+  on the current thread is retrievable with :func:`GrB_error` (the C API's
+  ``GrB_error``); successful calls clear it.
+
+``GrB_Matrix_check`` / ``GrB_Vector_check`` expose the deep validator of
+:mod:`repro.graphblas.validate` (SuiteSparse's ``GxB_check``) through the
+same return-code convention.
+
 The argument order follows the C API: output, mask, accumulator, operator,
 inputs, descriptor.
 """
@@ -16,10 +34,12 @@ inputs, descriptor.
 from __future__ import annotations
 
 import functools
+import threading
 
 import numpy as np
 
 from . import operations as ops
+from . import validate
 from .descriptor import Descriptor
 from .errors import GraphBLASError, Info, NoValue
 from .matrix import Matrix
@@ -44,6 +64,7 @@ __all__ = [
     "GrB_NO_VALUE",
     "GrB_NULL",
     "GrB_ALL",
+    "GrB_error",
     "GrB_Matrix_new",
     "GrB_Vector_new",
     "GrB_Scalar_new",
@@ -68,6 +89,8 @@ __all__ = [
     "GrB_Vector_clear",
     "GrB_Matrix_wait",
     "GrB_Vector_wait",
+    "GrB_Matrix_check",
+    "GrB_Vector_check",
     "GrB_mxm",
     "GrB_mxv",
     "GrB_vxm",
@@ -94,67 +117,190 @@ GrB_INT8, GrB_INT16, GrB_INT32, GrB_INT64 = INT8, INT16, INT32, INT64
 GrB_UINT8, GrB_UINT16, GrB_UINT32, GrB_UINT64 = UINT8, UINT16, UINT32, UINT64
 
 
+# -- error reporting & transactional boundary ---------------------------------
+
+_tls = threading.local()
+
+
+def GrB_error() -> str:
+    """``GrB_error``: message of the last failed call on this thread.
+
+    Returns the empty string when the last ``GrB_*`` call succeeded (or
+    none has been made yet).
+    """
+    return getattr(_tls, "last_error", "")
+
+
+def _record(exc: BaseException) -> Info:
+    """Translate a back-end exception to GrB_Info and stash its message."""
+    info = exc.info if isinstance(exc, GraphBLASError) else Info.OUT_OF_MEMORY
+    _tls.last_error = str(exc) or type(exc).__name__
+    return info
+
+
+def _snapshot(obj):
+    """Shallow snapshot of an opaque object's observable state.
+
+    Safe because the engine never mutates a store or a numpy array in
+    place after construction — kernels always build fresh objects and
+    assign them, so keeping the old references preserves the old bits.
+    """
+    if isinstance(obj, Matrix):
+        return (
+            obj._store,
+            obj._alt,
+            list(obj._pend_i),
+            list(obj._pend_j),
+            list(obj._pend_v),
+            list(obj._pend_del),
+            obj.nrows,
+            obj.ncols,
+            obj._valid,
+            obj._keep_both,
+        )
+    if isinstance(obj, Vector):
+        return (
+            obj.indices,
+            obj.values,
+            list(obj._pend_i),
+            list(obj._pend_v),
+            list(obj._pend_del),
+            obj.size,
+            obj._valid,
+        )
+    if isinstance(obj, Scalar):
+        return (obj._value, obj._has)
+    return None
+
+
+def _restore(obj, snap) -> None:
+    if isinstance(obj, Matrix):
+        (
+            obj._store,
+            obj._alt,
+            obj._pend_i,
+            obj._pend_j,
+            obj._pend_v,
+            obj._pend_del,
+            obj.nrows,
+            obj.ncols,
+            obj._valid,
+            obj._keep_both,
+        ) = snap
+    elif isinstance(obj, Vector):
+        (
+            obj.indices,
+            obj.values,
+            obj._pend_i,
+            obj._pend_v,
+            obj._pend_del,
+            obj.size,
+            obj._valid,
+        ) = snap
+    elif isinstance(obj, Scalar):
+        obj._value, obj._has = snap
+
+
+def _snapshot_all(args, kwargs):
+    return [
+        (o, s)
+        for o in (*args, *kwargs.values())
+        if (s := _snapshot(o)) is not None
+    ]
+
+
 def _trap(fn):
-    """Convert back-end exceptions into GrB_Info codes (IBM-style)."""
+    """Convert back-end exceptions into GrB_Info codes (IBM-style) and roll
+    every operand back to its pre-call state on failure."""
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
+        snaps = _snapshot_all(args, kwargs)
         try:
-            return fn(*args, **kwargs)
-        except GraphBLASError as exc:
-            return exc.info
-        except MemoryError:
-            return Info.OUT_OF_MEMORY
+            result = fn(*args, **kwargs)
+        except (GraphBLASError, MemoryError) as exc:
+            for obj, snap in snaps:
+                _restore(obj, snap)
+            return _record(exc)
+        _tls.last_error = ""
+        return result
 
     return wrapper
 
 
+def _trap_values(n_out: int):
+    """Like :func:`_trap` for value-returning wrappers.
+
+    The decorated body returns the payload (a value, or a tuple of
+    ``n_out`` values); the wrapper prepends the info code and substitutes
+    ``n_out`` ``None``s on failure.  ``NoValue`` maps to ``GrB_NO_VALUE``
+    without being recorded as an error (it is informational in the C API).
+    """
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            snaps = _snapshot_all(args, kwargs)
+            try:
+                out = fn(*args, **kwargs)
+            except NoValue:
+                return (GrB_NO_VALUE,) + (None,) * n_out
+            except (GraphBLASError, MemoryError) as exc:
+                for obj, snap in snaps:
+                    _restore(obj, snap)
+                return (_record(exc),) + (None,) * n_out
+            _tls.last_error = ""
+            if not isinstance(out, tuple):
+                out = (out,)
+            return (GrB_SUCCESS,) + out
+
+        return wrapper
+
+    return deco
+
+
 # -- object management -------------------------------------------------------
 
+@_trap_values(1)
 def GrB_Matrix_new(dtype, nrows, ncols):
     """Returns (info, matrix)."""
-    try:
-        return GrB_SUCCESS, Matrix(dtype, nrows, ncols)
-    except GraphBLASError as exc:
-        return exc.info, None
+    return Matrix(dtype, nrows, ncols)
 
 
+@_trap_values(1)
 def GrB_Vector_new(dtype, size):
     """Returns (info, vector)."""
-    try:
-        return GrB_SUCCESS, Vector(dtype, size)
-    except GraphBLASError as exc:
-        return exc.info, None
+    return Vector(dtype, size)
 
 
+@_trap_values(1)
 def GrB_Scalar_new(dtype):
-    return GrB_SUCCESS, Scalar(dtype)
+    return Scalar(dtype)
 
 
+@_trap_values(1)
 def GrB_Matrix_nrows(A):
-    return GrB_SUCCESS, A.nrows
+    return A.nrows
 
 
+@_trap_values(1)
 def GrB_Matrix_ncols(A):
-    return GrB_SUCCESS, A.ncols
+    return A.ncols
 
 
+@_trap_values(1)
 def GrB_Matrix_nvals(A):
-    try:
-        return GrB_SUCCESS, A.nvals
-    except GraphBLASError as exc:
-        return exc.info, None
+    return A.nvals
 
 
+@_trap_values(1)
 def GrB_Vector_size(v):
-    return GrB_SUCCESS, v.size
+    return v.size
 
 
+@_trap_values(1)
 def GrB_Vector_nvals(v):
-    try:
-        return GrB_SUCCESS, v.nvals
-    except GraphBLASError as exc:
-        return exc.info, None
+    return v.nvals
 
 
 @_trap
@@ -181,37 +327,25 @@ def GrB_Vector_setElement(w, x, i):
     return GrB_SUCCESS
 
 
+@_trap_values(1)
 def GrB_Matrix_extractElement(A, i, j):
     """Returns (info, value) — info is GrB_NO_VALUE when absent."""
-    try:
-        return GrB_SUCCESS, A.extract_element(i, j)
-    except NoValue:
-        return GrB_NO_VALUE, None
-    except GraphBLASError as exc:
-        return exc.info, None
+    return A.extract_element(i, j)
 
 
+@_trap_values(1)
 def GrB_Vector_extractElement(v, i):
-    try:
-        return GrB_SUCCESS, v.extract_element(i)
-    except NoValue:
-        return GrB_NO_VALUE, None
-    except GraphBLASError as exc:
-        return exc.info, None
+    return v.extract_element(i)
 
 
+@_trap_values(3)
 def GrB_Matrix_extractTuples(A):
-    try:
-        return (GrB_SUCCESS, *A.extract_tuples())
-    except GraphBLASError as exc:
-        return exc.info, None, None, None
+    return A.extract_tuples()
 
 
+@_trap_values(2)
 def GrB_Vector_extractTuples(v):
-    try:
-        return (GrB_SUCCESS, *v.extract_tuples())
-    except GraphBLASError as exc:
-        return exc.info, None, None
+    return v.extract_tuples()
 
 
 @_trap
@@ -226,18 +360,14 @@ def GrB_Vector_removeElement(w, i):
     return GrB_SUCCESS
 
 
+@_trap_values(1)
 def GrB_Matrix_dup(A):
-    try:
-        return GrB_SUCCESS, A.dup()
-    except GraphBLASError as exc:
-        return exc.info, None
+    return A.dup()
 
 
+@_trap_values(1)
 def GrB_Vector_dup(v):
-    try:
-        return GrB_SUCCESS, v.dup()
-    except GraphBLASError as exc:
-        return exc.info, None
+    return v.dup()
 
 
 @_trap
@@ -264,6 +394,26 @@ def GrB_Vector_wait(w):
     return GrB_SUCCESS
 
 
+def GrB_Matrix_check(A):
+    """``GxB_Matrix_check``-style deep validation; returns (info, report).
+
+    ``info`` is ``GrB_SUCCESS``, ``UNINITIALIZED_OBJECT`` (moved-out), or
+    ``INVALID_OBJECT``; ``report`` lists every violated invariant.
+    """
+    probs = validate.problems(A)
+    if not probs:
+        return GrB_SUCCESS, ""
+    return validate.check(A), "; ".join(probs)
+
+
+def GrB_Vector_check(v):
+    """``GxB_Vector_check``-style deep validation; returns (info, report)."""
+    probs = validate.problems(v)
+    if not probs:
+        return GrB_SUCCESS, ""
+    return validate.check(v), "; ".join(probs)
+
+
 def GrB_free(obj):
     """``GrB_free``: release an object (Python GC does the real work)."""
     if obj is not None and hasattr(obj, "_valid"):
@@ -273,55 +423,50 @@ def GrB_free(obj):
 
 # -- user-defined algebra (GrB_*_new) -----------------------------------------
 
+@_trap_values(1)
 def GrB_Type_new(np_dtype):
     """User-defined type from an arbitrary NumPy dtype."""
     from .types import lookup_type
 
-    try:
-        return GrB_SUCCESS, lookup_type(np_dtype)
-    except GraphBLASError as exc:
-        return exc.info, None
+    return lookup_type(np_dtype)
 
 
+@_trap_values(1)
 def GrB_UnaryOp_new(fn, name="user_unary"):
     """User-defined unary op from a scalar Python function."""
     from .ops import UnaryOp
 
-    op = UnaryOp(name, fn, np.vectorize(fn), builtin=False)
-    return GrB_SUCCESS, op
+    return UnaryOp(name, fn, np.vectorize(fn), builtin=False)
 
 
+@_trap_values(1)
 def GrB_BinaryOp_new(fn, name="user_binary"):
     """User-defined binary op from a scalar Python function."""
     from .ops import BinaryOp
 
-    op = BinaryOp(name, fn, np.vectorize(fn), builtin=False)
-    return GrB_SUCCESS, op
+    return BinaryOp(name, fn, np.vectorize(fn), builtin=False)
 
 
+@_trap_values(1)
 def GrB_Monoid_new(op, identity):
     """``GrB_Monoid_new``: binary op + identity."""
     from .monoid import make_monoid
 
-    try:
-        return GrB_SUCCESS, make_monoid(op, identity)
-    except GraphBLASError as exc:
-        return exc.info, None
+    return make_monoid(op, identity)
 
 
+@_trap_values(1)
 def GrB_Semiring_new(add_monoid, mult_op):
     """``GrB_Semiring_new``: additive monoid + multiplicative op."""
     from .semiring import make_semiring
 
-    try:
-        return GrB_SUCCESS, make_semiring(add_monoid, mult_op)
-    except GraphBLASError as exc:
-        return exc.info, None
+    return make_semiring(add_monoid, mult_op)
 
 
+@_trap_values(1)
 def GrB_Descriptor_new():
     """Returns (info, descriptor); set fields with GrB_Descriptor_set."""
-    return GrB_SUCCESS, Descriptor()
+    return Descriptor()
 
 
 _DESC_FIELDS = {
@@ -341,26 +486,24 @@ def GrB_Descriptor_set(desc, field, value):
     return GrB_SUCCESS, desc.with_(**_DESC_FIELDS[key])
 
 
+@_trap
 def GxB_subassign(C, Mask, accum, A, I=None, J=None, desc=None):
     """SuiteSparse's region-masked assign (see operations.subassign)."""
-    try:
-        if isinstance(C, Vector):
-            ops.subassign(
-                C, A, I if I is not None else GrB_ALL, mask=Mask, accum=accum, desc=desc
-            )
-        else:
-            ops.subassign(
-                C,
-                A,
-                I if I is not None else GrB_ALL,
-                J if J is not None else GrB_ALL,
-                mask=Mask,
-                accum=accum,
-                desc=desc,
-            )
-        return GrB_SUCCESS
-    except GraphBLASError as exc:
-        return exc.info
+    if isinstance(C, Vector):
+        ops.subassign(
+            C, A, I if I is not None else GrB_ALL, mask=Mask, accum=accum, desc=desc
+        )
+    else:
+        ops.subassign(
+            C,
+            A,
+            I if I is not None else GrB_ALL,
+            J if J is not None else GrB_ALL,
+            mask=Mask,
+            accum=accum,
+            desc=desc,
+        )
+    return GrB_SUCCESS
 
 
 # -- operations (C argument order: out, mask, accum, op, inputs, desc) -------
@@ -407,26 +550,24 @@ def GrB_select(C, Mask, accum, op, A, thunk=0, desc=None):
     return GrB_SUCCESS
 
 
+@_trap
 def GrB_reduce(out, mask_or_accum, *args, **kwargs):
     """Polymorphic reduce.
 
     * ``GrB_reduce(w, mask, accum, monoid, A, desc)`` — matrix to vector;
     * ``GrB_reduce(scalar, accum, monoid, A_or_u)`` — to a Scalar object.
     """
-    try:
-        if isinstance(out, Vector):
-            mask, accum, mon, A = mask_or_accum, args[0], args[1], args[2]
-            desc = args[3] if len(args) > 3 else None
-            ops.reduce_rowwise(out, A, mon, mask=mask, accum=accum, desc=desc)
-            return GrB_SUCCESS
-        accum, mon, A = mask_or_accum, args[0], args[1]
-        if accum is not None and out.nvals:
-            out.set(ops.reduce_scalar(A, mon, accum=accum, init=out.value))
-        else:
-            out.set(ops.reduce_scalar(A, mon))
+    if isinstance(out, Vector):
+        mask, accum, mon, A = mask_or_accum, args[0], args[1], args[2]
+        desc = args[3] if len(args) > 3 else None
+        ops.reduce_rowwise(out, A, mon, mask=mask, accum=accum, desc=desc)
         return GrB_SUCCESS
-    except GraphBLASError as exc:
-        return exc.info
+    accum, mon, A = mask_or_accum, args[0], args[1]
+    if accum is not None and out.nvals:
+        out.set(ops.reduce_scalar(A, mon, accum=accum, init=out.value))
+    else:
+        out.set(ops.reduce_scalar(A, mon))
+    return GrB_SUCCESS
 
 
 @_trap

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import enum
 
+import numpy as np
+
 
 class Info(enum.IntEnum):
     """``GrB_Info`` return codes from the GraphBLAS C API specification."""
@@ -113,9 +115,37 @@ class NoValue(GraphBLASError):
     info = Info.NO_VALUE
 
 
-def check_index(i: int, bound: int, what: str = "index") -> int:
-    """Validate a single index against a dimension bound."""
-    i = int(i)
+def coerce_index(i, what: str = "index") -> int:
+    """Strictly coerce a single index to ``int``.
+
+    The C API's ``GrB_Index`` is an unsigned integer, so only genuinely
+    integral values are accepted: Python/NumPy booleans are rejected (``True``
+    is not the index 1), floats must be integral (``2.7`` is an error, ``2.0``
+    is allowed as a convenience), and NumPy integer scalars are accepted
+    explicitly.  Anything else raises :class:`InvalidIndex`.
+    """
+    if isinstance(i, (bool, np.bool_)):
+        raise InvalidIndex(f"{what} must be an integer, got bool {i!r}")
+    if isinstance(i, (int, np.integer)):
+        return int(i)
+    if isinstance(i, (float, np.floating)):
+        f = float(i)
+        if not f.is_integer():
+            raise InvalidIndex(f"{what} must be integral, got {i!r}")
+        return int(f)
+    if isinstance(i, np.ndarray) and i.ndim == 0:
+        return coerce_index(i.item(), what)
+    raise InvalidIndex(f"{what} must be an integer, got {type(i).__name__}")
+
+
+def check_index(i, bound: int, what: str = "index", exc=InvalidIndex) -> int:
+    """Validate a single index against a dimension bound.
+
+    Type errors always raise :class:`InvalidIndex`; out-of-range values
+    raise ``exc`` (``InvalidIndex`` by default, but object methods pass
+    :class:`IndexOutOfBounds` to keep the execution-error classification).
+    """
+    i = coerce_index(i, what)
     if i < 0 or i >= bound:
-        raise InvalidIndex(f"{what} {i} out of range [0, {bound})")
+        raise exc(f"{what} {i} out of range [0, {bound})")
     return i

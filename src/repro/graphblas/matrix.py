@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import context
+from . import context, faults
 from .errors import (
     IndexOutOfBounds,
     InvalidValue,
     NoValue,
     UninitializedObject,
+    check_index,
 )
 from .formats import Orientation, SparseStore
 from .ops import SECOND, binary
@@ -74,6 +75,8 @@ class Matrix:
         ncols = int(ncols)
         if nrows <= 0 or ncols <= 0:
             raise InvalidValue("matrix dimensions must be positive")
+        if faults.ENABLED:
+            faults.trip("alloc")
         self.dtype: Type = lookup_type(dtype)
         self.nrows = nrows
         self.ncols = ncols
@@ -202,30 +205,41 @@ class Matrix:
     def set_element(self, i: int, j: int, value) -> None:
         """``GrB_Matrix_setElement``: O(1) amortized in non-blocking mode."""
         self._require_valid()
-        i, j = int(i), int(j)
-        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
-            raise IndexOutOfBounds(f"({i},{j}) outside {self.shape}")
-        self._pend_i.append(i)
-        self._pend_j.append(j)
-        self._pend_v.append(value)
-        self._pend_del.append(False)
-        self._alt = None
-        if context.get_mode() == context.Mode.BLOCKING:
-            self.wait()
+        i = check_index(i, self.nrows, "row index", exc=IndexOutOfBounds)
+        j = check_index(j, self.ncols, "col index", exc=IndexOutOfBounds)
+        if faults.ENABLED:
+            faults.trip("setElement")
+        self._log_update(i, j, value, False)
 
     def remove_element(self, i: int, j: int) -> None:
         """``GrB_Matrix_removeElement``: tags a zombie for deferred deletion."""
         self._require_valid()
-        i, j = int(i), int(j)
-        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
-            raise IndexOutOfBounds(f"({i},{j}) outside {self.shape}")
+        i = check_index(i, self.nrows, "row index", exc=IndexOutOfBounds)
+        j = check_index(j, self.ncols, "col index", exc=IndexOutOfBounds)
+        if faults.ENABLED:
+            faults.trip("removeElement")
+        self._log_update(i, j, 0, True)
+
+    def _log_update(self, i: int, j: int, value, is_delete: bool) -> None:
+        """Append one action to the update log; in blocking mode assemble at
+        once, un-appending the action if assembly fails so no half-applied
+        update survives."""
+        prev_alt = self._alt
         self._pend_i.append(i)
         self._pend_j.append(j)
-        self._pend_v.append(0)
-        self._pend_del.append(True)
+        self._pend_v.append(value)
+        self._pend_del.append(is_delete)
         self._alt = None
         if context.get_mode() == context.Mode.BLOCKING:
-            self.wait()
+            try:
+                self.wait()
+            except BaseException:
+                del self._pend_i[-1]
+                del self._pend_j[-1]
+                del self._pend_v[-1]
+                del self._pend_del[-1]
+                self._alt = prev_alt
+                raise
 
     def wait(self) -> "Matrix":
         """``GrB_Matrix_wait``: kill zombies and assemble pending tuples.
@@ -236,6 +250,8 @@ class Matrix:
         self._require_valid()
         if not self.has_pending:
             return self
+        if faults.ENABLED:
+            faults.trip("assemble")
         major, minor, values = self._store.to_coo()
         if self._store.orientation is Orientation.COL:
             rows, cols = minor, major
@@ -268,8 +284,6 @@ class Matrix:
         rows = np.concatenate([rows[keep], li[ins]])
         cols = np.concatenate([cols[keep], lj[ins]])
         vals = np.concatenate([vals[keep], lv])
-        self._pend_i, self._pend_j = [], []
-        self._pend_v, self._pend_del = [], []
 
         orient = self._store.orientation
         hyper = self._store.hyper
@@ -279,7 +293,7 @@ class Matrix:
         else:
             major, minor = rows, cols
             n_major, n_minor = self.nrows, self.ncols
-        self._store = SparseStore.from_coo(
+        assembled = SparseStore.from_coo(
             orient,
             n_major,
             n_minor,
@@ -290,6 +304,12 @@ class Matrix:
             dup=SECOND,
             hyper=hyper,
         )
+        # atomic commit: nothing is touched until assembly fully succeeded,
+        # so a mid-assembly failure leaves both the store and the update log
+        # exactly as they were
+        self._store = assembled
+        self._pend_i, self._pend_j = [], []
+        self._pend_v, self._pend_del = [], []
         self._alt = None
         return self
 
@@ -336,6 +356,8 @@ class Matrix:
         self._require_valid()
         if self._store.nvals or self.has_pending:
             raise OutputNotEmpty("build requires an empty matrix")
+        if faults.ENABLED:
+            faults.trip("build")
         rows = np.asarray(rows, dtype=_INDEX)
         cols = np.asarray(cols, dtype=_INDEX)
         values = np.asarray(values)

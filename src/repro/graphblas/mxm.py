@@ -32,6 +32,7 @@ import heapq
 
 import numpy as np
 
+from . import faults
 from .errors import InvalidValue
 from .formats import SparseStore
 from .ops import BinaryOp
@@ -106,6 +107,8 @@ def mxm_coo(
         )
     if method not in MXM_METHODS:
         raise InvalidValue(f"unknown mxm method {method!r}")
+    if faults.ENABLED:
+        faults.trip("spgemm.flop")
     if method == "auto":
         if mask_coords is not None and not mask_complement:
             method = "dot"

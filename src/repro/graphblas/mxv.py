@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import faults
 from .errors import InvalidValue
 from .formats import SparseStore
 from .mxm import _gather_ranges
@@ -81,6 +82,8 @@ def spmspv_push(
     ``a_by_inner`` must be oriented with the vector's dimension as its major
     axis (CSC for mxv, CSR for vxm).  Returns (indices, values) sorted.
     """
+    if faults.ENABLED:
+        faults.trip("mxv.push")
     if a_by_inner.n_major != 0 and u_idx.size:
         if int(u_idx.max()) >= a_by_inner.n_major:
             raise InvalidValue("vector index outside matrix inner dimension")
@@ -129,6 +132,8 @@ def spmv_pull(
     those output positions — the pull-side payoff of an output mask.
     Returns (indices, values) sorted.
     """
+    if faults.ENABLED:
+        faults.trip("mxv.pull")
     mult = semiring.mult
     if outer_hint is not None:
         starts, ends = a_by_outer.major_ranges(outer_hint)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import faults
 from .coords import coords_in, idx_in, match_coo, match_idx
 from .descriptor import Descriptor, desc as _desc
 from .errors import (
@@ -241,6 +242,8 @@ def _ewise_op(op):
 
 def ewise_add(C, A, B, op="PLUS", *, mask=None, accum=None, desc=None):
     """``GrB_eWiseAdd``: set *union* of patterns; op applied where both."""
+    if faults.ENABLED:
+        faults.trip("ewise")
     d = _desc(desc)
     op = _ewise_op(op)
     accum = _resolve_accum(accum)
@@ -279,6 +282,8 @@ def ewise_add(C, A, B, op="PLUS", *, mask=None, accum=None, desc=None):
 
 def ewise_mult(C, A, B, op="TIMES", *, mask=None, accum=None, desc=None):
     """``GrB_eWiseMult``: set *intersection* of patterns."""
+    if faults.ENABLED:
+        faults.trip("ewise")
     d = _desc(desc)
     op = _ewise_op(op)
     accum = _resolve_accum(accum)
@@ -326,6 +331,8 @@ def apply(
     ``op`` may be a UnaryOp; a BinaryOp with ``left`` or ``right`` bound
     (``GrB_apply_BinaryOp1st/2nd``); or an IndexUnaryOp with ``thunk``.
     """
+    if faults.ENABLED:
+        faults.trip("apply")
     d = _desc(desc)
     accum = _resolve_accum(accum)
     is_vec = isinstance(A, Vector)
@@ -370,6 +377,8 @@ def apply(
 
 def select(C, A, op, thunk=0, *, mask=None, accum=None, desc=None):
     """``GrB_select``: keep entries where the index-unary predicate holds."""
+    if faults.ENABLED:
+        faults.trip("select")
     d = _desc(desc)
     accum = _resolve_accum(accum)
     iu = _indexunary(op)
@@ -405,6 +414,8 @@ def reduce_rowwise(
 
     Reduce columns instead by setting the transpose descriptor.
     """
+    if faults.ENABLED:
+        faults.trip("reduce")
     d = _desc(desc)
     mon = _monoid(op)
     accum = _resolve_accum(accum)
@@ -427,6 +438,8 @@ def reduce_scalar(A, op="PLUS", *, accum=None, init=None):
     Returns a Python value; an empty object reduces to the monoid identity.
     ``accum``/``init`` fold the result into a prior value.
     """
+    if faults.ENABLED:
+        faults.trip("reduce")
     mon = _monoid(op)
     if isinstance(A, Vector):
         _, vals = A.extract_tuples()
@@ -451,6 +464,8 @@ def transpose(C: Matrix, A: Matrix, *, mask=None, accum=None, desc=None) -> Matr
     Per the C API's quirk, setting the INP0 transpose descriptor yields
     C<mask> (+)= A (the two transposes cancel).
     """
+    if faults.ENABLED:
+        faults.trip("transpose")
     d = _desc(desc)
     accum = _resolve_accum(accum)
     transposed = not d.transpose_a
@@ -480,6 +495,8 @@ def _expand_selection(sel: np.ndarray, entry_ids: np.ndarray):
 def extract(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
     """``GrB_extract``: C<mask> (+)= A(I, J) (matrix), w (+)= u(I) (vector),
     or w (+)= A(I, j) (column extract when J is a scalar and A a matrix)."""
+    if faults.ENABLED:
+        faults.trip("extract")
     d = _desc(desc)
     accum = _resolve_accum(accum)
 
@@ -551,6 +568,8 @@ def assign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
     a scalar (constant fill of the region).  The mask spans all of C, per
     GrB_assign (not GxB_subassign) semantics.
     """
+    if faults.ENABLED:
+        faults.trip("assign")
     d = _desc(desc)
     accum = _resolve_accum(accum)
 
@@ -648,6 +667,8 @@ def subassign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
     I x J region — the mask has the region's dimensions.  Entries of C
     outside the region are never touched.
     """
+    if faults.ENABLED:
+        faults.trip("assign")
     d = _desc(desc)
     accum = _resolve_accum(accum)
 
@@ -740,6 +761,8 @@ def _position_map(sel: np.ndarray, ids: np.ndarray) -> np.ndarray:
 
 def kronecker(C, A, B, op="TIMES", *, mask=None, accum=None, desc=None):
     """``GrB_kronecker``: C<mask> (+)= kron(A, B)."""
+    if faults.ENABLED:
+        faults.trip("kronecker")
     d = _desc(desc)
     accum = _resolve_accum(accum)
     bop = _ewise_op(op)

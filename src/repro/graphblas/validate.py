@@ -1,0 +1,237 @@
+"""Deep object validation — the spirit of SuiteSparse's ``GxB_check``.
+
+SuiteSparse ships a ``GxB_*_check`` family that walks an opaque object and
+verifies every structural invariant, returning ``GrB_INVALID_OBJECT`` when
+the object has been corrupted.  This module is that checker for the Python
+engine.  For a :class:`~repro.graphblas.matrix.Matrix` it verifies:
+
+* dimensions positive and consistent with the store's orientation;
+* row-pointer array well-formed: correct length, ``indptr[0] == 0``,
+  ``indptr[-1] == nvals``, monotone non-decreasing;
+* hypersparse list (if any) strictly increasing and in range;
+* minor indices in bounds, strictly increasing (sorted, duplicate-free)
+  within every major vector;
+* value array parallel to the index array and of the object's exact dtype;
+* the pending-tuple / zombie log internally consistent (parallel arrays,
+  in-bounds coordinates, boolean deletion flags);
+* the cached opposite-orientation twin (dual CSR/CSC storage), when
+  present, agreeing entry-for-entry with the primary store.
+
+The resilience suite calls :func:`check` after every injected fault to
+prove no operand was left corrupt; it is also exposed through the C API as
+``GrB_Matrix_check`` / ``GrB_Vector_check``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import Info, InvalidObject
+from .formats import Orientation, SparseStore
+from .matrix import Matrix
+from .scalar import Scalar
+from .vector import Vector
+
+__all__ = [
+    "check",
+    "expect_valid",
+    "problems",
+    "matrix_problems",
+    "vector_problems",
+    "store_problems",
+]
+
+_INDEX = np.int64
+
+
+def _segmented_sorted_strict(minor: np.ndarray, indptr: np.ndarray) -> bool:
+    """True iff ``minor`` is strictly increasing within every segment.
+
+    Vectorized: a violation is a position where ``diff(minor) <= 0`` that is
+    *not* a segment boundary.
+    """
+    if minor.size < 2:
+        return True
+    nondecreasing = np.diff(minor) <= 0
+    if not np.any(nondecreasing):
+        return True
+    boundary = np.zeros(minor.size - 1, dtype=bool)
+    inner = indptr[(indptr > 0) & (indptr < minor.size)]
+    boundary[np.asarray(inner, dtype=_INDEX) - 1] = True
+    return not np.any(nondecreasing & ~boundary)
+
+
+def store_problems(s: SparseStore, dtype=None) -> list[str]:
+    """Structural problems of one :class:`SparseStore` (empty list = valid)."""
+    out: list[str] = []
+    if s.n_major <= 0 or s.n_minor <= 0:
+        out.append(f"non-positive store dimensions {s.n_major}x{s.n_minor}")
+    indptr = s.indptr
+    if not isinstance(indptr, np.ndarray) or indptr.ndim != 1 or not np.issubdtype(indptr.dtype, np.integer):
+        return out + ["indptr is not a 1-D integer array"]
+    expected_len = (s.h.size + 1) if s.hyper else (s.n_major + 1)
+    if indptr.size != expected_len:
+        out.append(f"indptr length {indptr.size}, expected {expected_len}")
+    if indptr.size == 0 or indptr[0] != 0:
+        out.append("indptr does not start at 0")
+    if s.minor.size != s.values.size:
+        out.append(
+            f"index/value arrays disagree: {s.minor.size} vs {s.values.size}"
+        )
+    if indptr.size and indptr[-1] != s.minor.size:
+        out.append(f"indptr ends at {indptr[-1]}, nvals is {s.minor.size}")
+    if indptr.size > 1 and np.any(np.diff(indptr) < 0):
+        out.append("indptr not monotone non-decreasing")
+    if s.hyper:
+        h = s.h
+        if h.size > 1 and np.any(np.diff(h) <= 0):
+            out.append("hyperlist not strictly increasing")
+        if h.size and (int(h[0]) < 0 or int(h[-1]) >= s.n_major):
+            out.append("hyperlist id out of range")
+    if s.minor.size:
+        if int(s.minor.min()) < 0 or int(s.minor.max()) >= s.n_minor:
+            out.append("minor index out of range")
+    if out:
+        # structure already broken; per-vector checks could misindex
+        return out
+    if not _segmented_sorted_strict(s.minor, indptr):
+        out.append("minor indices unsorted or duplicated within a vector")
+    if dtype is not None and s.values.dtype != dtype.np_dtype:
+        out.append(
+            f"value array dtype {s.values.dtype} != object dtype {dtype.np_dtype}"
+        )
+    return out
+
+
+def _pending_problems(obj, coords: list[list[int]], bounds: list[int]) -> list[str]:
+    """Consistency of the ordered update log (pending tuples + zombies)."""
+    out: list[str] = []
+    lens = {len(c) for c in coords} | {len(obj._pend_v), len(obj._pend_del)}
+    if len(lens) != 1:
+        return [f"pending log arrays have mismatched lengths {sorted(lens)}"]
+    for axis, (cs, bound) in enumerate(zip(coords, bounds)):
+        for k, c in enumerate(cs):
+            if not isinstance(c, (int, np.integer)) or not 0 <= int(c) < bound:
+                out.append(f"pending coordinate #{k} axis {axis} out of range: {c!r}")
+                break
+    for k, d in enumerate(obj._pend_del):
+        if not isinstance(d, (bool, np.bool_)):
+            out.append(f"pending deletion flag #{k} is not boolean: {d!r}")
+            break
+    return out
+
+
+def _canonical_coo(s: SparseStore):
+    """Entries of a store as (row, col, value) sorted row-major."""
+    major, minor, values = s.to_coo()
+    if s.orientation is Orientation.COL:
+        rows, cols = minor, major
+    else:
+        rows, cols = major, minor
+    order = np.lexsort((cols, rows))
+    return rows[order], cols[order], values[order]
+
+
+def matrix_problems(A: Matrix) -> list[str]:
+    """Every detected invariant violation of a Matrix (empty list = valid)."""
+    if not isinstance(A, Matrix):
+        return [f"not a Matrix: {type(A).__name__}"]
+    if not A._valid:
+        return ["object contents were moved out (uninitialized)"]
+    out: list[str] = []
+    if A.nrows <= 0 or A.ncols <= 0:
+        out.append(f"non-positive dimensions {A.nrows}x{A.ncols}")
+    s = A._store
+    want = (
+        (A.nrows, A.ncols)
+        if s.orientation is Orientation.ROW
+        else (A.ncols, A.nrows)
+    )
+    if (s.n_major, s.n_minor) != want:
+        out.append(
+            f"store dims {(s.n_major, s.n_minor)} disagree with matrix "
+            f"{A.shape} in {s.orientation.value} orientation"
+        )
+    out += store_problems(s, A.dtype)
+    out += _pending_problems(
+        A, [A._pend_i, A._pend_j], [A.nrows, A.ncols]
+    )
+    alt = A._alt
+    if alt is not None:
+        if alt.orientation == s.orientation:
+            out.append("cached twin has the same orientation as the store")
+        elif (alt.n_major, alt.n_minor) != (s.n_minor, s.n_major):
+            out.append("cached twin dimensions disagree with the store")
+        else:
+            alt_probs = store_problems(alt, A.dtype)
+            if alt_probs:
+                out += [f"cached twin: {p}" for p in alt_probs]
+            else:
+                pr, pc, pv = _canonical_coo(s)
+                ar, ac, av = _canonical_coo(alt)
+                if not (
+                    np.array_equal(pr, ar)
+                    and np.array_equal(pc, ac)
+                    and np.array_equal(pv, av)
+                ):
+                    out.append("dual CSR/CSC copies disagree")
+    return out
+
+
+def vector_problems(v: Vector) -> list[str]:
+    """Every detected invariant violation of a Vector (empty list = valid)."""
+    if not isinstance(v, Vector):
+        return [f"not a Vector: {type(v).__name__}"]
+    if not v._valid:
+        return ["object contents were moved out (uninitialized)"]
+    out: list[str] = []
+    if v.size <= 0:
+        out.append(f"non-positive size {v.size}")
+    idx, vals = v.indices, v.values
+    if not isinstance(idx, np.ndarray) or not np.issubdtype(idx.dtype, np.integer):
+        out.append("index array is not an integer array")
+        return out
+    if idx.size != vals.size:
+        out.append(f"index/value arrays disagree: {idx.size} vs {vals.size}")
+    if idx.size:
+        if int(idx.min()) < 0 or int(idx.max()) >= v.size:
+            out.append("index out of range")
+        if idx.size > 1 and np.any(np.diff(idx) <= 0):
+            out.append("indices unsorted or duplicated")
+    if vals.dtype != v.dtype.np_dtype:
+        out.append(f"value array dtype {vals.dtype} != object dtype {v.dtype.np_dtype}")
+    out += _pending_problems(v, [v._pend_i], [v.size])
+    return out
+
+
+def problems(obj) -> list[str]:
+    """Dispatch to the per-type checker; empty list means valid."""
+    if isinstance(obj, Matrix):
+        return matrix_problems(obj)
+    if isinstance(obj, Vector):
+        return vector_problems(obj)
+    if isinstance(obj, Scalar):
+        out = []
+        if obj._has and obj._value is None:
+            out.append("scalar marked non-empty but holds no value")
+        return out
+    return [f"unsupported object type {type(obj).__name__}"]
+
+
+def check(obj) -> Info:
+    """Deep-validate ``obj``; the ``GxB_check`` verdict as a ``GrB_Info``.
+
+    Returns ``Info.SUCCESS`` when every invariant holds,
+    ``Info.UNINITIALIZED_OBJECT`` for moved-out objects, and
+    ``Info.INVALID_OBJECT`` for any structural corruption.
+    """
+    if isinstance(obj, (Matrix, Vector)) and not obj._valid:
+        return Info.UNINITIALIZED_OBJECT
+    return Info.SUCCESS if not problems(obj) else Info.INVALID_OBJECT
+
+
+def expect_valid(obj) -> None:
+    """Raise :class:`InvalidObject` (with the full report) unless valid."""
+    probs = problems(obj)
+    if probs:
+        raise InvalidObject("; ".join(probs))

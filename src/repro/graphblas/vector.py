@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import context
+from . import context, faults
 from .errors import (
     IndexOutOfBounds,
     InvalidValue,
     NoValue,
     OutputNotEmpty,
     UninitializedObject,
+    check_index,
 )
 from .formats import group_starts, reduce_by_segments
 from .ops import binary
@@ -49,6 +50,8 @@ class Vector:
         size = int(size)
         if size <= 0:
             raise InvalidValue("vector size must be positive")
+        if faults.ENABLED:
+            faults.trip("alloc")
         self.dtype: Type = lookup_type(dtype)
         self.size = size
         self.indices = np.empty(0, dtype=_INDEX)
@@ -125,32 +128,42 @@ class Vector:
     def set_element(self, i: int, value) -> None:
         """``GrB_Vector_setElement`` (pending-tuple deferred)."""
         self._require_valid()
-        i = int(i)
-        if not 0 <= i < self.size:
-            raise IndexOutOfBounds(f"{i} outside [0,{self.size})")
-        self._pend_i.append(i)
-        self._pend_v.append(value)
-        self._pend_del.append(False)
-        if context.get_mode() == context.Mode.BLOCKING:
-            self.wait()
+        i = check_index(i, self.size, "index", exc=IndexOutOfBounds)
+        if faults.ENABLED:
+            faults.trip("setElement")
+        self._log_update(i, value, False)
 
     def remove_element(self, i: int) -> None:
         """``GrB_Vector_removeElement`` (zombie deferred)."""
         self._require_valid()
-        i = int(i)
-        if not 0 <= i < self.size:
-            raise IndexOutOfBounds(f"{i} outside [0,{self.size})")
+        i = check_index(i, self.size, "index", exc=IndexOutOfBounds)
+        if faults.ENABLED:
+            faults.trip("removeElement")
+        self._log_update(i, 0, True)
+
+    def _log_update(self, i: int, value, is_delete: bool) -> None:
+        """Append one action to the update log; in blocking mode assemble at
+        once, un-appending the action if assembly fails so no half-applied
+        update survives."""
         self._pend_i.append(i)
-        self._pend_v.append(0)
-        self._pend_del.append(True)
+        self._pend_v.append(value)
+        self._pend_del.append(is_delete)
         if context.get_mode() == context.Mode.BLOCKING:
-            self.wait()
+            try:
+                self.wait()
+            except BaseException:
+                del self._pend_i[-1]
+                del self._pend_v[-1]
+                del self._pend_del[-1]
+                raise
 
     def wait(self) -> "Vector":
         """``GrB_Vector_wait``: assemble the pending log."""
         self._require_valid()
         if not self.has_pending:
             return self
+        if faults.ENABLED:
+            faults.trip("assemble")
         pi = np.asarray(self._pend_i, dtype=_INDEX)
         pdel = np.asarray(self._pend_del, dtype=bool)
         order = np.argsort(pi, kind="stable")
@@ -170,6 +183,8 @@ class Vector:
         idx = np.concatenate([self.indices[keep], li[ins]])
         val = np.concatenate([self.values[keep], lv])
         order = np.argsort(idx, kind="stable")
+        # atomic commit: assemble fully, then swap in the result and drop
+        # the update log, so a mid-assembly failure changes nothing
         self.indices, self.values = idx[order], val[order]
         self._pend_i, self._pend_v, self._pend_del = [], [], []
         return self
@@ -205,6 +220,8 @@ class Vector:
         self._require_valid()
         if self.indices.size or self.has_pending:
             raise OutputNotEmpty("build requires an empty vector")
+        if faults.ENABLED:
+            faults.trip("build")
         indices = np.asarray(indices, dtype=_INDEX)
         values = np.asarray(values)
         if indices.shape != values.shape:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Matrix
+from ..graphblas import Matrix, faults
 from ..graphblas.io_move import export_matrix, import_matrix
 
 __all__ = ["save_matrix_npz", "load_matrix_npz", "save_graph_npz", "load_graph_npz"]
@@ -18,6 +18,8 @@ __all__ = ["save_matrix_npz", "load_matrix_npz", "save_graph_npz", "load_graph_n
 
 def save_matrix_npz(path, A: Matrix) -> None:
     """Serialize a matrix (non-destructively) to an ``.npz`` file."""
+    if faults.ENABLED:
+        faults.trip("io.write")
     ex = export_matrix(A.dup())  # export moves; dup keeps the caller's copy
     payload = {
         "format": np.asarray(ex.format),
@@ -35,6 +37,8 @@ def save_matrix_npz(path, A: Matrix) -> None:
 
 def load_matrix_npz(path) -> Matrix:
     """Reconstruct a matrix saved by :func:`save_matrix_npz`."""
+    if faults.ENABLED:
+        faults.trip("io.read")
     with np.load(path, allow_pickle=False) as z:
         return import_matrix(
             format=str(z["format"]),
@@ -52,6 +56,8 @@ def load_matrix_npz(path) -> Matrix:
 
 def save_graph_npz(path, graph) -> None:
     """Serialize a :class:`~repro.lagraph.graph.Graph` (adjacency + kind)."""
+    if faults.ENABLED:
+        faults.trip("io.write")
     ex = export_matrix(graph.A.dup())
     payload = {
         "format": np.asarray(ex.format),
@@ -70,6 +76,8 @@ def save_graph_npz(path, graph) -> None:
 
 def load_graph_npz(path):
     """Reconstruct a graph saved by :func:`save_graph_npz`."""
+    if faults.ENABLED:
+        faults.trip("io.read")
     from ..lagraph.graph import Graph
 
     with np.load(path, allow_pickle=False) as z:

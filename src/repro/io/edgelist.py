@@ -9,6 +9,7 @@ import os
 
 import numpy as np
 
+from ..graphblas import faults
 from ..lagraph.graph import Graph, GraphKind
 
 __all__ = ["read_edgelist", "write_edgelist"]
@@ -22,6 +23,8 @@ def read_edgelist(
     dtype=np.float64,
 ) -> Graph:
     """Parse an edge list into a :class:`~repro.lagraph.graph.Graph`."""
+    if faults.ENABLED:
+        faults.trip("io.read")
     if isinstance(source, (str, os.PathLike)) and os.path.exists(source):
         with open(source, "r", encoding="utf-8") as f:
             text = f.read()
@@ -54,6 +57,8 @@ def write_edgelist(target, graph: Graph, *, weights: bool = True) -> None:
 
     Undirected graphs emit each edge once (upper-triangle convention).
     """
+    if faults.ENABLED:
+        faults.trip("io.write")
     rows, cols, vals = graph.A.extract_tuples()
     if graph.kind is GraphKind.UNDIRECTED:
         keep = rows <= cols

@@ -13,7 +13,7 @@ import os
 
 import numpy as np
 
-from ..graphblas import Matrix
+from ..graphblas import Matrix, faults
 from ..graphblas.errors import InvalidValue
 
 __all__ = ["mmread", "mmwrite"]
@@ -33,6 +33,8 @@ def mmread(source) -> Matrix:
 
 
 def _parse(f) -> Matrix:
+    if faults.ENABLED:
+        faults.trip("io.read")
     header = f.readline().strip().split()
     if len(header) < 5 or header[0] != "%%MatrixMarket" or header[1].lower() != "matrix":
         raise InvalidValue("not a MatrixMarket matrix file")
@@ -113,6 +115,8 @@ def _parse(f) -> Matrix:
 
 def mmwrite(target, A: Matrix, *, comment: str | None = None, field: str | None = None) -> None:
     """Write a Matrix in coordinate format (1-based, general symmetry)."""
+    if faults.ENABLED:
+        faults.trip("io.write")
     rows, cols, vals = A.extract_tuples()
     if field is None:
         field = (

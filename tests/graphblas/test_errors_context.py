@@ -62,6 +62,57 @@ class TestHierarchy:
         with pytest.raises(InvalidIndex):
             check_index(-1, 5)
 
+    def test_check_index_rejects_bools(self):
+        import numpy as np
+
+        # True/False are ints in Python, but GrB_Index is not a bool
+        for bad in (True, False, np.True_, np.False_):
+            with pytest.raises(InvalidIndex):
+                check_index(bad, 5)
+
+    def test_check_index_float_handling(self):
+        import numpy as np
+
+        assert check_index(2.0, 5) == 2  # integral float: convenience
+        assert check_index(np.float64(3.0), 5) == 3
+        with pytest.raises(InvalidIndex):
+            check_index(2.7, 5)  # non-integral float is an error
+        with pytest.raises(InvalidIndex):
+            check_index(float("nan"), 5)
+
+    def test_check_index_numpy_integers(self):
+        import numpy as np
+
+        for i in (np.int32(4), np.uint64(4), np.int8(4), np.array(4)):
+            got = check_index(i, 5)
+            assert got == 4 and type(got) is int
+
+    def test_check_index_rejects_non_numbers(self):
+        for bad in ("3", None, [3], (3,), 3 + 0j):
+            with pytest.raises(InvalidIndex):
+                check_index(bad, 5)
+
+    def test_custom_out_of_range_exception(self):
+        # object methods classify out-of-range as an execution error
+        with pytest.raises(IndexOutOfBounds):
+            check_index(9, 5, exc=IndexOutOfBounds)
+        with pytest.raises(InvalidIndex):  # type errors stay InvalidIndex
+            check_index(True, 5, exc=IndexOutOfBounds)
+
+    def test_set_element_rejects_bool_index(self):
+        import numpy as np
+
+        A = Matrix("FP64", 3, 3)
+        with pytest.raises(InvalidIndex):
+            A.set_element(True, 0, 1.0)
+        v = Vector("FP64", 3)
+        with pytest.raises(InvalidIndex):
+            v.set_element(np.True_, 1.0)
+        with pytest.raises(InvalidIndex):
+            v.set_element(1.5, 1.0)
+        v.set_element(np.int64(1), 1.0)  # numpy integer scalars accepted
+        assert v[1] == 1.0
+
 
 class TestDimensionChecks:
     def test_mxm(self):

@@ -1,0 +1,24 @@
+"""Resilience-suite plumbing: every test here carries the `resilience` mark."""
+
+import os
+
+import pytest
+
+import repro.graphblas.faults as faults
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if str(item.fspath).startswith(_HERE):
+            item.add_marker(pytest.mark.resilience)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults():
+    """Fault injection must be fully disarmed before and after every test."""
+    assert not faults.ENABLED and not faults.active_plans()
+    faults.reset_stats()
+    yield
+    assert not faults.ENABLED and not faults.active_plans()

@@ -1,0 +1,105 @@
+"""Fault injection under the LAGraph algorithm suite.
+
+For each algorithm and each injected kernel point: run clean, snapshot
+the graph, inject, and require that (a) the failure (if the point lay on
+the algorithm's path) surfaces as a GraphBLAS execution error, (b) the
+input graph is bit-identical and still deep-validates, and (c) a rerun
+completes and matches the clean result exactly.
+"""
+
+import numpy as np
+import pytest
+
+import repro.lagraph as lg
+from repro.generators import erdos_renyi_gnp
+from repro.graphblas import Info, Matrix, OutOfMemory, Vector, faults, validate
+from tests.resilience._state import assert_same_state, deep_state
+
+N = 60
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_gnp(N, 0.08, seed=11, kind="undirected")
+
+
+@pytest.fixture(scope="module")
+def digraph():
+    return erdos_renyi_gnp(N, 0.06, seed=13, kind="directed")
+
+
+def _veq(a, b):
+    if isinstance(a, (Vector, Matrix)):
+        return a.isequal(b)
+    if isinstance(a, tuple):
+        return len(a) == len(b) and all(_veq(x, y) for x, y in zip(a, b))
+    if isinstance(a, np.ndarray):
+        return np.array_equal(a, b)
+    return a == b
+
+
+ALGORITHMS = {
+    "bfs_level": ("graph", lambda g: lg.bfs_level(0, g)),
+    "bfs_parent": ("graph", lambda g: lg.bfs_parent(0, g)),
+    "bellman_ford_sssp": ("graph", lambda g: lg.bellman_ford_sssp(0, g)),
+    "pagerank": ("digraph", lambda g: lg.pagerank(g, tol=1e-8)),
+    "triangle_count": ("graph", lambda g: lg.triangle_count(g)),
+    "connected_components": ("graph", lambda g: lg.connected_components(g)),
+    "maximal_independent_set": ("graph", lambda g: lg.maximal_independent_set(g, seed=5)),
+    "greedy_color": ("graph", lambda g: lg.greedy_color(g, seed=5)),
+    "kcore_decomposition": ("graph", lambda g: lg.kcore_decomposition(g)),
+    "ktruss": ("graph", lambda g: lg.ktruss(g, 3)),
+}
+
+POINTS = ["spgemm.flop", "mxv.push", "mxv.pull", "ewise", "apply", "reduce", "assign", "select", "alloc"]
+
+PARAMS = [
+    pytest.param(alg, point, id=f"{alg}-{point}")
+    for alg in ALGORITHMS
+    for point in POINTS
+]
+
+
+@pytest.mark.parametrize("alg,point", PARAMS)
+def test_algorithm_survives_injected_fault(alg, point, graph, digraph, request):
+    which, run = ALGORITHMS[alg]
+    g = {"graph": graph, "digraph": digraph}[which]
+
+    clean = run(g)  # also settles any lazily-built caches on g
+    snap = deep_state(g.A)
+
+    raised = False
+    with faults.inject(point, OutOfMemory, max_fires=None) as plan:
+        try:
+            out = run(g)
+        except OutOfMemory:
+            raised = True
+    # the fault must surface iff the point lay on the algorithm's path
+    assert raised == (plan.fires > 0), (alg, point, plan.fires)
+    if not raised:
+        assert _veq(out, clean)
+
+    # the input graph is untouched and structurally sound either way
+    assert_same_state(g.A, snap)
+    assert validate.check(g.A) == Info.SUCCESS
+
+    # rerun to completion: identical result to the clean run
+    assert _veq(run(g), clean)
+    assert_same_state(g.A, snap)
+
+
+def test_fault_coverage_across_algorithms(graph, digraph):
+    """Kernel faults must actually hit >= 8 distinct algorithms."""
+    hit = set()
+    for alg, (which, run) in ALGORITHMS.items():
+        g = {"graph": graph, "digraph": digraph}[which]
+        for point in POINTS:
+            with faults.inject(point, OutOfMemory) as plan:
+                try:
+                    run(g)
+                except OutOfMemory:
+                    pass
+            if plan.fires:
+                hit.add(alg)
+                break
+    assert len(hit) >= 8, sorted(hit)

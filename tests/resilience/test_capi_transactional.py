@@ -1,0 +1,170 @@
+"""Transactional guarantees of the C-API boundary itself.
+
+Covers GrB_error (thread-local, cleared on success), uniform MemoryError
+-> GrB_OUT_OF_MEMORY conversion across hand-written and decorated
+wrappers, and atomicity of deferred-update assembly through the facade.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    Info,
+    Matrix,
+    OutOfMemory,
+    Scalar,
+    Vector,
+    faults,
+    validate,
+)
+from repro.graphblas import capi
+from tests.helpers import random_matrix_np, random_vector_np
+from tests.resilience._state import assert_same_state, deep_state
+
+
+class TestGrBError:
+    def test_initially_empty_and_cleared_on_success(self):
+        info, A = capi.GrB_Matrix_new("FP64", 3, 3)
+        assert info == Info.SUCCESS
+        assert capi.GrB_error() == ""
+
+    def test_set_on_failure(self):
+        info, A = capi.GrB_Matrix_new("FP64", -1, 3)
+        assert info == Info.INVALID_VALUE and A is None
+        assert "positive" in capi.GrB_error()
+
+    def test_cleared_by_next_success(self):
+        capi.GrB_Matrix_new("FP64", -1, 3)
+        assert capi.GrB_error() != ""
+        capi.GrB_Matrix_new("FP64", 3, 3)
+        assert capi.GrB_error() == ""
+
+    def test_injected_fault_message_surfaces(self):
+        with faults.inject("alloc", message="simulated allocator exhaustion"):
+            info, A = capi.GrB_Matrix_new("FP64", 4, 4)
+        assert info == Info.OUT_OF_MEMORY and A is None
+        assert capi.GrB_error() == "simulated allocator exhaustion"
+
+    def test_thread_local(self):
+        capi.GrB_Matrix_new("FP64", -1, 3)  # error on the main thread
+        main_err = capi.GrB_error()
+        assert main_err != ""
+        seen = {}
+
+        def worker():
+            seen["before"] = capi.GrB_error()
+            capi.GrB_Vector_new("FP64", -5)
+            seen["after"] = capi.GrB_error()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["before"] == ""  # other thread's error not visible
+        assert "positive" in seen["after"]
+        assert capi.GrB_error() == main_err  # worker didn't clobber ours
+
+
+class TestUniformMemoryError:
+    """MemoryError maps to GrB_OUT_OF_MEMORY from *every* wrapper shape."""
+
+    def test_constructor_wrappers(self):
+        with faults.inject("alloc", MemoryError):
+            info, A = capi.GrB_Matrix_new("FP64", 3, 3)
+        assert (info, A) == (Info.OUT_OF_MEMORY, None)
+        with faults.inject("alloc", MemoryError):
+            info, v = capi.GrB_Vector_new("FP64", 3)
+        assert (info, v) == (Info.OUT_OF_MEMORY, None)
+
+    def test_value_returning_wrappers(self):
+        A, _, _ = random_matrix_np(np.random.default_rng(0), 8, 8, 0.3)
+        with faults.inject("alloc", MemoryError):
+            info, B = capi.GrB_Matrix_dup(A)
+        assert (info, B) == (Info.OUT_OF_MEMORY, None)
+        A.set_element(0, 0, 1.0)  # pending, so nvals must assemble
+        with faults.inject("assemble", MemoryError):
+            info, n = capi.GrB_Matrix_nvals(A)
+        assert (info, n) == (Info.OUT_OF_MEMORY, None)
+        assert A.has_pending  # rolled back, update still logged
+        info, n = capi.GrB_Matrix_nvals(A)  # retry assembles
+        assert info == Info.SUCCESS and not A.has_pending
+
+    def test_tuple_returning_wrappers(self):
+        v, _, _ = random_vector_np(np.random.default_rng(1), 8, 0.4)
+        v.set_element(2, 7.0)
+        with faults.inject("assemble", MemoryError):
+            out = capi.GrB_Vector_extractTuples(v)
+        assert out == (Info.OUT_OF_MEMORY, None, None)
+        info, idx, vals = capi.GrB_Vector_extractTuples(v)
+        assert info == Info.SUCCESS and 2 in idx
+
+    def test_operation_wrappers(self):
+        A, _, _ = random_matrix_np(np.random.default_rng(2), 8, 8, 0.3)
+        C = Matrix("FP64", 8, 8)
+        with faults.inject("spgemm.flop", MemoryError):
+            assert capi.GrB_mxm(C, None, None, "PLUS_TIMES", A, A) == Info.OUT_OF_MEMORY
+        with faults.inject("reduce", MemoryError):
+            s = Scalar("FP64")
+            assert capi.GrB_reduce(s, None, "PLUS", A) == Info.OUT_OF_MEMORY
+            assert s.is_empty  # rolled back
+
+    def test_build_wrapper(self):
+        C = Matrix("FP64", 4, 4)
+        with faults.inject("build", MemoryError):
+            info = capi.GrB_Matrix_build(C, [0, 1], [1, 2], [1.0, 2.0])
+        assert info == Info.OUT_OF_MEMORY
+        assert C.nvals == 0
+        assert capi.GrB_Matrix_build(C, [0, 1], [1, 2], [1.0, 2.0]) == Info.SUCCESS
+        assert C.nvals == 2
+
+
+class TestWaitAtomicity:
+    def test_matrix_wait_rolls_back(self):
+        A, _, _ = random_matrix_np(np.random.default_rng(3), 10, 10, 0.3)
+        A.set_element(0, 0, 42.0)
+        A.remove_element(0, 1)
+        snap = deep_state(A)
+        with faults.inject("assemble"):
+            assert capi.GrB_Matrix_wait(A) == Info.OUT_OF_MEMORY
+        assert_same_state(A, snap)
+        assert validate.check(A) == Info.SUCCESS
+        assert capi.GrB_Matrix_wait(A) == Info.SUCCESS
+        assert A.extract_element(0, 0) == 42.0
+        assert A.get(0, 1) is None
+
+    def test_vector_wait_rolls_back(self):
+        v, _, _ = random_vector_np(np.random.default_rng(4), 10, 0.4)
+        v.set_element(3, 9.0)
+        snap = deep_state(v)
+        with faults.inject("assemble"):
+            assert capi.GrB_Vector_wait(v) == Info.OUT_OF_MEMORY
+        assert_same_state(v, snap)
+        assert capi.GrB_Vector_wait(v) == Info.SUCCESS
+        assert v[3] == 9.0
+
+    def test_failed_op_preserves_output_pending_log(self):
+        """A faulted operation must roll back the output's pending log too."""
+        w = Vector("FP64", 6)
+        w.set_element(0, 1.0)  # pending on the *output*
+        A, _, _ = random_matrix_np(np.random.default_rng(5), 6, 6, 0.4)
+        u, _, _ = random_vector_np(np.random.default_rng(6), 6, 0.5)
+        snap = deep_state(w)
+        with faults.inject("mxv.push", max_fires=None) as p1, faults.inject(
+            "mxv.pull", max_fires=None
+        ) as p2:
+            info = capi.GrB_mxv(w, None, None, "PLUS_TIMES", A, u)
+        assert p1.fires + p2.fires >= 1
+        assert info == Info.OUT_OF_MEMORY
+        assert_same_state(w, snap)
+
+
+class TestNoValueUnaffected:
+    def test_extract_element_no_value_not_an_error(self):
+        A = Matrix("FP64", 3, 3)
+        info, val = capi.GrB_Matrix_extractElement(A, 0, 0)
+        assert info == Info.NO_VALUE and val is None
+        # NO_VALUE is informational: it must not set GrB_error
+        capi.GrB_Matrix_new("FP64", 2, 2)  # clear
+        capi.GrB_Matrix_extractElement(A, 1, 1)
+        assert capi.GrB_error() == ""

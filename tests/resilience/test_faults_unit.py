@@ -1,0 +1,115 @@
+"""Unit behavior of the fault-injection harness itself."""
+
+import pytest
+
+from repro.graphblas import InsufficientSpace, Matrix, OutOfMemory, faults
+
+
+class TestTriggers:
+    def test_nth_deterministic(self):
+        with faults.inject("alloc", nth=3) as plan:
+            Matrix("FP64", 2, 2)
+            Matrix("FP64", 2, 2)
+            with pytest.raises(OutOfMemory):
+                Matrix("FP64", 2, 2)
+            Matrix("FP64", 2, 2)  # max_fires=1: later calls succeed
+        assert (plan.calls, plan.fires) == (4, 1)
+
+    def test_probability_zero_never_fires(self):
+        with faults.inject("alloc", probability=0.0, seed=1) as plan:
+            for _ in range(20):
+                Matrix("FP64", 2, 2)
+        assert plan.fires == 0 and plan.calls == 20
+
+    def test_probability_one_fires_immediately(self):
+        with faults.inject("alloc", probability=1.0, seed=1) as plan:
+            with pytest.raises(OutOfMemory):
+                Matrix("FP64", 2, 2)
+        assert plan.fires == 1
+
+    def test_probabilistic_reproducible_under_seed(self):
+        def fire_pattern():
+            pattern = []
+            with faults.inject(
+                "alloc", probability=0.3, seed=42, max_fires=None
+            ) as plan:
+                for _ in range(30):
+                    try:
+                        Matrix("FP64", 2, 2)
+                        pattern.append(False)
+                    except OutOfMemory:
+                        pattern.append(True)
+            return pattern
+
+        first, second = fire_pattern(), fire_pattern()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_max_fires_bounds_raises(self):
+        fired = 0
+        with faults.inject("alloc", probability=1.0, seed=0, max_fires=2):
+            for _ in range(5):
+                try:
+                    Matrix("FP64", 2, 2)
+                except OutOfMemory:
+                    fired += 1
+        assert fired == 2
+
+    def test_custom_exception_class(self):
+        with faults.inject("alloc", InsufficientSpace):
+            with pytest.raises(InsufficientSpace):
+                Matrix("FP64", 2, 2)
+
+    def test_memoryerror_injectable(self):
+        with faults.inject("alloc", MemoryError):
+            with pytest.raises(MemoryError):
+                Matrix("FP64", 2, 2)
+
+
+class TestHarnessPlumbing:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            faults.FaultPlan("not.a.point")
+
+    def test_non_exception_rejected(self):
+        with pytest.raises(TypeError):
+            faults.FaultPlan("alloc", exc=42)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            faults.FaultPlan("alloc", probability=1.5)
+
+    def test_register_point_extends(self):
+        name = faults.register_point("test.custom")
+        try:
+            with faults.inject(name, nth=1):
+                with pytest.raises(OutOfMemory):
+                    faults.trip(name)
+        finally:
+            faults.POINTS.discard("test.custom")
+
+    def test_disabled_trip_is_noop(self):
+        assert not faults.ENABLED
+        faults.trip("alloc")  # must not raise or count
+        assert faults.call_count("alloc") == 0
+
+    def test_enabled_flag_tracks_plans(self):
+        assert not faults.ENABLED
+        with faults.inject("alloc"):
+            assert faults.ENABLED
+            with faults.inject("ewise"):
+                assert faults.ENABLED
+                assert len(faults.active_plans()) == 2
+            assert faults.ENABLED  # outer plan still armed
+        assert not faults.ENABLED
+
+    def test_stats(self):
+        faults.reset_stats()
+        with faults.inject("alloc", nth=2):
+            Matrix("FP64", 2, 2)
+            with pytest.raises(OutOfMemory):
+                Matrix("FP64", 2, 2)
+        assert faults.call_count("alloc") == 2
+        assert faults.fired() == [("alloc", 2)]
+        faults.reset_stats()
+        assert faults.call_count("alloc") == 0 and faults.fired() == []

@@ -1,0 +1,137 @@
+"""Blocking vs non-blocking failure semantics of the deferred-update log.
+
+A failed setElement/removeElement must never leave a half-applied update:
+in non-blocking mode the action is logged and assembly is deferred (a
+later failed wait leaves the log intact); in blocking mode assembly runs
+immediately and a failure un-logs the action entirely, so the object is
+bit-identical to before the call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    Info,
+    Matrix,
+    OutOfMemory,
+    Vector,
+    blocking,
+    faults,
+    nonblocking,
+    validate,
+)
+from tests.helpers import random_matrix_np, random_vector_np
+from tests.resilience._state import assert_same_state, deep_state
+
+
+@pytest.fixture
+def A():
+    return random_matrix_np(np.random.default_rng(1), 10, 10, 0.3)[0]
+
+
+@pytest.fixture
+def v():
+    return random_vector_np(np.random.default_rng(2), 12, 0.4)[0]
+
+
+class TestNonBlocking:
+    def test_set_element_defers_then_failed_wait_keeps_log(self, A):
+        with nonblocking():
+            A.set_element(0, 0, 5.0)
+            assert A.has_pending
+            snap = deep_state(A)
+            with faults.inject("assemble"):
+                with pytest.raises(OutOfMemory):
+                    A.wait()
+            assert_same_state(A, snap)  # log intact, store untouched
+            assert validate.check(A) == Info.SUCCESS
+            A.wait()  # retry assembles the same log
+            assert A.extract_element(0, 0) == 5.0
+
+    def test_remove_element_defers(self, v):
+        with nonblocking():
+            i = int(v.indices[0])
+            v.remove_element(i)
+            assert v.has_pending
+            with faults.inject("assemble"):
+                with pytest.raises(OutOfMemory):
+                    v.wait()
+            assert v.has_pending  # zombie still logged
+            v.wait()
+            assert v.get(i) is None
+
+
+class TestBlocking:
+    def test_failed_set_element_fully_unlogged(self, A):
+        snap = deep_state(A)
+        with blocking():
+            with faults.inject("assemble"):
+                with pytest.raises(OutOfMemory):
+                    A.set_element(3, 3, 9.0)
+        assert not A.has_pending  # the action was un-appended
+        assert_same_state(A, snap)
+        assert validate.check(A) == Info.SUCCESS
+        with blocking():
+            A.set_element(3, 3, 9.0)  # retry applies cleanly
+        assert A.extract_element(3, 3) == 9.0
+
+    def test_failed_remove_element_fully_unlogged(self, A):
+        r, c, _ = A.extract_tuples()
+        i, j = int(r[0]), int(c[0])
+        snap = deep_state(A)
+        with blocking():
+            with faults.inject("assemble"):
+                with pytest.raises(OutOfMemory):
+                    A.remove_element(i, j)
+        assert_same_state(A, snap)
+        assert A.get(i, j) is not None  # entry survived the failed delete
+        with blocking():
+            A.remove_element(i, j)
+        assert A.get(i, j) is None
+
+    def test_vector_set_element_unlogged(self, v):
+        snap = deep_state(v)
+        with blocking():
+            with faults.inject("assemble"):
+                with pytest.raises(OutOfMemory):
+                    v.set_element(5, 1.5)
+        assert_same_state(v, snap)
+        with blocking():
+            v.set_element(5, 1.5)
+        assert v[5] == 1.5
+
+    def test_earlier_updates_survive_later_failure(self, A):
+        """nth=2: first blocking update commits, second fails and unlogs."""
+        with blocking():
+            with faults.inject("assemble", nth=2):
+                A.set_element(0, 0, 1.0)  # assemble #1 succeeds
+                with pytest.raises(OutOfMemory):
+                    A.set_element(1, 1, 2.0)  # assemble #2 faults
+            assert A.extract_element(0, 0) == 1.0  # first commit intact
+            assert not A.has_pending
+            assert A.get(1, 1) is None
+            A.set_element(1, 1, 2.0)
+            assert A.extract_element(1, 1) == 2.0
+
+    def test_set_element_fault_at_point_itself(self, A):
+        """A fault at the setElement point (pre-log) changes nothing."""
+        snap = deep_state(A)
+        with blocking():
+            with faults.inject("setElement"):
+                with pytest.raises(OutOfMemory):
+                    A.set_element(2, 2, 7.0)
+        assert_same_state(A, snap)
+
+    def test_alt_cache_restored_on_failure(self, A):
+        """The dual-orientation cache must be restored, not just dropped."""
+        A.keep_both_orientations(True)
+        A.by_col()
+        A.by_row()
+        assert A._alt is not None
+        snap = deep_state(A)
+        with blocking():
+            with faults.inject("assemble"):
+                with pytest.raises(OutOfMemory):
+                    A.set_element(4, 4, 3.0)
+        assert_same_state(A, snap)  # includes the _alt twin
+        assert validate.check(A) == Info.SUCCESS

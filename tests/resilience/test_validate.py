@@ -1,0 +1,182 @@
+"""Deep object validation (GxB_check spirit) detects every corruption class."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    Info,
+    InvalidObject,
+    Matrix,
+    Scalar,
+    Vector,
+    export_matrix,
+    validate,
+)
+from repro.graphblas import capi
+from tests.helpers import random_matrix_np, random_vector_np
+
+
+@pytest.fixture
+def A():
+    return random_matrix_np(np.random.default_rng(1), 12, 9, 0.3)[0]
+
+
+@pytest.fixture
+def v():
+    return random_vector_np(np.random.default_rng(2), 15, 0.4)[0]
+
+
+class TestValidObjects:
+    def test_fresh_matrix_valid(self, A):
+        assert validate.check(A) == Info.SUCCESS
+        assert validate.matrix_problems(A) == []
+        validate.expect_valid(A)
+
+    def test_empty_matrix_valid(self):
+        assert validate.check(Matrix("FP64", 3, 4)) == Info.SUCCESS
+
+    def test_hypersparse_matrix_valid(self):
+        H = Matrix.from_coo([0, 90_000], [1, 2], [1.0, 2.0], nrows=100_000, ncols=10)
+        assert validate.check(H) == Info.SUCCESS
+
+    def test_matrix_with_pending_valid(self, A):
+        A.set_element(0, 0, 5.0)
+        A.remove_element(1, 1)
+        assert validate.check(A) == Info.SUCCESS
+
+    def test_dual_orientation_valid(self, A):
+        A.keep_both_orientations(True)
+        A.by_col()
+        A.by_row()
+        assert A._alt is not None
+        assert validate.check(A) == Info.SUCCESS
+
+    def test_vector_valid(self, v):
+        assert validate.check(v) == Info.SUCCESS
+        assert validate.vector_problems(v) == []
+
+    def test_scalar_valid(self):
+        s = Scalar("FP64")
+        assert validate.check(s) == Info.SUCCESS
+        s.set(3.0)
+        assert validate.check(s) == Info.SUCCESS
+
+
+class TestMatrixCorruption:
+    def test_unsorted_minor_detected(self, A):
+        s = A._store
+        assert s.minor.size >= 2
+        # find a major vector with >= 2 entries and swap its first two
+        lens = np.diff(s.indptr)
+        (rows,) = np.nonzero(lens >= 2)
+        start = int(s.indptr[rows[0]])
+        s.minor[[start, start + 1]] = s.minor[[start + 1, start]]
+        probs = validate.matrix_problems(A)
+        assert any("unsorted" in p for p in probs)
+        assert validate.check(A) == Info.INVALID_OBJECT
+
+    def test_out_of_range_minor_detected(self, A):
+        A._store.minor[0] = A._store.n_minor + 3
+        assert any("out of range" in p for p in validate.matrix_problems(A))
+
+    def test_negative_minor_detected(self, A):
+        A._store.minor[0] = -1
+        assert validate.check(A) == Info.INVALID_OBJECT
+
+    def test_broken_indptr_detected(self, A):
+        A._store.indptr[-1] += 2
+        probs = validate.matrix_problems(A)
+        assert any("indptr" in p for p in probs)
+
+    def test_nonmonotone_indptr_detected(self, A):
+        s = A._store
+        if s.indptr.size > 2:
+            s.indptr[1] = s.indptr[-1] + 1  # also breaks the endpoint
+        probs = validate.matrix_problems(A)
+        assert probs
+
+    def test_value_length_mismatch_detected(self, A):
+        A._store.values = A._store.values[:-1]
+        assert any("disagree" in p for p in validate.matrix_problems(A))
+
+    def test_wrong_value_dtype_detected(self, A):
+        A._store.values = A._store.values.astype(np.float32)
+        assert any("dtype" in p for p in validate.matrix_problems(A))
+
+    def test_pending_log_mismatch_detected(self, A):
+        A._pend_i.append(0)  # no matching j / value / flag
+        assert any("pending" in p for p in validate.matrix_problems(A))
+        assert validate.check(A) == Info.INVALID_OBJECT
+
+    def test_pending_out_of_range_detected(self, A):
+        A._pend_i.append(A.nrows + 5)
+        A._pend_j.append(0)
+        A._pend_v.append(1.0)
+        A._pend_del.append(False)
+        assert any("pending" in p for p in validate.matrix_problems(A))
+
+    def test_twin_disagreement_detected(self, A):
+        A.keep_both_orientations(True)
+        A.by_col()
+        A.by_row()
+        assert A._alt is not None and A._alt.values.size
+        A._alt.values[0] += 1.0
+        assert any("disagree" in p for p in validate.matrix_problems(A))
+
+    def test_twin_same_orientation_detected(self, A):
+        A._alt = A._store
+        assert any("orientation" in p for p in validate.matrix_problems(A))
+
+    def test_expect_valid_raises_with_report(self, A):
+        A._store.minor[0] = -1
+        with pytest.raises(InvalidObject, match="out of range"):
+            validate.expect_valid(A)
+
+    def test_moved_out_is_uninitialized(self, A):
+        export_matrix(A)  # O(1) move: A is now invalid
+        assert validate.check(A) == Info.UNINITIALIZED_OBJECT
+
+
+class TestVectorCorruption:
+    def test_unsorted_indices_detected(self, v):
+        assert v.indices.size >= 2
+        v.indices[[0, 1]] = v.indices[[1, 0]]
+        assert any("unsorted" in p for p in validate.vector_problems(v))
+
+    def test_out_of_range_detected(self, v):
+        v.indices[-1] = v.size
+        assert validate.check(v) == Info.INVALID_OBJECT
+
+    def test_length_mismatch_detected(self, v):
+        v.values = v.values[:-1]
+        assert any("disagree" in p for p in validate.vector_problems(v))
+
+    def test_pending_log_detected(self, v):
+        v._pend_i.append(-3)
+        v._pend_v.append(0.0)
+        v._pend_del.append(False)
+        assert any("pending" in p for p in validate.vector_problems(v))
+
+
+class TestCapiCheck:
+    def test_matrix_check_success(self, A):
+        info, report = capi.GrB_Matrix_check(A)
+        assert info == Info.SUCCESS and report == ""
+
+    def test_matrix_check_invalid(self, A):
+        A._store.minor[0] = -1
+        info, report = capi.GrB_Matrix_check(A)
+        assert info == Info.INVALID_OBJECT
+        assert "out of range" in report
+
+    def test_vector_check(self, v):
+        assert capi.GrB_Vector_check(v) == (Info.SUCCESS, "")
+        v.indices[0] = -2
+        info, report = capi.GrB_Vector_check(v)
+        assert info == Info.INVALID_OBJECT and report
+
+    def test_freed_object_uninitialized(self, A):
+        capi.GrB_free(A)
+        info, report = capi.GrB_Matrix_check(A)
+        assert info == Info.UNINITIALIZED_OBJECT
+        assert "moved out" in report
