@@ -4,16 +4,26 @@ Every bench reproduces one paper artifact (table, figure, or quantitative
 claim — see DESIGN.md's per-experiment index) and emits its reproduction
 table to stdout *and* to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md
 can quote the measured output.
+
+With ``pytest benchmarks --telemetry`` every emitted table also gets a
+``<name>.telemetry.json`` sibling holding the thread's telemetry snapshot
+(per-op counters, decision tallies, spans) accumulated since the previous
+emit — the machine-readable record behind the human-readable table.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
+from repro.graphblas import telemetry
 from repro.harness import Table
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Flipped by the --telemetry pytest option (see conftest.py).
+TELEMETRY = False
 
 
 def emit(table: Table, name: str) -> None:
@@ -23,6 +33,12 @@ def emit(table: Table, name: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as f:
         f.write(text + "\n")
+    if TELEMETRY and telemetry.active() is not None:
+        snap = telemetry.snapshot()
+        path = os.path.join(RESULTS_DIR, f"{name}.telemetry.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"bench": name, "telemetry": snap}, f, indent=2, sort_keys=True)
+        telemetry.reset()  # each bench's snapshot covers only its own ops
 
 
 def wall(fn, *args, repeat: int = 3, **kwargs) -> float:

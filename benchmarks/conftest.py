@@ -10,6 +10,33 @@ sys.path.insert(0, str(Path(__file__).parent))
 from repro.generators import erdos_renyi_gnp, rmat_graph
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--telemetry",
+        action="store_true",
+        default=False,
+        help="collect kernel telemetry during benches and attach a "
+        "<name>.telemetry.json snapshot next to each results table",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _bench_telemetry(request):
+    """When --telemetry is on, wrap every bench in a telemetry collector."""
+    if not request.config.getoption("--telemetry"):
+        yield
+        return
+    import _common
+    from repro.graphblas import telemetry
+
+    _common.TELEMETRY = True
+    telemetry.enable()
+    try:
+        yield
+    finally:
+        telemetry.disable()
+
+
 @pytest.fixture(scope="session")
 def rmat_small():
     """RMAT scale 9 (512 vertices), the quick-turnaround workload."""

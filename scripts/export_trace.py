@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Export kernel telemetry as Chrome ``trace_event`` JSON.
+
+Two modes:
+
+* ``export_trace.py snapshot.json [-o trace.json]`` — convert a telemetry
+  snapshot that was saved with events included (``snapshot(include_events=
+  True)``, or a ``<bench>.telemetry.json`` written by ``pytest benchmarks
+  --telemetry`` after setting ``include_events``) into a trace file.
+* ``export_trace.py --demo [-o trace.json] [--scale N]`` — run BFS +
+  PageRank on an RMAT graph with the burble on, print the burble stream,
+  and write the captured trace.
+
+The output loads in ``chrome://tracing`` (or https://ui.perfetto.dev):
+Table-I operations and algorithm spans appear as duration slices, engine
+decisions (push/pull direction, SpGEMM method, assembly) as instant events.
+
+Run:  python scripts/export_trace.py --demo -o /tmp/trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.graphblas import telemetry
+
+
+def convert(snapshot_path: str, out_path: str) -> int:
+    """Snapshot JSON (with an ``events`` list) -> Chrome trace JSON."""
+    with open(snapshot_path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    # accept both a bare snapshot and the benchmark {"bench", "telemetry"} wrapper
+    snap = data.get("telemetry", data)
+    events = snap.get("events")
+    if events is None:
+        print(
+            f"error: {snapshot_path} holds no 'events' list — save the "
+            "snapshot with include_events=True to make it traceable",
+            file=sys.stderr,
+        )
+        return 2
+    trace = {
+        "traceEvents": telemetry.chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+    }
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(trace, f)
+    print(f"wrote {len(events)} events to {out_path}")
+    return 0
+
+
+def demo(out_path: str, scale: int) -> int:
+    """BFS + PageRank on RMAT with the burble on; write the trace."""
+    from repro.generators import rmat_graph
+    from repro.lagraph import bfs_level, pagerank
+
+    print(f"# generating RMAT scale {scale} (n={1 << scale}) ...")
+    graph = rmat_graph(scale, 8, seed=42, kind="directed")
+    print(f"# n={graph.n} edges={graph.nedges}")
+
+    with telemetry.collect(burble=True) as col:
+        bfs_level(0, graph)
+        pagerank(graph, max_iters=10)
+        snap = col.snapshot()
+        col.write_chrome_trace(out_path)
+
+    print("\n# snapshot summary")
+    for name, st in snap["ops"].items():
+        print(f"#   {name:12s} calls={st['calls']:<6d} seconds={st['seconds']:.4f}")
+    for kind, count in snap["decisions"].items():
+        print(f"#   decision {kind}: {count}")
+    print(f"# wrote Chrome trace to {out_path} (open in chrome://tracing)")
+    return 0
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    p.add_argument("snapshot", nargs="?", help="telemetry snapshot JSON to convert")
+    p.add_argument("-o", "--out", default="trace.json", help="output trace path")
+    p.add_argument("--demo", action="store_true", help="run the BFS/PageRank demo")
+    p.add_argument("--scale", type=int, default=12, help="demo RMAT scale")
+    args = p.parse_args(argv)
+    if args.demo:
+        return demo(args.out, args.scale)
+    if not args.snapshot:
+        p.error("either a snapshot path or --demo is required")
+    return convert(args.snapshot, args.out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

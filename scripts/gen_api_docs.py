@@ -22,6 +22,7 @@ import repro.generators
 import repro.graphblas
 import repro.graphblas.capi
 import repro.graphblas.faults
+import repro.graphblas.telemetry
 import repro.graphblas.validate
 import repro.harness
 import repro.io
@@ -71,6 +72,7 @@ def render_module(f, module, title) -> None:
         summary = first_paragraph(obj) if kind != "constant" else "value"
         sig = signature_of(obj) if kind == "function" else ""
         cell = f"`{name}{sig}`" if sig and len(sig) < 60 else f"`{name}`"
+        cell = cell.replace("|", "\\|")
         summary = summary.replace("|", "\\|")
         if len(summary) > 160:
             summary = summary[:157] + "..."
@@ -120,6 +122,48 @@ Run the fault-injection suite with `scripts/run_resilience.sh`
 """
 
 
+TELEMETRY_SECTION = """
+## Telemetry & diagnostics
+
+`repro.graphblas.telemetry` instruments the whole engine — every Table-I
+operation, the kernel decision points, and the LAGraph algorithms — with
+a thread-local collector that costs one module-attribute read
+(`telemetry.ENABLED`, ~20 ns) when nothing is listening.  Attach a
+collector with `telemetry.collect()` (context manager) or
+`telemetry.enable()` / `telemetry.disable()`, then read results three
+ways:
+
+* **Burble** — a SuiteSparse-`GxB_BURBLE`-style live diagnostic stream.
+  `telemetry.collect(burble=True)` (or `capi.GxB_Burble_set(True)`)
+  prints one line per operation with wall time and output `nvals`, plus
+  kernel decisions as they happen: SpGEMM method selection, push/pull
+  direction with the frontier density that drove it, dot-product early
+  exits, format switches, and zombie/pending-tuple assembly.
+* **Snapshot** — `telemetry.snapshot()` returns a JSON-serializable dict
+  of per-op counters (`calls`, `seconds`, `out_nvals`, `flops` for
+  mxm/mxv/vxm, `bytes_moved` for import/export and file I/O), decision
+  counts, and span timings.  The same dict is available at the C-API
+  level as `capi.global_stats()`.
+* **Chrome trace** — `Collector.write_chrome_trace(path)` (or
+  `scripts/export_trace.py`) emits Chrome `trace_event` JSON: ops and
+  algorithm spans as complete events, decisions as instants.  Load the
+  file in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+
+Algorithm spans cover `bfs`, `sssp.bellman_ford` / `sssp.delta_stepping`,
+`triangles`, `components.fastsv`, `pagerank`, and betweenness, each with
+per-iteration instant records (frontier sizes, residuals, buckets,
+rounds).  The direction-optimization threshold is tunable at runtime via
+`repro.graphblas.set_switch_threshold()`.
+
+The benchmark harness grows a `--telemetry` flag that wraps every bench
+in a collector and writes `<name>.telemetry.json` next to the results;
+`benchmarks/bench_telemetry_overhead.py` pins the disabled-path overhead
+(see `benchmarks/results/telemetry_overhead.txt`).  Demo:
+`scripts/run_telemetry_demo.sh` runs BFS + PageRank on an RMAT graph
+with burble on and exports a trace.
+"""
+
+
 def main() -> None:
     os.makedirs(os.path.dirname(OUT), exist_ok=True)
     with open(OUT, "w", encoding="utf-8") as f:
@@ -129,9 +173,11 @@ def main() -> None:
             "docstrings — regenerate after changing any exported surface.\n"
         )
         f.write(RESILIENCE_SECTION)
+        f.write(TELEMETRY_SECTION)
         render_module(f, repro.graphblas, "repro.graphblas")
         render_module(f, repro.graphblas.capi, "repro.graphblas.capi")
         render_module(f, repro.graphblas.faults, "repro.graphblas.faults")
+        render_module(f, repro.graphblas.telemetry, "repro.graphblas.telemetry")
         render_module(f, repro.graphblas.validate, "repro.graphblas.validate")
         render_module(f, repro.lagraph, "repro.lagraph")
         render_module(f, repro.pygb, "repro.pygb")

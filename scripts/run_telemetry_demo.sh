@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Kernel-telemetry demo: BFS + PageRank on an RMAT graph with the burble
+# stream on (SuiteSparse GxB_BURBLE-style), then a Chrome trace written to
+# /tmp/repro_trace.json (open in chrome://tracing or ui.perfetto.dev).
+#
+# The burble shows every engine decision as it happens — push/pull
+# direction per BFS level with the frontier sparsity behind the switch,
+# SpGEMM method selection, zombie/pending assembly — and the trace holds
+# the same events on a timeline.
+#
+# Usage:  scripts/run_telemetry_demo.sh [--scale N] [-o trace.json]
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python scripts/export_trace.py \
+    --demo -o "${TRACE_OUT:-/tmp/repro_trace.json}" "$@"

@@ -19,7 +19,7 @@ Quick start::
     gb.mxv(y, A, w, "plus_times")
 """
 
-from . import faults, validate
+from . import faults, telemetry, validate
 from .context import Mode, blocking, get_mode, nonblocking, set_mode
 from .descriptor import Descriptor, NULL_DESC, desc
 from .errors import (
@@ -49,7 +49,12 @@ from .io_move import (
 )
 from .matrix import Matrix
 from .monoid import MONOIDS, Monoid, make_monoid, monoid
-from .mxv import DEFAULT_SWITCH_THRESHOLD, DirectionOptimizer
+from .mxv import (
+    DEFAULT_SWITCH_THRESHOLD,
+    DirectionOptimizer,
+    get_switch_threshold,
+    set_switch_threshold,
+)
 from .operations import (
     ALL,
     apply,
@@ -182,6 +187,8 @@ __all__ = [
     "diag_extract",
     "DirectionOptimizer",
     "DEFAULT_SWITCH_THRESHOLD",
+    "get_switch_threshold",
+    "set_switch_threshold",
     # move import/export
     "export_matrix",
     "import_matrix",
@@ -205,7 +212,8 @@ __all__ = [
     "Panic",
     "OutputNotEmpty",
     "UninitializedObject",
-    # resilience
+    # resilience & observability
     "faults",
     "validate",
+    "telemetry",
 ]

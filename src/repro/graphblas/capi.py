@@ -39,6 +39,7 @@ import threading
 import numpy as np
 
 from . import operations as ops
+from . import telemetry
 from . import validate
 from .descriptor import Descriptor
 from .errors import GraphBLASError, Info, NoValue
@@ -104,6 +105,9 @@ __all__ = [
     "GrB_assign",
     "GrB_kronecker",
     "GrB_free",
+    "GxB_Burble_set",
+    "GxB_Burble_get",
+    "global_stats",
 ]
 
 GrB_SUCCESS = Info.SUCCESS
@@ -598,3 +602,42 @@ def GrB_assign(C, Mask, accum, A, I=GrB_ALL, J=GrB_ALL, desc=None):
 def GrB_kronecker(C, Mask, accum, op, A, B, desc=None):
     ops.kronecker(C, A, B, op, mask=Mask, accum=accum, desc=desc)
     return GrB_SUCCESS
+
+
+# -- GxB-style global diagnostics ---------------------------------------------
+
+
+def GxB_Burble_set(flag) -> Info:
+    """``GxB_Global_Option_set(GxB_BURBLE, …)``: toggle the burble stream.
+
+    Enabling the burble starts a telemetry collector on this thread when
+    none is active (so the very first ``GxB_Burble_set(True)`` suffices,
+    as in SuiteSparse).  Disabling only silences the stream — counters keep
+    accumulating until :func:`repro.graphblas.telemetry.disable`.
+    """
+    col = telemetry.active()
+    if flag:
+        if col is None:
+            telemetry.enable(burble=True)
+        else:
+            col.burble = True
+    elif col is not None:
+        col.burble = False
+    return GrB_SUCCESS
+
+
+def GxB_Burble_get() -> bool:
+    """``GxB_Global_Option_get(GxB_BURBLE)``: is the burble on?"""
+    col = telemetry.active()
+    return col is not None and col.burble
+
+
+def global_stats(include_events: bool = False) -> dict:
+    """``GxB_Global``-style diagnostics: this thread's telemetry snapshot.
+
+    Returns an empty dict when no collector is active, so callers can poll
+    unconditionally.
+    """
+    if telemetry.active() is None:
+        return {}
+    return telemetry.snapshot(include_events=include_events)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import telemetry
 from .errors import InvalidObject, InvalidValue
 from .formats import Orientation, SparseStore
 from .matrix import Matrix
@@ -92,6 +93,11 @@ def export_matrix(A: Matrix, format: str | None = None) -> ExportedMatrix:
     # the remains of A are deleted; content is now owned by the caller
     A._store = None
     A._valid = False
+    if telemetry.ENABLED:
+        moved = out.Ap.nbytes + out.Ai.nbytes + out.Ax.nbytes
+        if out.Ah is not None:
+            moved += out.Ah.nbytes
+        telemetry.tally("export", calls=1, bytes_moved=int(moved))
     return out
 
 
@@ -161,6 +167,11 @@ def import_matrix(
 
     A = Matrix(dt, nrows, ncols)
     A._store = store
+    if telemetry.ENABLED:
+        moved = Ap.nbytes + Ai.nbytes + store.values.nbytes
+        if Ah is not None:
+            moved += Ah.nbytes
+        telemetry.tally("import", calls=1, bytes_moved=int(moved))
     return A
 
 
@@ -169,6 +180,10 @@ def export_vector(v: Vector) -> tuple[int, np.ndarray, np.ndarray]:
     v._require_valid()
     v.wait()
     out = (v.size, v.indices, v.values)
+    if telemetry.ENABLED:
+        telemetry.tally(
+            "export", calls=1, bytes_moved=int(out[1].nbytes + out[2].nbytes)
+        )
     v.indices = None
     v.values = None
     v._valid = False
@@ -185,4 +200,8 @@ def import_vector(size: int, indices, values, *, dtype=None, copy: bool = False)
     v = Vector(dt, size)
     v.indices = indices
     v.values = dt.cast_array(values)
+    if telemetry.ENABLED:
+        telemetry.tally(
+            "import", calls=1, bytes_moved=int(v.indices.nbytes + v.values.nbytes)
+        )
     return v

@@ -19,9 +19,11 @@ uses for direction-optimized traversal, at 2x memory.
 
 from __future__ import annotations
 
+import time as _time
+
 import numpy as np
 
-from . import context, faults
+from . import context, faults, telemetry
 from .errors import (
     IndexOutOfBounds,
     InvalidValue,
@@ -252,6 +254,10 @@ class Matrix:
             return self
         if faults.ENABLED:
             faults.trip("assemble")
+        if telemetry.ENABLED:
+            _t0 = _time.perf_counter()
+            _pending = len(self._pend_i)
+            _zombies = sum(self._pend_del)
         major, minor, values = self._store.to_coo()
         if self._store.orientation is Orientation.COL:
             rows, cols = minor, major
@@ -311,6 +317,15 @@ class Matrix:
         self._pend_i, self._pend_j = [], []
         self._pend_v, self._pend_del = [], []
         self._alt = None
+        if telemetry.ENABLED:
+            telemetry.decision(
+                "assembly",
+                object="matrix",
+                pending=_pending,
+                zombies=_zombies,
+                nvals=int(assembled.nvals),
+            )
+            telemetry.record_op("wait", _time.perf_counter() - _t0, int(assembled.nvals))
         return self
 
     # -- element access ----------------------------------------------------
@@ -408,6 +423,11 @@ class Matrix:
         s = s.to_hyper() if want_hyper else s.to_full_pointer()
         self._store = s
         self._alt = None
+        if telemetry.ENABLED:
+            telemetry.decision(
+                "format", object="matrix", format=fmt, forced=True,
+                nvals=int(s.nvals),
+            )
         return self
 
     def auto_format(self) -> "Matrix":
@@ -420,6 +440,15 @@ class Matrix:
             self._store = s.to_hyper()
         else:
             self._store = s.to_full_pointer()
+        if telemetry.ENABLED:
+            telemetry.decision(
+                "format",
+                object="matrix",
+                format=self.format,
+                forced=False,
+                nonempty=nonempty,
+                n_major=int(s.n_major),
+            )
         return self
 
     def keep_both_orientations(self, flag: bool = True) -> "Matrix":

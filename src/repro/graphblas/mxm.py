@@ -32,7 +32,7 @@ import heapq
 
 import numpy as np
 
-from . import faults
+from . import faults, telemetry
 from .errors import InvalidValue
 from .formats import SparseStore
 from .ops import BinaryOp
@@ -109,6 +109,7 @@ def mxm_coo(
         raise InvalidValue(f"unknown mxm method {method!r}")
     if faults.ENABLED:
         faults.trip("spgemm.flop")
+    requested = method
     if method == "auto":
         if mask_coords is not None and not mask_complement:
             method = "dot"
@@ -116,6 +117,15 @@ def mxm_coo(
             method = "gustavson"
     if semiring.mult.positional and method != "gustavson":
         method = "gustavson"  # positional products need coordinate expansion
+    if telemetry.ENABLED:
+        telemetry.decision(
+            "spgemm.method",
+            method=method,
+            requested=requested,
+            masked=mask_coords is not None,
+            a_nvals=a_rows.nvals,
+            b_nvals=b_rows.nvals,
+        )
 
     if method == "gustavson":
         r, c, v = _mxm_gustavson(a_rows, b_rows, semiring, out_type)
@@ -153,6 +163,8 @@ def _mxm_gustavson(
     lens = ends - starts
     flops = np.cumsum(lens)
     total = int(flops[-1])
+    if telemetry.ENABLED:
+        telemetry.tally("mxm", flops=total)
     if total == 0:
         return (
             np.empty(0, dtype=_INDEX),
@@ -263,6 +275,11 @@ def _mxm_dot(
 
     a_start, a_end = a_rows.major_ranges(out_i)
     b_start, b_end = b_cols.major_ranges(out_j)
+    if telemetry.ENABLED:
+        # the dot method's work is bounded by the scanned list lengths
+        telemetry.tally(
+            "mxm", flops=int((a_end - a_start).sum() + (b_end - b_start).sum())
+        )
 
     add = semiring.add
     mult = semiring.mult
@@ -274,6 +291,8 @@ def _mxm_dot(
 
     keep = np.zeros(out_i.size, dtype=bool)
     out_vals = np.empty(out_i.size, dtype=out_type.np_dtype)
+    early_exits = 0
+    early_eligible = 0
 
     for p in range(out_i.size):
         asl = slice(a_start[p], a_end[p])
@@ -291,6 +310,7 @@ def _mxm_dot(
         av = a_vals[asl][hit]
         bv = b_vals[bsl][pos[hit]]
         if terminal is not None and av.size > _EARLY_EXIT_BLOCK:
+            early_eligible += 1
             acc = None
             done = False
             for lo in range(0, av.size, _EARLY_EXIT_BLOCK):
@@ -311,12 +331,19 @@ def _mxm_dot(
                     break
             out_vals[p] = acc
             keep[p] = True
-            del done
+            early_exits += done
         else:
             prods = mult.apply(av, bv)
             out_vals[p] = add.reduce_array(prods, out_type)
             keep[p] = True
 
+    if telemetry.ENABLED and early_eligible:
+        telemetry.decision(
+            "mxm.early_exit",
+            terminated=early_exits,
+            eligible=early_eligible,
+            dots=int(out_i.size),
+        )
     out_i, out_j, out_vals = out_i[keep], out_j[keep], out_vals[keep]
     order = np.lexsort((out_j, out_i))
     return out_i[order], out_j[order], out_vals[order]

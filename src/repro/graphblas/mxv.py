@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import faults
+from . import faults, telemetry
 from .errors import InvalidValue
 from .formats import SparseStore
 from .mxm import _gather_ranges
@@ -38,6 +38,8 @@ __all__ = [
     "spmv_pull",
     "DirectionOptimizer",
     "DEFAULT_SWITCH_THRESHOLD",
+    "get_switch_threshold",
+    "set_switch_threshold",
 ]
 
 _INDEX = np.int64
@@ -45,6 +47,33 @@ _INDEX = np.int64
 # GraphBLAST switches push<->pull when frontier density crosses a threshold;
 # its default is a small constant fraction of the vertices.
 DEFAULT_SWITCH_THRESHOLD = 0.03
+
+# The live knob behind every "auto" direction choice.  Settable (see
+# set_switch_threshold) so telemetry experiments can sweep the switch point
+# without monkey-patching; DEFAULT_SWITCH_THRESHOLD records the shipped value.
+SWITCH_THRESHOLD = DEFAULT_SWITCH_THRESHOLD
+
+
+def get_switch_threshold() -> float:
+    """The current push<->pull density threshold used by ``method="auto"``."""
+    return SWITCH_THRESHOLD
+
+
+def set_switch_threshold(value: float) -> float:
+    """Set the push<->pull density threshold; returns the previous value.
+
+    Applies to every subsequent ``mxv``/``vxm`` with ``method="auto"`` and
+    to :class:`DirectionOptimizer` instances created without an explicit
+    threshold.  Values must lie strictly between 0 and 1; restore the
+    shipped default with ``set_switch_threshold(DEFAULT_SWITCH_THRESHOLD)``.
+    """
+    global SWITCH_THRESHOLD
+    value = float(value)
+    if not 0 < value < 1:
+        raise InvalidValue("switch threshold must be in (0, 1)")
+    prev = SWITCH_THRESHOLD
+    SWITCH_THRESHOLD = value
+    return prev
 
 
 def _vec_positional(kind: str, k: np.ndarray, m: np.ndarray, matrix_first: bool):
@@ -90,6 +119,8 @@ def spmspv_push(
     starts, ends = a_by_inner.major_ranges(u_idx)
     lens = ends - starts
     gather = _gather_ranges(starts, ends)
+    if telemetry.ENABLED:
+        telemetry.tally("mxv", flops=int(gather.size))
     if gather.size == 0:
         return np.empty(0, dtype=_INDEX), np.empty(0, dtype=out_type.np_dtype)
     out_idx = a_by_inner.minor[gather]
@@ -149,6 +180,8 @@ def spmv_pull(
         return np.empty(0, dtype=_INDEX), np.empty(0, dtype=out_type.np_dtype)
     sel = u_present[minor]
     major, minor, a_vals = major[sel], minor[sel], a_vals[sel]
+    if telemetry.ENABLED:
+        telemetry.tally("mxv", flops=int(major.size))
     if major.size == 0:
         return np.empty(0, dtype=_INDEX), np.empty(0, dtype=out_type.np_dtype)
 
@@ -176,7 +209,9 @@ class DirectionOptimizer:
     traversal of the previous iteration."
     """
 
-    def __init__(self, threshold: float = DEFAULT_SWITCH_THRESHOLD):
+    def __init__(self, threshold: float | None = None):
+        if threshold is None:
+            threshold = SWITCH_THRESHOLD
         if not 0 < threshold < 1:
             raise InvalidValue("threshold must be in (0, 1)")
         self.threshold = threshold

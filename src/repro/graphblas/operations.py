@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import faults
+from . import faults, telemetry
+from . import mxv as _mxv_mod
 from .coords import coords_in, idx_in, match_coo, match_idx
 from .descriptor import Descriptor, desc as _desc
 from .errors import (
@@ -33,7 +34,7 @@ from .mask import mask_true_coords, mask_true_idx, write_matrix, write_vector
 from .matrix import Matrix
 from .monoid import Monoid, monoid as _monoid
 from .mxm import _gather_ranges, mxm_coo
-from .mxv import DirectionOptimizer, DEFAULT_SWITCH_THRESHOLD, spmspv_push, spmv_pull
+from .mxv import DirectionOptimizer, spmspv_push, spmv_pull
 from .ops import BinaryOp, IndexUnaryOp, binary as _binary, indexunary as _indexunary, unary as _unary
 from .semiring import Semiring, semiring as _semiring
 from .types import BOOL, lookup_type
@@ -108,6 +109,7 @@ def _mat_shape(A: Matrix, transposed: bool) -> tuple[int, int]:
 # mxm / mxv / vxm
 # --------------------------------------------------------------------------
 
+@telemetry.instrumented("mxm")
 def mxm(
     C: Matrix,
     A: Matrix,
@@ -149,6 +151,7 @@ def mxm(
     return write_matrix(C, tr, tc, tv, mask=mask, accum=accum, desc=d)
 
 
+@telemetry.instrumented("mxv")
 def mxv(
     w: Vector,
     A: Matrix,
@@ -165,6 +168,7 @@ def mxv(
     return _matvec(w, A, u, semiring, mask, accum, desc, method, optimizer, True)
 
 
+@telemetry.instrumented("vxm")
 def vxm(
     w: Vector,
     u: Vector,
@@ -201,10 +205,35 @@ def _matvec(w, A, u, semiring, mask, accum, desc, method, optimizer, is_mxv):
         raise InvalidValue(f"unknown mxv method {method!r}")
     if method == "auto":
         density = u.nvals / u.size
+        threshold = (
+            optimizer.threshold
+            if optimizer is not None
+            else _mxv_mod.get_switch_threshold()
+        )
         if optimizer is not None:
             method = optimizer.choose(density)
         else:
-            method = "push" if density <= DEFAULT_SWITCH_THRESHOLD else "pull"
+            method = "push" if density <= threshold else "pull"
+        if telemetry.ENABLED:
+            telemetry.decision(
+                "mxv.direction",
+                op="mxv" if is_mxv else "vxm",
+                direction=method,
+                density=density,
+                threshold=threshold,
+                frontier_nvals=u.nvals,
+                size=u.size,
+                hysteresis=optimizer is not None,
+            )
+    elif telemetry.ENABLED:
+        telemetry.decision(
+            "mxv.direction",
+            op="mxv" if is_mxv else "vxm",
+            direction=method,
+            forced=True,
+            frontier_nvals=u.nvals,
+            size=u.size,
+        )
 
     if method == "push":
         store = A.by_row() if transposed else A.by_col()
@@ -240,6 +269,7 @@ def _ewise_op(op):
     return _binary(op)
 
 
+@telemetry.instrumented("eWiseAdd")
 def ewise_add(C, A, B, op="PLUS", *, mask=None, accum=None, desc=None):
     """``GrB_eWiseAdd``: set *union* of patterns; op applied where both."""
     if faults.ENABLED:
@@ -280,6 +310,7 @@ def ewise_add(C, A, B, op="PLUS", *, mask=None, accum=None, desc=None):
     return write_matrix(C, tr, tc, tv, mask=mask, accum=accum, desc=d)
 
 
+@telemetry.instrumented("eWiseMult")
 def ewise_mult(C, A, B, op="TIMES", *, mask=None, accum=None, desc=None):
     """``GrB_eWiseMult``: set *intersection* of patterns."""
     if faults.ENABLED:
@@ -314,6 +345,7 @@ def ewise_mult(C, A, B, op="TIMES", *, mask=None, accum=None, desc=None):
 # apply / select
 # --------------------------------------------------------------------------
 
+@telemetry.instrumented("apply")
 def apply(
     C,
     A,
@@ -375,6 +407,7 @@ def apply(
     return write_matrix(C, rows, cols, tv, mask=mask, accum=accum, desc=d)
 
 
+@telemetry.instrumented("select")
 def select(C, A, op, thunk=0, *, mask=None, accum=None, desc=None):
     """``GrB_select``: keep entries where the index-unary predicate holds."""
     if faults.ENABLED:
@@ -401,6 +434,7 @@ def select(C, A, op, thunk=0, *, mask=None, accum=None, desc=None):
 # reduce
 # --------------------------------------------------------------------------
 
+@telemetry.instrumented("reduce")
 def reduce_rowwise(
     w: Vector,
     A: Matrix,
@@ -432,6 +466,7 @@ def reduce_rowwise(
     return write_vector(w, ti, tv, mask=mask, accum=accum, desc=d)
 
 
+@telemetry.instrumented("reduce")
 def reduce_scalar(A, op="PLUS", *, accum=None, init=None):
     """``GrB_reduce`` (to scalar): fold every stored value with a monoid.
 
@@ -458,6 +493,7 @@ def reduce_scalar(A, op="PLUS", *, accum=None, init=None):
 # transpose / extract / assign / kronecker
 # --------------------------------------------------------------------------
 
+@telemetry.instrumented("transpose")
 def transpose(C: Matrix, A: Matrix, *, mask=None, accum=None, desc=None) -> Matrix:
     """``GrB_transpose``: C<mask> (+)= A^T.
 
@@ -492,6 +528,7 @@ def _expand_selection(sel: np.ndarray, entry_ids: np.ndarray):
     return entry_sel, out_pos.astype(_INDEX)
 
 
+@telemetry.instrumented("extract")
 def extract(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
     """``GrB_extract``: C<mask> (+)= A(I, J) (matrix), w (+)= u(I) (vector),
     or w (+)= A(I, j) (column extract when J is a scalar and A a matrix)."""
@@ -561,6 +598,7 @@ def _region_z(C: Matrix, mapped, region_rows, region_cols, accum):
     return zr, zc, zv
 
 
+@telemetry.instrumented("assign")
 def assign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
     """``GrB_assign``: C<mask>(I, J) (+)= A.
 
@@ -660,6 +698,7 @@ def assign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
     return write_matrix(C, zr, zc, zv, mask=mask, accum=None, desc=d)
 
 
+@telemetry.instrumented("subassign")
 def subassign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
     """``GxB_subassign``: C(I, J)<mask> (+)= A.
 
@@ -759,6 +798,7 @@ def _position_map(sel: np.ndarray, ids: np.ndarray) -> np.ndarray:
     return out
 
 
+@telemetry.instrumented("kronecker")
 def kronecker(C, A, B, op="TIMES", *, mask=None, accum=None, desc=None):
     """``GrB_kronecker``: C<mask> (+)= kron(A, B)."""
     if faults.ENABLED:

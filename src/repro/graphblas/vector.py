@@ -12,9 +12,11 @@ Incremental updates use the same ordered pending-log mechanism as
 
 from __future__ import annotations
 
+import time as _time
+
 import numpy as np
 
-from . import context, faults
+from . import context, faults, telemetry
 from .errors import (
     IndexOutOfBounds,
     InvalidValue,
@@ -164,6 +166,10 @@ class Vector:
             return self
         if faults.ENABLED:
             faults.trip("assemble")
+        if telemetry.ENABLED:
+            _t0 = _time.perf_counter()
+            _pending = len(self._pend_i)
+            _zombies = sum(self._pend_del)
         pi = np.asarray(self._pend_i, dtype=_INDEX)
         pdel = np.asarray(self._pend_del, dtype=bool)
         order = np.argsort(pi, kind="stable")
@@ -187,6 +193,17 @@ class Vector:
         # the update log, so a mid-assembly failure changes nothing
         self.indices, self.values = idx[order], val[order]
         self._pend_i, self._pend_v, self._pend_del = [], [], []
+        if telemetry.ENABLED:
+            telemetry.decision(
+                "assembly",
+                object="vector",
+                pending=_pending,
+                zombies=_zombies,
+                nvals=int(self.indices.size),
+            )
+            telemetry.record_op(
+                "wait", _time.perf_counter() - _t0, int(self.indices.size)
+            )
         return self
 
     # -- element access ------------------------------------------------------

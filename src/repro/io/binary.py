@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Matrix, faults
+from ..graphblas import Matrix, faults, telemetry
 from ..graphblas.io_move import export_matrix, import_matrix
 
 __all__ = ["save_matrix_npz", "load_matrix_npz", "save_graph_npz", "load_graph_npz"]
@@ -32,6 +32,12 @@ def save_matrix_npz(path, A: Matrix) -> None:
     }
     if ex.Ah is not None:
         payload["Ah"] = ex.Ah
+    if telemetry.ENABLED:
+        telemetry.tally(
+            "io.write",
+            calls=1,
+            bytes_moved=int(ex.Ap.nbytes + ex.Ai.nbytes + ex.Ax.nbytes),
+        )
     np.savez_compressed(path, **payload)
 
 
@@ -40,7 +46,7 @@ def load_matrix_npz(path) -> Matrix:
     if faults.ENABLED:
         faults.trip("io.read")
     with np.load(path, allow_pickle=False) as z:
-        return import_matrix(
+        A = import_matrix(
             format=str(z["format"]),
             nrows=int(z["nrows"]),
             ncols=int(z["ncols"]),
@@ -52,6 +58,9 @@ def load_matrix_npz(path) -> Matrix:
             copy=True,
             check=True,
         )
+    if telemetry.ENABLED:
+        telemetry.tally("io.read", calls=1, bytes_moved=int(A.nbytes))
+    return A
 
 
 def save_graph_npz(path, graph) -> None:
@@ -71,6 +80,12 @@ def save_graph_npz(path, graph) -> None:
     }
     if ex.Ah is not None:
         payload["Ah"] = ex.Ah
+    if telemetry.ENABLED:
+        telemetry.tally(
+            "io.write",
+            calls=1,
+            bytes_moved=int(ex.Ap.nbytes + ex.Ai.nbytes + ex.Ax.nbytes),
+        )
     np.savez_compressed(path, **payload)
 
 
@@ -93,4 +108,7 @@ def load_graph_npz(path):
             copy=True,
             check=True,
         )
-        return Graph(A, str(z["kind"]))
+        kind = str(z["kind"])
+    if telemetry.ENABLED:
+        telemetry.tally("io.read", calls=1, bytes_moved=int(A.nbytes))
+    return Graph(A, kind)

@@ -9,7 +9,7 @@ import os
 
 import numpy as np
 
-from ..graphblas import faults
+from ..graphblas import faults, telemetry
 from ..lagraph.graph import Graph, GraphKind
 
 __all__ = ["read_edgelist", "write_edgelist"]
@@ -32,6 +32,8 @@ def read_edgelist(
         text = source
     else:
         text = source.read()
+    if telemetry.ENABLED:
+        telemetry.tally("io.read", calls=1, bytes_moved=len(text))
 
     src, dst, w = [], [], []
     for line in text.splitlines():
@@ -71,6 +73,16 @@ def write_edgelist(target, graph: Graph, *, weights: bool = True) -> None:
                 f.write(f"{i} {j} {v}\n")
             else:
                 f.write(f"{i} {j}\n")
+
+    if telemetry.ENABLED:
+        inner = _emit
+
+        def _emit(f):
+            from .mmio import _CountingWriter
+
+            counter = _CountingWriter(f)
+            inner(counter)
+            telemetry.tally("io.write", calls=1, bytes_moved=counter.n)
 
     if isinstance(target, (str, os.PathLike)):
         with open(target, "w", encoding="utf-8") as f:

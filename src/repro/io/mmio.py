@@ -13,7 +13,7 @@ import os
 
 import numpy as np
 
-from ..graphblas import Matrix, faults
+from ..graphblas import Matrix, faults, telemetry
 from ..graphblas.errors import InvalidValue
 
 __all__ = ["mmread", "mmwrite"]
@@ -33,6 +33,13 @@ def mmread(source) -> Matrix:
 
 
 def _parse(f) -> Matrix:
+    A = _parse_body(f)
+    if telemetry.ENABLED:
+        telemetry.tally("io.read", calls=1, bytes_moved=int(A.nbytes))
+    return A
+
+
+def _parse_body(f) -> Matrix:
     if faults.ENABLED:
         faults.trip("io.read")
     header = f.readline().strip().split()
@@ -139,8 +146,28 @@ def mmwrite(target, A: Matrix, *, comment: str | None = None, field: str | None 
             else:
                 f.write(f"{i + 1} {j + 1} {float(v):.17g}\n")
 
+    if telemetry.ENABLED:
+        inner = _emit
+
+        def _emit(f):
+            counter = _CountingWriter(f)
+            inner(counter)
+            telemetry.tally("io.write", calls=1, bytes_moved=counter.n)
+
     if isinstance(target, (str, os.PathLike)):
         with open(target, "w", encoding="utf-8") as f:
             _emit(f)
     else:
         _emit(target)
+
+
+class _CountingWriter:
+    """Pass-through text sink that counts the bytes it forwards."""
+
+    def __init__(self, f):
+        self._f = f
+        self.n = 0
+
+    def write(self, s: str):
+        self.n += len(s)
+        return self._f.write(s)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Matrix, Vector
+from ..graphblas import Matrix, Vector, telemetry
 from ..graphblas import operations as ops
 from ..graphblas.descriptor import Descriptor
 from ..graphblas.errors import InvalidValue
@@ -97,22 +97,30 @@ def bfs(
         semiring = "LOR_LAND"
 
     depth = 0
-    while frontier.nvals > 0:
-        if levels is not None:
-            ops.assign(levels, depth, ops.ALL, mask=frontier, desc=_S)
-        if parents is not None:
-            ops.assign(parents, frontier, ops.ALL, mask=frontier, desc=_S)
-        ops.mxv(
-            frontier,
-            AT,
-            frontier,
-            semiring,
-            mask=visited,
-            desc=_RSC,
-            method=method,
-            optimizer=optimizer,
-        )
-        depth += 1
+    with telemetry.span("bfs", source=int(source), n=n, parent=parent):
+        while frontier.nvals > 0:
+            if telemetry.ENABLED:
+                telemetry.instant(
+                    "bfs.level",
+                    level=depth,
+                    frontier_nvals=int(frontier.nvals),
+                    frontier_density=frontier.nvals / n,
+                )
+            if levels is not None:
+                ops.assign(levels, depth, ops.ALL, mask=frontier, desc=_S)
+            if parents is not None:
+                ops.assign(parents, frontier, ops.ALL, mask=frontier, desc=_S)
+            ops.mxv(
+                frontier,
+                AT,
+                frontier,
+                semiring,
+                mask=visited,
+                desc=_RSC,
+                method=method,
+                optimizer=optimizer,
+            )
+            depth += 1
     return levels, parents
 
 
@@ -129,8 +137,13 @@ def bfs_levels_batch(sources, graph: Graph) -> Matrix:
         np.arange(ns), sources, np.ones(ns, dtype=bool), nrows=ns, ncols=n
     )
     depth = 0
-    while frontier.nvals > 0:
-        ops.assign(levels, depth, ops.ALL, ops.ALL, mask=frontier, desc=_S)
-        ops.mxm(frontier, frontier, graph.A, "LOR_LAND", mask=levels, desc=_RSC)
-        depth += 1
+    with telemetry.span("bfs_batch", sources=int(ns), n=n):
+        while frontier.nvals > 0:
+            if telemetry.ENABLED:
+                telemetry.instant(
+                    "bfs.level", level=depth, frontier_nvals=int(frontier.nvals)
+                )
+            ops.assign(levels, depth, ops.ALL, ops.ALL, mask=frontier, desc=_S)
+            ops.mxm(frontier, frontier, graph.A, "LOR_LAND", mask=levels, desc=_RSC)
+            depth += 1
     return levels

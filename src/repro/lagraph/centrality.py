@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Matrix, Vector
+from ..graphblas import Matrix, Vector, telemetry
 from ..graphblas import operations as ops
 from ..graphblas.descriptor import Descriptor
 from .graph import Graph, GraphKind
@@ -51,27 +51,31 @@ def pagerank(
     ops.apply(inv_deg, deg_f, "minv")  # 1/deg at non-dangling vertices
 
     iters = 0
-    for iters in range(1, max_iters + 1):
-        prev = r.dup()
-        # per-edge contribution of each vertex: r / out-degree
-        w = Vector("FP64", n)
-        ops.ewise_mult(w, r, inv_deg, "times")
-        # rank mass parked on dangling vertices, redistributed uniformly
-        dangling = float(ops.reduce_scalar(r, "plus")) - float(
-            ops.reduce_scalar(w_times_deg(w, deg), "plus")
-        )
-        t = Vector("FP64", n)
-        ops.mxv(t, AT, w, "PLUS_SECOND", method="pull")
-        base = teleport + damping * dangling / n
-        r = Vector.full(base, n, dtype="FP64")
-        ops.apply(t, t, "times", right=damping)
-        ops.ewise_add(r, r, t, "plus")
-        # L1 convergence check
-        diff = Vector("FP64", n)
-        ops.ewise_add(diff, r, prev, "minus")
-        ops.apply(diff, diff, "abs")
-        if float(ops.reduce_scalar(diff, "plus")) < tol:
-            break
+    with telemetry.span("pagerank", n=n, damping=damping, tol=tol):
+        for iters in range(1, max_iters + 1):
+            prev = r.dup()
+            # per-edge contribution of each vertex: r / out-degree
+            w = Vector("FP64", n)
+            ops.ewise_mult(w, r, inv_deg, "times")
+            # rank mass parked on dangling vertices, redistributed uniformly
+            dangling = float(ops.reduce_scalar(r, "plus")) - float(
+                ops.reduce_scalar(w_times_deg(w, deg), "plus")
+            )
+            t = Vector("FP64", n)
+            ops.mxv(t, AT, w, "PLUS_SECOND", method="pull")
+            base = teleport + damping * dangling / n
+            r = Vector.full(base, n, dtype="FP64")
+            ops.apply(t, t, "times", right=damping)
+            ops.ewise_add(r, r, t, "plus")
+            # L1 convergence check
+            diff = Vector("FP64", n)
+            ops.ewise_add(diff, r, prev, "minus")
+            ops.apply(diff, diff, "abs")
+            resid = float(ops.reduce_scalar(diff, "plus"))
+            if telemetry.ENABLED:
+                telemetry.instant("pagerank.iteration", iteration=iters, residual=resid)
+            if resid < tol:
+                break
     return r, iters
 
 
@@ -107,35 +111,43 @@ def betweenness_centrality(graph: Graph, sources=None) -> Vector:
     )
     frontier = paths.dup()
     stack: list[Matrix] = [paths.dup()]  # stack[d] = the depth-d frontier
-    while True:
-        next_frontier = Matrix("FP64", ns, n)
-        # advance one level, counting paths: (+, first) carries path counts
-        ops.mxm(next_frontier, frontier, A, "PLUS_FIRST", mask=paths, desc=_RSC)
-        if next_frontier.nvals == 0:
-            break
-        ops.ewise_add(paths, paths, next_frontier, "plus")
-        stack.append(next_frontier)
-        frontier = next_frontier
+    with telemetry.span("betweenness.forward", sources=int(ns), n=n):
+        while True:
+            next_frontier = Matrix("FP64", ns, n)
+            # advance one level, counting paths: (+, first) carries path counts
+            ops.mxm(next_frontier, frontier, A, "PLUS_FIRST", mask=paths, desc=_RSC)
+            if next_frontier.nvals == 0:
+                break
+            if telemetry.ENABLED:
+                telemetry.instant(
+                    "betweenness.level",
+                    depth=len(stack),
+                    frontier_nvals=int(next_frontier.nvals),
+                )
+            ops.ewise_add(paths, paths, next_frontier, "plus")
+            stack.append(next_frontier)
+            frontier = next_frontier
 
     # backward phase: dependency accumulation, deepest level first
     bcu = Matrix.from_dense(np.ones((ns, n)), dtype="FP64")
-    for d in range(len(stack) - 1, 0, -1):
-        w = Matrix("FP64", ns, n)
-        # w = (1 + delta) ./ sigma, restricted to this level's frontier
-        ops.ewise_mult(w, bcu, inv(paths), "times", mask=stack[d], desc=_RS)
-        back = Matrix("FP64", ns, n)
-        # pull dependencies one level up: back(s, v) = sum_{(v,u) in E} w(s, u)
-        ops.mxm(
-            back,
-            w,
-            A,
-            "PLUS_FIRST",
-            mask=stack[d - 1],
-            desc=_RS & Descriptor(transpose_b=True),
-        )
-        update = Matrix("FP64", ns, n)
-        ops.ewise_mult(update, back, paths, "times")
-        ops.ewise_add(bcu, bcu, update, "plus")
+    with telemetry.span("betweenness.backward", sources=int(ns), n=n):
+        for d in range(len(stack) - 1, 0, -1):
+            w = Matrix("FP64", ns, n)
+            # w = (1 + delta) ./ sigma, restricted to this level's frontier
+            ops.ewise_mult(w, bcu, inv(paths), "times", mask=stack[d], desc=_RS)
+            back = Matrix("FP64", ns, n)
+            # pull dependencies one level up: back(s, v) = sum_{(v,u) in E} w(s, u)
+            ops.mxm(
+                back,
+                w,
+                A,
+                "PLUS_FIRST",
+                mask=stack[d - 1],
+                desc=_RS & Descriptor(transpose_b=True),
+            )
+            update = Matrix("FP64", ns, n)
+            ops.ewise_mult(update, back, paths, "times")
+            ops.ewise_add(bcu, bcu, update, "plus")
 
     # centrality(v) = sum_s delta_s(v), excluding each source's own
     # self-dependency: bcu(s, v) = 1 + delta_s(v), so subtract the ns

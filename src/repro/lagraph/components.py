@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Matrix, Vector
+from ..graphblas import Matrix, Vector, telemetry
 from ..graphblas import operations as ops
 from .graph import Graph, GraphKind
 
@@ -39,46 +39,53 @@ def connected_components(graph: Graph) -> Vector:
     S = _symmetric_structure(graph)
     f = Vector.from_dense(np.arange(n, dtype=np.int64))  # parent pointers
 
-    while True:
-        changed = False
-        fd = f.to_dense()
-        # grandparents: gp = f[f]  (a gather, i.e. GrB extract with I = f)
-        gp = Vector("INT64", n)
-        ops.extract(gp, f, fd)
-        gpd = gp.to_dense()
-
-        # hooking: mngp(i) = min over neighbours j of gp(j)
-        mngp = Vector("INT64", n)
-        ops.mxv(mngp, S, gp, "MIN_SECOND")
-        mi, mv = mngp.extract_tuples()
-        # hook the *parent* of i to the min neighbouring grandparent:
-        # f[f[i]] = min(f[f[i]], mngp(i)) — a scatter-min, i.e. a
-        # GrB_Vector_build with dup = MIN folded into f with eWise MIN
-        if mi.size:
-            scatter = Vector("INT64", n)
-            scatter.build(fd[mi], mv, dup="MIN")
-            before = f.dup()
-            ops.ewise_add(f, f, scatter, "MIN")
-            changed |= not f.isequal(before)
-            # hook also directly: f[i] = min(f[i], mngp(i))
-            before = f.dup()
-            ops.ewise_add(f, f, mngp, "MIN")
-            changed |= not f.isequal(before)
-
-        # shortcutting: f = min(f, f[f])
-        before = f.dup()
-        ops.ewise_add(f, f, gp, "MIN")
-        changed |= not f.isequal(before)
-
-        if not changed:
-            # fully path-compress before returning
+    rounds = 0
+    with telemetry.span("components.fastsv", n=n):
+        while True:
+            changed = False
             fd = f.to_dense()
-            while True:
-                nxt = fd[fd]
-                if np.array_equal(nxt, fd):
-                    break
-                fd = nxt
-            return Vector.from_dense(fd)
+            # grandparents: gp = f[f]  (a gather, i.e. GrB extract with I = f)
+            gp = Vector("INT64", n)
+            ops.extract(gp, f, fd)
+            gpd = gp.to_dense()
+
+            # hooking: mngp(i) = min over neighbours j of gp(j)
+            mngp = Vector("INT64", n)
+            ops.mxv(mngp, S, gp, "MIN_SECOND")
+            mi, mv = mngp.extract_tuples()
+            # hook the *parent* of i to the min neighbouring grandparent:
+            # f[f[i]] = min(f[f[i]], mngp(i)) — a scatter-min, i.e. a
+            # GrB_Vector_build with dup = MIN folded into f with eWise MIN
+            if mi.size:
+                scatter = Vector("INT64", n)
+                scatter.build(fd[mi], mv, dup="MIN")
+                before = f.dup()
+                ops.ewise_add(f, f, scatter, "MIN")
+                changed |= not f.isequal(before)
+                # hook also directly: f[i] = min(f[i], mngp(i))
+                before = f.dup()
+                ops.ewise_add(f, f, mngp, "MIN")
+                changed |= not f.isequal(before)
+
+            # shortcutting: f = min(f, f[f])
+            before = f.dup()
+            ops.ewise_add(f, f, gp, "MIN")
+            changed |= not f.isequal(before)
+
+            rounds += 1
+            if telemetry.ENABLED:
+                telemetry.instant(
+                    "components.round", round=rounds, changed=changed
+                )
+            if not changed:
+                # fully path-compress before returning
+                fd = f.to_dense()
+                while True:
+                    nxt = fd[fd]
+                    if np.array_equal(nxt, fd):
+                        break
+                    fd = nxt
+                return Vector.from_dense(fd)
 
 
 def cc_label_propagation(graph: Graph, max_iters: int | None = None) -> Vector:

@@ -33,9 +33,20 @@ __all__ = [
 _RS = Descriptor(replace=True, structural_mask=True)
 
 
-def degree_statistics(graph: Graph) -> dict[str, float]:
-    """min / max / mean / median out-degree and the skew ratio max/mean."""
-    d = graph.out_degree.to_dense(fill=0).astype(np.float64)
+def degree_statistics(graph: Graph, *, direction: str = "out") -> dict[str, float]:
+    """min / max / mean / median degree and the skew ratio max/mean.
+
+    ``direction`` selects which degree is summarized: ``"out"`` (default)
+    or ``"in"``.  For ``GraphKind.UNDIRECTED`` the two coincide; for
+    directed graphs they can differ substantially, so callers analysing
+    incoming link structure must ask for ``direction="in"`` explicitly.
+    """
+    from ..graphblas.errors import InvalidValue
+
+    if direction not in ("out", "in"):
+        raise InvalidValue(f"direction must be 'out' or 'in', got {direction!r}")
+    deg = graph.in_degree if direction == "in" else graph.out_degree
+    d = deg.to_dense(fill=0).astype(np.float64)
     mean = float(d.mean()) if d.size else 0.0
     return {
         "min": float(d.min()) if d.size else 0.0,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Vector
+from ..graphblas import Vector, telemetry
 from ..graphblas import operations as ops
 from ..graphblas.descriptor import Descriptor
 from ..graphblas.errors import InvalidValue
@@ -33,12 +33,17 @@ def bellman_ford_sssp(source: int, graph: Graph, *, max_iters: int | None = None
     d = Vector("FP64", n)
     d.set_element(source, 0.0)
     limit = n if max_iters is None else max_iters
-    for it in range(limit):
-        prev = d.dup()
-        # d<-- min over incoming relaxations, folded in with the MIN accum
-        ops.vxm(d, d, graph.A, "MIN_PLUS", accum="MIN")
-        if d.isequal(prev):
-            return d
+    with telemetry.span("sssp.bellman_ford", source=int(source), n=n):
+        for it in range(limit):
+            prev = d.dup()
+            # d<-- min over incoming relaxations, folded in with the MIN accum
+            ops.vxm(d, d, graph.A, "MIN_PLUS", accum="MIN")
+            if telemetry.ENABLED:
+                telemetry.instant(
+                    "sssp.iteration", iteration=it, reached=int(d.nvals)
+                )
+            if d.isequal(prev):
+                return d
     # one more relaxation still improving => negative cycle
     prev = d.dup()
     ops.vxm(d, d, graph.A, "MIN_PLUS", accum="MIN")
@@ -77,31 +82,43 @@ def delta_stepping_sssp(source: int, graph: Graph, delta: float | None = None) -
     t.set_element(source, 0.0)
 
     settled_below = 0.0  # everything with distance < settled_below is final
-    while True:
-        # find the next non-empty bucket
-        frontier_all = Vector("FP64", n)
-        ops.select(frontier_all, t, "VALUEGE", settled_below)
-        if frontier_all.nvals == 0:
-            break
-        bucket_lo = float(ops.reduce_scalar(frontier_all, "MIN"))
-        step = int(np.floor(bucket_lo / delta))
-        lo, hi = step * delta, (step + 1) * delta
-
-        # light-edge fixpoint within the bucket
+    span = telemetry.span("sssp.delta_stepping", source=int(source), n=n, delta=delta)
+    with span:
+        bucket_no = 0
         while True:
+            # find the next non-empty bucket
+            frontier_all = Vector("FP64", n)
+            ops.select(frontier_all, t, "VALUEGE", settled_below)
+            if frontier_all.nvals == 0:
+                break
+            bucket_lo = float(ops.reduce_scalar(frontier_all, "MIN"))
+            step = int(np.floor(bucket_lo / delta))
+            lo, hi = step * delta, (step + 1) * delta
+            if telemetry.ENABLED:
+                telemetry.instant(
+                    "sssp.bucket",
+                    bucket=bucket_no,
+                    lo=lo,
+                    hi=hi,
+                    candidates=int(frontier_all.nvals),
+                )
+            bucket_no += 1
+
+            # light-edge fixpoint within the bucket
+            while True:
+                tB = Vector("FP64", n)
+                ops.select(tB, t, "VALUEGE", lo)
+                ops.select(tB, tB, "VALUELT", hi)
+                before = t.dup()
+                ops.vxm(t, tB, AL, "MIN_PLUS", accum="MIN")
+                if t.isequal(before):
+                    break
+            # one heavy-edge relaxation out of the settled bucket
             tB = Vector("FP64", n)
             ops.select(tB, t, "VALUEGE", lo)
             ops.select(tB, tB, "VALUELT", hi)
-            before = t.dup()
-            ops.vxm(t, tB, AL, "MIN_PLUS", accum="MIN")
-            if t.isequal(before):
-                break
-        # one heavy-edge relaxation out of the settled bucket
-        tB = Vector("FP64", n)
-        ops.select(tB, t, "VALUEGE", lo)
-        ops.select(tB, tB, "VALUELT", hi)
-        ops.vxm(t, tB, AH, "MIN_PLUS", accum="MIN")
-        settled_below = hi
+            ops.vxm(t, tB, AH, "MIN_PLUS", accum="MIN")
+            settled_below = hi
     return t
 
 

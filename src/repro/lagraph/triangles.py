@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Matrix
+from ..graphblas import Matrix, telemetry
 from ..graphblas import operations as ops
 from ..graphblas.descriptor import Descriptor
 from ..graphblas.errors import InvalidValue
@@ -42,6 +42,11 @@ def triangle_count(graph: Graph, method: str = "sandia_ll") -> int:
     A = _prepared(graph)
     n = A.nrows
     method = method.lower()
+    with telemetry.span("triangles", method=method, n=n, nvals=int(A.nvals)):
+        return _count(A, n, method)
+
+
+def _count(A: Matrix, n: int, method: str) -> int:
     if method == "burkhardt":
         C = Matrix("FP64", n, n)
         ops.mxm(C, A, A, "PLUS_TIMES", mask=A, desc=_RS, method="dot")

@@ -127,3 +127,93 @@ class TestKCore:
         g = Graph.from_edges([0, 1, 2], [1, 2, 0], n=3)  # directed triangle
         got = kcore_decomposition(g).to_dense()
         assert got.tolist() == [2, 2, 2]
+
+
+class TestDegreeDirection:
+    """degree_statistics(direction=) on directed graphs (satellite fix)."""
+
+    def _chain(self):
+        # 0->1, 2->1, 3->1: vertex 1 has in-degree 3, out-degree 0
+        return Graph.from_edges([0, 2, 3], [1, 1, 1], n=4)
+
+    def test_out_is_default(self):
+        g = self._chain()
+        assert degree_statistics(g) == degree_statistics(g, direction="out")
+
+    def test_out_degree_stats(self):
+        s = degree_statistics(self._chain(), direction="out")
+        assert s["max"] == 1 and s["min"] == 0
+        assert np.isclose(s["mean"], 3 / 4)
+
+    def test_in_degree_stats(self):
+        s = degree_statistics(self._chain(), direction="in")
+        assert s["max"] == 3 and s["min"] == 0
+        assert np.isclose(s["mean"], 3 / 4)
+        assert np.isclose(s["skew"], 3 / (3 / 4))
+
+    def test_undirected_directions_coincide(self):
+        g = cycle_graph(7)
+        assert degree_statistics(g, direction="in") == degree_statistics(
+            g, direction="out"
+        )
+
+    def test_invalid_direction_raises(self):
+        from repro.graphblas.errors import InvalidValue
+
+        with pytest.raises(InvalidValue):
+            degree_statistics(self._chain(), direction="sideways")
+
+
+class TestDisconnected:
+    """graph_summary / estimate_diameter on disconnected graphs (satellite)."""
+
+    def _two_paths(self):
+        # components {0,1,2,3} (path, diameter 3) and {4,5} (edge, diameter 1)
+        return Graph.from_edges(
+            [0, 1, 2, 4], [1, 2, 3, 5], n=6, kind="undirected"
+        )
+
+    def _with_isolates(self):
+        # a triangle plus three isolated vertices
+        return Graph.from_edges(
+            [0, 1, 2], [1, 2, 0], n=6, kind="undirected"
+        )
+
+    def test_diameter_ignores_unreachable_pairs(self):
+        # per-component eccentricity: the answer is the largest component's
+        # diameter, not infinity
+        assert estimate_diameter(self._two_paths(), samples=6) == 3
+
+    def test_diameter_exact_on_each_component(self):
+        g = Graph.from_edges([0, 4], [1, 5], n=6, kind="undirected")
+        assert estimate_diameter(g, samples=6) == 1
+
+    def test_diameter_with_isolated_vertices(self):
+        assert estimate_diameter(self._with_isolates(), samples=6) == 1
+
+    def test_diameter_no_edges_is_zero(self):
+        g = Graph.from_edges([], [], n=5, kind="undirected")
+        assert estimate_diameter(g, samples=5) == 0
+
+    def test_diameter_sampled_disconnected(self):
+        # sampling fewer sources than n must still return a finite bound
+        got = estimate_diameter(self._two_paths(), samples=2, seed=7)
+        assert 0 <= got <= 3
+
+    def test_summary_disconnected(self):
+        s = graph_summary(self._two_paths())
+        assert s["vertices"] == 6
+        assert s["edges"] == 4
+        assert s["max_degree"] == 2
+        assert np.isclose(s["mean_degree"], 2 * 4 / 6)
+        assert 0 < s["density"] < 1
+
+    def test_summary_with_isolates_matches_networkx(self):
+        g = self._with_isolates()
+        G_nx = nx.Graph([(0, 1), (1, 2), (2, 0)])
+        G_nx.add_nodes_from(range(3, 6))
+        s = graph_summary(g)
+        assert s["density"] == pytest.approx(nx.density(G_nx))
+        assert s["mean_degree"] == pytest.approx(
+            sum(d for _, d in G_nx.degree) / 6
+        )

@@ -1,0 +1,14 @@
+"""Telemetry-suite fixtures: every test starts and ends with telemetry off."""
+
+import pytest
+
+from repro.graphblas import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Detach any collector leaked by a failing test (ENABLED must reset)."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+    assert not telemetry.ENABLED
