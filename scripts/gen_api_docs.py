@@ -20,6 +20,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import repro
 import repro.generators
 import repro.graphblas
+import repro.graphblas.backends
 import repro.graphblas.capi
 import repro.graphblas.faults
 import repro.graphblas.telemetry
@@ -122,6 +123,55 @@ Run the fault-injection suite with `scripts/run_resilience.sh`
 """
 
 
+BACKENDS_SECTION = """
+## Kernel backends & the op pipeline
+
+Every Table-I operation runs through a two-stage pipeline
+(`repro.graphblas.plan` → `repro.graphblas.backends`): the *planner*
+resolves string specs to operator objects, applies descriptor flags, and
+validates shapes/domains up front, producing a typed `OpPlan`; the
+*dispatcher* hands that plan to the selected `KernelBackend`.  All
+backends funnel results through the same accum-then-mask write step, so
+they are interchangeable per call, per block, or process-wide:
+
+```python
+import repro.graphblas as gb
+
+gb.mxm(C, A, B, "PLUS_TIMES", backend="scipy")   # per call
+with gb.backend("reference"):                     # per block (thread-local)
+    bfs_level(0, graph)
+gb.set_default_backend("differential")            # process-wide
+# or: GRAPHBLAS_BACKEND=reference pytest tests/graphblas
+```
+
+Built-in engines:
+
+* **`optimized`** (default) — the vectorized NumPy engine: SpGEMM method
+  selection, push/pull mxv direction switching, masked kernels.
+* **`reference`** — the dense spec-literal mimic promoted to a full
+  engine; every op is a loop written line-by-line from the spec.  Slow,
+  but an oracle: the whole `tests/graphblas` suite passes under it.
+* **`scipy`** — bridges mxm/mxv/vxm (PLUS_TIMES) and eWiseAdd/eWiseMult
+  (PLUS/TIMES) to `scipy.sparse` CSR kernels, with a dual pattern/value
+  computation so cancellation zeros stay structural.  Declines anything
+  else and falls back to `optimized`; declines everything when scipy is
+  not installed.
+* **`differential`** — runs `optimized`, then re-executes every
+  operation whose dense replay fits `GRAPHBLAS_DIFF_BUDGET` cells
+  (default `1<<22`) on `reference` and compares pattern + values,
+  raising `BackendDivergence` on mismatch; over-budget ops are counted
+  as skipped (`get_backend("differential").stats`).  CLI:
+  `scripts/run_differential_check.py --scale 14`.
+
+Selection is observable (`backend.dispatch` / `backend.fallback`
+telemetry decisions), settable at the C-API level
+(`capi.GxB_Backend_set/get`), and extensible: `register_backend(name,
+factory)` adds an engine; a backend implements only what it supports and
+declares a `fallback` for the rest.  `Matrix.to_scipy/from_scipy` and
+`Vector.to_scipy/from_scipy` convert at the boundary.
+"""
+
+
 TELEMETRY_SECTION = """
 ## Telemetry & diagnostics
 
@@ -173,8 +223,11 @@ def main() -> None:
             "docstrings — regenerate after changing any exported surface.\n"
         )
         f.write(RESILIENCE_SECTION)
+        f.write(BACKENDS_SECTION)
         f.write(TELEMETRY_SECTION)
         render_module(f, repro.graphblas, "repro.graphblas")
+        render_module(f, repro.graphblas.backends, "repro.graphblas.backends")
+        render_module(f, repro.graphblas.plan, "repro.graphblas.plan")
         render_module(f, repro.graphblas.capi, "repro.graphblas.capi")
         render_module(f, repro.graphblas.faults, "repro.graphblas.faults")
         render_module(f, repro.graphblas.telemetry, "repro.graphblas.telemetry")

@@ -19,11 +19,21 @@ Quick start::
     gb.mxv(y, A, w, "plus_times")
 """
 
-from . import faults, telemetry, validate
+from . import backends, faults, plan, telemetry, validate
+from .backends import (
+    available_backends,
+    backend,
+    current_backend,
+    current_backend_name,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
 from .context import Mode, blocking, get_mode, nonblocking, set_mode
 from .descriptor import Descriptor, NULL_DESC, desc
 from .errors import (
     ApiError,
+    BackendDivergence,
     DimensionMismatch,
     DomainMismatch,
     ExecutionError,
@@ -87,6 +97,7 @@ from .ops import (
     indexunary,
     unary,
 )
+from .plan import OpPlan, TABLE1_OPS
 from .scalar import Scalar
 from .semiring import (
     SEMIRINGS,
@@ -212,6 +223,19 @@ __all__ = [
     "Panic",
     "OutputNotEmpty",
     "UninitializedObject",
+    "BackendDivergence",
+    # kernel backends & planning
+    "backends",
+    "backend",
+    "get_backend",
+    "set_default_backend",
+    "current_backend",
+    "current_backend_name",
+    "available_backends",
+    "register_backend",
+    "plan",
+    "OpPlan",
+    "TABLE1_OPS",
     # resilience & observability
     "faults",
     "validate",

@@ -1,0 +1,228 @@
+"""Pluggable kernel backends for the Table-I operation set.
+
+The operation layer splits every GraphBLAS call into an engine-independent
+:class:`~repro.graphblas.plan.OpPlan` (built by :mod:`repro.graphblas.plan`)
+and a kernel half served by a :class:`KernelBackend`.  Four backends ship:
+
+``optimized``
+    The sparse production engine (CSR/CSC/hypersparse kernels, push/pull
+    mxv, masked SpGEMM).  The default.
+``reference``
+    The dense spec-literal mimic from :mod:`repro.graphblas.reference`,
+    promoted from test helper to a first-class engine.  Slow but written
+    directly from the spec's math.
+``scipy``
+    mxm/mxv/vxm/eWise hot paths bridged through scipy.sparse, with
+    graceful fallback to ``optimized`` for everything else (or when scipy
+    is not installed).
+``differential``
+    The paper's testing methodology (section II.A) as a runtime mode:
+    every call runs on both ``optimized`` and ``reference`` and raises
+    :class:`~repro.graphblas.errors.BackendDivergence` if the two disagree
+    on pattern or values.
+
+Selection, outermost wins:
+
+1. per-call override: ``ops.mxm(C, A, B, backend="reference")``;
+2. context manager: ``with graphblas.backend("differential"): ...``;
+3. environment: ``GRAPHBLAS_BACKEND=reference`` (read once, at first use;
+   ``set_default_backend`` changes it at runtime);
+4. the ``optimized`` default.
+
+Every dispatch records a ``backend.dispatch`` telemetry decision naming
+the backend that served the op, and a ``backend.fallback`` decision
+whenever a backend declines a plan via :meth:`KernelBackend.supports`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import threading
+
+from .. import telemetry
+from ..errors import InvalidValue
+from ..plan import TABLE1_OPS, OpPlan
+
+__all__ = [
+    "KernelBackend",
+    "backend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "current_backend",
+    "current_backend_name",
+    "set_default_backend",
+    "dispatch",
+]
+
+
+class KernelBackend:
+    """Protocol for a kernel engine serving the Table-I operation surface.
+
+    Subclasses implement one method per operation in
+    :data:`~repro.graphblas.plan.TABLE1_OPS`; each receives a fully
+    resolved :class:`OpPlan`, performs the kernel work, and finishes the
+    result through the shared accum-then-mask write step so all engines
+    share identical mask/accumulator/replace semantics.
+
+    ``supports`` lets a partial backend decline plans it cannot serve;
+    the dispatcher then walks the ``fallback`` chain (recording a
+    ``backend.fallback`` telemetry decision at each hop).
+    """
+
+    name = "abstract"
+    #: backend name to try when ``supports`` returns False (None = error).
+    fallback: str | None = "optimized"
+
+    def supports(self, plan: OpPlan) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _unimplemented(op_name):
+    def method(self, plan):
+        raise NotImplementedError(f"{self.name} backend does not implement {op_name}")
+
+    method.__name__ = op_name
+    return method
+
+
+for _op in TABLE1_OPS:
+    setattr(KernelBackend, _op, _unimplemented(_op))
+del _op
+
+
+# --------------------------------------------------------------------------
+# registry
+# --------------------------------------------------------------------------
+
+_factories: dict[str, object] = {}
+_instances: dict[str, KernelBackend] = {}
+_tls = threading.local()
+_default: KernelBackend | None = None
+
+
+def register_backend(name: str, factory, *, replace: bool = False) -> None:
+    """Register a backend under ``name``; ``factory()`` builds the instance.
+
+    Registration is lazy: the factory runs on first :func:`get_backend`
+    lookup, so optional dependencies (scipy) are only imported on use.
+    """
+    if name in _factories and not replace:
+        raise InvalidValue(f"backend {name!r} already registered")
+    _factories[name] = factory
+    _instances.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends."""
+    return tuple(sorted(_factories))
+
+
+def get_backend(spec) -> KernelBackend:
+    """Resolve a backend instance from a name or instance (cached)."""
+    if isinstance(spec, KernelBackend):
+        return spec
+    inst = _instances.get(spec)
+    if inst is None:
+        factory = _factories.get(spec)
+        if factory is None:
+            raise InvalidValue(
+                f"unknown backend {spec!r}; available: {', '.join(available_backends())}"
+            )
+        inst = _instances[spec] = factory()
+    return inst
+
+
+def _builtin(module: str, cls: str):
+    def factory():
+        mod = importlib.import_module(f".{module}", __package__)
+        return getattr(mod, cls)()
+
+    return factory
+
+
+register_backend("optimized", _builtin("optimized", "OptimizedBackend"))
+register_backend("reference", _builtin("reference", "ReferenceBackend"))
+register_backend("scipy", _builtin("scipy_backend", "SciPyBackend"))
+register_backend("differential", _builtin("differential", "DifferentialBackend"))
+
+
+# --------------------------------------------------------------------------
+# selection
+# --------------------------------------------------------------------------
+
+def set_default_backend(name: str | None) -> None:
+    """Set the process default (overriding ``GRAPHBLAS_BACKEND``).
+
+    ``None`` re-reads the environment on next use.
+    """
+    global _default
+    _default = None if name is None else get_backend(name)
+
+
+def current_backend() -> KernelBackend:
+    """The backend active on this thread (stack top, else the default)."""
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    global _default
+    if _default is None:
+        _default = get_backend(os.environ.get("GRAPHBLAS_BACKEND", "optimized"))
+    return _default
+
+
+def current_backend_name() -> str:
+    """Name of the backend active on this thread."""
+    return current_backend().name
+
+
+class backend:
+    """Context manager selecting a backend for the enclosed operations.
+
+    ::
+
+        with graphblas.backend("differential"):
+            bfs_level(src, G)   # every Table-I op is cross-checked
+
+    Selection is thread-local and nests; the innermost wins.
+    """
+
+    def __init__(self, name):
+        self._target = get_backend(name)
+
+    def __enter__(self) -> KernelBackend:
+        stack = getattr(_tls, "stack", None)
+        if stack is None:
+            stack = _tls.stack = []
+        stack.append(self._target)
+        return self._target
+
+    def __exit__(self, *exc) -> None:
+        _tls.stack.pop()
+
+
+# --------------------------------------------------------------------------
+# dispatch
+# --------------------------------------------------------------------------
+
+def dispatch(plan: OpPlan, backend=None):
+    """Route a plan to the active backend, walking fallbacks as needed."""
+    be = get_backend(backend) if backend is not None else current_backend()
+    while not be.supports(plan):
+        fb = be.fallback
+        if fb is None or fb == be.name:
+            raise NotImplementedError(
+                f"backend {be.name!r} cannot serve {plan.op} and has no fallback"
+            )
+        if telemetry.ENABLED:
+            telemetry.decision(
+                "backend.fallback", op=plan.op, declined=be.name, fallback=fb
+            )
+        be = get_backend(fb)
+    if telemetry.ENABLED:
+        telemetry.decision("backend.dispatch", op=plan.op, backend=be.name)
+    return getattr(be, plan.op)(plan)

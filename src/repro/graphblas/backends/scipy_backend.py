@@ -1,0 +1,185 @@
+"""scipy.sparse bridge backend for the arithmetic hot paths.
+
+Serves mxm/mxv/vxm on the conventional PLUS_TIMES semiring and
+eWiseAdd(PLUS)/eWiseMult(TIMES) on builtin numeric domains through
+scipy's compiled CSR kernels; every other plan is declined via
+``supports`` and falls back to the ``optimized`` engine (recorded as a
+``backend.fallback`` telemetry decision).  When scipy is not installed
+the backend declines everything — selection still works, it just always
+falls back.
+
+The structural subtlety: GraphBLAS results carry a *pattern* (an entry
+exists wherever a structural contribution exists, even if its value is
+numerically zero), while scipy prunes cancellation zeros produced by
+``@``, ``+`` and ``.multiply``.  Each kernel therefore runs twice:
+
+* a **pattern product** over int64 all-ones matrices — sums of positive
+  counts cannot cancel, so its stored entries are exactly the GraphBLAS
+  pattern;
+* the **value product** over the real data, aligned onto the pattern
+  coordinates with the sorted-coordinate matcher (positions scipy pruned
+  are exact zeros by construction).
+
+Results then funnel through the same accum-then-mask write step as every
+other backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coords import match_coo
+from ..mask import write_matrix, write_vector
+from ..matrix import Matrix
+from ..vector import Vector
+from . import KernelBackend
+
+try:
+    import scipy.sparse as _sp
+except ImportError:  # pragma: no cover - exercised on scipy-free installs
+    _sp = None
+
+_INDEX = np.int64
+
+
+def _values_csr(A: Matrix, transposed: bool, np_dtype):
+    rows, cols, vals = A.extract_tuples()
+    if transposed:
+        rows, cols = cols, rows
+    shape = (A.ncols, A.nrows) if transposed else A.shape
+    return _sp.csr_matrix(
+        (vals.astype(np_dtype), (rows, cols)), shape=shape
+    )
+
+
+def _pattern_csr(A: Matrix, transposed: bool):
+    rows, cols, _ = A.extract_tuples()
+    if transposed:
+        rows, cols = cols, rows
+    shape = (A.ncols, A.nrows) if transposed else A.shape
+    return _sp.csr_matrix(
+        (np.ones(rows.size, dtype=_INDEX), (rows, cols)), shape=shape
+    )
+
+
+def _vec_col(u: Vector, np_dtype):
+    idx, vals = u.extract_tuples()
+    zeros = np.zeros(idx.size, dtype=_INDEX)
+    return (
+        _sp.csc_matrix((vals.astype(np_dtype), (idx, zeros)), shape=(u.size, 1)),
+        _sp.csc_matrix((np.ones(idx.size, dtype=_INDEX), (idx, zeros)),
+                       shape=(u.size, 1)),
+    )
+
+
+def _align_coo(P, V, out_type):
+    """Pattern coords from P, values from V at matching coords (else 0)."""
+    P, V = P.tocoo(), V.tocoo()
+    tr = P.row.astype(_INDEX)
+    tc = P.col.astype(_INDEX)
+    tv = np.zeros(tr.size, dtype=out_type.np_dtype)
+    ia, ib, _, _ = match_coo(V.row.astype(_INDEX), V.col.astype(_INDEX), tr, tc)
+    tv[ib] = out_type.cast_array(V.data)[ia]
+    return tr, tc, tv
+
+
+def _is_plus_times(sr) -> bool:
+    return sr.add.op.name == "PLUS" and sr.mult.name == "TIMES"
+
+
+def _numeric(*dtypes) -> bool:
+    return all(t.builtin and t.np_dtype != np.bool_ for t in dtypes)
+
+
+class SciPyBackend(KernelBackend):
+    """Partial engine: conventional arithmetic via scipy, rest falls back."""
+
+    name = "scipy"
+    fallback = "optimized"
+
+    def supports(self, plan) -> bool:
+        if _sp is None:
+            return False
+        if plan.op in ("mxm", "mxv", "vxm"):
+            sr = plan.operator
+            dt = [a.dtype for a in plan.args]
+            return _is_plus_times(sr) and _numeric(plan.out_type, *dt)
+        if plan.op in ("ewise_add", "ewise_mult"):
+            want = "PLUS" if plan.op == "ewise_add" else "TIMES"
+            dt = [a.dtype for a in plan.args]
+            return plan.operator.name == want and _numeric(plan.out_type, *dt)
+        return False
+
+    # -- kernels -------------------------------------------------------------
+
+    def mxm(self, plan):
+        A, B = plan.args
+        d, out_type = plan.desc, plan.out_type
+        V = _values_csr(A, d.transpose_a, out_type.np_dtype) @ _values_csr(
+            B, d.transpose_b, out_type.np_dtype
+        )
+        P = _pattern_csr(A, d.transpose_a) @ _pattern_csr(B, d.transpose_b)
+        tr, tc, tv = _align_coo(P, V, out_type)
+        return write_matrix(
+            plan.out, tr, tc, tv, mask=plan.mask, accum=plan.accum, desc=d
+        )
+
+    def _matvec(self, plan):
+        p = plan.params
+        A, u = plan.args if p["is_mxv"] else (plan.args[1], plan.args[0])
+        out_type = plan.out_type
+        As = _values_csr(A, p["transposed"], out_type.np_dtype)
+        Ap = _pattern_csr(A, p["transposed"])
+        uv, up = _vec_col(u, out_type.np_dtype)
+        V = (As @ uv).tocoo()
+        P = (Ap @ up).tocoo()
+        ti = P.row.astype(_INDEX)
+        tv = np.zeros(ti.size, dtype=out_type.np_dtype)
+        ia, ib, _, _ = match_coo(
+            V.row.astype(_INDEX), V.col.astype(_INDEX), ti,
+            np.zeros(ti.size, dtype=_INDEX),
+        )
+        tv[ib] = out_type.cast_array(V.data)[ia]
+        order = np.argsort(ti, kind="stable")
+        return write_vector(
+            plan.out, ti[order], tv[order],
+            mask=plan.mask, accum=plan.accum, desc=plan.desc,
+        )
+
+    mxv = _matvec
+    vxm = _matvec
+
+    def _ewise(self, plan, combine):
+        A, B = plan.args
+        d, out_type = plan.desc, plan.out_type
+        if plan.params["is_vector"]:
+            av, ap = _vec_col(A, out_type.np_dtype)
+            bv, bp = _vec_col(B, out_type.np_dtype)
+            V, P = combine(av, bv).tocoo(), combine(ap, bp).tocoo()
+            ti = P.row.astype(_INDEX)
+            tv = np.zeros(ti.size, dtype=out_type.np_dtype)
+            ia, ib, _, _ = match_coo(
+                V.row.astype(_INDEX), V.col.astype(_INDEX), ti,
+                np.zeros(ti.size, dtype=_INDEX),
+            )
+            tv[ib] = out_type.cast_array(V.data)[ia]
+            order = np.argsort(ti, kind="stable")
+            return write_vector(
+                plan.out, ti[order], tv[order],
+                mask=plan.mask, accum=plan.accum, desc=d,
+            )
+        V = combine(
+            _values_csr(A, d.transpose_a, out_type.np_dtype),
+            _values_csr(B, d.transpose_b, out_type.np_dtype),
+        )
+        P = combine(_pattern_csr(A, d.transpose_a), _pattern_csr(B, d.transpose_b))
+        tr, tc, tv = _align_coo(P, V, out_type)
+        return write_matrix(
+            plan.out, tr, tc, tv, mask=plan.mask, accum=plan.accum, desc=d
+        )
+
+    def ewise_add(self, plan):
+        return self._ewise(plan, lambda x, y: x + y)
+
+    def ewise_mult(self, plan):
+        return self._ewise(plan, lambda x, y: x.multiply(y))

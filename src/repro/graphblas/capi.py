@@ -632,6 +632,30 @@ def GxB_Burble_get() -> bool:
     return col is not None and col.burble
 
 
+def GxB_Backend_set(name) -> Info:
+    """``GxB_Global_Option_set``-style kernel backend selection.
+
+    Sets the process-default :class:`~repro.graphblas.backends.KernelBackend`
+    (``"optimized"``, ``"reference"``, ``"scipy"``, ``"differential"``);
+    an unknown name returns ``GrB_INVALID_VALUE`` like any other bad
+    global option.
+    """
+    from . import backends as _backends
+
+    try:
+        _backends.set_default_backend(name)
+    except GraphBLASError as exc:
+        return exc.info
+    return GrB_SUCCESS
+
+
+def GxB_Backend_get() -> str:
+    """``GxB_Global_Option_get``-style: the currently selected backend name."""
+    from . import backends as _backends
+
+    return _backends.current_backend_name()
+
+
 def global_stats(include_events: bool = False) -> dict:
     """``GxB_Global``-style diagnostics: this thread's telemetry snapshot.
 

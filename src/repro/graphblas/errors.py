@@ -105,6 +105,18 @@ class Panic(ExecutionError):
     info = Info.PANIC
 
 
+class BackendDivergence(ExecutionError):
+    """Two kernel backends disagreed on an operation's pattern or values.
+
+    Raised by the ``differential`` backend when the optimized engine and
+    the dense spec-literal reference produce different results for the
+    same :class:`~repro.graphblas.plan.OpPlan` — the runtime form of the
+    paper's dual-implementation testing methodology (section II.A).
+    """
+
+    info = Info.PANIC
+
+
 class NoValue(GraphBLASError):
     """Raised by extractElement when the entry is not present.
 

@@ -58,14 +58,19 @@ def reduce_by_segments(op, values: np.ndarray, starts: np.ndarray, dtype: Type):
     uf = op.ufunc if isinstance(op.ufunc, np.ufunc) else None
     if uf is not None:
         return dtype.cast_array(uf.reduceat(values, starts))
+    # Non-ufunc fold, vectorized across segments: advance all segments one
+    # position per step, so each segment still sees a strict left-to-right
+    # fold (sequence order matters — the op need not be associative).
     ends = np.append(starts[1:], values.size)
-    out = np.empty(starts.size, dtype=dtype.np_dtype)
-    for s in range(starts.size):
-        acc = values[starts[s]]
-        for k in range(starts[s] + 1, ends[s]):
-            acc = op.fn(acc, values[k])
-        out[s] = acc
-    return out
+    lengths = ends - starts
+    vfn = np.frompyfunc(op.fn, 2, 1)
+    acc = values[starts].astype(object)
+    for k in range(1, int(lengths.max())):
+        active = lengths > k
+        if not np.any(active):
+            break
+        acc[active] = vfn(acc[active], values[starts[active] + k])
+    return dtype.cast_array(acc)
 
 
 def group_starts(sorted_keys: np.ndarray) -> np.ndarray:

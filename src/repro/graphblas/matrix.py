@@ -553,6 +553,34 @@ class Matrix:
         out[rows, cols] = True
         return out
 
+    def to_scipy(self, format: str = "csr"):
+        """Export as a ``scipy.sparse`` matrix (``csr``/``csc``/``coo``).
+
+        Explicit zeros are preserved: scipy keeps stored entries until one
+        of its own operations prunes them, so the round-trip through
+        :meth:`from_scipy` is pattern-exact.  Raises ImportError when
+        scipy is not installed.
+        """
+        import scipy.sparse as sp
+
+        rows, cols, vals = self.extract_tuples()
+        coo = sp.coo_matrix((vals, (rows, cols)), shape=self.shape)
+        return coo.asformat(format)
+
+    @classmethod
+    def from_scipy(cls, A, *, dtype=None) -> "Matrix":
+        """Build from any ``scipy.sparse`` matrix, keeping stored zeros."""
+        coo = A.tocoo()
+        return cls.from_coo(
+            coo.row,
+            coo.col,
+            coo.data,
+            nrows=A.shape[0],
+            ncols=A.shape[1],
+            dtype=dtype,
+            dup=None,
+        )
+
     def isequal(self, other: "Matrix") -> bool:
         """Same type, dimensions, pattern, and values (LAGraph_IsEqual)."""
         if not isinstance(other, Matrix):

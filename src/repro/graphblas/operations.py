@@ -1,43 +1,46 @@
-"""The GraphBLAS operations of Table I.
+"""The GraphBLAS operations of Table I — the dispatch shim.
 
-Every operation follows the spec's canonical pipeline:
+Every operation follows the spec's canonical pipeline, now split into two
+explicit halves:
 
-1. resolve descriptor (input transposes, mask semantics, replace);
-2. run a sparse kernel producing the intermediate result ``T``;
-3. merge ``T`` into the output through the shared accum-then-mask write
-   step (:mod:`repro.graphblas.mask`).
+1. :mod:`repro.graphblas.plan` resolves the engine-independent parts —
+   descriptor, operator/semiring/accumulator names, shapes, index sets —
+   into a typed :class:`~repro.graphblas.plan.OpPlan`;
+2. :mod:`repro.graphblas.backends` routes the plan to the active
+   :class:`~repro.graphblas.backends.KernelBackend` (``optimized`` by
+   default; ``reference``, ``scipy``, or ``differential`` by selection).
+
+This module is the thin shim tying the halves together.  It owns the
+cross-cutting concerns that must fire exactly once per call, whichever
+engine runs: fault-injection trip points and telemetry op timers.
 
 Matrix and vector variants share entry points and dispatch on object type,
 mirroring the polymorphic C interface the IBM implementation builds with
 ``_Generic`` (section II.B).
 
 Signatures are "output first": ``mxm(C, A, B, semiring, mask=…, accum=…,
-desc=…)`` updates and returns ``C``.  The strict C-API shape lives in
-:mod:`repro.graphblas.capi`.
+desc=…)`` updates and returns ``C``.  Each operation also accepts
+``backend=`` to override the engine for that single call.  The strict
+C-API shape lives in :mod:`repro.graphblas.capi`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from . import faults, telemetry
-from . import mxv as _mxv_mod
-from .coords import coords_in, idx_in, match_coo, match_idx
-from .descriptor import Descriptor, desc as _desc
-from .errors import (
-    DimensionMismatch,
-    DomainMismatch,
-    IndexOutOfBounds,
-    InvalidValue,
-)
-from .mask import mask_true_coords, mask_true_idx, write_matrix, write_vector
+from . import faults, plan as _plan, telemetry
+from .backends import dispatch as _dispatch
+from .errors import DimensionMismatch, InvalidValue
 from .matrix import Matrix
-from .monoid import Monoid, monoid as _monoid
-from .mxm import _gather_ranges, mxm_coo
-from .mxv import DirectionOptimizer, spmspv_push, spmv_pull
-from .ops import BinaryOp, IndexUnaryOp, binary as _binary, indexunary as _indexunary, unary as _unary
-from .semiring import Semiring, semiring as _semiring
-from .types import BOOL, lookup_type
+from .mxv import DirectionOptimizer
+from .plan import (
+    ALL,
+    _All,
+    resolve_accum as _resolve_accum,
+    resolve_ewise_op as _ewise_op,
+    resolve_index as _resolve_index,
+)
+from .types import lookup_type
 from .vector import Vector
 
 __all__ = [
@@ -63,301 +66,63 @@ __all__ = [
     "nvals_like",
 ]
 
-_INDEX = np.int64
-
-
-class _All:
-    """``GrB_ALL``: select every index of a dimension."""
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "ALL"
-
-
-ALL = _All()
-
-
-def _resolve_accum(accum) -> BinaryOp | None:
-    return None if accum is None else _binary(accum)
-
-
-def _resolve_index(I, dim: int) -> np.ndarray:
-    """Resolve an index specification (ALL, slice, int, array) to indices."""
-    if I is None or isinstance(I, _All):
-        return np.arange(dim, dtype=_INDEX)
-    if isinstance(I, slice):
-        return np.arange(*I.indices(dim), dtype=_INDEX)
-    if np.isscalar(I):
-        I = [I]
-    I = np.asarray(I, dtype=_INDEX)
-    if I.size and (I.min() < 0 or I.max() >= dim):
-        raise IndexOutOfBounds(f"index set exceeds dimension {dim}")
-    return I
-
-
-def _matrix_coo(A: Matrix, transposed: bool):
-    rows, cols, vals = A.extract_tuples()
-    if transposed:
-        rows, cols = cols, rows
-    return rows, cols, vals
-
-
-def _mat_shape(A: Matrix, transposed: bool) -> tuple[int, int]:
-    return (A.ncols, A.nrows) if transposed else A.shape
-
 
 # --------------------------------------------------------------------------
-# mxm / mxv / vxm
+# Table-I operations: plan, then dispatch
 # --------------------------------------------------------------------------
 
 @telemetry.instrumented("mxm")
-def mxm(
-    C: Matrix,
-    A: Matrix,
-    B: Matrix,
-    semiring="PLUS_TIMES",
-    *,
-    mask: Matrix | None = None,
-    accum=None,
-    desc=None,
-    method: str = "auto",
-) -> Matrix:
+def mxm(C, A, B, semiring="PLUS_TIMES", *, mask=None, accum=None, desc=None,
+        method="auto", backend=None):
     """``GrB_mxm``: C<mask> (+)= A (+).(x) B."""
-    d = _desc(desc)
-    sr = _semiring(semiring)
-    accum = _resolve_accum(accum)
-    nra, nca = _mat_shape(A, d.transpose_a)
-    nrb, ncb = _mat_shape(B, d.transpose_b)
-    if nca != nrb:
-        raise DimensionMismatch(f"inner dims differ: {nca} vs {nrb}")
-    if C.shape != (nra, ncb):
-        raise DimensionMismatch(f"output is {C.shape}, expected {(nra, ncb)}")
-
-    a_rows = A.by_col().transposed() if d.transpose_a else A.by_row()
-    b_rows = B.by_col().transposed() if d.transpose_b else B.by_row()
-    out_type = sr.out_type(A.dtype, B.dtype)
-
-    mask_hint = None
-    if mask is not None and not d.complement_mask:
-        mask_hint = mask_true_coords(mask, d)
-    tr, tc, tv = mxm_coo(
-        a_rows,
-        b_rows,
-        sr,
-        out_type,
-        method=method,
-        mask_coords=mask_hint,
-        mask_complement=False,
-    )
-    return write_matrix(C, tr, tc, tv, mask=mask, accum=accum, desc=d)
+    p = _plan.plan_mxm(C, A, B, semiring, mask=mask, accum=accum, desc=desc,
+                       method=method)
+    return _dispatch(p, backend)
 
 
 @telemetry.instrumented("mxv")
-def mxv(
-    w: Vector,
-    A: Matrix,
-    u: Vector,
-    semiring="PLUS_TIMES",
-    *,
-    mask: Vector | None = None,
-    accum=None,
-    desc=None,
-    method: str = "auto",
-    optimizer: DirectionOptimizer | None = None,
-) -> Vector:
+def mxv(w, A, u, semiring="PLUS_TIMES", *, mask=None, accum=None, desc=None,
+        method="auto", optimizer: DirectionOptimizer | None = None,
+        backend=None):
     """``GrB_mxv``: w<mask> (+)= A (+).(x) u, with push/pull selection."""
-    return _matvec(w, A, u, semiring, mask, accum, desc, method, optimizer, True)
+    p = _plan.plan_mxv(w, A, u, semiring, mask=mask, accum=accum, desc=desc,
+                       method=method, optimizer=optimizer)
+    return _dispatch(p, backend)
 
 
 @telemetry.instrumented("vxm")
-def vxm(
-    w: Vector,
-    u: Vector,
-    A: Matrix,
-    semiring="PLUS_TIMES",
-    *,
-    mask: Vector | None = None,
-    accum=None,
-    desc=None,
-    method: str = "auto",
-    optimizer: DirectionOptimizer | None = None,
-) -> Vector:
+def vxm(w, u, A, semiring="PLUS_TIMES", *, mask=None, accum=None, desc=None,
+        method="auto", optimizer: DirectionOptimizer | None = None,
+        backend=None):
     """``GrB_vxm``: w^T<mask> (+)= u^T (+).(x) A."""
-    return _matvec(w, A, u, semiring, mask, accum, desc, method, optimizer, False)
-
-
-def _matvec(w, A, u, semiring, mask, accum, desc, method, optimizer, is_mxv):
-    d = _desc(desc)
-    sr = _semiring(semiring)
-    accum = _resolve_accum(accum)
-    # effective transpose: vxm(u, A) is mxv with A^T, so fold the flag
-    transposed = d.transpose_a if is_mxv else not d.transpose_a
-    inner = A.nrows if transposed else A.ncols
-    outer = A.ncols if transposed else A.nrows
-    if u.size != inner:
-        raise DimensionMismatch(f"vector size {u.size}, matrix inner dim {inner}")
-    if w.size != outer:
-        raise DimensionMismatch(f"output size {w.size}, matrix outer dim {outer}")
-    out_type = (
-        sr.out_type(A.dtype, u.dtype) if is_mxv else sr.out_type(u.dtype, A.dtype)
-    )
-
-    if method not in ("auto", "push", "pull"):
-        raise InvalidValue(f"unknown mxv method {method!r}")
-    if method == "auto":
-        density = u.nvals / u.size
-        threshold = (
-            optimizer.threshold
-            if optimizer is not None
-            else _mxv_mod.get_switch_threshold()
-        )
-        if optimizer is not None:
-            method = optimizer.choose(density)
-        else:
-            method = "push" if density <= threshold else "pull"
-        if telemetry.ENABLED:
-            telemetry.decision(
-                "mxv.direction",
-                op="mxv" if is_mxv else "vxm",
-                direction=method,
-                density=density,
-                threshold=threshold,
-                frontier_nvals=u.nvals,
-                size=u.size,
-                hysteresis=optimizer is not None,
-            )
-    elif telemetry.ENABLED:
-        telemetry.decision(
-            "mxv.direction",
-            op="mxv" if is_mxv else "vxm",
-            direction=method,
-            forced=True,
-            frontier_nvals=u.nvals,
-            size=u.size,
-        )
-
-    if method == "push":
-        store = A.by_row() if transposed else A.by_col()
-        u_idx, u_vals = u.extract_tuples()
-        ti, tv = spmspv_push(store, u_idx, u_vals, sr, out_type, matrix_first=is_mxv)
-    else:
-        store = A.by_col().transposed() if transposed else A.by_row()
-        hint = None
-        if mask is not None and not d.complement_mask:
-            hint = mask_true_idx(mask, d)
-        ti, tv = spmv_pull(
-            store,
-            u.to_dense(),
-            u.pattern(),
-            sr,
-            out_type,
-            matrix_first=is_mxv,
-            outer_hint=hint,
-        )
-    return write_vector(w, ti, tv, mask=mask, accum=accum, desc=d)
-
-
-# --------------------------------------------------------------------------
-# element-wise operations
-# --------------------------------------------------------------------------
-
-def _ewise_op(op):
-    """eWise ops accept a BinaryOp, Monoid (its op), or Semiring (its add)."""
-    if isinstance(op, Semiring):
-        return op.add.op
-    if isinstance(op, Monoid):
-        return op.op
-    return _binary(op)
+    p = _plan.plan_vxm(w, u, A, semiring, mask=mask, accum=accum, desc=desc,
+                       method=method, optimizer=optimizer)
+    return _dispatch(p, backend)
 
 
 @telemetry.instrumented("eWiseAdd")
-def ewise_add(C, A, B, op="PLUS", *, mask=None, accum=None, desc=None):
+def ewise_add(C, A, B, op="PLUS", *, mask=None, accum=None, desc=None,
+              backend=None):
     """``GrB_eWiseAdd``: set *union* of patterns; op applied where both."""
     if faults.ENABLED:
         faults.trip("ewise")
-    d = _desc(desc)
-    op = _ewise_op(op)
-    accum = _resolve_accum(accum)
-    if op.positional:
-        raise DomainMismatch("positional ops are not valid in eWiseAdd")
-    if isinstance(A, Vector):
-        if A.size != B.size or C.size != A.size:
-            raise DimensionMismatch("eWiseAdd vector sizes differ")
-        ai, av = A.extract_tuples()
-        bi, bv = B.extract_tuples()
-        out_type = op.out_type(A.dtype, B.dtype)
-        ia, ib, oa, ob = match_idx(ai, bi)
-        both = op.apply(av[ia], bv[ib], out_type)
-        ti = np.concatenate([ai[ia], ai[oa], bi[ob]])
-        tv = np.concatenate(
-            [both, out_type.cast_array(av[oa]), out_type.cast_array(bv[ob])]
-        )
-        order = np.argsort(ti, kind="stable")
-        return write_vector(C, ti[order], tv[order], mask=mask, accum=accum, desc=d)
-    shape_a = _mat_shape(A, d.transpose_a)
-    shape_b = _mat_shape(B, d.transpose_b)
-    if shape_a != shape_b or C.shape != shape_a:
-        raise DimensionMismatch("eWiseAdd matrix shapes differ")
-    ar, ac, av = _matrix_coo(A, d.transpose_a)
-    br, bc, bv = _matrix_coo(B, d.transpose_b)
-    out_type = op.out_type(A.dtype, B.dtype)
-    ia, ib, oa, ob = match_coo(ar, ac, br, bc)
-    both = op.apply(av[ia], bv[ib], out_type)
-    tr = np.concatenate([ar[ia], ar[oa], br[ob]])
-    tc = np.concatenate([ac[ia], ac[oa], bc[ob]])
-    tv = np.concatenate(
-        [both, out_type.cast_array(av[oa]), out_type.cast_array(bv[ob])]
-    )
-    return write_matrix(C, tr, tc, tv, mask=mask, accum=accum, desc=d)
+    p = _plan.plan_ewise_add(C, A, B, op, mask=mask, accum=accum, desc=desc)
+    return _dispatch(p, backend)
 
 
 @telemetry.instrumented("eWiseMult")
-def ewise_mult(C, A, B, op="TIMES", *, mask=None, accum=None, desc=None):
+def ewise_mult(C, A, B, op="TIMES", *, mask=None, accum=None, desc=None,
+               backend=None):
     """``GrB_eWiseMult``: set *intersection* of patterns."""
     if faults.ENABLED:
         faults.trip("ewise")
-    d = _desc(desc)
-    op = _ewise_op(op)
-    accum = _resolve_accum(accum)
-    if op.positional:
-        raise DomainMismatch("positional ops are not valid in eWiseMult")
-    if isinstance(A, Vector):
-        if A.size != B.size or C.size != A.size:
-            raise DimensionMismatch("eWiseMult vector sizes differ")
-        ai, av = A.extract_tuples()
-        bi, bv = B.extract_tuples()
-        out_type = op.out_type(A.dtype, B.dtype)
-        ia, ib, _, _ = match_idx(ai, bi)
-        tv = op.apply(av[ia], bv[ib], out_type)
-        return write_vector(C, ai[ia], tv, mask=mask, accum=accum, desc=d)
-    shape_a = _mat_shape(A, d.transpose_a)
-    shape_b = _mat_shape(B, d.transpose_b)
-    if shape_a != shape_b or C.shape != shape_a:
-        raise DimensionMismatch("eWiseMult matrix shapes differ")
-    ar, ac, av = _matrix_coo(A, d.transpose_a)
-    br, bc, bv = _matrix_coo(B, d.transpose_b)
-    out_type = op.out_type(A.dtype, B.dtype)
-    ia, ib, _, _ = match_coo(ar, ac, br, bc)
-    tv = op.apply(av[ia], bv[ib], out_type)
-    return write_matrix(C, ar[ia], ac[ia], tv, mask=mask, accum=accum, desc=d)
+    p = _plan.plan_ewise_mult(C, A, B, op, mask=mask, accum=accum, desc=desc)
+    return _dispatch(p, backend)
 
-
-# --------------------------------------------------------------------------
-# apply / select
-# --------------------------------------------------------------------------
 
 @telemetry.instrumented("apply")
-def apply(
-    C,
-    A,
-    op="IDENTITY",
-    *,
-    left=None,
-    right=None,
-    thunk=None,
-    mask=None,
-    accum=None,
-    desc=None,
-):
+def apply(C, A, op="IDENTITY", *, left=None, right=None, thunk=None,
+          mask=None, accum=None, desc=None, backend=None):
     """``GrB_apply``: C<mask> (+)= f(A).
 
     ``op`` may be a UnaryOp; a BinaryOp with ``left`` or ``right`` bound
@@ -365,109 +130,36 @@ def apply(
     """
     if faults.ENABLED:
         faults.trip("apply")
-    d = _desc(desc)
-    accum = _resolve_accum(accum)
-    is_vec = isinstance(A, Vector)
-
-    if is_vec:
-        if C.size != A.size:
-            raise DimensionMismatch("apply vector sizes differ")
-        ti, tv_in = A.extract_tuples()
-        rows, cols = ti, np.zeros_like(ti)
-    else:
-        if C.shape != _mat_shape(A, d.transpose_a):
-            raise DimensionMismatch("apply matrix shapes differ")
-        rows, cols, tv_in = _matrix_coo(A, d.transpose_a)
-
-    from .ops import INDEXUNARY_OPS
-
-    if isinstance(op, IndexUnaryOp) or (
-        isinstance(op, str) and op.upper() in INDEXUNARY_OPS
-    ):
-        iu = _indexunary(op)
-        out_type = iu.out_type(A.dtype)
-        tv = out_type.cast_array(iu.apply(tv_in, rows, cols, thunk if thunk is not None else 0))
-    elif left is not None or right is not None:
-        bop = _binary(op)
-        if left is not None and right is not None:
-            raise InvalidValue("bind only one side of the binary op")
-        if left is not None:
-            out_type = bop.out_type(lookup_type(np.asarray(left).dtype), A.dtype)
-            tv = bop.apply(np.broadcast_to(np.asarray(left), tv_in.shape), tv_in, out_type)
-        else:
-            out_type = bop.out_type(A.dtype, lookup_type(np.asarray(right).dtype))
-            tv = bop.apply(tv_in, np.broadcast_to(np.asarray(right), tv_in.shape), out_type)
-    else:
-        uop = _unary(op)
-        out_type = uop.out_type(A.dtype)
-        tv = uop.apply(tv_in, out_type)
-
-    if is_vec:
-        return write_vector(C, rows, tv, mask=mask, accum=accum, desc=d)
-    return write_matrix(C, rows, cols, tv, mask=mask, accum=accum, desc=d)
+    p = _plan.plan_apply(C, A, op, left=left, right=right, thunk=thunk,
+                         mask=mask, accum=accum, desc=desc)
+    return _dispatch(p, backend)
 
 
 @telemetry.instrumented("select")
-def select(C, A, op, thunk=0, *, mask=None, accum=None, desc=None):
+def select(C, A, op, thunk=0, *, mask=None, accum=None, desc=None,
+           backend=None):
     """``GrB_select``: keep entries where the index-unary predicate holds."""
     if faults.ENABLED:
         faults.trip("select")
-    d = _desc(desc)
-    accum = _resolve_accum(accum)
-    iu = _indexunary(op)
-    if isinstance(A, Vector):
-        if C.size != A.size:
-            raise DimensionMismatch("select vector sizes differ")
-        ti, tv = A.extract_tuples()
-        keep = BOOL.cast_array(iu.apply(tv, ti, np.zeros_like(ti), thunk))
-        return write_vector(C, ti[keep], tv[keep], mask=mask, accum=accum, desc=d)
-    if C.shape != _mat_shape(A, d.transpose_a):
-        raise DimensionMismatch("select matrix shapes differ")
-    rows, cols, vals = _matrix_coo(A, d.transpose_a)
-    keep = BOOL.cast_array(iu.apply(vals, rows, cols, thunk))
-    return write_matrix(
-        C, rows[keep], cols[keep], vals[keep], mask=mask, accum=accum, desc=d
-    )
+    p = _plan.plan_select(C, A, op, thunk, mask=mask, accum=accum, desc=desc)
+    return _dispatch(p, backend)
 
-
-# --------------------------------------------------------------------------
-# reduce
-# --------------------------------------------------------------------------
 
 @telemetry.instrumented("reduce")
-def reduce_rowwise(
-    w: Vector,
-    A: Matrix,
-    op="PLUS",
-    *,
-    mask=None,
-    accum=None,
-    desc=None,
-):
+def reduce_rowwise(w, A, op="PLUS", *, mask=None, accum=None, desc=None,
+                   backend=None):
     """``GrB_reduce`` (matrix to vector): w(i) = (+)_j A(i, j).
 
     Reduce columns instead by setting the transpose descriptor.
     """
     if faults.ENABLED:
         faults.trip("reduce")
-    d = _desc(desc)
-    mon = _monoid(op)
-    accum = _resolve_accum(accum)
-    nr, _ = _mat_shape(A, d.transpose_a)
-    if w.size != nr:
-        raise DimensionMismatch(f"output size {w.size}, expected {nr}")
-    store = A.by_col() if d.transpose_a else A.by_row()
-    counts = np.diff(store.indptr)
-    nonempty = counts > 0
-    ids = store.h if store.hyper else np.arange(store.n_major, dtype=_INDEX)
-    ti = ids[nonempty]
-    starts = store.indptr[:-1][nonempty]
-    tv = mon.reduce_segments(store.values, starts, A.dtype)
-    return write_vector(w, ti, tv, mask=mask, accum=accum, desc=d)
+    p = _plan.plan_reduce_rowwise(w, A, op, mask=mask, accum=accum, desc=desc)
+    return _dispatch(p, backend)
 
 
 @telemetry.instrumented("reduce")
-def reduce_scalar(A, op="PLUS", *, accum=None, init=None):
+def reduce_scalar(A, op="PLUS", *, accum=None, init=None, backend=None):
     """``GrB_reduce`` (to scalar): fold every stored value with a monoid.
 
     Returns a Python value; an empty object reduces to the monoid identity.
@@ -475,26 +167,12 @@ def reduce_scalar(A, op="PLUS", *, accum=None, init=None):
     """
     if faults.ENABLED:
         faults.trip("reduce")
-    mon = _monoid(op)
-    if isinstance(A, Vector):
-        _, vals = A.extract_tuples()
-        dtype = A.dtype
-    else:
-        _, _, vals = A.extract_tuples()
-        dtype = A.dtype
-    out = mon.reduce_array(vals, dtype)
-    if accum is not None and init is not None:
-        out = _binary(accum).apply(np.asarray(init), np.asarray(out), dtype)
-        out = out.item() if dtype.builtin else out
-    return out
+    p = _plan.plan_reduce_scalar(A, op, accum=accum, init=init)
+    return _dispatch(p, backend)
 
-
-# --------------------------------------------------------------------------
-# transpose / extract / assign / kronecker
-# --------------------------------------------------------------------------
 
 @telemetry.instrumented("transpose")
-def transpose(C: Matrix, A: Matrix, *, mask=None, accum=None, desc=None) -> Matrix:
+def transpose(C, A, *, mask=None, accum=None, desc=None, backend=None):
     """``GrB_transpose``: C<mask> (+)= A^T.
 
     Per the C API's quirk, setting the INP0 transpose descriptor yields
@@ -502,104 +180,24 @@ def transpose(C: Matrix, A: Matrix, *, mask=None, accum=None, desc=None) -> Matr
     """
     if faults.ENABLED:
         faults.trip("transpose")
-    d = _desc(desc)
-    accum = _resolve_accum(accum)
-    transposed = not d.transpose_a
-    if C.shape != _mat_shape(A, transposed):
-        raise DimensionMismatch("transpose output shape mismatch")
-    rows, cols, vals = _matrix_coo(A, transposed)
-    return write_matrix(C, rows, cols, vals, mask=mask, accum=accum, desc=d)
-
-
-def _expand_selection(sel: np.ndarray, entry_ids: np.ndarray):
-    """Map original indices through a (possibly duplicated) selection list.
-
-    Returns (entry_positions, output_indices): for every occurrence of
-    ``entry_ids[p]`` in ``sel``, one pair (p, position-in-sel).
-    """
-    order = np.argsort(sel, kind="stable")
-    sorted_sel = sel[order]
-    lo = np.searchsorted(sorted_sel, entry_ids, "left")
-    hi = np.searchsorted(sorted_sel, entry_ids, "right")
-    reps = hi - lo
-    gather = _gather_ranges(lo, hi)
-    out_pos = order[gather]
-    entry_sel = np.repeat(np.arange(entry_ids.size, dtype=_INDEX), reps)
-    return entry_sel, out_pos.astype(_INDEX)
+    p = _plan.plan_transpose(C, A, mask=mask, accum=accum, desc=desc)
+    return _dispatch(p, backend)
 
 
 @telemetry.instrumented("extract")
-def extract(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
+def extract(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None,
+            backend=None):
     """``GrB_extract``: C<mask> (+)= A(I, J) (matrix), w (+)= u(I) (vector),
     or w (+)= A(I, j) (column extract when J is a scalar and A a matrix)."""
     if faults.ENABLED:
         faults.trip("extract")
-    d = _desc(desc)
-    accum = _resolve_accum(accum)
-
-    if isinstance(A, Vector):
-        I_res = _resolve_index(I, A.size)
-        if C.size != I_res.size:
-            raise DimensionMismatch("extract output size mismatch")
-        ai, av = A.extract_tuples()
-        entry_sel, out_pos = _expand_selection(I_res, ai)
-        ti, tv = out_pos, av[entry_sel]
-        order = np.argsort(ti, kind="stable")
-        return write_vector(C, ti[order], tv[order], mask=mask, accum=accum, desc=d)
-
-    nr, nc = _mat_shape(A, d.transpose_a)
-    col_extract = isinstance(C, Vector) and np.isscalar(J) and not isinstance(J, _All)
-    if col_extract:
-        I_res = _resolve_index(I, nr)
-        j = int(J)
-        if not 0 <= j < nc:
-            raise IndexOutOfBounds(f"column {j} outside [0,{nc})")
-        rows, cols, vals = _matrix_coo(A, d.transpose_a)
-        in_col = cols == j
-        entry_sel, out_pos = _expand_selection(I_res, rows[in_col])
-        tv = vals[in_col][entry_sel]
-        order = np.argsort(out_pos, kind="stable")
-        return write_vector(
-            C, out_pos[order], tv[order], mask=mask, accum=accum, desc=d
-        )
-
-    I_res = _resolve_index(I, nr)
-    J_res = _resolve_index(J, nc)
-    if C.shape != (I_res.size, J_res.size):
-        raise DimensionMismatch(
-            f"extract output is {C.shape}, expected {(I_res.size, J_res.size)}"
-        )
-    rows, cols, vals = _matrix_coo(A, d.transpose_a)
-    r_sel, r_out = _expand_selection(I_res, rows)
-    cols2, vals2 = cols[r_sel], vals[r_sel]
-    c_sel, c_out = _expand_selection(J_res, cols2)
-    tr = r_out[c_sel]
-    tc = c_out
-    tv = vals2[c_sel]
-    return write_matrix(C, tr, tc, tv, mask=mask, accum=accum, desc=d)
-
-
-def _region_z(C: Matrix, mapped, region_rows, region_cols, accum):
-    """Assemble Z for assign: region-replacement or accum-union with C."""
-    mr, mc, mv = mapped
-    cr, cc, cv = C.extract_tuples()
-    if accum is None:
-        in_region = np.isin(cr, region_rows) & np.isin(cc, region_cols)
-        keep = ~in_region
-        zr = np.concatenate([cr[keep], mr])
-        zc = np.concatenate([cc[keep], mc])
-        zv = np.concatenate([cv[keep], C.dtype.cast_array(mv)])
-        return zr, zc, zv
-    ia, ib, oc, om = match_coo(cr, cc, mr, mc)
-    both = accum.apply(cv[ia], mv[ib], C.dtype)
-    zr = np.concatenate([cr[ia], cr[oc], mr[om]])
-    zc = np.concatenate([cc[ia], cc[oc], mc[om]])
-    zv = np.concatenate([both, cv[oc], C.dtype.cast_array(mv[om])])
-    return zr, zc, zv
+    p = _plan.plan_extract(C, A, I, J, mask=mask, accum=accum, desc=desc)
+    return _dispatch(p, backend)
 
 
 @telemetry.instrumented("assign")
-def assign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
+def assign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None,
+           backend=None):
     """``GrB_assign``: C<mask>(I, J) (+)= A.
 
     ``A`` may be a Matrix, a Vector (row/column assign through vector C), or
@@ -608,98 +206,13 @@ def assign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
     """
     if faults.ENABLED:
         faults.trip("assign")
-    d = _desc(desc)
-    accum = _resolve_accum(accum)
-
-    # Fast path for the ubiquitous "masked fill" (e.g. BFS level stamping):
-    # C<mask>(ALL[, ALL]) = scalar with no accum/complement/replace writes the
-    # scalar exactly at the mask's admitted coordinates and keeps C elsewhere.
-    if (
-        not isinstance(A, (Matrix, Vector))
-        and (I is None or isinstance(I, _All))
-        and (J is None or isinstance(J, _All))
-        and mask is not None
-        and accum is None
-        and not d.complement_mask
-        and not d.replace
-    ):
-        if isinstance(C, Vector):
-            mi = mask_true_idx(mask, d)
-            ci, cv = C.extract_tuples()
-            keep = ~idx_in(ci, mi)
-            zi = np.concatenate([ci[keep], mi])
-            zv = np.concatenate(
-                [cv[keep], C.dtype.cast_array(np.broadcast_to(np.asarray(A), mi.shape))]
-            )
-            order = np.argsort(zi, kind="stable")
-            return write_vector(C, zi[order], zv[order], mask=None, accum=None, desc=d)
-        mr, mc = mask_true_coords(mask, d)
-        cr, cc, cv = C.extract_tuples()
-        keep = ~coords_in(cr, cc, mr, mc)
-        zr = np.concatenate([cr[keep], mr])
-        zc = np.concatenate([cc[keep], mc])
-        zv = np.concatenate(
-            [cv[keep], C.dtype.cast_array(np.broadcast_to(np.asarray(A), mr.shape))]
-        )
-        return write_matrix(C, zr, zc, zv, mask=None, accum=None, desc=d)
-
-    if isinstance(C, Vector):
-        I_res = _resolve_index(I, C.size)
-        if isinstance(A, Vector):
-            if A.size != I_res.size:
-                raise DimensionMismatch("assign input length != index count")
-            ai, av = A.extract_tuples()
-            mi, mv = I_res[ai], av
-        else:  # scalar fill
-            mi, mv = I_res, np.broadcast_to(np.asarray(A), I_res.shape)
-        if np.unique(mi).size != mi.size:
-            raise InvalidValue("duplicate indices in assign")
-        ci, cv = C.extract_tuples()
-        if accum is None:
-            keep = ~np.isin(ci, I_res)
-            zi = np.concatenate([ci[keep], mi])
-            zv = np.concatenate([cv[keep], C.dtype.cast_array(mv)])
-        else:
-            order = np.argsort(mi, kind="stable")
-            mi, mv = mi[order], np.asarray(mv)[order]
-            ia, ib, oc, om = match_idx(ci, mi)
-            both = accum.apply(cv[ia], mv[ib], C.dtype)
-            zi = np.concatenate([ci[ia], ci[oc], mi[om]])
-            zv = np.concatenate([both, cv[oc], C.dtype.cast_array(mv[om])])
-        order = np.argsort(zi, kind="stable")
-        return write_vector(C, zi[order], zv[order], mask=mask, accum=None, desc=d)
-
-    I_res = _resolve_index(I, C.nrows)
-    J_res = _resolve_index(J, C.ncols)
-    if np.unique(I_res).size != I_res.size or np.unique(J_res).size != J_res.size:
-        raise InvalidValue("duplicate indices in assign")
-
-    if isinstance(A, Matrix):
-        if _mat_shape(A, d.transpose_a) != (I_res.size, J_res.size):
-            raise DimensionMismatch("assign input shape != region shape")
-        ar, ac, av = _matrix_coo(A, d.transpose_a)
-        mapped = (I_res[ar], J_res[ac], av)
-    elif isinstance(A, Vector):
-        # row/column assign: C(i, J) = u or C(I, j) = u
-        if I_res.size == 1 and A.size == J_res.size:
-            ai, av = A.extract_tuples()
-            mapped = (np.full(ai.size, I_res[0], dtype=_INDEX), J_res[ai], av)
-        elif J_res.size == 1 and A.size == I_res.size:
-            ai, av = A.extract_tuples()
-            mapped = (I_res[ai], np.full(ai.size, J_res[0], dtype=_INDEX), av)
-        else:
-            raise DimensionMismatch("vector assign needs a single row or column")
-    else:  # scalar fill of the whole region
-        grid_r = np.repeat(I_res, J_res.size)
-        grid_c = np.tile(J_res, I_res.size)
-        mapped = (grid_r, grid_c, np.broadcast_to(np.asarray(A), grid_r.shape))
-
-    zr, zc, zv = _region_z(C, mapped, I_res, J_res, accum)
-    return write_matrix(C, zr, zc, zv, mask=mask, accum=None, desc=d)
+    p = _plan.plan_assign(C, A, I, J, mask=mask, accum=accum, desc=desc)
+    return _dispatch(p, backend)
 
 
 @telemetry.instrumented("subassign")
-def subassign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
+def subassign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None,
+              backend=None):
     """``GxB_subassign``: C(I, J)<mask> (+)= A.
 
     Unlike :func:`assign`, the mask (and REPLACE) apply only *inside* the
@@ -708,116 +221,23 @@ def subassign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None):
     """
     if faults.ENABLED:
         faults.trip("assign")
-    d = _desc(desc)
-    accum = _resolve_accum(accum)
-
-    if isinstance(C, Vector):
-        I_res = _resolve_index(I, C.size)
-        if np.unique(I_res).size != I_res.size:
-            raise InvalidValue("duplicate indices in subassign")
-        if mask is not None and mask.size != I_res.size:
-            raise DimensionMismatch("subassign mask must have region size")
-        # region view of C, in region coordinates
-        order = np.argsort(I_res, kind="stable")
-        ci, cv = C.extract_tuples()
-        pos = np.searchsorted(I_res[order], ci)
-        pos_c = np.minimum(pos, I_res.size - 1)
-        inside = (I_res[order][pos_c] == ci) if I_res.size else np.zeros(ci.size, bool)
-        region = Vector(C.dtype, max(int(I_res.size), 1))
-        reg_idx = order[pos_c[inside]]
-        rorder = np.argsort(reg_idx, kind="stable")
-        region.build(reg_idx[rorder], cv[inside][rorder], dup=None)
-        # the operand in region coordinates
-        if isinstance(A, Vector):
-            if A.size != I_res.size:
-                raise DimensionMismatch("subassign input length != index count")
-            ti, tv = A.extract_tuples()
-        else:
-            ti = np.arange(I_res.size, dtype=_INDEX)
-            tv = np.broadcast_to(np.asarray(A), ti.shape)
-        write_vector(region, ti, tv, mask=mask, accum=accum, desc=d)
-        # splice the region back
-        ri, rv = region.extract_tuples()
-        zi = np.concatenate([ci[~inside], I_res[ri]])
-        zv = np.concatenate([cv[~inside], rv])
-        zorder = np.argsort(zi, kind="stable")
-        return write_vector(C, zi[zorder], zv[zorder], mask=None, accum=None,
-                            desc=Descriptor())
-
-    I_res = _resolve_index(I, C.nrows)
-    J_res = _resolve_index(J, C.ncols)
-    if np.unique(I_res).size != I_res.size or np.unique(J_res).size != J_res.size:
-        raise InvalidValue("duplicate indices in subassign")
-    if mask is not None and mask.shape != (I_res.size, J_res.size):
-        raise DimensionMismatch("subassign mask must have region shape")
-
-    cr, cc, cv = C.extract_tuples()
-    rmap = _position_map(I_res, cr)
-    cmap = _position_map(J_res, cc)
-    inside = (rmap >= 0) & (cmap >= 0)
-    region = Matrix(C.dtype, max(int(I_res.size), 1), max(int(J_res.size), 1))
-    region.build(rmap[inside], cmap[inside], cv[inside], dup=None)
-
-    if isinstance(A, Matrix):
-        if _mat_shape(A, d.transpose_a) != (I_res.size, J_res.size):
-            raise DimensionMismatch("subassign input shape != region shape")
-        tr, tc, tv = _matrix_coo(A, d.transpose_a)
-    elif isinstance(A, Vector):
-        if I_res.size == 1 and A.size == J_res.size:
-            ai, av = A.extract_tuples()
-            tr, tc, tv = np.zeros(ai.size, dtype=_INDEX), ai, av
-        elif J_res.size == 1 and A.size == I_res.size:
-            ai, av = A.extract_tuples()
-            tr, tc, tv = ai, np.zeros(ai.size, dtype=_INDEX), av
-        else:
-            raise DimensionMismatch("vector subassign needs one row or column")
-    else:
-        tr = np.repeat(np.arange(I_res.size, dtype=_INDEX), J_res.size)
-        tc = np.tile(np.arange(J_res.size, dtype=_INDEX), I_res.size)
-        tv = np.broadcast_to(np.asarray(A), tr.shape)
-    write_matrix(region, tr, tc, tv, mask=mask, accum=accum, desc=d)
-
-    rr, rc, rv = region.extract_tuples()
-    zr = np.concatenate([cr[~inside], I_res[rr]])
-    zc = np.concatenate([cc[~inside], J_res[rc]])
-    zv = np.concatenate([cv[~inside], rv])
-    return write_matrix(C, zr, zc, zv, mask=None, accum=None, desc=Descriptor())
-
-
-def _position_map(sel: np.ndarray, ids: np.ndarray) -> np.ndarray:
-    """Map original indices to their position in unique ``sel`` (-1 if absent)."""
-    if sel.size == 0 or ids.size == 0:
-        return np.full(ids.size, -1, dtype=_INDEX)
-    order = np.argsort(sel, kind="stable")
-    sorted_sel = sel[order]
-    pos = np.searchsorted(sorted_sel, ids)
-    pos_c = np.minimum(pos, sel.size - 1)
-    hit = sorted_sel[pos_c] == ids
-    out = np.full(ids.size, -1, dtype=_INDEX)
-    out[hit] = order[pos_c[hit]]
-    return out
+    p = _plan.plan_subassign(C, A, I, J, mask=mask, accum=accum, desc=desc)
+    return _dispatch(p, backend)
 
 
 @telemetry.instrumented("kronecker")
-def kronecker(C, A, B, op="TIMES", *, mask=None, accum=None, desc=None):
+def kronecker(C, A, B, op="TIMES", *, mask=None, accum=None, desc=None,
+              backend=None):
     """``GrB_kronecker``: C<mask> (+)= kron(A, B)."""
     if faults.ENABLED:
         faults.trip("kronecker")
-    d = _desc(desc)
-    accum = _resolve_accum(accum)
-    bop = _ewise_op(op)
-    nra, nca = _mat_shape(A, d.transpose_a)
-    nrb, ncb = _mat_shape(B, d.transpose_b)
-    if C.shape != (nra * nrb, nca * ncb):
-        raise DimensionMismatch("kronecker output shape mismatch")
-    ar, ac, av = _matrix_coo(A, d.transpose_a)
-    br, bc, bv = _matrix_coo(B, d.transpose_b)
-    out_type = bop.out_type(A.dtype, B.dtype)
-    tr = (np.repeat(ar, br.size) * nrb + np.tile(br, ar.size)).astype(_INDEX)
-    tc = (np.repeat(ac, bc.size) * ncb + np.tile(bc, ac.size)).astype(_INDEX)
-    tv = bop.apply(np.repeat(av, bv.size), np.tile(bv, av.size), out_type)
-    return write_matrix(C, tr, tc, tv, mask=mask, accum=accum, desc=d)
+    p = _plan.plan_kronecker(C, A, B, op, mask=mask, accum=accum, desc=desc)
+    return _dispatch(p, backend)
 
+
+# --------------------------------------------------------------------------
+# structural utilities (not part of the Table-I kernel surface)
+# --------------------------------------------------------------------------
 
 def concat(tiles, dtype=None) -> Matrix:
     """``GxB_Matrix_concat``: assemble a block matrix from a 2-D tile grid.

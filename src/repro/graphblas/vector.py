@@ -316,6 +316,30 @@ class Vector:
         """nvals / size — the direction-optimization switch statistic."""
         return self.nvals / self.size
 
+    def to_scipy(self):
+        """Export as a 1-column ``scipy.sparse.csc_matrix`` (size x 1).
+
+        Stored zeros survive the conversion; ImportError without scipy.
+        """
+        import scipy.sparse as sp
+
+        idx, vals = self.extract_tuples()
+        return sp.csc_matrix(
+            (vals, (idx, np.zeros(idx.size, dtype=np.int64))), shape=(self.size, 1)
+        )
+
+    @classmethod
+    def from_scipy(cls, v, *, dtype=None) -> "Vector":
+        """Build from a 1-column (or 1-row) ``scipy.sparse`` matrix."""
+        coo = v.tocoo()
+        if coo.shape[1] == 1:
+            idx, size = coo.row, coo.shape[0]
+        elif coo.shape[0] == 1:
+            idx, size = coo.col, coo.shape[1]
+        else:
+            raise ValueError("from_scipy needs a 1-row or 1-column matrix")
+        return cls.from_coo(idx, coo.data, size=size, dtype=dtype, dup=None)
+
     def isequal(self, other: "Vector") -> bool:
         if not isinstance(other, Vector):
             return False

@@ -14,8 +14,9 @@ from dataclasses import dataclass
 
 from ..graphblas import Descriptor, Matrix as _CoreMatrix, Vector as _CoreVector
 from ..graphblas import operations as _ops
+from ..graphblas import plan as _plan
 from ..graphblas.errors import InvalidValue
-from ..graphblas.semiring import Semiring, semiring as _semiring
+from ..graphblas.semiring import Semiring
 from ..graphblas.types import lookup_type
 
 __all__ = ["Matrix", "Vector", "Replace", "Structural", "ambient_semiring"]
@@ -34,7 +35,7 @@ def ambient_semiring(default: str = "PLUS_TIMES") -> Semiring:
     for entry in reversed(_stack()):
         if isinstance(entry, Semiring):
             return entry
-    return _semiring(default)
+    return _plan.resolve_semiring(default)
 
 
 def _ambient_desc() -> Descriptor:
@@ -61,8 +62,13 @@ class _Context:
 
 
 def semiring_context(name: str) -> _Context:
-    """Context manager selecting a named semiring for the enclosed block."""
-    return _Context(_semiring(name))
+    """Context manager selecting a named semiring for the enclosed block.
+
+    Resolution goes through the shared :mod:`repro.graphblas.plan`
+    resolvers, so the DSL accepts exactly the specs the core operations
+    accept (names, ``Semiring`` objects) and raises the same errors.
+    """
+    return _Context(_plan.resolve_semiring(name))
 
 
 LogicalSemiring = semiring_context("LOR_LAND")

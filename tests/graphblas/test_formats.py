@@ -154,6 +154,31 @@ class TestHelpers:
         )
         assert out.tolist() == [3.0, 3.0]
 
+    def test_reduce_by_segments_nonufunc_left_fold_order(self):
+        # MINUS has no numpy ufunc here and is non-associative: the fold
+        # must run strictly left-to-right within each segment.
+        vals = np.array([10, 3, 2, 7, 100, 30, 5, 1], dtype=np.int64)
+        starts = np.array([0, 3, 4])
+        out = reduce_by_segments(binary("MINUS"), vals, starts, INT64)
+        assert out.tolist() == [(10 - 3) - 2, 7, ((100 - 30) - 5) - 1]
+        assert out.dtype == np.int64
+        # RMINUS(x, y) = y - x distinguishes argument order as well
+        out = reduce_by_segments(binary("RMINUS"), vals, starts, INT64)
+        assert out.tolist() == [2 - (3 - 10), 7, 1 - (5 - (30 - 100))]
+
+    def test_reduce_by_segments_nonufunc_ragged_segments(self):
+        # segment lengths 1 and 4: short segments must stop folding early
+        vals = np.array([9.0, 64.0, 2.0, 2.0, 2.0])
+        out = reduce_by_segments(binary("DIV"), vals, np.array([0, 1]), FP64)
+        assert out.tolist() == [9.0, 8.0]
+        empty = reduce_by_segments(
+            binary("MINUS"),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            INT64,
+        )
+        assert empty.size == 0 and empty.dtype == np.int64
+
 
 @settings(max_examples=60, deadline=None)
 @given(

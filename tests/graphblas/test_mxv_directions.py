@@ -87,11 +87,14 @@ class TestDirectionOptimizer:
         """On a scale-free graph the frontier densifies then shrinks; the
         optimizer must use both directions across the traversal."""
         from repro.generators import rmat_graph
+        from repro.graphblas import backends
         from repro.lagraph import bfs_level
 
         g = rmat_graph(9, 12, seed=1, kind="undirected")
         opt = DirectionOptimizer(threshold=0.02)
-        bfs_level(0, g, optimizer=opt)
+        # direction switching is an optimized-engine internal: pin the backend
+        with backends.backend("optimized"):
+            bfs_level(0, g, optimizer=opt)
         assert "push" in opt.history and "pull" in opt.history
 
     def test_auto_without_optimizer_picks_by_density(self):
