@@ -213,6 +213,79 @@ in a collector and writes `<name>.telemetry.json` next to the results;
 with burble on and exports a trace.
 """
 
+GOVERNOR_SECTION = """
+## Resource governance & recovery
+
+`repro.graphblas.governor` puts long-running graph work under an
+**execution governor**: a thread-local `ExecutionContext` that enforces a
+memory budget and a wall-clock deadline, carries a cooperative
+`CancellationToken`, applies a `RetryPolicy` around kernel execution, and
+drives checkpoint/resume for the iterative LAGraph algorithms.  Like
+faults and telemetry, the disabled path costs one module-attribute read
+(`governor.ACTIVE`); with no context entered nothing changes.
+
+```python
+from repro.graphblas import governor
+
+ctx = governor.ExecutionContext(
+    memory_budget=64 << 20,            # bytes, estimated per operation
+    deadline=60.0,                     # seconds from __enter__
+    retry=governor.RetryPolicy(attempts=3, seed=7),
+)
+with ctx:
+    pagerank(graph, checkpoint="/tmp/pr.npz")
+```
+
+* **Admission control** — every planner submits its `OpPlan` to the
+  governing context *before any output is allocated*.  The estimated
+  result footprint (an nnz-based bound per op; flops-based for `mxm`)
+  is compared against the budget: within budget → admitted; over budget
+  → the plan is **degraded** to the first of `degrade_backends`
+  (default `("reference", "scipy")`) that supports it, skipping that
+  backend's own fallback chain; no route → `BudgetExceeded`.  Because
+  rejection happens at plan time, the inputs are untouched and still
+  pass `graphblas.validate`.
+* **Deadline & cancellation** — `ctx.cancel()` (any thread) or an
+  expired deadline makes the next *poll* raise `Cancelled` /
+  `DeadlineExceeded`.  Poll points sit between algorithm iterations, at
+  SpGEMM method boundaries, at mxv direction switches, per concat/split
+  tile, and at the top of `wait()` — all positions where every object is
+  fully consistent, so a cancelled computation leaves valid operands.
+* **Retry** — `RetryPolicy(attempts, base_delay, max_delay, jitter,
+  seed, transient=...)` re-runs a failed kernel with exponential backoff
+  and seeded jitter; only exceptions listed in `transient` (default
+  `OutOfMemory`) are retried, and the context's deadline is re-checked
+  between attempts.  `governor.with_retry(fn, policy=...)` applies the
+  same policy to arbitrary callables.
+* **Checkpoint/resume** — `bfs`, `bellman_ford_sssp`, `pagerank`,
+  `connected_components`, `betweenness_centrality`, and `dnn_inference`
+  accept `checkpoint=` (a path, a `governor.Checkpoint(path, every=k)`,
+  or a callable) and `resume=`.  Snapshots serialize the loop-carried
+  state through `repro.io.checkpoint.save_state` — a single `.npz`
+  written to a temp file and atomically renamed, so a crash mid-save
+  preserves the previous snapshot.  Resume restores containers
+  bit-identically (`load_checkpoint` rejects a snapshot written by a
+  different algorithm), and because each loop body depends only on the
+  loop-carried state, a killed-and-resumed run produces exactly the
+  bytes of an uninterrupted one.
+
+New `GrB_Info` codes cross the C-API boundary: `GxB_BUDGET_EXCEEDED`,
+`GxB_DEADLINE_EXCEEDED`, `GxB_CANCELLED`; `capi.GxB_Context_new()`
+constructs a context from C-API code.  Every governor decision —
+`governor.admit` / `governor.degrade` / `governor.reject` /
+`governor.cancel` / `governor.retry` / `governor.checkpoint` /
+`governor.resume` — is a telemetry decision event, aggregated under the
+`"governor"` key of `telemetry.snapshot()`.
+
+The environment knobs `GRAPHBLAS_GOVERNOR_BUDGET` (bytes; `k`/`m`/`g`
+suffixes) and `GRAPHBLAS_GOVERNOR_DEADLINE` (seconds) wrap each
+resilience test in a governed context (`governor.env_limits()`); the CI
+governor leg runs the whole suite under `64m` / `60`.  All
+governor-related environment parsing is hardened by
+`repro.graphblas.envutil`: a malformed value falls back to the default
+with a single `RuntimeWarning` instead of crashing at import.
+"""
+
 
 def main() -> None:
     os.makedirs(os.path.dirname(OUT), exist_ok=True)
@@ -225,10 +298,13 @@ def main() -> None:
         f.write(RESILIENCE_SECTION)
         f.write(BACKENDS_SECTION)
         f.write(TELEMETRY_SECTION)
+        f.write(GOVERNOR_SECTION)
         render_module(f, repro.graphblas, "repro.graphblas")
         render_module(f, repro.graphblas.backends, "repro.graphblas.backends")
         render_module(f, repro.graphblas.plan, "repro.graphblas.plan")
         render_module(f, repro.graphblas.capi, "repro.graphblas.capi")
+        render_module(f, repro.graphblas.governor, "repro.graphblas.governor")
+        render_module(f, repro.graphblas.envutil, "repro.graphblas.envutil")
         render_module(f, repro.graphblas.faults, "repro.graphblas.faults")
         render_module(f, repro.graphblas.telemetry, "repro.graphblas.telemetry")
         render_module(f, repro.graphblas.validate, "repro.graphblas.validate")

@@ -26,7 +26,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.generators import rmat_graph
 from repro.graphblas.backends import backend
 from repro.graphblas.backends.differential import DEFAULT_BUDGET, DifferentialBackend
-from repro.graphblas.errors import BackendDivergence
+from repro.graphblas.errors import BackendDivergence, BudgetExceeded
 from repro.lagraph import bfs_level, sssp, triangle_count
 
 
@@ -39,6 +39,9 @@ def main(argv=None) -> int:
                     help=f"verification budget in dense cells "
                          f"(default GRAPHBLAS_DIFF_BUDGET or {DEFAULT_BUDGET})")
     ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--strict", action="store_true",
+                    help="fail (exit 1) instead of skipping operations whose "
+                         "dense replay exceeds the verification budget")
     args = ap.parse_args(argv)
 
     print(f"generating RMAT scale={args.scale} "
@@ -49,8 +52,9 @@ def main(argv=None) -> int:
     undirected = rmat_graph(args.scale, args.edge_factor, kind="undirected",
                             seed=args.seed + 2)
 
-    be = DifferentialBackend(budget=args.budget)
-    print(f"verification budget: {be.budget} dense cells")
+    be = DifferentialBackend(budget=args.budget, strict=args.strict)
+    print(f"verification budget: {be.budget} dense cells"
+          + (" (strict)" if args.strict else ""))
 
     workloads = [
         ("bfs_level", lambda: bfs_level(0, directed)),
@@ -67,6 +71,10 @@ def main(argv=None) -> int:
         except BackendDivergence as exc:
             failed = True
             print(f"  {name}: DIVERGENCE — {exc}")
+            continue
+        except BudgetExceeded as exc:
+            failed = True
+            print(f"  {name}: OVER BUDGET (strict) — {exc}")
             continue
         dt = time.perf_counter() - t0
         v = be.stats["verified"] - before["verified"]

@@ -19,7 +19,7 @@ Quick start::
     gb.mxv(y, A, w, "plus_times")
 """
 
-from . import backends, faults, plan, telemetry, validate
+from . import backends, envutil, faults, governor, plan, telemetry, validate
 from .backends import (
     available_backends,
     backend,
@@ -34,6 +34,10 @@ from .descriptor import Descriptor, NULL_DESC, desc
 from .errors import (
     ApiError,
     BackendDivergence,
+    BudgetExceeded,
+    Cancelled,
+    DeadlineExceeded,
+    GovernorError,
     DimensionMismatch,
     DomainMismatch,
     ExecutionError,
@@ -224,6 +228,10 @@ __all__ = [
     "OutputNotEmpty",
     "UninitializedObject",
     "BackendDivergence",
+    "GovernorError",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "Cancelled",
     # kernel backends & planning
     "backends",
     "backend",
@@ -240,4 +248,6 @@ __all__ = [
     "faults",
     "validate",
     "telemetry",
+    "governor",
+    "envutil",
 ]

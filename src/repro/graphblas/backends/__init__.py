@@ -37,10 +37,9 @@ whenever a backend declines a plan via :meth:`KernelBackend.supports`.
 from __future__ import annotations
 
 import importlib
-import os
 import threading
 
-from .. import telemetry
+from .. import envutil, governor, telemetry
 from ..errors import InvalidValue
 from ..plan import TABLE1_OPS, OpPlan
 
@@ -171,7 +170,13 @@ def current_backend() -> KernelBackend:
         return stack[-1]
     global _default
     if _default is None:
-        _default = get_backend(os.environ.get("GRAPHBLAS_BACKEND", "optimized"))
+        # Hardened: an unknown GRAPHBLAS_BACKEND warns once and falls
+        # back to the default rather than raising deep inside the first
+        # operation of the process.
+        name = envutil.env_choice(
+            "GRAPHBLAS_BACKEND", "optimized", available_backends()
+        )
+        _default = get_backend(name)
     return _default
 
 
@@ -210,19 +215,47 @@ class backend:
 # --------------------------------------------------------------------------
 
 def dispatch(plan: OpPlan, backend=None):
-    """Route a plan to the active backend, walking fallbacks as needed."""
-    be = get_backend(backend) if backend is not None else current_backend()
-    while not be.supports(plan):
-        fb = be.fallback
-        if fb is None or fb == be.name:
-            raise NotImplementedError(
-                f"backend {be.name!r} cannot serve {plan.op} and has no fallback"
-            )
+    """Route a plan to the active backend, walking fallbacks as needed.
+
+    Under an active :class:`~repro.graphblas.governor.ExecutionContext`
+    three extra steps apply:
+
+    - cancellation/deadline are polled before the kernel runs;
+    - a plan the governor marked over-budget is routed to the degraded
+      backend it chose (the degraded backend's own fallback chain is not
+      walked — falling back to the heavy engine would defeat the budget);
+    - the context's :class:`~repro.graphblas.governor.RetryPolicy`, if
+      any, wraps the kernel call so transient failures are retried with
+      seeded exponential backoff.
+    """
+    degraded_to = plan.params.pop("governor_degrade_to", None)
+    if governor.ACTIVE:
+        governor.poll()
+    if degraded_to is not None:
+        be = get_backend(degraded_to)
         if telemetry.ENABLED:
             telemetry.decision(
-                "backend.fallback", op=plan.op, declined=be.name, fallback=fb
+                "governor.degrade", op=plan.op, backend=be.name,
+                est_bytes=plan.params.get("est_bytes"),
             )
-        be = get_backend(fb)
+    else:
+        be = get_backend(backend) if backend is not None else current_backend()
+        while not be.supports(plan):
+            fb = be.fallback
+            if fb is None or fb == be.name:
+                raise NotImplementedError(
+                    f"backend {be.name!r} cannot serve {plan.op} and has no fallback"
+                )
+            if telemetry.ENABLED:
+                telemetry.decision(
+                    "backend.fallback", op=plan.op, declined=be.name, fallback=fb
+                )
+            be = get_backend(fb)
     if telemetry.ENABLED:
         telemetry.decision("backend.dispatch", op=plan.op, backend=be.name)
-    return getattr(be, plan.op)(plan)
+    kernel = getattr(be, plan.op)
+    if governor.ACTIVE:
+        ctx = governor.current()
+        if ctx is not None and ctx.retry is not None:
+            return ctx.retry.call(lambda: kernel(plan), op=plan.op)
+    return kernel(plan)

@@ -16,6 +16,9 @@ exceeds ``GRAPHBLAS_DIFF_BUDGET`` cells (default ``1 << 22``) are
 executed on the optimized engine only and *counted as skipped* — the
 ``stats`` dict and ``differential.skip`` telemetry decisions make the
 coverage gap explicit rather than silently claiming full verification.
+In ``strict=True`` mode a skip is not tolerated: an over-budget plan
+raises :class:`~repro.graphblas.errors.BudgetExceeded` instead, so a CI
+leg that promises full verification fails loudly when coverage slips.
 
     with graphblas.backend("differential"):
         level = bfs_level(G, src)          # every affordable op is checked
@@ -25,12 +28,10 @@ coverage gap explicit rather than silently claiming full verification.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
-from .. import telemetry
-from ..errors import BackendDivergence
+from .. import envutil, governor, telemetry
+from ..errors import BackendDivergence, BudgetExceeded
 from ..matrix import Matrix
 from ..plan import TABLE1_OPS, OpPlan
 from ..reference import RefMatrix, _values_match
@@ -69,23 +70,37 @@ class DifferentialBackend(KernelBackend):
     name = "differential"
     fallback = None
 
-    def __init__(self, budget: int | None = None):
+    def __init__(self, budget: int | None = None, *, strict: bool = False):
         if budget is None:
-            budget = int(os.environ.get("GRAPHBLAS_DIFF_BUDGET", DEFAULT_BUDGET))
+            # Hardened: a malformed GRAPHBLAS_DIFF_BUDGET warns once and
+            # falls back to the default instead of raising ValueError.
+            budget = envutil.env_int(
+                "GRAPHBLAS_DIFF_BUDGET", DEFAULT_BUDGET, minimum=0
+            )
         self.budget = budget
+        self.strict = bool(strict)
         self.stats = {"verified": 0, "skipped": 0, "divergences": 0}
 
     def reset_stats(self) -> None:
         self.stats = {"verified": 0, "skipped": 0, "divergences": 0}
 
     def _run(self, plan: OpPlan):
+        if governor.ACTIVE:
+            governor.poll()
         opt = get_backend("optimized")
         cost = plan_cost(plan)
         if cost > self.budget:
             self.stats["skipped"] += 1
             if telemetry.ENABLED:
                 telemetry.decision(
-                    "differential.skip", op=plan.op, cost=cost, budget=self.budget
+                    "differential.skip", op=plan.op, cost=cost,
+                    budget=self.budget, strict=self.strict,
+                )
+            if self.strict:
+                raise BudgetExceeded(
+                    f"{plan.op}: dense-replay cost {cost} cells exceeds the "
+                    f"verification budget of {self.budget} cells and the "
+                    f"differential backend is strict"
                 )
             return getattr(opt, plan.op)(plan)
 

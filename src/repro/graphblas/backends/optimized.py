@@ -19,7 +19,7 @@ import numpy as np
 # attribute — fetch the module itself so monkeypatched thresholds are seen
 _mxv_mod = importlib.import_module(".mxv", __package__.rsplit(".", 1)[0])
 
-from .. import telemetry
+from .. import governor, telemetry
 from ..coords import coords_in, idx_in, match_coo, match_idx
 from ..descriptor import Descriptor
 from ..mask import mask_true_coords, mask_true_idx, write_matrix, write_vector
@@ -157,6 +157,9 @@ class OptimizedBackend(KernelBackend):
                 size=u.size,
             )
 
+        if governor.ACTIVE:
+            # direction boundary: poll before the push/pull kernel runs
+            governor.poll()
         if method == "push":
             store = A.by_row() if transposed else A.by_col()
             u_idx, u_vals = u.extract_tuples()

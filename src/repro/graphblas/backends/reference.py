@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import governor
 from ..matrix import Matrix
 from ..plan import TABLE1_OPS, OpPlan
 from ..reference import (
@@ -143,6 +144,8 @@ class ReferenceBackend(KernelBackend):
     fallback = None
 
     def _run(self, plan: OpPlan):
+        if governor.ACTIVE:
+            governor.poll()
         R = run_ref(
             plan,
             to_ref(plan.out),

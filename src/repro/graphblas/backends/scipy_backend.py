@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import governor
 from ..coords import match_coo
 from ..mask import write_matrix, write_vector
 from ..matrix import Matrix
@@ -113,6 +114,8 @@ class SciPyBackend(KernelBackend):
     # -- kernels -------------------------------------------------------------
 
     def mxm(self, plan):
+        if governor.ACTIVE:
+            governor.poll()
         A, B = plan.args
         d, out_type = plan.desc, plan.out_type
         V = _values_csr(A, d.transpose_a, out_type.np_dtype) @ _values_csr(

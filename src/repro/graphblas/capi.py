@@ -107,6 +107,10 @@ __all__ = [
     "GrB_free",
     "GxB_Burble_set",
     "GxB_Burble_get",
+    "GxB_BUDGET_EXCEEDED",
+    "GxB_DEADLINE_EXCEEDED",
+    "GxB_CANCELLED",
+    "GxB_Context_new",
     "global_stats",
 ]
 
@@ -114,6 +118,13 @@ GrB_SUCCESS = Info.SUCCESS
 GrB_NO_VALUE = Info.NO_VALUE
 GrB_NULL = None
 GrB_ALL = ops.ALL
+
+# Governor result codes (GxB_* extensions, in the spirit of
+# GrB_INSUFFICIENT_SPACE): returned by any GrB_* call whose plan the
+# active execution governor rejected or interrupted.
+GxB_BUDGET_EXCEEDED = Info.BUDGET_EXCEEDED
+GxB_DEADLINE_EXCEEDED = Info.DEADLINE_EXCEEDED
+GxB_CANCELLED = Info.CANCELLED
 
 # type aliases in C-API spelling
 GrB_BOOL, GrB_FP32, GrB_FP64 = BOOL, FP32, FP64
@@ -654,6 +665,28 @@ def GxB_Backend_get() -> str:
     from . import backends as _backends
 
     return _backends.current_backend_name()
+
+
+def GxB_Context_new(*, memory_budget=None, deadline=None, retry=None,
+                    degrade=True):
+    """``GxB_Context``-style handle over the execution governor.
+
+    Returns an un-entered
+    :class:`~repro.graphblas.governor.ExecutionContext`; use it as a
+    context manager around a batch of GrB_* calls.  A call rejected or
+    interrupted by the governor returns :data:`GxB_BUDGET_EXCEEDED`,
+    :data:`GxB_DEADLINE_EXCEEDED`, or :data:`GxB_CANCELLED` through the
+    usual transactional boundary — operands are rolled back and
+    :func:`GrB_error` carries the governor's message.  With ``degrade``
+    (the default) over-budget operations are first routed to a lighter
+    backend; pass ``degrade=False`` to make every over-budget call fail.
+    """
+    from . import governor as _governor
+
+    return _governor.ExecutionContext(
+        memory_budget=memory_budget, deadline=deadline, retry=retry,
+        degrade=degrade,
+    )
 
 
 def global_stats(include_events: bool = False) -> dict:

@@ -42,6 +42,12 @@ class Info(enum.IntEnum):
     INDEX_OUT_OF_BOUNDS = 12
     PANIC = 13
 
+    # governor extensions (GxB_*): resource-governance outcomes reported
+    # through the same return-code channel as the spec's execution errors.
+    BUDGET_EXCEEDED = 14
+    DEADLINE_EXCEEDED = 15
+    CANCELLED = 16
+
 
 class GraphBLASError(Exception):
     """Base class for all GraphBLAS errors."""
@@ -115,6 +121,44 @@ class BackendDivergence(ExecutionError):
     """
 
     info = Info.PANIC
+
+
+class GovernorError(ExecutionError):
+    """Base class for resource-governance rejections.
+
+    Raised by :mod:`repro.graphblas.governor` when an operation is refused
+    or interrupted by the active :class:`~repro.graphblas.governor.ExecutionContext`.
+    These are execution errors in the C API sense: the request was legal,
+    but the governor declined to carry it out.  They are raised *before*
+    any output is allocated, so all operands remain valid.
+    """
+
+
+class BudgetExceeded(GovernorError):
+    """The estimated result footprint exceeds the context's memory budget.
+
+    Follows the spirit of ``GrB_INSUFFICIENT_SPACE``: the operation was
+    refused at admission time, before allocating its output.
+    """
+
+    info = Info.BUDGET_EXCEEDED
+
+
+class DeadlineExceeded(GovernorError):
+    """The context's wall-clock deadline passed before the operation ran."""
+
+    info = Info.DEADLINE_EXCEEDED
+
+
+class Cancelled(GovernorError):
+    """The context's cancellation token was tripped.
+
+    Cooperative: raised at poll points (between algorithm iterations, at
+    SpGEMM method boundaries, before ``wait()`` assembly), so objects are
+    always left in a valid state.
+    """
+
+    info = Info.CANCELLED
 
 
 class NoValue(GraphBLASError):

@@ -41,7 +41,9 @@ Typical use::
 from __future__ import annotations
 
 import contextlib
+import os
 import threading
+import warnings
 
 import numpy as np
 
@@ -58,6 +60,8 @@ __all__ = [
     "call_count",
     "fired",
     "reset_stats",
+    "run_seed",
+    "set_run_seed",
 ]
 
 # Module-level kill switch.  False in production; flipped by inject().
@@ -96,6 +100,51 @@ _plans: list["FaultPlan"] = []
 _counts: dict[str, int] = {}          # armed-call counts per point
 _fired: list[tuple[str, int]] = []    # (point, call number) of raised faults
 
+# Per-run base seed for probabilistic plans armed without an explicit
+# seed: read once from GRAPHBLAS_FAULT_SEED (else fresh OS entropy) and
+# combined with a monotone arm counter so every armed plan draws a
+# distinct but reproducible stream.  The resilience suite prints the seed
+# on failure so probabilistic failures replay deterministically.
+_run_seed: int | None = None
+_arm_counter = 0
+
+
+def run_seed() -> int:
+    """The recorded per-run fault-injection seed (created on first use)."""
+    global _run_seed
+    if _run_seed is None:
+        raw = os.environ.get("GRAPHBLAS_FAULT_SEED")
+        if raw is not None:
+            try:
+                _run_seed = int(raw) & 0xFFFFFFFF
+            except ValueError:
+                warnings.warn(
+                    f"ignoring GRAPHBLAS_FAULT_SEED={raw!r} (not an integer); "
+                    f"using fresh entropy",
+                    RuntimeWarning,
+                )
+        if _run_seed is None:
+            _run_seed = int(np.random.SeedSequence().entropy) & 0xFFFFFFFF
+    return _run_seed
+
+
+def set_run_seed(seed: int | None) -> None:
+    """Pin (or with None, reset) the per-run seed; also resets arm order."""
+    global _run_seed, _arm_counter
+    with _lock:
+        _run_seed = None if seed is None else int(seed) & 0xFFFFFFFF
+        _arm_counter = 0
+
+
+def _next_plan_seed() -> int:
+    """Derive the next armed plan's seed from the run seed + arm order."""
+    global _arm_counter
+    base = run_seed()
+    with _lock:
+        n = _arm_counter
+        _arm_counter += 1
+    return (base + 0x9E3779B9 * (n + 1)) & 0xFFFFFFFF
+
 
 def register_point(name: str) -> str:
     """Register an extension injection point (idempotent)."""
@@ -112,7 +161,11 @@ class FaultPlan:
     * ``nth`` — deterministic: fire on exactly the nth armed call of the
       point (1-based), counted from when the plan was armed;
     * ``probability`` + ``seed`` — probabilistic: fire each call with the
-      given probability, reproducibly under the seed.
+      given probability, reproducibly under the seed.  With ``seed=None``
+      the seed is derived from the recorded per-run seed
+      (:func:`run_seed`) and the plan's arm order, and recorded on the
+      plan's ``seed`` attribute — so every probabilistic failure can be
+      replayed with ``GRAPHBLAS_FAULT_SEED=<run seed>``.
 
     ``max_fires`` bounds how many times the plan raises (default 1, so a
     retried call outside the deterministic window succeeds); pass ``None``
@@ -120,7 +173,7 @@ class FaultPlan:
     """
 
     __slots__ = (
-        "point", "exc", "message", "nth", "probability",
+        "point", "exc", "message", "nth", "probability", "seed",
         "_rng", "max_fires", "fires", "calls",
     )
 
@@ -148,6 +201,9 @@ class FaultPlan:
         self.message = message
         self.nth = int(nth)
         self.probability = probability
+        if probability is not None and seed is None:
+            seed = _next_plan_seed()
+        self.seed = seed
         self._rng = np.random.default_rng(seed) if probability is not None else None
         self.max_fires = max_fires
         self.fires = 0

@@ -1,0 +1,571 @@
+"""Execution governor: budgets, deadlines, cancellation, checkpoint, retry.
+
+LAGraph is the production-facing layer over the GraphBLAS kernels, and in
+a long-lived analytic service the *library* — not each caller — must own
+resource discipline: a single oversized ``mxm`` or a non-converging
+``pagerank`` must not consume unbounded memory or wall time with no way
+to bound, cancel, or resume it.
+
+The governor is a thread-local scope threaded through the op pipeline::
+
+    with governor.ExecutionContext(memory_budget=64 << 20, deadline=60.0) as ctx:
+        ranks, iters = pagerank(G, checkpoint="pr.ckpt.npz")
+
+Four cooperating mechanisms:
+
+**Admission control.**  Every planner in :mod:`repro.graphblas.plan`
+submits its finished :class:`~repro.graphblas.plan.OpPlan` to
+:func:`admit` before any backend sees it.  The governor estimates the
+result footprint from the plan (output shape, operand ``nvals``, SpGEMM
+inner dimension) and raises :class:`~repro.graphblas.errors.BudgetExceeded`
+— *before the output is allocated* — when the estimate exceeds the
+context's ``memory_budget``.  A passed ``deadline`` (seconds of wall
+clock from context entry) is checked at the same point and at every poll,
+raising :class:`~repro.graphblas.errors.DeadlineExceeded`.
+
+**Cooperative cancellation.**  :meth:`ExecutionContext.cancel` (from any
+thread) trips a :class:`CancellationToken`; kernels and the iterative
+LAGraph algorithms call :func:`poll` between iterations and at SpGEMM
+method boundaries, raising :class:`~repro.graphblas.errors.Cancelled` at
+the next poll point.  Poll points sit *before* mutation (and the C-API
+boundary is transactional), so interrupted objects stay valid.
+
+**Checkpoint/resume.**  :class:`Checkpoint` serializes an algorithm's
+loop state atomically via :mod:`repro.io.checkpoint`; the iterative
+algorithms accept ``checkpoint=`` / ``resume=`` and restart mid-loop,
+bit-identically for deterministic algorithms.
+
+**Retry & degradation.**  :class:`RetryPolicy` re-runs transient kernel
+failures with bounded exponential backoff (jitter from a seeded RNG, so
+schedules reproduce).  When admission would reject a plan but a lighter
+engine can serve it, the governor *degrades* instead: it tags the plan
+and the dispatcher routes it to the context's ``degrade_backends`` chain
+(reference/scipy) rather than failing outright.
+
+Every decision (admit/reject/cancel/retry/degrade/checkpoint/resume)
+emits a ``governor.*`` telemetry decision event, so traces show why an
+op was throttled.  Like :mod:`~repro.graphblas.faults` and
+:mod:`~repro.graphblas.telemetry`, the module-level :data:`ACTIVE` flag
+keeps the inactive fast path to a single attribute load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from . import envutil, telemetry
+from .errors import (
+    BudgetExceeded,
+    Cancelled,
+    DeadlineExceeded,
+    InvalidValue,
+    OutOfMemory,
+)
+
+__all__ = [
+    "ACTIVE",
+    "CancellationToken",
+    "RetryPolicy",
+    "ExecutionContext",
+    "Checkpoint",
+    "current",
+    "poll",
+    "admit",
+    "with_retry",
+    "estimate_result_entries",
+    "estimate_plan_bytes",
+    "as_checkpoint",
+    "save_hook",
+    "load_checkpoint",
+    "env_limits",
+]
+
+#: True iff any thread has an ExecutionContext open.  Mirrors
+#: ``faults.ENABLED`` / ``telemetry.ENABLED``: the un-governed fast path
+#: through plan/dispatch/wait is one module-attribute load.
+ACTIVE = False
+
+_lock = threading.Lock()
+_active_count = 0
+_tls = threading.local()
+
+#: GrB_Index storage cost per stored entry (int64).
+_INDEX_BYTES = 8
+
+
+class CancellationToken:
+    """A thread-safe, latching cancellation flag.
+
+    Tokens are shared: the context owning a long-running algorithm hands
+    its token to another thread (or a signal handler), which calls
+    :meth:`cancel`; the algorithm observes it at the next poll point.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: str | None = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Trip the token; idempotent (the first reason wins)."""
+        if not self._event.is_set():
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        if self._event.is_set():
+            raise Cancelled(self.reason or "cancelled")
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    Wraps *transient* failures only — by default
+    :class:`~repro.graphblas.errors.OutOfMemory`, the class raised by the
+    fault-injection harness for alloc faults.  Governor rejections
+    (budget/deadline/cancel) and API errors are never retried.
+
+    The jitter RNG is seeded so a recorded seed replays the exact same
+    backoff schedule.
+    """
+
+    def __init__(self, attempts: int = 3, *, base_delay: float = 0.01,
+                 max_delay: float = 2.0, jitter: float = 0.5, seed: int = 0,
+                 transient=(OutOfMemory,)) -> None:
+        if attempts < 1:
+            raise InvalidValue(f"attempts must be >= 1, got {attempts}")
+        self.attempts = int(attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self.transient = tuple(transient)
+        self._rng = np.random.default_rng(self.seed)
+
+    def delay(self, failures: int) -> float:
+        """Backoff before the next attempt after ``failures`` failures."""
+        d = min(self.base_delay * (2.0 ** (failures - 1)), self.max_delay)
+        if self.jitter:
+            d *= 1.0 + self.jitter * float(self._rng.random())
+        return d
+
+    def call(self, fn, *, op: str = "call"):
+        """Run ``fn()``, retrying transient failures per the policy."""
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn()
+            except self.transient as exc:
+                if attempt == self.attempts:
+                    raise
+                ctx = current()
+                if ctx is not None:
+                    ctx.check()
+                    ctx.stats["retries"] += 1
+                d = self.delay(attempt)
+                if telemetry.ENABLED:
+                    telemetry.decision(
+                        "governor.retry", op=op, attempt=attempt,
+                        delay_s=round(d, 6), error=type(exc).__name__,
+                    )
+                if d > 0:
+                    time.sleep(d)
+
+
+def with_retry(fn, *args, policy: RetryPolicy | None = None, **kwargs):
+    """Call ``fn(*args, **kwargs)`` under a retry policy.
+
+    Uses ``policy``, else the active context's policy, else a default
+    :class:`RetryPolicy`.
+    """
+    if policy is None:
+        ctx = current()
+        policy = ctx.retry if ctx is not None and ctx.retry is not None \
+            else RetryPolicy()
+    name = getattr(fn, "__name__", "call")
+    return policy.call(lambda: fn(*args, **kwargs), op=name)
+
+
+# --------------------------------------------------------------------------
+# result-footprint estimation
+# --------------------------------------------------------------------------
+
+def _is_matrix(x) -> bool:
+    from .matrix import Matrix
+    return isinstance(x, Matrix)
+
+
+def _is_vector(x) -> bool:
+    from .vector import Vector
+    return isinstance(x, Vector)
+
+
+def _nvals(x) -> int:
+    return int(x.nvals)
+
+
+def _entry_bytes(container, out_type) -> int:
+    itemsize = 8
+    if out_type is not None:
+        itemsize = int(np.dtype(out_type.np_dtype).itemsize)
+    if _is_matrix(container):
+        return 2 * _INDEX_BYTES + itemsize
+    return _INDEX_BYTES + itemsize
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // max(b, 1))
+
+
+def estimate_result_entries(plan) -> int:
+    """Upper estimate of stored entries the op will materialize.
+
+    Deliberately pessimistic-but-cheap: uses only operand ``nvals`` and
+    shapes already resolved in the plan.  For SpGEMM the estimate follows
+    the expected Gustavson flop count ``nnz(A) * nnz(B)/inner`` (the
+    working set of un-summed partial products — the actual allocation
+    peak), capped by a structural mask's population when one is present
+    without complement.
+    """
+    op = plan.op
+    args = plan.args
+    out = plan.out
+
+    if op == "mxm":
+        A, B = args[0], args[1]
+        inner = int(plan.params.get("inner", 1) or 1)
+        flops = _nvals(A) * _ceil_div(_nvals(B), inner)
+        dense = int(out.nrows) * int(out.ncols)
+        est = max(min(flops, dense), flops // 4)
+    elif op in ("mxv", "vxm"):
+        A = args[0] if plan.params.get("is_mxv", op == "mxv") else args[1]
+        est = min(int(out.size), _nvals(A))
+    elif op == "ewise_add":
+        est = _nvals(args[0]) + _nvals(args[1])
+    elif op == "ewise_mult":
+        est = min(_nvals(args[0]), _nvals(args[1]))
+    elif op in ("apply", "select", "transpose"):
+        est = _nvals(args[0])
+    elif op == "extract":
+        kind = plan.params.get("kind", "vector")
+        if kind == "vector":
+            est = int(plan.params["I"].size)
+        elif kind == "col":
+            est = int(plan.params["I"].size)
+        else:
+            region = int(plan.params["I"].size) * int(plan.params["J"].size)
+            est = min(_nvals(args[0]), region)
+    elif op in ("assign", "subassign"):
+        A = args[0]
+        if _is_matrix(A) or _is_vector(A):
+            incoming = _nvals(A)
+        else:  # scalar fill of the I x J region
+            I = plan.params.get("I")
+            J = plan.params.get("J")
+            incoming = int(I.size) if I is not None else 1
+            if J is not None:
+                incoming *= int(J.size)
+        est = _nvals(plan.out) + incoming
+    elif op == "kronecker":
+        est = _nvals(args[0]) * _nvals(args[1])
+    elif op == "reduce_rowwise":
+        est = int(out.size)
+    elif op == "reduce_scalar":
+        est = 1
+    else:  # pragma: no cover - future ops default to the dense bound
+        est = int(out.nrows) * int(out.ncols) if _is_matrix(out) \
+            else int(out.size)
+
+    mask = plan.mask
+    if mask is not None and not plan.desc.complement_mask and op != "mxm":
+        cap = _nvals(mask)
+        if plan.accum is not None and out is not None:
+            cap += _nvals(out)
+        est = min(est, cap)
+    return max(int(est), 1)
+
+
+def estimate_plan_bytes(plan) -> int:
+    """Estimated peak bytes the op will allocate for its result."""
+    ref = plan.out if plan.out is not None else plan.args[0]
+    return estimate_result_entries(plan) * _entry_bytes(ref, plan.out_type)
+
+
+# --------------------------------------------------------------------------
+# the execution context
+# --------------------------------------------------------------------------
+
+class ExecutionContext:
+    """Thread-local resource scope for a batch of GraphBLAS work.
+
+    Parameters
+    ----------
+    memory_budget:
+        Per-operation result budget in bytes (None = unlimited).  Plans
+        whose estimated footprint exceeds it are degraded to a lighter
+        backend when possible, else rejected with
+        :class:`~repro.graphblas.errors.BudgetExceeded`.
+    deadline:
+        Wall-clock seconds from ``__enter__``; once passed, every
+        admission and poll raises
+        :class:`~repro.graphblas.errors.DeadlineExceeded`.
+    cancel:
+        A shared :class:`CancellationToken` (one is created if omitted).
+    retry:
+        A :class:`RetryPolicy` applied around kernel execution at
+        dispatch (None = no retry).
+    degrade:
+        Allow budget-exceeded plans to fall back to ``degrade_backends``
+        instead of failing (default True).
+    degrade_backends:
+        Backend names tried, in order, for degraded plans; a backend must
+        ``supports()`` the plan to be chosen (its own fallback chain is
+        *not* honored for degraded plans — that would defeat the budget).
+
+    Contexts nest (a thread-local stack; the innermost governs) and are
+    single-use: re-entering a context raises.
+    """
+
+    def __init__(self, *, memory_budget: int | None = None,
+                 deadline: float | None = None,
+                 cancel: CancellationToken | None = None,
+                 retry: RetryPolicy | None = None,
+                 degrade: bool = True,
+                 degrade_backends=("reference", "scipy")) -> None:
+        if memory_budget is not None and memory_budget < 0:
+            raise InvalidValue(f"memory_budget must be >= 0, got {memory_budget}")
+        if deadline is not None and deadline < 0:
+            raise InvalidValue(f"deadline must be >= 0, got {deadline}")
+        self.memory_budget = None if memory_budget is None else int(memory_budget)
+        self.deadline = None if deadline is None else float(deadline)
+        self.token = cancel if cancel is not None else CancellationToken()
+        self.retry = retry
+        self.degrade = bool(degrade)
+        self.degrade_backends = tuple(degrade_backends)
+        self.deadline_at: float | None = None
+        self.stats = {
+            "admitted": 0, "rejected": 0, "degraded": 0,
+            "cancelled": 0, "retries": 0,
+        }
+        self._entered = False
+
+    # -- scope management ---------------------------------------------------
+
+    def __enter__(self) -> "ExecutionContext":
+        if self._entered:
+            raise InvalidValue("ExecutionContext is single-use; create a new one")
+        self._entered = True
+        if self.deadline is not None:
+            self.deadline_at = time.monotonic() + self.deadline
+        stack = getattr(_tls, "stack", None)
+        if stack is None:
+            stack = _tls.stack = []
+        stack.append(self)
+        global ACTIVE, _active_count
+        with _lock:
+            _active_count += 1
+            ACTIVE = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _tls.stack.remove(self)
+        global ACTIVE, _active_count
+        with _lock:
+            _active_count -= 1
+            ACTIVE = _active_count > 0
+
+    # -- controls -----------------------------------------------------------
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Trip this context's cancellation token (any thread may call)."""
+        self.token.cancel(reason)
+
+    def remaining_seconds(self) -> float | None:
+        """Seconds until the deadline (None = no deadline)."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - time.monotonic()
+
+    # -- enforcement --------------------------------------------------------
+
+    def check(self) -> None:
+        """Raise if cancelled or past deadline.  The poll primitive."""
+        if self.token.cancelled:
+            self.stats["cancelled"] += 1
+            if telemetry.ENABLED:
+                telemetry.decision("governor.cancel", reason=self.token.reason)
+            raise Cancelled(self.token.reason or "cancelled")
+        if self.deadline_at is not None and time.monotonic() > self.deadline_at:
+            self.stats["cancelled"] += 1
+            if telemetry.ENABLED:
+                telemetry.decision("governor.cancel", reason="deadline",
+                                   deadline_s=self.deadline)
+            raise DeadlineExceeded(
+                f"deadline of {self.deadline}s exceeded"
+            )
+
+    def admit(self, plan) -> None:
+        """Admission control for one plan; called by every planner.
+
+        Raises :class:`~repro.graphblas.errors.Cancelled` /
+        :class:`~repro.graphblas.errors.DeadlineExceeded` /
+        :class:`~repro.graphblas.errors.BudgetExceeded` before any output
+        allocation, or tags the plan for degraded dispatch.
+        """
+        self.check()
+        if self.memory_budget is None:
+            self.stats["admitted"] += 1
+            return
+        est = estimate_plan_bytes(plan)
+        plan.params["est_bytes"] = est
+        if est <= self.memory_budget:
+            self.stats["admitted"] += 1
+            if telemetry.ENABLED:
+                telemetry.decision("governor.admit", op=plan.op, est_bytes=est)
+            return
+        route = self._degrade_route(plan)
+        if route is not None:
+            plan.params["governor_degrade_to"] = route
+            self.stats["degraded"] += 1
+            return  # the dispatcher records the governor.degrade decision
+        self.stats["rejected"] += 1
+        if telemetry.ENABLED:
+            telemetry.decision("governor.reject", op=plan.op, reason="budget",
+                               est_bytes=est, budget=self.memory_budget)
+        raise BudgetExceeded(
+            f"{plan.op}: estimated result footprint {est} B exceeds the "
+            f"context memory budget of {self.memory_budget} B"
+        )
+
+    def _degrade_route(self, plan) -> str | None:
+        if not self.degrade:
+            return None
+        from . import backends as _backends
+        for name in self.degrade_backends:
+            try:
+                be = _backends.get_backend(name)
+            except InvalidValue:
+                continue
+            if be.supports(plan):
+                return name
+        return None
+
+
+def current() -> ExecutionContext | None:
+    """The innermost context governing this thread, or None."""
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+def poll() -> None:
+    """Cooperative cancellation/deadline check; no-op when un-governed."""
+    ctx = current()
+    if ctx is not None:
+        ctx.check()
+
+
+def admit(plan) -> None:
+    """Submit a plan for admission; no-op when un-governed."""
+    ctx = current()
+    if ctx is not None:
+        ctx.admit(plan)
+
+
+def env_limits() -> tuple[int | None, float | None]:
+    """(memory_budget, deadline) from the environment, hardened.
+
+    Reads ``GRAPHBLAS_GOVERNOR_BUDGET`` (bytes; ``k``/``m``/``g``
+    suffixes accepted) and ``GRAPHBLAS_GOVERNOR_DEADLINE`` (seconds).
+    Used by the CI governor leg to wrap each resilience test in a
+    budgeted, deadlined context.
+    """
+    budget = envutil.env_bytes("GRAPHBLAS_GOVERNOR_BUDGET", None, minimum=0)
+    deadline = envutil.env_float("GRAPHBLAS_GOVERNOR_DEADLINE", None, minimum=0.0)
+    return budget, deadline
+
+
+# --------------------------------------------------------------------------
+# checkpoint/resume
+# --------------------------------------------------------------------------
+
+class Checkpoint:
+    """Periodic, atomic snapshots of an iterative algorithm's loop state.
+
+    Pass to an algorithm's ``checkpoint=``; every ``every``-th iteration
+    the loop state (frontier/parent/rank containers plus the iteration
+    counter) is serialized to ``path`` via
+    :func:`repro.io.checkpoint.save_state` (write-to-temp + atomic
+    rename, so a crash mid-save leaves the previous snapshot intact).
+    """
+
+    def __init__(self, path, *, every: int = 1) -> None:
+        if every < 1:
+            raise InvalidValue(f"every must be >= 1, got {every}")
+        self.path = str(path)
+        self.every = int(every)
+        self.saves = 0
+
+    def should(self, iteration: int) -> bool:
+        return iteration % self.every == 0
+
+    def save(self, algorithm: str, iteration: int, state: dict) -> None:
+        from ..io.checkpoint import save_state
+        payload = {"__algorithm__": algorithm, "__iteration__": int(iteration)}
+        payload.update(state)
+        save_state(self.path, payload)
+        self.saves += 1
+        if telemetry.ENABLED:
+            telemetry.decision("governor.checkpoint", op=algorithm,
+                               iteration=int(iteration), path=self.path)
+
+
+def as_checkpoint(spec):
+    """Normalize an algorithm's ``checkpoint=`` argument.
+
+    None passes through; a :class:`Checkpoint` is used as-is; a plain
+    callable is kept (invoked as ``fn(algorithm, iteration, state)``);
+    a path becomes ``Checkpoint(path)``.
+    """
+    if spec is None or isinstance(spec, Checkpoint) or callable(spec):
+        return spec
+    return Checkpoint(spec)
+
+
+def save_hook(cp, algorithm: str, iteration: int, state: dict) -> None:
+    """Invoke a normalized checkpoint hook for one completed iteration."""
+    if cp is None:
+        return
+    if isinstance(cp, Checkpoint):
+        if cp.should(iteration):
+            cp.save(algorithm, iteration, state)
+        return
+    cp(algorithm, int(iteration), dict(state))
+
+
+def load_checkpoint(spec, *, algorithm: str | None = None) -> dict:
+    """Load a snapshot for an algorithm's ``resume=`` path.
+
+    ``spec`` is a path or a :class:`Checkpoint`.  When ``algorithm`` is
+    given, a snapshot written by a different algorithm is rejected with
+    :class:`~repro.graphblas.errors.InvalidValue` rather than resuming
+    into the wrong loop.
+    """
+    path = spec.path if isinstance(spec, Checkpoint) else str(spec)
+    from ..io.checkpoint import load_state
+    state = load_state(path)
+    found = state.get("__algorithm__")
+    if algorithm is not None and found != algorithm:
+        raise InvalidValue(
+            f"checkpoint {path!r} was written by {found!r}, "
+            f"cannot resume {algorithm!r}"
+        )
+    if telemetry.ENABLED:
+        telemetry.decision("governor.resume", op=found or "unknown",
+                           iteration=int(state.get("__iteration__", -1)),
+                           path=path)
+    return state

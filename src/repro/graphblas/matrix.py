@@ -23,7 +23,7 @@ import time as _time
 
 import numpy as np
 
-from . import context, faults, telemetry
+from . import context, faults, governor, telemetry
 from .errors import (
     IndexOutOfBounds,
     InvalidValue,
@@ -252,6 +252,10 @@ class Matrix:
         self._require_valid()
         if not self.has_pending:
             return self
+        if governor.ACTIVE:
+            # Poll before any assembly work: a cancellation here leaves
+            # the store and the whole pending/zombie log fully intact.
+            governor.poll()
         if faults.ENABLED:
             faults.trip("assemble")
         if telemetry.ENABLED:

@@ -32,7 +32,7 @@ import heapq
 
 import numpy as np
 
-from . import faults, telemetry
+from . import faults, governor, telemetry
 from .errors import InvalidValue
 from .formats import SparseStore
 from .ops import BinaryOp
@@ -126,6 +126,10 @@ def mxm_coo(
             a_nvals=a_rows.nvals,
             b_nvals=b_rows.nvals,
         )
+    if governor.ACTIVE:
+        # SpGEMM method boundary: last cooperative cancellation point
+        # before the expansion kernels allocate their working set.
+        governor.poll()
 
     if method == "gustavson":
         r, c, v = _mxm_gustavson(a_rows, b_rows, semiring, out_type)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from . import governor
 from .descriptor import Descriptor, desc as _desc
 from .errors import (
     DimensionMismatch,
@@ -246,6 +247,20 @@ class OpPlan:
     params: dict = field(default_factory=dict)
 
 
+def _admitted(*args, **kwargs) -> OpPlan:
+    """Build an OpPlan and submit it to the execution governor.
+
+    Every planner funnels its finished plan through here — after all
+    shape/domain validation, before any backend sees it — so a plan the
+    governor rejects (budget, deadline, cancellation) raises its typed
+    error without allocating the output, leaving all operands valid.
+    """
+    p = OpPlan(*args, **kwargs)
+    if governor.ACTIVE:
+        governor.admit(p)
+    return p
+
+
 # --------------------------------------------------------------------------
 # planners — one per Table-I operation
 # --------------------------------------------------------------------------
@@ -262,7 +277,7 @@ def plan_mxm(C, A, B, semiring="PLUS_TIMES", *, mask=None, accum=None,
     if C.shape != (nra, ncb):
         raise DimensionMismatch(f"output is {C.shape}, expected {(nra, ncb)}")
     _check_write(C, mask, accum)
-    return OpPlan(
+    return _admitted(
         "mxm", C, (A, B), d, mask=mask, accum=accum, operator=sr,
         out_type=sr.out_type(A.dtype, B.dtype),
         params={"method": method, "inner": nca},
@@ -290,7 +305,7 @@ def _plan_matvec(op, w, A, u, semiring, mask, accum, desc, method,
         sr.out_type(A.dtype, u.dtype) if is_mxv else sr.out_type(u.dtype, A.dtype)
     )
     args = (A, u) if is_mxv else (u, A)
-    return OpPlan(
+    return _admitted(
         op, w, args, d, mask=mask, accum=accum, operator=sr, out_type=out_type,
         params={
             "method": method,
@@ -330,7 +345,7 @@ def _plan_ewise(op_name, which, C, A, B, op, mask, accum, desc) -> OpPlan:
             raise DimensionMismatch(f"{which} matrix shapes differ")
         is_vector = False
     _check_write(C, mask, accum)
-    return OpPlan(
+    return _admitted(
         op_name, C, (A, B), d, mask=mask, accum=accum, operator=bop,
         out_type=bop.out_type(A.dtype, B.dtype),
         params={"is_vector": is_vector},
@@ -386,7 +401,7 @@ def plan_apply(C, A, op="IDENTITY", *, left=None, right=None, thunk=None,
         out_type = uop.out_type(A.dtype)
 
     _check_write(C, mask, accum)
-    return OpPlan(
+    return _admitted(
         "apply", C, (A,), d, mask=mask, accum=accum, operator=operator,
         out_type=out_type,
         params={
@@ -412,7 +427,7 @@ def plan_select(C, A, op, thunk=0, *, mask=None, accum=None, desc=None) -> OpPla
             raise DimensionMismatch("select matrix shapes differ")
         is_vector = False
     _check_write(C, mask, accum)
-    return OpPlan(
+    return _admitted(
         "select", C, (A,), d, mask=mask, accum=accum, operator=iu,
         out_type=A.dtype, params={"thunk": thunk, "is_vector": is_vector},
     )
@@ -426,7 +441,7 @@ def plan_reduce_rowwise(w, A, op="PLUS", *, mask=None, accum=None, desc=None) ->
     if w.size != nr:
         raise DimensionMismatch(f"output size {w.size}, expected {nr}")
     _check_write(w, mask, accum)
-    return OpPlan(
+    return _admitted(
         "reduce_rowwise", w, (A,), d, mask=mask, accum=accum, operator=mon,
         out_type=A.dtype,
     )
@@ -434,7 +449,7 @@ def plan_reduce_rowwise(w, A, op="PLUS", *, mask=None, accum=None, desc=None) ->
 
 def plan_reduce_scalar(A, op="PLUS", *, accum=None, init=None) -> OpPlan:
     mon = _monoid(op)
-    return OpPlan(
+    return _admitted(
         "reduce_scalar", None, (A,), Descriptor(), accum=resolve_accum(accum),
         operator=mon, out_type=A.dtype, params={"init": init},
     )
@@ -448,7 +463,7 @@ def plan_transpose(C, A, *, mask=None, accum=None, desc=None) -> OpPlan:
     if C.shape != _mat_shape(A, transposed):
         raise DimensionMismatch("transpose output shape mismatch")
     _check_write(C, mask, accum)
-    return OpPlan(
+    return _admitted(
         "transpose", C, (A,), d, mask=mask, accum=accum, out_type=A.dtype,
         params={"transposed": transposed},
     )
@@ -484,7 +499,7 @@ def plan_extract(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None) -> OpP
                 )
             params.update(kind="matrix", I=I_res, J=J_res)
     _check_write(C, mask, accum)
-    return OpPlan(
+    return _admitted(
         "extract", C, (A,), d, mask=mask, accum=accum, out_type=A.dtype,
         params=params,
     )
@@ -510,7 +525,7 @@ def plan_assign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None) -> OpPl
         and not d.replace
     ):
         params["masked_fill"] = True
-        return OpPlan(
+        return _admitted(
             "assign", C, (A,), d, mask=mask, accum=accum,
             out_type=C.dtype, params=params,
         )
@@ -541,7 +556,7 @@ def plan_assign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None) -> OpPl
             if not row_assign and not col_assign:
                 raise DimensionMismatch("vector assign needs a single row or column")
         params.update(I=I_res, J=J_res)
-    return OpPlan(
+    return _admitted(
         "assign", C, (A,), d, mask=mask, accum=accum, out_type=C.dtype,
         params=params,
     )
@@ -579,7 +594,7 @@ def plan_subassign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None) -> O
             if not row_assign and not col_assign:
                 raise DimensionMismatch("vector subassign needs one row or column")
         params.update(I=I_res, J=J_res)
-    return OpPlan(
+    return _admitted(
         "subassign", C, (A,), d, mask=mask, accum=accum, out_type=C.dtype,
         params=params,
     )
@@ -594,7 +609,7 @@ def plan_kronecker(C, A, B, op="TIMES", *, mask=None, accum=None, desc=None) -> 
     if C.shape != (nra * nrb, nca * ncb):
         raise DimensionMismatch("kronecker output shape mismatch")
     _check_write(C, mask, accum)
-    return OpPlan(
+    return _admitted(
         "kronecker", C, (A, B), d, mask=mask, accum=accum, operator=bop,
         out_type=bop.out_type(A.dtype, B.dtype),
     )

@@ -260,6 +260,13 @@ class Collector:
             "events_dropped": self.dropped,
             "elapsed_seconds": time.perf_counter() - self.t0,
         }
+        gov = {
+            name.split(".", 1)[1]: count
+            for name, count in decisions.items()
+            if name.startswith("governor.")
+        }
+        if gov:
+            out["governor"] = gov
         if include_events:
             out["events"] = list(self.events)
         return out

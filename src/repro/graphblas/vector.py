@@ -16,7 +16,7 @@ import time as _time
 
 import numpy as np
 
-from . import context, faults, telemetry
+from . import context, faults, governor, telemetry
 from .errors import (
     IndexOutOfBounds,
     InvalidValue,
@@ -164,6 +164,10 @@ class Vector:
         self._require_valid()
         if not self.has_pending:
             return self
+        if governor.ACTIVE:
+            # Poll before any assembly work: a cancellation here leaves
+            # the arrays and the whole pending log fully intact.
+            governor.poll()
         if faults.ENABLED:
             faults.trip("assemble")
         if telemetry.ENABLED:

@@ -10,6 +10,7 @@ from .binary import (
     save_graph_npz,
     save_matrix_npz,
 )
+from .checkpoint import load_state, save_state
 
 __all__ = [
     "mmread",
@@ -20,4 +21,6 @@ __all__ = [
     "save_matrix_npz",
     "load_graph_npz",
     "save_graph_npz",
+    "save_state",
+    "load_state",
 ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Matrix, Vector, telemetry
+from ..graphblas import Matrix, Vector, governor, telemetry
 from ..graphblas import operations as ops
 from ..graphblas.descriptor import Descriptor
 from ..graphblas.errors import InvalidValue
@@ -34,6 +34,8 @@ def bfs_level(
     *,
     method: str = "auto",
     optimizer: DirectionOptimizer | None = None,
+    checkpoint=None,
+    resume=None,
 ) -> Vector:
     """Level BFS (Figure 2): v -> hops from ``source``; INT64 vector.
 
@@ -41,7 +43,8 @@ def bfs_level(
     direction-optimization rule (supply a :class:`DirectionOptimizer` to
     observe or tune the switching behaviour).
     """
-    level, _ = bfs(source, graph, parent=False, method=method, optimizer=optimizer)
+    level, _ = bfs(source, graph, parent=False, method=method,
+                   optimizer=optimizer, checkpoint=checkpoint, resume=resume)
     return level
 
 
@@ -59,6 +62,41 @@ def bfs_parent(
     return parent
 
 
+def _bfs_start(source, n, level, parent, resume):
+    """Fresh (or checkpoint-restored) BFS loop state.
+
+    Returns ``(levels, parents, frontier, depth)``; the restore path
+    rejects a snapshot taken with different level/parent outputs.
+    """
+    if resume is not None:
+        st = governor.load_checkpoint(resume, algorithm="bfs")
+        if level != ("levels" in st) or parent != ("parents" in st):
+            raise InvalidValue(
+                "checkpoint was taken with different level/parent outputs"
+            )
+        return (st.get("levels"), st.get("parents"), st["frontier"],
+                int(st["__iteration__"]))
+    levels = Vector("INT64", n) if level else None
+    parents = Vector("INT64", n) if parent else None
+    if parent:
+        frontier = Vector("INT64", n)
+        frontier.set_element(source, source)
+    else:
+        frontier = Vector("BOOL", n)
+        frontier.set_element(source, True)
+    return levels, parents, frontier, 0
+
+
+def _bfs_state(levels, parents, frontier) -> dict:
+    """The loop-carried containers a BFS checkpoint must capture."""
+    state = {"frontier": frontier}
+    if levels is not None:
+        state["levels"] = levels
+    if parents is not None:
+        state["parents"] = parents
+    return state
+
+
 def bfs(
     source: int,
     graph: Graph,
@@ -67,6 +105,8 @@ def bfs(
     parent: bool = False,
     method: str = "auto",
     optimizer: DirectionOptimizer | None = None,
+    checkpoint=None,
+    resume=None,
 ) -> tuple[Vector | None, Vector | None]:
     """Combined level/parent BFS over out-edges of ``graph``.
 
@@ -74,6 +114,11 @@ def bfs(
     requested.  The traversal is the Figure 2 loop: assign the depth (or
     parents) under the frontier mask, then advance the frontier through the
     adjacency transpose under the complemented visited mask with replace.
+
+    ``checkpoint`` (a path, :class:`~repro.graphblas.governor.Checkpoint`,
+    or callable) snapshots the loop state after each completed level;
+    ``resume`` restarts from such a snapshot.  The governor's cancellation
+    token is polled once per level.
     """
     n = graph.n
     if not 0 <= int(source) < n:
@@ -81,24 +126,17 @@ def bfs(
     if not (level or parent):
         raise InvalidValue("request at least one of level/parent")
     AT = graph.AT
-
-    levels = Vector("INT64", n) if level else None
-    parents = Vector("INT64", n) if parent else None
+    cp = governor.as_checkpoint(checkpoint)
+    levels, parents, frontier, depth = _bfs_start(source, n, level, parent, resume)
     # visited mask: any vector that has an entry exactly at visited vertices
     visited = levels if levels is not None else parents
+    # product value = the frontier vertex id for parent BFS
+    semiring = "ANY_SECONDI" if parent else "LOR_LAND"
 
-    if parent:
-        frontier = Vector("INT64", n)
-        frontier.set_element(source, source)
-        semiring = "ANY_SECONDI"  # product value = the frontier vertex id
-    else:
-        frontier = Vector("BOOL", n)
-        frontier.set_element(source, True)
-        semiring = "LOR_LAND"
-
-    depth = 0
     with telemetry.span("bfs", source=int(source), n=n, parent=parent):
         while frontier.nvals > 0:
+            if governor.ACTIVE:
+                governor.poll()
             if telemetry.ENABLED:
                 telemetry.instant(
                     "bfs.level",
@@ -121,6 +159,9 @@ def bfs(
                 optimizer=optimizer,
             )
             depth += 1
+            if cp is not None:
+                governor.save_hook(cp, "bfs", depth,
+                                   _bfs_state(levels, parents, frontier))
     return levels, parents
 
 
@@ -139,6 +180,8 @@ def bfs_levels_batch(sources, graph: Graph) -> Matrix:
     depth = 0
     with telemetry.span("bfs_batch", sources=int(ns), n=n):
         while frontier.nvals > 0:
+            if governor.ACTIVE:
+                governor.poll()
             if telemetry.ENABLED:
                 telemetry.instant(
                     "bfs.level", level=depth, frontier_nvals=int(frontier.nvals)

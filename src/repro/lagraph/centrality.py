@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Matrix, Vector, telemetry
+from ..graphblas import Matrix, Vector, governor, telemetry
 from ..graphblas import operations as ops
 from ..graphblas.descriptor import Descriptor
+from ..graphblas.errors import InvalidValue
 from .graph import Graph, GraphKind
 
 __all__ = [
@@ -37,22 +38,44 @@ def pagerank(
     damping: float = 0.85,
     tol: float = 1e-8,
     max_iters: int = 100,
+    checkpoint=None,
+    resume=None,
 ) -> tuple[Vector, int]:
-    """PageRank; returns (rank vector summing to 1, iterations used)."""
+    """PageRank; returns (rank vector summing to 1, iterations used).
+
+    ``checkpoint`` snapshots the rank vector after each completed
+    iteration; ``resume`` restarts from such a snapshot.  The iteration
+    body depends only on the loop-carried rank vector, so a resumed run
+    is bit-identical to an uninterrupted one.  The governor's
+    cancellation token is polled once per iteration.
+    """
     n = graph.n
     AT = graph.AT
     deg = graph.out_degree  # entries only at non-dangling vertices
 
     teleport = (1.0 - damping) / n
-    r = Vector.full(1.0 / n, n, dtype="FP64")
+    cp = governor.as_checkpoint(checkpoint)
+    if resume is not None:
+        st = governor.load_checkpoint(resume, algorithm="pagerank")
+        r = st["r"]
+        start = int(st["__iteration__"]) + 1
+        if r.size != n:
+            raise InvalidValue(
+                f"checkpoint rank vector has size {r.size}, graph has {n}"
+            )
+    else:
+        r = Vector.full(1.0 / n, n, dtype="FP64")
+        start = 1
     deg_f = Vector("FP64", n)
     ops.apply(deg_f, deg, "identity")  # cast INT64 degrees to FP64
     inv_deg = Vector("FP64", n)
     ops.apply(inv_deg, deg_f, "minv")  # 1/deg at non-dangling vertices
 
-    iters = 0
+    iters = start - 1
     with telemetry.span("pagerank", n=n, damping=damping, tol=tol):
-        for iters in range(1, max_iters + 1):
+        for iters in range(start, max_iters + 1):
+            if governor.ACTIVE:
+                governor.poll()
             prev = r.dup()
             # per-edge contribution of each vertex: r / out-degree
             w = Vector("FP64", n)
@@ -74,6 +97,8 @@ def pagerank(
             resid = float(ops.reduce_scalar(diff, "plus"))
             if telemetry.ENABLED:
                 telemetry.instant("pagerank.iteration", iteration=iters, residual=resid)
+            if cp is not None:
+                governor.save_hook(cp, "pagerank", iters, {"r": r})
             if resid < tol:
                 break
     return r, iters
@@ -86,11 +111,30 @@ def w_times_deg(w: Vector, deg: Vector) -> Vector:
     return out
 
 
-def betweenness_centrality(graph: Graph, sources=None) -> Vector:
+def _bc_state(phase, paths, frontier, stack, bcu, ns):
+    """Loop state snapshotted by betweenness checkpoints (both phases)."""
+    state = {"phase": phase, "ns": int(ns), "paths": paths,
+             "depth": len(stack)}
+    if frontier is not None:
+        state["frontier"] = frontier
+    if bcu is not None:
+        state["bcu"] = bcu
+    for i, s in enumerate(stack):
+        state[f"stack_{i}"] = s
+    return state
+
+
+def betweenness_centrality(graph: Graph, sources=None, *,
+                           checkpoint=None, resume=None) -> Vector:
     """Batched Brandes betweenness; exact when ``sources`` is None.
 
     Returns the standard (unnormalized) betweenness: for undirected graphs
     the conventional halving is applied.
+
+    ``checkpoint``/``resume`` snapshot the loop state after each level of
+    either phase (the snapshot records which phase it was taken in); a
+    resumed run must pass the same ``sources``.  The governor's
+    cancellation token is polled once per level in both phases.
     """
     n = graph.n
     if sources is None:
@@ -99,39 +143,67 @@ def betweenness_centrality(graph: Graph, sources=None) -> Vector:
         sources = np.asarray(sources, dtype=np.int64)
     ns = sources.size
     A = graph.A
+    cp = governor.as_checkpoint(checkpoint)
 
-    # forward phase: count shortest paths level by level
-    paths = Matrix.from_coo(
-        np.arange(ns),
-        sources,
-        np.ones(ns, dtype=np.float64),
-        nrows=ns,
-        ncols=n,
-        dtype="FP64",
-    )
-    frontier = paths.dup()
-    stack: list[Matrix] = [paths.dup()]  # stack[d] = the depth-d frontier
-    with telemetry.span("betweenness.forward", sources=int(ns), n=n):
-        while True:
-            next_frontier = Matrix("FP64", ns, n)
-            # advance one level, counting paths: (+, first) carries path counts
-            ops.mxm(next_frontier, frontier, A, "PLUS_FIRST", mask=paths, desc=_RSC)
-            if next_frontier.nvals == 0:
-                break
-            if telemetry.ENABLED:
-                telemetry.instant(
-                    "betweenness.level",
-                    depth=len(stack),
-                    frontier_nvals=int(next_frontier.nvals),
-                )
-            ops.ewise_add(paths, paths, next_frontier, "plus")
-            stack.append(next_frontier)
-            frontier = next_frontier
+    st = None
+    if resume is not None:
+        st = governor.load_checkpoint(resume, algorithm="betweenness")
+        if int(st["ns"]) != ns:
+            raise InvalidValue(
+                f"checkpoint was taken with {st['ns']} sources, got {ns}"
+            )
+
+    if st is not None:
+        paths = st["paths"]
+        stack = [st[f"stack_{i}"] for i in range(int(st["depth"]))]
+    else:
+        # forward phase: count shortest paths level by level
+        paths = Matrix.from_coo(
+            np.arange(ns),
+            sources,
+            np.ones(ns, dtype=np.float64),
+            nrows=ns,
+            ncols=n,
+            dtype="FP64",
+        )
+        stack = [paths.dup()]  # stack[d] = the depth-d frontier
+    if st is None or st["phase"] == "forward":
+        frontier = st["frontier"] if st is not None else stack[0].dup()
+        with telemetry.span("betweenness.forward", sources=int(ns), n=n):
+            while True:
+                if governor.ACTIVE:
+                    governor.poll()
+                next_frontier = Matrix("FP64", ns, n)
+                # advance one level, counting paths: (+, first) carries path counts
+                ops.mxm(next_frontier, frontier, A, "PLUS_FIRST", mask=paths, desc=_RSC)
+                if next_frontier.nvals == 0:
+                    break
+                if telemetry.ENABLED:
+                    telemetry.instant(
+                        "betweenness.level",
+                        depth=len(stack),
+                        frontier_nvals=int(next_frontier.nvals),
+                    )
+                ops.ewise_add(paths, paths, next_frontier, "plus")
+                stack.append(next_frontier)
+                frontier = next_frontier
+                if cp is not None:
+                    governor.save_hook(
+                        cp, "betweenness", len(stack) - 1,
+                        _bc_state("forward", paths, frontier, stack, None, ns),
+                    )
 
     # backward phase: dependency accumulation, deepest level first
-    bcu = Matrix.from_dense(np.ones((ns, n)), dtype="FP64")
+    if st is not None and st["phase"] == "backward":
+        bcu = st["bcu"]
+        start_d = int(st["__iteration__"]) - 1
+    else:
+        bcu = Matrix.from_dense(np.ones((ns, n)), dtype="FP64")
+        start_d = len(stack) - 1
     with telemetry.span("betweenness.backward", sources=int(ns), n=n):
-        for d in range(len(stack) - 1, 0, -1):
+        for d in range(start_d, 0, -1):
+            if governor.ACTIVE:
+                governor.poll()
             w = Matrix("FP64", ns, n)
             # w = (1 + delta) ./ sigma, restricted to this level's frontier
             ops.ewise_mult(w, bcu, inv(paths), "times", mask=stack[d], desc=_RS)
@@ -148,6 +220,11 @@ def betweenness_centrality(graph: Graph, sources=None) -> Vector:
             update = Matrix("FP64", ns, n)
             ops.ewise_mult(update, back, paths, "times")
             ops.ewise_add(bcu, bcu, update, "plus")
+            if cp is not None:
+                governor.save_hook(
+                    cp, "betweenness", d,
+                    _bc_state("backward", paths, None, stack, bcu, ns),
+                )
 
     # centrality(v) = sum_s delta_s(v), excluding each source's own
     # self-dependency: bcu(s, v) = 1 + delta_s(v), so subtract the ns

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Matrix, Vector, telemetry
+from ..graphblas import Matrix, Vector, governor, telemetry
 from ..graphblas import operations as ops
+from ..graphblas.errors import InvalidValue
 from .graph import Graph, GraphKind
 
 __all__ = ["connected_components", "cc_label_propagation", "component_sizes"]
@@ -33,15 +34,32 @@ def _symmetric_structure(graph: Graph) -> Matrix:
     return S
 
 
-def connected_components(graph: Graph) -> Vector:
-    """FastSV: component id (minimum vertex id in component) per vertex."""
+def connected_components(graph: Graph, *, checkpoint=None, resume=None) -> Vector:
+    """FastSV: component id (minimum vertex id in component) per vertex.
+
+    ``checkpoint`` snapshots the parent-pointer vector after each completed
+    hooking/shortcutting round; ``resume`` restarts from such a snapshot.
+    Each round depends only on the loop-carried parent vector, so a resumed
+    run is bit-identical.  The governor's token is polled once per round.
+    """
     n = graph.n
     S = _symmetric_structure(graph)
-    f = Vector.from_dense(np.arange(n, dtype=np.int64))  # parent pointers
-
-    rounds = 0
+    cp = governor.as_checkpoint(checkpoint)
+    if resume is not None:
+        st = governor.load_checkpoint(resume, algorithm="components")
+        f = st["f"]
+        rounds = int(st["__iteration__"])
+        if f.size != n:
+            raise InvalidValue(
+                f"checkpoint parent vector has size {f.size}, graph has {n}"
+            )
+    else:
+        f = Vector.from_dense(np.arange(n, dtype=np.int64))  # parent pointers
+        rounds = 0
     with telemetry.span("components.fastsv", n=n):
         while True:
+            if governor.ACTIVE:
+                governor.poll()
             changed = False
             fd = f.to_dense()
             # grandparents: gp = f[f]  (a gather, i.e. GrB extract with I = f)
@@ -77,6 +95,8 @@ def connected_components(graph: Graph) -> Vector:
                 telemetry.instant(
                     "components.round", round=rounds, changed=changed
                 )
+            if cp is not None:
+                governor.save_hook(cp, "components", rounds, {"f": f})
             if not changed:
                 # fully path-compress before returning
                 fd = f.to_dense()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Matrix, Vector
+from ..graphblas import Matrix, Vector, governor
 from ..graphblas import operations as ops
 from ..graphblas.errors import InvalidValue
 
@@ -31,16 +31,38 @@ def dnn_inference(
     biases: list[Vector] | list[float],
     *,
     relu_clip: float | None = 32.0,
+    checkpoint=None,
+    resume=None,
 ) -> Matrix:
     """Run sparse inference; rows of ``Y0`` are input samples.
 
     ``biases[l]`` may be a per-neuron Vector or a uniform float.  Returns
     the final activation matrix.
+
+    ``checkpoint`` snapshots the activation matrix after each completed
+    layer; ``resume`` restarts at the first unapplied layer.  Each layer
+    depends only on the previous activations, so a resumed run is
+    bit-identical.  The governor's token is polled once per layer.
     """
     if len(weights) != len(biases):
         raise InvalidValue("one bias per layer required")
-    Y = Y0
-    for W, b in zip(weights, biases):
+    cp = governor.as_checkpoint(checkpoint)
+    if resume is not None:
+        st = governor.load_checkpoint(resume, algorithm="dnn")
+        Y = st["Y"]
+        done = int(st["__iteration__"])  # layers already applied
+        if done > len(weights):
+            raise InvalidValue(
+                f"checkpoint records {done} layers, network has {len(weights)}"
+            )
+    else:
+        Y = Y0
+        done = 0
+    for layer, (W, b) in enumerate(zip(weights, biases), start=1):
+        if layer <= done:
+            continue
+        if governor.ACTIVE:
+            governor.poll()
         if Y.ncols != W.nrows:
             raise InvalidValue(
                 f"layer mismatch: activations {Y.shape} x weights {W.shape}"
@@ -63,6 +85,8 @@ def dnn_inference(
             ops.apply(clipped, Yn, "min", right=float(relu_clip))
             Yn = clipped
         Y = Yn
+        if cp is not None:
+            governor.save_hook(cp, "dnn", layer, {"Y": Y})
     return Y
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphblas import Vector, telemetry
+from ..graphblas import Vector, governor, telemetry
 from ..graphblas import operations as ops
 from ..graphblas.descriptor import Descriptor
 from ..graphblas.errors import InvalidValue
@@ -21,20 +21,45 @@ __all__ = ["bellman_ford_sssp", "delta_stepping_sssp", "sssp"]
 _S = Descriptor(structural_mask=True)
 
 
-def bellman_ford_sssp(source: int, graph: Graph, *, max_iters: int | None = None) -> Vector:
+def bellman_ford_sssp(
+    source: int,
+    graph: Graph,
+    *,
+    max_iters: int | None = None,
+    checkpoint=None,
+    resume=None,
+) -> Vector:
     """Bellman-Ford over the (min, +) semiring.
 
     ``d'(j) = min(d(j), min_i d(i) + A(i, j))`` iterated to fixpoint; raises
     on a negative-weight cycle.  Unreachable vertices have no entry.
+
+    ``checkpoint`` snapshots the distance vector after each completed
+    relaxation round; ``resume`` restarts from such a snapshot.  Each
+    round depends only on the loop-carried distances, so a resumed run is
+    bit-identical.  The governor's cancellation token is polled per round.
     """
     n = graph.n
     if not 0 <= int(source) < n:
         raise InvalidValue(f"source {source} outside [0,{n})")
-    d = Vector("FP64", n)
-    d.set_element(source, 0.0)
+    cp = governor.as_checkpoint(checkpoint)
+    if resume is not None:
+        st = governor.load_checkpoint(resume, algorithm="sssp")
+        d = st["d"]
+        start = int(st["__iteration__"]) + 1
+        if d.size != n:
+            raise InvalidValue(
+                f"checkpoint distance vector has size {d.size}, graph has {n}"
+            )
+    else:
+        d = Vector("FP64", n)
+        d.set_element(source, 0.0)
+        start = 0
     limit = n if max_iters is None else max_iters
     with telemetry.span("sssp.bellman_ford", source=int(source), n=n):
-        for it in range(limit):
+        for it in range(start, limit):
+            if governor.ACTIVE:
+                governor.poll()
             prev = d.dup()
             # d<-- min over incoming relaxations, folded in with the MIN accum
             ops.vxm(d, d, graph.A, "MIN_PLUS", accum="MIN")
@@ -42,6 +67,8 @@ def bellman_ford_sssp(source: int, graph: Graph, *, max_iters: int | None = None
                 telemetry.instant(
                     "sssp.iteration", iteration=it, reached=int(d.nvals)
                 )
+            if cp is not None:
+                governor.save_hook(cp, "sssp", it, {"d": d})
             if d.isequal(prev):
                 return d
     # one more relaxation still improving => negative cycle
@@ -86,6 +113,8 @@ def delta_stepping_sssp(source: int, graph: Graph, delta: float | None = None) -
     with span:
         bucket_no = 0
         while True:
+            if governor.ACTIVE:
+                governor.poll()  # bucket boundary: distances stay valid
             # find the next non-empty bucket
             frontier_all = Vector("FP64", n)
             ops.select(frontier_all, t, "VALUEGE", settled_below)

@@ -280,6 +280,25 @@ class TestDifferential:
         monkeypatch.setenv("GRAPHBLAS_DIFF_BUDGET", "77")
         assert DifferentialBackend().budget == 77
 
+    def test_strict_fails_on_over_budget_op(self):
+        from repro.graphblas.errors import BudgetExceeded
+
+        A, B = small_pair(seed=13)
+        be = DifferentialBackend(budget=1, strict=True)
+        C = Matrix(np.float64, *A.shape)
+        with pytest.raises(BudgetExceeded, match="strict"):
+            with backend(be):
+                ops.mxm(C, A, B, "PLUS_TIMES")
+        assert be.stats["skipped"] == 1 and be.stats["verified"] == 0
+
+    def test_strict_within_budget_still_verifies(self):
+        A, B = small_pair(seed=14)
+        be = DifferentialBackend(strict=True)
+        C = Matrix(np.float64, *A.shape)
+        with backend(be):
+            ops.mxm(C, A, B, "PLUS_TIMES")
+        assert be.stats["verified"] == 1 and be.stats["skipped"] == 0
+
 
 class TestCapiGlobalOption:
     def test_backend_set_get(self):

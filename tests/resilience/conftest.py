@@ -5,6 +5,7 @@ import os
 import pytest
 
 import repro.graphblas.faults as faults
+import repro.graphblas.governor as governor
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 
@@ -15,6 +16,24 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(pytest.mark.resilience)
 
 
+def pytest_report_header(config):
+    # The run seed reproduces every probabilistic fault plan armed without
+    # an explicit seed (re-run with GRAPHBLAS_FAULT_SEED=<seed>).
+    return f"fault-injection run seed: GRAPHBLAS_FAULT_SEED={faults.run_seed()}"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append((
+            "fault-injection seed",
+            f"replay probabilistic fault plans with "
+            f"GRAPHBLAS_FAULT_SEED={faults.run_seed()}",
+        ))
+
+
 @pytest.fixture(autouse=True)
 def _no_leftover_faults():
     """Fault injection must be fully disarmed before and after every test."""
@@ -22,3 +41,19 @@ def _no_leftover_faults():
     faults.reset_stats()
     yield
     assert not faults.ENABLED and not faults.active_plans()
+
+
+@pytest.fixture(autouse=True)
+def _governed():
+    """Run each test under a governor context when the CI leg asks for one.
+
+    GRAPHBLAS_GOVERNOR_BUDGET / GRAPHBLAS_GOVERNOR_DEADLINE turn the whole
+    resilience suite into a stress test of the admission path: every
+    operation planned by every test is then estimated and admitted.
+    """
+    budget, deadline = governor.env_limits()
+    if budget is None and deadline is None:
+        yield
+        return
+    with governor.ExecutionContext(memory_budget=budget, deadline=deadline):
+        yield

@@ -1,0 +1,131 @@
+"""``wait()`` interrupted mid-assembly, across every storage format.
+
+Non-blocking mode defers updates into a pending log that ``wait()``
+commits atomically.  Whether the interruption is an injected fault or a
+governor cancellation, a failed ``wait()`` must leave the object exactly
+as it was — store untouched, log intact — and a retried ``wait()`` must
+apply the full log.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    Cancelled,
+    Info,
+    Matrix,
+    OutOfMemory,
+    Vector,
+    faults,
+    governor,
+    nonblocking,
+    validate,
+)
+from tests.resilience._state import assert_same_state, deep_state
+
+FORMATS = ["csr", "csc", "hypercsr", "hypercsc"]
+
+
+def make_matrix(fmt: str) -> Matrix:
+    rng = np.random.default_rng(31)
+    r = rng.integers(0, 30, 60)
+    c = rng.integers(0, 30, 60)
+    A = Matrix.from_coo(r, c, rng.random(60), nrows=30, ncols=30,
+                        dtype="FP64", dup="PLUS")
+    return A.set_format(fmt)
+
+
+def stage_updates(A: Matrix) -> dict:
+    """Queue inserts and a delete; return the expected final entries."""
+    A.set_element(2, 3, 9.5)
+    A.set_element(29, 0, -1.25)
+    i, j, _ = A.extract_tuples() if not A.has_pending else (None, None, None)
+    A.remove_element(0, 0)  # zombie if (0,0) exists, no-op log otherwise
+    return {"set": [((2, 3), 9.5), ((29, 0), -1.25)], "removed": (0, 0)}
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+class TestFaultDuringWait:
+    def test_failed_assembly_rolls_back_then_retry_commits(self, fmt):
+        with nonblocking():
+            A = make_matrix(fmt)
+            expected = stage_updates(A)
+            assert A.has_pending
+            snap = deep_state(A)
+            with faults.inject("assemble", OutOfMemory):
+                with pytest.raises(OutOfMemory):
+                    A.wait()
+            assert_same_state(A, snap)  # store AND pending log intact
+            assert validate.check(A) == Info.SUCCESS
+            A.wait()  # retry commits the same log
+            assert not A.has_pending
+            for (i, j), val in expected["set"]:
+                assert A.extract_element(i, j) == val
+            ri, rj = expected["removed"]
+            ii, jj, _ = A.extract_tuples()
+            assert not np.any((ii == ri) & (jj == rj))
+            assert validate.check(A) == Info.SUCCESS
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+class TestCancelDuringWait:
+    def test_cancelled_wait_preserves_log_then_commits(self, fmt):
+        with nonblocking():
+            A = make_matrix(fmt)
+            expected = stage_updates(A)
+            snap = deep_state(A)
+            ctx = governor.ExecutionContext()
+            with ctx:
+                ctx.cancel("operator interrupt")
+                with pytest.raises(Cancelled):
+                    A.wait()
+                assert_same_state(A, snap)
+                assert validate.check(A) == Info.SUCCESS
+            A.wait()  # outside the cancelled scope the commit succeeds
+            assert not A.has_pending
+            for (i, j), val in expected["set"]:
+                assert A.extract_element(i, j) == val
+            assert validate.check(A) == Info.SUCCESS
+
+    def test_deadline_during_wait(self, fmt):
+        import time
+
+        with nonblocking():
+            A = make_matrix(fmt)
+            stage_updates(A)
+            snap = deep_state(A)
+            with governor.ExecutionContext(deadline=0.0):
+                time.sleep(0.005)
+                from repro.graphblas import DeadlineExceeded
+
+                with pytest.raises(DeadlineExceeded):
+                    A.wait()
+            assert_same_state(A, snap)
+            A.wait()
+            assert not A.has_pending
+
+
+class TestVectorWait:
+    def test_fault_then_cancel_then_commit(self):
+        with nonblocking():
+            v = Vector.from_coo([1, 5, 9], [1.0, 2.0, 3.0], size=12,
+                                dtype="FP64")
+            v.set_element(0, 4.5)
+            v.remove_element(5)
+            snap = deep_state(v)
+            with faults.inject("assemble", OutOfMemory):
+                with pytest.raises(OutOfMemory):
+                    v.wait()
+            assert_same_state(v, snap)
+            ctx = governor.ExecutionContext()
+            with ctx:
+                ctx.cancel()
+                with pytest.raises(Cancelled):
+                    v.wait()
+            assert_same_state(v, snap)
+            assert validate.check(v) == Info.SUCCESS
+            v.wait()
+            assert v.extract_element(0) == 4.5
+            idx, _ = v.extract_tuples()
+            assert 5 not in idx
+            assert validate.check(v) == Info.SUCCESS
