@@ -287,6 +287,61 @@ with a single `RuntimeWarning` instead of crashing at import.
 """
 
 
+ENGINE_SECTION = """
+## Performance engine
+
+`repro.graphblas.engine` is the hot-path acceleration layer: three
+orthogonal optimizations behind one switch, each bit-for-bit identical
+to the generic kernels it replaces (`GRAPHBLAS_ENGINE=off` or
+`engine.set_engine(False)` restores the baseline exactly, which is how
+the differential and parity suites cross-check it).
+
+```python
+from repro.graphblas import engine
+
+engine.set_engine(True, workers=4)      # or GRAPHBLAS_ENGINE_WORKERS=4
+engine.kernel_cache_stats()             # hits / misses / evictions
+engine.set_engine(False)                # bit-identical baseline
+```
+
+* **Specialized semiring kernels** — `engine.kernel_for(semiring,
+  out_type, ...)` compiles a `SpecializedKernel` binding the add/mult
+  ufuncs, output cast, and terminal condition as closures, keyed on
+  `(add, mult, out_type, mask kind, accum, method)` in an LRU cache
+  (`GRAPHBLAS_ENGINE_CACHE`, default 64 entries).  The Gustavson
+  expansion, the dot-product loop, and push/pull mxv all consult the
+  cache; non-builtin or positional operators fall back to the generic
+  path (`unspecializable` in the stats).
+* **Dual-format storage** — a Matrix lazily caches its opposite
+  orientation (CSR↔CSC twin) with mutation-epoch invalidation, so
+  pull-phase `mxv`/`vxm` and transposed reads after the first
+  conversion are O(1); `transpose` into a fresh matrix becomes a
+  pointer swap that also hands the output a warm twin.  Every serve and
+  fill is a `engine.twin` / `engine.transpose` telemetry decision.
+* **Parallel row-blocked kernels** — big-enough SpGEMM expansions and
+  pull mxv segment reductions are split at row boundaries (so
+  concatenated block outputs equal the serial result bit for bit) and
+  run on a shared thread pool.  The requested worker count
+  (`Descriptor(nthreads=...)` / `GxB_NTHREADS`, else
+  `GRAPHBLAS_ENGINE_WORKERS`) is submitted to the execution governor,
+  which clamps it to what the memory budget funds — degrading to
+  serial, never rejecting.  Per-block timings appear as
+  `engine.block` telemetry spans.
+
+Supporting fast paths ride the same switch: `wait()` skips the sort
+and merge when the pending log is already sorted, unique, and
+zombie-free (`fast_path` field on the `assembly` telemetry decision);
+`from_coo` detects presorted input and otherwise sorts once on a fused
+`major * n_minor + minor` key; and the planner memoizes string →
+operator resolution (`plan.resolver_cache_stats()`).
+
+`benchmarks/bench_parallel_engine.py` measures the engine-on vs
+engine-off ratio end to end and asserts result parity; the committed
+`BENCH_PR5.json` records the RMAT-14 margins.  The C API exposes the
+engine as `GxB_Engine_set` / `GxB_Engine_get`.
+"""
+
+
 def main() -> None:
     os.makedirs(os.path.dirname(OUT), exist_ok=True)
     with open(OUT, "w", encoding="utf-8") as f:
@@ -299,7 +354,9 @@ def main() -> None:
         f.write(BACKENDS_SECTION)
         f.write(TELEMETRY_SECTION)
         f.write(GOVERNOR_SECTION)
+        f.write(ENGINE_SECTION)
         render_module(f, repro.graphblas, "repro.graphblas")
+        render_module(f, repro.graphblas.engine, "repro.graphblas.engine")
         render_module(f, repro.graphblas.backends, "repro.graphblas.backends")
         render_module(f, repro.graphblas.plan, "repro.graphblas.plan")
         render_module(f, repro.graphblas.capi, "repro.graphblas.capi")

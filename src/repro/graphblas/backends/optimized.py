@@ -19,7 +19,7 @@ import numpy as np
 # attribute — fetch the module itself so monkeypatched thresholds are seen
 _mxv_mod = importlib.import_module(".mxv", __package__.rsplit(".", 1)[0])
 
-from .. import governor, telemetry
+from .. import engine, governor, telemetry
 from ..coords import coords_in, idx_in, match_coo, match_idx
 from ..descriptor import Descriptor
 from ..mask import mask_true_coords, mask_true_idx, write_matrix, write_vector
@@ -114,8 +114,20 @@ class OptimizedBackend(KernelBackend):
             method=plan.params["method"],
             mask_coords=mask_hint,
             mask_complement=False,
+            nthreads=d.nthreads,
         )
-        return write_matrix(C, tr, tc, tv, mask=plan.mask, accum=plan.accum, desc=d)
+        return write_matrix(
+            C,
+            tr,
+            tc,
+            tv,
+            mask=plan.mask,
+            accum=plan.accum,
+            desc=d,
+            # mxm_coo's contract is sorted-unique COO output; with the
+            # engine on, the rebuild may trust that and skip its sort pass
+            sorted_unique=engine.ENABLED,
+        )
 
     def _matvec(self, plan):
         p = plan.params
@@ -179,6 +191,7 @@ class OptimizedBackend(KernelBackend):
                 plan.out_type,
                 matrix_first=is_mxv,
                 outer_hint=hint,
+                nthreads=d.nthreads,
             )
         return write_vector(w, ti, tv, mask=plan.mask, accum=plan.accum, desc=d)
 
@@ -315,9 +328,45 @@ class OptimizedBackend(KernelBackend):
 
     def transpose(self, plan):
         (A,) = plan.args
+        C = plan.out
+        if (
+            engine.DUAL_FORMAT
+            and plan.params["transposed"]
+            and plan.mask is None
+            and plan.accum is None
+            and C is not A
+            and C.dtype == A.dtype
+        ):
+            A.wait()
+            store = A._store
+            if store.hyper == C._store.hyper:
+                # Both orientations of A^T are O(1) views: the primary store
+                # transposed, and the (cached or newly built) twin transposed.
+                # Install the one matching C's current orientation as C's
+                # store; the other becomes C's twin, so a later pull-phase
+                # mxv on C converts nothing.
+                twin = A._oriented(store.orientation.flipped)
+                t_primary = store.transposed()
+                t_twin = twin.transposed()
+                if t_primary.orientation == C._store.orientation:
+                    new_store, new_alt = t_primary, t_twin
+                else:
+                    new_store, new_alt = t_twin, t_primary
+                C._store = new_store
+                C._alt = new_alt
+                C._pend_i, C._pend_j, C._pend_v, C._pend_del = [], [], [], []
+                C._epoch += 1
+                C._alt_epoch = C._epoch
+                if telemetry.ENABLED:
+                    telemetry.decision(
+                        "engine.transpose",
+                        fast_path=True,
+                        nvals=int(store.nvals),
+                    )
+                return C
         rows, cols, vals = _matrix_coo(A, plan.params["transposed"])
         return write_matrix(
-            plan.out, rows, cols, vals,
+            C, rows, cols, vals,
             mask=plan.mask, accum=plan.accum, desc=plan.desc,
         )
 

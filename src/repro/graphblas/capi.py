@@ -111,6 +111,9 @@ __all__ = [
     "GxB_DEADLINE_EXCEEDED",
     "GxB_CANCELLED",
     "GxB_Context_new",
+    "GxB_Engine_set",
+    "GxB_Engine_get",
+    "GxB_NTHREADS",
     "global_stats",
 ]
 
@@ -172,6 +175,8 @@ def _snapshot(obj):
             obj.ncols,
             obj._valid,
             obj._keep_both,
+            obj._epoch,
+            obj._alt_epoch,
         )
     if isinstance(obj, Vector):
         return (
@@ -201,6 +206,8 @@ def _restore(obj, snap) -> None:
             obj.ncols,
             obj._valid,
             obj._keep_both,
+            obj._epoch,
+            obj._alt_epoch,
         ) = snap
     elif isinstance(obj, Vector):
         (
@@ -492,10 +499,20 @@ _DESC_FIELDS = {
     ("OUTP", "REPLACE"): {"replace": True},
 }
 
+# GxB_NTHREADS takes an integer value, unlike the enum-valued GrB fields.
+GxB_NTHREADS = "NTHREADS"
+
 
 def GrB_Descriptor_set(desc, field, value):
     """Returns (info, new descriptor) — descriptors are immutable here."""
-    key = (str(field).upper(), str(value).upper())
+    fname = str(field).upper()
+    if fname in ("NTHREADS", "GXB_NTHREADS"):
+        try:
+            n = int(value)
+        except (TypeError, ValueError):
+            return Info.INVALID_VALUE, desc
+        return GrB_SUCCESS, desc.with_(nthreads=n if n > 0 else None)
+    key = (fname, str(value).upper())
     if key not in _DESC_FIELDS:
         return Info.INVALID_VALUE, desc
     return GrB_SUCCESS, desc.with_(**_DESC_FIELDS[key])
@@ -665,6 +682,46 @@ def GxB_Backend_get() -> str:
     from . import backends as _backends
 
     return _backends.current_backend_name()
+
+
+def GxB_Engine_set(enabled=None, **kwargs) -> Info:
+    """``GxB_Global_Option_set``-style performance-engine control.
+
+    ``GxB_Engine_set(False)`` disables every engine mechanism (kernel
+    specialization, dual-format twins, parallel blocks) so results can be
+    cross-checked bit for bit against the generic paths; keyword arguments
+    (``kernel_cache``, ``dual_format``, ``parallel``, ``workers``,
+    ``cache_size``) toggle individual mechanisms — see
+    :func:`repro.graphblas.engine.set_engine`.
+    """
+    from . import engine as _engine
+
+    try:
+        _engine.set_engine(enabled, **kwargs)
+    except (GraphBLASError, TypeError, ValueError) as exc:
+        if isinstance(exc, GraphBLASError):
+            return exc.info
+        _tls.last_error = str(exc)
+        return Info.INVALID_VALUE
+    return GrB_SUCCESS
+
+
+def GxB_Engine_get() -> dict:
+    """``GxB_Global_Option_get``-style: the engine configuration and the
+    kernel-cache counters, as one plain dict."""
+    from . import engine as _engine
+
+    cfg = _engine.get_config()
+    out = {
+        "enabled": cfg.enabled,
+        "kernel_cache": cfg.kernel_cache,
+        "dual_format": cfg.dual_format,
+        "parallel": cfg.parallel,
+        "workers": cfg.workers,
+        "cache_size": cfg.cache_size,
+    }
+    out["cache"] = _engine.kernel_cache_stats()
+    return out
 
 
 def GxB_Context_new(*, memory_budget=None, deadline=None, retry=None,

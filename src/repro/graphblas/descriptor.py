@@ -21,6 +21,7 @@ class Descriptor:
     complement_mask: bool = False  # MASK: use !M
     structural_mask: bool = False  # MASK: structure only, ignore values
     replace: bool = False  # OUTP: clear C before writing
+    nthreads: int | None = None  # GxB_NTHREADS: worker-count hint
 
     def __and__(self, other: "Descriptor") -> "Descriptor":
         return Descriptor(
@@ -29,6 +30,7 @@ class Descriptor:
             self.complement_mask or other.complement_mask,
             self.structural_mask or other.structural_mask,
             self.replace or other.replace,
+            self.nthreads if self.nthreads is not None else other.nthreads,
         )
 
     def with_(self, **kwargs) -> "Descriptor":

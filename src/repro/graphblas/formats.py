@@ -24,13 +24,74 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import engine
 from .errors import InvalidObject, InvalidValue
 from .monoid import Monoid
 from .types import Type
 
-__all__ = ["Orientation", "SparseStore", "reduce_by_segments", "group_starts"]
+__all__ = [
+    "Orientation",
+    "SparseStore",
+    "reduce_by_segments",
+    "group_starts",
+    "coo_sort_order",
+]
 
 _INDEX = np.int64
+
+# Composite sort keys (major * n_minor + minor) must stay inside int64;
+# beyond this the sort falls back to np.lexsort on the index pair.
+_KEY_LIMIT = 2**62
+
+
+def _composite_key(
+    major: np.ndarray, minor: np.ndarray, n_major: int, n_minor: int
+) -> np.ndarray | None:
+    """``major * n_minor + minor`` as one int64 key, or None when unsafe.
+
+    Safe only when both index arrays are in-range for the stated dims and
+    the product cannot overflow (huge hypersparse dims fall back).
+    """
+    if major.size == 0 or n_minor <= 0 or n_major > _KEY_LIMIT // n_minor:
+        return None
+    if major.min() < 0 or major.max() >= n_major:
+        return None
+    if minor.min() < 0 or minor.max() >= n_minor:
+        return None
+    return major * np.int64(n_minor) + minor
+
+
+def coo_sort_order(
+    major: np.ndarray,
+    minor: np.ndarray,
+    n_major: int,
+    n_minor: int,
+) -> np.ndarray | None:
+    """Stable (major, minor) sort permutation, or None if already strictly
+    sorted and duplicate-free.
+
+    Uses a single composite-key argsort when the key fits in int64 (one
+    sort instead of lexsort's two passes); the permutation is identical to
+    ``np.lexsort((minor, major))`` either way, both being stable.
+    """
+    major = np.asarray(major, dtype=_INDEX)
+    minor = np.asarray(minor, dtype=_INDEX)
+    key = _composite_key(major, minor, n_major, n_minor)
+    if key is not None:
+        if key.size == 1 or bool(np.all(key[1:] > key[:-1])):
+            return None
+        return np.argsort(key, kind="stable")
+    if major.size <= 1:
+        return None
+    sorted_unique = bool(
+        np.all(
+            (major[1:] > major[:-1])
+            | ((major[1:] == major[:-1]) & (minor[1:] > minor[:-1]))
+        )
+    )
+    if sorted_unique:
+        return None
+    return np.lexsort((minor, major))
 
 
 class Orientation(str, enum.Enum):
@@ -167,11 +228,17 @@ class SparseStore:
         values = np.asarray(values)
         if not (major.shape == minor.shape == values.shape):
             raise InvalidValue("COO arrays must have identical length")
-        if not assume_sorted_unique and major.size:
+        if assume_sorted_unique or not major.size:
+            order = None
+        elif engine.ENABLED:
+            # engine path: presorted detection + single composite-key sort
+            order = coo_sort_order(major, minor, n_major, n_minor)
+        else:
+            # baseline path: unconditional stable lexsort (pre-engine code)
             order = np.lexsort((minor, major))
+        if order is not None:
             major, minor, values = major[order], minor[order], values[order]
-            # duplicate pairs are adjacent after the lexsort; avoid composite
-            # integer keys, which could overflow for huge hypersparse dims
+            # duplicate pairs are adjacent after the sort
             change = np.empty(major.size, dtype=bool)
             change[0] = True
             np.logical_or(
@@ -186,6 +253,7 @@ class SparseStore:
             else:
                 values = dtype.cast_array(values)
         else:
+            # already sorted-unique (or caller asserted so): nothing to fold
             values = dtype.cast_array(values)
 
         if hyper:

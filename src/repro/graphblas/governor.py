@@ -74,6 +74,7 @@ __all__ = [
     "current",
     "poll",
     "admit",
+    "admit_workers",
     "with_retry",
     "estimate_result_entries",
     "estimate_plan_bytes",
@@ -474,6 +475,37 @@ def admit(plan) -> None:
     ctx = current()
     if ctx is not None:
         ctx.admit(plan)
+
+
+def admit_workers(requested: int, per_block_bytes: int, op: str = "mxm") -> int:
+    """Admit a parallel worker count against the governing memory budget.
+
+    Each in-flight row block of the engine's parallel kernels holds
+    roughly ``per_block_bytes`` of expansion buffers, so the admitted
+    count keeps ``workers * per_block_bytes`` within the context's
+    ``memory_budget``.  Never admits below one worker — serial execution
+    is always allowed (the *plan* was already admitted as a whole; this
+    only throttles the transient parallel working set on top of it).
+    Un-governed threads get the requested count unchanged.
+    """
+    requested = max(1, int(requested))
+    ctx = current()
+    if ctx is None:
+        return requested
+    ctx.check()
+    if ctx.memory_budget is None or per_block_bytes <= 0:
+        return requested
+    admitted = max(1, min(requested, ctx.memory_budget // int(per_block_bytes)))
+    if telemetry.ENABLED and admitted != requested:
+        telemetry.decision(
+            "engine.workers",
+            op=op,
+            requested=requested,
+            admitted=admitted,
+            per_block_bytes=int(per_block_bytes),
+            budget=ctx.memory_budget,
+        )
+    return admitted
 
 
 def env_limits() -> tuple[int | None, float | None]:

@@ -72,8 +72,15 @@ def write_matrix(
     mask: Matrix | None = None,
     accum: BinaryOp | None = None,
     desc: Descriptor = Descriptor(),
+    sorted_unique: bool = False,
 ) -> Matrix:
-    """Merge an operation result ``T`` (COO form) into ``C`` in place."""
+    """Merge an operation result ``T`` (COO form) into ``C`` in place.
+
+    ``sorted_unique`` — caller asserts ``T`` is row-major sorted with no
+    duplicate coordinates; lets the plain ``C = T`` overwrite skip the
+    rebuild's sort/dedup pass.  Ignored whenever an accumulator or mask
+    merge could disturb the ordering.
+    """
     if mask is not None and mask.shape != C.shape:
         raise DimensionMismatch(
             f"mask shape {mask.shape} != output shape {C.shape}"
@@ -120,7 +127,16 @@ def write_matrix(
                 out_v = np.concatenate([out_v, cv[keep]])
 
     replaced = Matrix(C.dtype, C.nrows, C.ncols)
-    replaced.build(out_r, out_c, out_v, dup=None)
+    replaced.build(
+        out_r,
+        out_c,
+        out_v,
+        dup=None,
+        # the hint survives only the paths that leave T's ordering intact:
+        # no accum merge and no mask (mask filtering would preserve order,
+        # but the no-replace keep-concat does not — keep the guard simple)
+        assume_sorted_unique=sorted_unique and accum is None and mt is None,
+    )
     # adopt the rebuilt store in place, preserving C's format preference
     fmt = C.format
     C._store = replaced._store

@@ -23,7 +23,7 @@ import time as _time
 
 import numpy as np
 
-from . import context, faults, governor, telemetry
+from . import context, engine, faults, governor, telemetry
 from .errors import (
     IndexOutOfBounds,
     InvalidValue,
@@ -70,6 +70,8 @@ class Matrix:
         "_pend_del",
         "_valid",
         "_keep_both",
+        "_epoch",
+        "_alt_epoch",
     )
 
     def __init__(self, dtype, nrows: int, ncols: int):
@@ -94,6 +96,11 @@ class Matrix:
         self._pend_del: list[bool] = []
         self._valid = True
         self._keep_both = False
+        # Mutation epoch for dual-format cache invalidation: bumped on
+        # every primary-store change; the cached twin is only served while
+        # _alt_epoch matches (engine.DUAL_FORMAT mode).
+        self._epoch = 0
+        self._alt_epoch = -1
 
     # -- constructors ------------------------------------------------------
 
@@ -227,11 +234,13 @@ class Matrix:
         once, un-appending the action if assembly fails so no half-applied
         update survives."""
         prev_alt = self._alt
+        prev_epoch = self._epoch
         self._pend_i.append(i)
         self._pend_j.append(j)
         self._pend_v.append(value)
         self._pend_del.append(is_delete)
         self._alt = None
+        self._epoch += 1
         if context.get_mode() == context.Mode.BLOCKING:
             try:
                 self.wait()
@@ -241,6 +250,7 @@ class Matrix:
                 del self._pend_v[-1]
                 del self._pend_del[-1]
                 self._alt = prev_alt
+                self._epoch = prev_epoch
                 raise
 
     def wait(self) -> "Matrix":
@@ -272,48 +282,84 @@ class Matrix:
         pi = np.asarray(self._pend_i, dtype=_INDEX)
         pj = np.asarray(self._pend_j, dtype=_INDEX)
         pdel = np.asarray(self._pend_del, dtype=bool)
-        # the last log action per coordinate wins (lexsort is stable, so the
-        # final occurrence in append order is the last within its group)
-        order = np.lexsort((pj, pi))
-        pi_s, pj_s = pi[order], pj[order]
-        last = np.empty(pi_s.size, dtype=bool)
-        last[-1] = True
-        np.logical_or(
-            pi_s[1:] != pi_s[:-1], pj_s[1:] != pj_s[:-1], out=last[:-1]
-        )
-        sel = order[last]
-        li, lj, ldel = pi[sel], pj[sel], pdel[sel]
-        ins = ~ldel
-        lv = self.dtype.cast_array(
-            np.asarray([self._pend_v[k] for k in sel[ins]])
-        ) if np.any(ins) else np.empty(0, dtype=self.dtype.np_dtype)
-
-        # zombie kill + pending override: drop stored entries touched by the
-        # log, then append the surviving insertions
-        keep = ~_coords_isin(rows, cols, li, lj, self.ncols)
-        rows = np.concatenate([rows[keep], li[ins]])
-        cols = np.concatenate([cols[keep], lj[ins]])
-        vals = np.concatenate([vals[keep], lv])
-
         orient = self._store.orientation
         hyper = self._store.hyper
+
+        # Sortedness fast path: a zombie-free log already strictly
+        # increasing in the store's (major, minor) order needs no sort —
+        # the append order is the assembly order, coordinates are unique
+        # (strictness), and last-wins dedup is vacuous.
+        pmaj, pmin = (pj, pi) if orient is Orientation.COL else (pi, pj)
+        fast = not pdel.any() and (
+            pi.size == 1
+            or bool(
+                np.all(
+                    (pmaj[1:] > pmaj[:-1])
+                    | ((pmaj[1:] == pmaj[:-1]) & (pmin[1:] > pmin[:-1]))
+                )
+            )
+        )
+        if fast:
+            li, lj = pi, pj
+            ins = np.ones(li.size, dtype=bool)
+            lv = self.dtype.cast_array(np.asarray(self._pend_v))
+        else:
+            # the last log action per coordinate wins (lexsort is stable, so
+            # the final occurrence in append order is the last in its group)
+            order = np.lexsort((pj, pi))
+            pi_s, pj_s = pi[order], pj[order]
+            last = np.empty(pi_s.size, dtype=bool)
+            last[-1] = True
+            np.logical_or(
+                pi_s[1:] != pi_s[:-1], pj_s[1:] != pj_s[:-1], out=last[:-1]
+            )
+            sel = order[last]
+            li, lj, ldel = pi[sel], pj[sel], pdel[sel]
+            ins = ~ldel
+            lv = self.dtype.cast_array(
+                np.asarray([self._pend_v[k] for k in sel[ins]])
+            ) if np.any(ins) else np.empty(0, dtype=self.dtype.np_dtype)
+
         if orient is Orientation.COL:
-            major, minor = cols, rows
             n_major, n_minor = self.ncols, self.nrows
         else:
-            major, minor = rows, cols
             n_major, n_minor = self.nrows, self.ncols
-        assembled = SparseStore.from_coo(
-            orient,
-            n_major,
-            n_minor,
-            major,
-            minor,
-            vals,
-            self.dtype,
-            dup=SECOND,
-            hyper=hyper,
-        )
+        if fast and rows.size == 0:
+            # empty store + sorted unique insertions: assemble with no
+            # sort and no dedup at all
+            assembled = SparseStore.from_coo(
+                orient,
+                n_major,
+                n_minor,
+                pmaj,
+                pmin,
+                lv,
+                self.dtype,
+                hyper=hyper,
+                assume_sorted_unique=True,
+            )
+        else:
+            # zombie kill + pending override: drop stored entries touched
+            # by the log, then append the surviving insertions
+            keep = ~_coords_isin(rows, cols, li, lj, self.ncols)
+            rows = np.concatenate([rows[keep], li[ins]])
+            cols = np.concatenate([cols[keep], lj[ins]])
+            vals = np.concatenate([vals[keep], lv])
+            if orient is Orientation.COL:
+                major, minor = cols, rows
+            else:
+                major, minor = rows, cols
+            assembled = SparseStore.from_coo(
+                orient,
+                n_major,
+                n_minor,
+                major,
+                minor,
+                vals,
+                self.dtype,
+                dup=SECOND,
+                hyper=hyper,
+            )
         # atomic commit: nothing is touched until assembly fully succeeded,
         # so a mid-assembly failure leaves both the store and the update log
         # exactly as they were
@@ -321,6 +367,7 @@ class Matrix:
         self._pend_i, self._pend_j = [], []
         self._pend_v, self._pend_del = [], []
         self._alt = None
+        self._epoch += 1
         if telemetry.ENABLED:
             telemetry.decision(
                 "assembly",
@@ -328,6 +375,7 @@ class Matrix:
                 pending=_pending,
                 zombies=_zombies,
                 nvals=int(assembled.nvals),
+                fast_path=fast,
             )
             telemetry.record_op("wait", _time.perf_counter() - _t0, int(assembled.nvals))
         return self
@@ -365,10 +413,15 @@ class Matrix:
         i, j = key
         self.set_element(i, j, value)
 
-    def build(self, rows, cols, values, dup="PLUS") -> "Matrix":
+    def build(
+        self, rows, cols, values, dup="PLUS", *, assume_sorted_unique=False
+    ) -> "Matrix":
         """``GrB_Matrix_build``: bulk construction from tuples.
 
         The target must be empty (``OutputNotEmpty`` otherwise, per spec).
+        ``assume_sorted_unique`` skips the sort/dedup pass; the caller
+        asserts the tuples are strictly sorted along this matrix's storage
+        orientation with no duplicate coordinates.
         """
         from .errors import OutputNotEmpty
 
@@ -397,8 +450,10 @@ class Matrix:
             self.dtype,
             dup=dup_op,
             hyper=hyper,
+            assume_sorted_unique=assume_sorted_unique,
         )
         self._alt = None
+        self._epoch += 1
         return self
 
     def extract_tuples(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -427,6 +482,7 @@ class Matrix:
         s = s.to_hyper() if want_hyper else s.to_full_pointer()
         self._store = s
         self._alt = None
+        self._epoch += 1
         if telemetry.ENABLED:
             telemetry.decision(
                 "format", object="matrix", format=fmt, forced=True,
@@ -475,12 +531,28 @@ class Matrix:
         self.wait()
         if self._store.orientation == orientation:
             return self._store
-        if self._alt is None or self._alt.orientation != orientation:
-            alt = self._store.with_orientation(orientation)
-            if self._keep_both:
-                self._alt = alt
-            return alt
-        return self._alt
+        if (
+            self._alt is not None
+            and self._alt.orientation == orientation
+            and (self._keep_both or self._alt_epoch == self._epoch)
+        ):
+            return self._alt
+        alt = self._store.with_orientation(orientation)
+        if self._keep_both or engine.DUAL_FORMAT:
+            # persistent dual-orientation twin: invalidated by nulling on
+            # every mutation AND by the epoch check (belt and braces), so
+            # a stale twin can never be served
+            self._alt = alt
+            self._alt_epoch = self._epoch
+            if telemetry.ENABLED:
+                telemetry.decision(
+                    "engine.twin",
+                    object="matrix",
+                    orientation=orientation.name.lower(),
+                    nvals=int(alt.nvals),
+                    epoch=self._epoch,
+                )
+        return alt
 
     # -- whole-object operations -------------------------------------------
 
@@ -506,6 +578,7 @@ class Matrix:
             hyper=self._store.hyper,
         )
         self._alt = None
+        self._epoch += 1
         return self
 
     def resize(self, nrows: int, ncols: int) -> "Matrix":
@@ -537,6 +610,7 @@ class Matrix:
             assume_sorted_unique=(orient is Orientation.ROW),
         )
         self._alt = None
+        self._epoch += 1
         return self
 
     def to_dense(self, fill=0) -> np.ndarray:

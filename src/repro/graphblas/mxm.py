@@ -29,10 +29,11 @@ Gustavson path, substituting coordinates for values.
 from __future__ import annotations
 
 import heapq
+import time
 
 import numpy as np
 
-from . import faults, governor, telemetry
+from . import engine, faults, governor, telemetry
 from .errors import InvalidValue
 from .formats import SparseStore
 from .ops import BinaryOp
@@ -91,6 +92,7 @@ def mxm_coo(
     method: str = "auto",
     mask_coords: tuple[np.ndarray, np.ndarray] | None = None,
     mask_complement: bool = False,
+    nthreads: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """C = A (+).(x) B on row-oriented stores; returns sorted COO arrays.
 
@@ -100,6 +102,9 @@ def mxm_coo(
     entries would be legal but wasteful.  With ``mask_complement`` the hint
     is the set of coordinates *not* wanted; the dot method cannot use a
     complemented hint directly, but Gustavson can drop them post hoc.
+
+    ``nthreads`` — the descriptor's ``GxB_NTHREADS`` request; caps the
+    engine's row-blocked parallelism for this call.
     """
     if a_rows.n_minor != b_rows.n_major:
         raise InvalidValue(
@@ -132,7 +137,7 @@ def mxm_coo(
         governor.poll()
 
     if method == "gustavson":
-        r, c, v = _mxm_gustavson(a_rows, b_rows, semiring, out_type)
+        r, c, v = _mxm_gustavson(a_rows, b_rows, semiring, out_type, nthreads)
         if mask_coords is not None:
             from .coords import coords_in
 
@@ -155,6 +160,7 @@ def _mxm_gustavson(
     b_rows: SparseStore,
     semiring: Semiring,
     out_type: Type,
+    nthreads: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     ar, ac, av = a_rows.to_coo()
     if ar.size == 0 or b_rows.nvals == 0:
@@ -176,36 +182,116 @@ def _mxm_gustavson(
             np.empty(0, dtype=out_type.np_dtype),
         )
 
+    kern = engine.kernel_for(semiring, out_type, method="gustavson")
+    # Fused (i * n_minor + j) sort key: one stable argsort instead of
+    # lexsort's two passes.  Store invariants guarantee i < n_major and
+    # j < n_minor, so the key is collision-free whenever it fits in int64.
+    key_mult = None
+    if engine.ENABLED:
+        n_minor = b_rows.n_minor
+        if 0 < n_minor and a_rows.n_major <= engine.KEY_LIMIT // n_minor:
+            key_mult = np.int64(n_minor)
+
+    # Row blocks for the shared thread pool: only specializable semirings
+    # go parallel (their inner loops are pure-numpy and thread-safe), and
+    # only when the expansion is big enough to amortize the handoff.  The
+    # governor admits the worker count against its memory budget — each
+    # in-flight block holds one chunk's expansion buffers.
+    workers = 1
+    if engine.PARALLEL and kern is not None and total >= engine.MIN_PARALLEL_FLOPS:
+        requested = engine.requested_workers(nthreads)
+        if requested > 1:
+            per_block = GUSTAVSON_CHUNK_FLOPS * (48 + out_type.np_dtype.itemsize)
+            workers = governor.admit_workers(requested, per_block, op="mxm")
+
+    blocks = _row_blocks(ar, flops, workers) if workers > 1 else [(0, ar.size)]
+    block_args = (ar, ac, av, b_rows.minor, b_rows.values, starts, ends, lens,
+                  flops, semiring, out_type, kern, key_mult)
+    if len(blocks) > 1:
+        def timed(lo, hi):
+            t0 = time.perf_counter()
+            res = _gustavson_block(lo, hi, *block_args)
+            return res, t0, time.perf_counter()
+
+        results = engine.run_blocks(timed, blocks, len(blocks))
+        if telemetry.ENABLED:
+            for idx, ((_, t0, t1), (lo, hi)) in enumerate(zip(results, blocks)):
+                telemetry.span_at(
+                    "engine.block", t0, t1, op="mxm", block=idx, rows=hi - lo
+                )
+        pieces = [res for res, _, _ in results]
+    else:
+        pieces = [_gustavson_block(0, ar.size, *block_args)]
+
+    out_r = [arr for piece in pieces for arr in piece[0]]
+    out_c = [arr for piece in pieces for arr in piece[1]]
+    out_v = [arr for piece in pieces for arr in piece[2]]
+    return (
+        np.concatenate(out_r),
+        np.concatenate(out_c),
+        np.concatenate(out_v),
+    )
+
+
+def _gustavson_block(
+    lo_end: int,
+    hi_end: int,
+    ar, ac, av, b_minor, b_values, starts, ends, lens, flops,
+    semiring: Semiring,
+    out_type: Type,
+    kern,
+    key_mult,
+):
+    """Expand A entries ``[lo_end, hi_end)``; both bounds lie on A-row
+    boundaries, so per-block outputs concatenate sorted and deduplicated
+    (each output row is produced wholly inside one block)."""
+    mult = semiring.mult
+    positional = mult.positional is not None
     out_r: list[np.ndarray] = []
     out_c: list[np.ndarray] = []
     out_v: list[np.ndarray] = []
-    # chunk A's entries so each expansion stays below the flop cap, cutting
+    # chunk the entries so each expansion stays below the flop cap, cutting
     # only at row boundaries of A so per-chunk results concatenate sorted
-    lo = 0
-    while lo < ar.size:
+    lo = lo_end
+    while lo < hi_end:
         base = flops[lo - 1] if lo else 0
         hi = int(np.searchsorted(flops, base + GUSTAVSON_CHUNK_FLOPS))
-        hi = max(hi, lo + 1)
-        if hi < ar.size:  # extend to finish the current A row
+        hi = min(max(hi, lo + 1), hi_end)
+        if hi < hi_end:  # extend to finish the current A row
             row = ar[hi - 1]
-            while hi < ar.size and ar[hi] == row:
+            while hi < hi_end and ar[hi] == row:
                 hi += 1
         chunk = slice(lo, hi)
         gather = _gather_ranges(starts[chunk], ends[chunk])
         reps = lens[chunk]
         i = np.repeat(ar[chunk], reps)
-        j = b_rows.minor[gather]
-        if semiring.mult.positional is not None:
+        j = b_minor[gather]
+        if positional:
             k = np.repeat(ac[chunk], reps)
-            vals = _positional_values(semiring.mult, i, k, j)
+            vals = _positional_values(mult, i, k, j)
+        elif kern is not None:
+            vals = kern.combine(np.repeat(av[chunk], reps), b_values[gather])
         else:
-            vals = semiring.mult.apply(np.repeat(av[chunk], reps), b_rows.values[gather])
+            vals = mult.apply(np.repeat(av[chunk], reps), b_values[gather])
         # combine duplicates (same output coordinate) with the add monoid
-        order = np.lexsort((j, i))
-        i, j, vals = i[order], j[order], vals[order]
-        seg = _pair_group_starts(i, j)
+        if key_mult is not None and i.size:
+            key = i * key_mult + j
+            order = np.argsort(key, kind="stable")
+            i, j, vals = i[order], j[order], vals[order]
+            key = key[order]
+            change = np.empty(i.size, dtype=bool)
+            change[0] = True
+            np.not_equal(key[1:], key[:-1], out=change[1:])
+            seg = np.flatnonzero(change).astype(_INDEX)
+        else:
+            order = np.lexsort((j, i))
+            i, j, vals = i[order], j[order], vals[order]
+            seg = _pair_group_starts(i, j)
         if seg.size != i.size:
-            vals = semiring.add.reduce_segments(vals, seg, out_type)
+            if kern is not None:
+                vals = kern.segment_reduce(vals, seg)
+            else:
+                vals = semiring.add.reduce_segments(vals, seg, out_type)
             i, j = i[seg], j[seg]
         else:
             vals = out_type.cast_array(vals)
@@ -213,12 +299,25 @@ def _mxm_gustavson(
         out_c.append(j)
         out_v.append(vals)
         lo = hi
+    return out_r, out_c, out_v
 
-    return (
-        np.concatenate(out_r),
-        np.concatenate(out_c),
-        np.concatenate(out_v),
-    )
+
+def _row_blocks(ar: np.ndarray, flops: np.ndarray, nblocks: int):
+    """Split ``[0, ar.size)`` into up to ``nblocks`` flop-balanced spans,
+    cutting only at A-row boundaries (a row split across blocks would emit
+    its output entries twice)."""
+    total = int(flops[-1])
+    cuts = [0]
+    for k in range(1, nblocks):
+        hi = int(np.searchsorted(flops, (total * k) // nblocks))
+        if hi <= cuts[-1]:
+            continue
+        while hi < ar.size and ar[hi] == ar[hi - 1]:
+            hi += 1
+        if hi > cuts[-1] and hi < ar.size:
+            cuts.append(hi)
+    cuts.append(ar.size)
+    return [(cuts[m], cuts[m + 1]) for m in range(len(cuts) - 1)]
 
 
 def _pair_group_starts(i: np.ndarray, j: np.ndarray) -> np.ndarray:
@@ -293,6 +392,27 @@ def _mxm_dot(
     b_minor = b_cols.minor
     b_vals = b_cols.values
 
+    # Specialized bindings hoist the operator dispatch out of the per-dot
+    # loop; each replicates its generic counterpart bit for bit.
+    mask_kind = "none" if mask_coords is None else (
+        "comp" if mask_complement else "mask"
+    )
+    kern = engine.kernel_for(semiring, out_type, mask_kind=mask_kind, method="dot")
+    if kern is not None:
+        _mult = kern.combine
+        _reduce = kern.reduce_all
+        _fold = kern.fold2
+    else:
+        _mult = mult.apply
+
+        def _reduce(v):
+            return add.reduce_array(v, out_type)
+
+        def _fold(acc, blk_red):
+            return out_type.cast_array(
+                add.op.apply(np.asarray(acc), np.asarray(blk_red))
+            ).item()
+
     keep = np.zeros(out_i.size, dtype=bool)
     out_vals = np.empty(out_i.size, dtype=out_type.np_dtype)
     early_exits = 0
@@ -318,18 +438,12 @@ def _mxm_dot(
             acc = None
             done = False
             for lo in range(0, av.size, _EARLY_EXIT_BLOCK):
-                blk = mult.apply(
+                blk = _mult(
                     av[lo : lo + _EARLY_EXIT_BLOCK],
                     bv[lo : lo + _EARLY_EXIT_BLOCK],
                 )
-                blk_red = add.reduce_array(blk, out_type)
-                acc = (
-                    blk_red
-                    if acc is None
-                    else out_type.cast_array(
-                        add.op.apply(np.asarray(acc), np.asarray(blk_red))
-                    ).item()
-                )
+                blk_red = _reduce(blk)
+                acc = blk_red if acc is None else _fold(acc, blk_red)
                 if acc == terminal:  # early exit: annihilator reached
                     done = True
                     break
@@ -337,8 +451,8 @@ def _mxm_dot(
             keep[p] = True
             early_exits += done
         else:
-            prods = mult.apply(av, bv)
-            out_vals[p] = add.reduce_array(prods, out_type)
+            prods = _mult(av, bv)
+            out_vals[p] = _reduce(prods)
             keep[p] = True
 
     if telemetry.ENABLED and early_eligible:

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from . import governor
+from . import governor, telemetry
 from .descriptor import Descriptor, desc as _desc
 from .errors import (
     DimensionMismatch,
@@ -65,6 +65,8 @@ __all__ = [
     "resolve_unary",
     "resolve_indexunary",
     "resolve_index",
+    "resolver_cache_stats",
+    "reset_resolver_cache",
     "plan_mxm",
     "plan_mxv",
     "plan_vxm",
@@ -116,19 +118,58 @@ ALL = _All()
 # canonical resolvers (name -> operator object)
 # --------------------------------------------------------------------------
 
+# String-spec resolutions are memoized: the resolved operator objects are
+# immutable registry singletons, and hot loops (BFS, PageRank iterations)
+# re-resolve the same handful of names on every call.  Non-string specs
+# (already-resolved objects, user-defined ops) bypass the cache.
+_resolve_cache: dict[tuple[str, str], object] = {}
+_resolve_stats = {"hits": 0, "misses": 0}
+
+
+def _cached_resolve(kind: str, spec, resolver):
+    if not isinstance(spec, str):
+        return resolver(spec)
+    key = (kind, spec.upper())
+    hit = _resolve_cache.get(key)
+    if hit is not None:
+        _resolve_stats["hits"] += 1
+        if telemetry.ENABLED:
+            telemetry.tally("plan.resolve_cache", calls=1)
+        return hit
+    obj = resolver(spec)
+    _resolve_cache[key] = obj
+    _resolve_stats["misses"] += 1
+    return obj
+
+
+def resolver_cache_stats() -> dict:
+    """Hit/miss counters and size of the name->operator memo table."""
+    stats = dict(_resolve_stats)
+    stats["size"] = len(_resolve_cache)
+    return stats
+
+
+def reset_resolver_cache() -> None:
+    _resolve_cache.clear()
+    _resolve_stats["hits"] = 0
+    _resolve_stats["misses"] = 0
+
+
 def resolve_descriptor(spec) -> Descriptor:
     """Resolve a Descriptor from a Descriptor, None, or predefined name."""
-    return _desc(spec)
+    if spec is None:
+        return _desc(None)
+    return _cached_resolve("desc", spec, _desc)
 
 
 def resolve_accum(spec) -> BinaryOp | None:
     """Resolve an accumulator: None stays None, else a BinaryOp."""
-    return None if spec is None else _binary(spec)
+    return None if spec is None else _cached_resolve("binary", spec, _binary)
 
 
 def resolve_binary(spec) -> BinaryOp:
     """Resolve a BinaryOp from an op object or (case-insensitive) name."""
-    return _binary(spec)
+    return _cached_resolve("binary", spec, _binary)
 
 
 def resolve_ewise_op(spec) -> BinaryOp:
@@ -137,27 +178,27 @@ def resolve_ewise_op(spec) -> BinaryOp:
         return spec.add.op
     if isinstance(spec, Monoid):
         return spec.op
-    return _binary(spec)
+    return _cached_resolve("binary", spec, _binary)
 
 
 def resolve_semiring(spec) -> Semiring:
     """Resolve a Semiring from a Semiring, name, or "add_mult" string."""
-    return _semiring(spec)
+    return _cached_resolve("semiring", spec, _semiring)
 
 
 def resolve_monoid(spec) -> Monoid:
     """Resolve a Monoid from a Monoid or (case-insensitive) name."""
-    return _monoid(spec)
+    return _cached_resolve("monoid", spec, _monoid)
 
 
 def resolve_unary(spec) -> UnaryOp:
     """Resolve a UnaryOp from an op object or (case-insensitive) name."""
-    return _unary(spec)
+    return _cached_resolve("unary", spec, _unary)
 
 
 def resolve_indexunary(spec) -> IndexUnaryOp:
     """Resolve an IndexUnaryOp from an op object or name."""
-    return _indexunary(spec)
+    return _cached_resolve("indexunary", spec, _indexunary)
 
 
 def resolve_index(I, dim: int) -> np.ndarray:
@@ -267,8 +308,8 @@ def _admitted(*args, **kwargs) -> OpPlan:
 
 def plan_mxm(C, A, B, semiring="PLUS_TIMES", *, mask=None, accum=None,
              desc=None, method: str = "auto") -> OpPlan:
-    d = _desc(desc)
-    sr = _semiring(semiring)
+    d = resolve_descriptor(desc)
+    sr = resolve_semiring(semiring)
     accum = resolve_accum(accum)
     nra, nca = _mat_shape(A, d.transpose_a)
     nrb, ncb = _mat_shape(B, d.transpose_b)
@@ -287,8 +328,8 @@ def plan_mxm(C, A, B, semiring="PLUS_TIMES", *, mask=None, accum=None,
 def _plan_matvec(op, w, A, u, semiring, mask, accum, desc, method,
                  optimizer) -> OpPlan:
     is_mxv = op == "mxv"
-    d = _desc(desc)
-    sr = _semiring(semiring)
+    d = resolve_descriptor(desc)
+    sr = resolve_semiring(semiring)
     accum = resolve_accum(accum)
     # effective transpose: vxm(u, A) is mxv with A^T, so fold the flag
     transposed = d.transpose_a if is_mxv else not d.transpose_a
@@ -329,7 +370,7 @@ def plan_vxm(w, u, A, semiring="PLUS_TIMES", *, mask=None, accum=None,
 
 
 def _plan_ewise(op_name, which, C, A, B, op, mask, accum, desc) -> OpPlan:
-    d = _desc(desc)
+    d = resolve_descriptor(desc)
     bop = resolve_ewise_op(op)
     accum = resolve_accum(accum)
     if bop.positional:
@@ -367,7 +408,7 @@ def plan_apply(C, A, op="IDENTITY", *, left=None, right=None, thunk=None,
     ``op`` may be a UnaryOp; a BinaryOp with ``left`` or ``right`` bound
     (``GrB_apply_BinaryOp1st/2nd``); or an IndexUnaryOp with ``thunk``.
     """
-    d = _desc(desc)
+    d = resolve_descriptor(desc)
     accum = resolve_accum(accum)
     is_vec = isinstance(A, Vector)
     if is_vec:
@@ -379,14 +420,14 @@ def plan_apply(C, A, op="IDENTITY", *, left=None, right=None, thunk=None,
     if isinstance(op, IndexUnaryOp) or (
         isinstance(op, str) and op.upper() in INDEXUNARY_OPS
     ):
-        iu = _indexunary(op)
+        iu = resolve_indexunary(op)
         kind = "indexunary"
         operator = iu
         out_type = iu.out_type(A.dtype)
     elif left is not None or right is not None:
         if left is not None and right is not None:
             raise InvalidValue("bind only one side of the binary op")
-        bop = _binary(op)
+        bop = resolve_binary(op)
         operator = bop
         if left is not None:
             kind = "bind1st"
@@ -395,7 +436,7 @@ def plan_apply(C, A, op="IDENTITY", *, left=None, right=None, thunk=None,
             kind = "bind2nd"
             out_type = bop.out_type(A.dtype, lookup_type(np.asarray(right).dtype))
     else:
-        uop = _unary(op)
+        uop = resolve_unary(op)
         kind = "unary"
         operator = uop
         out_type = uop.out_type(A.dtype)
@@ -415,9 +456,9 @@ def plan_apply(C, A, op="IDENTITY", *, left=None, right=None, thunk=None,
 
 
 def plan_select(C, A, op, thunk=0, *, mask=None, accum=None, desc=None) -> OpPlan:
-    d = _desc(desc)
+    d = resolve_descriptor(desc)
     accum = resolve_accum(accum)
-    iu = _indexunary(op)
+    iu = resolve_indexunary(op)
     if isinstance(A, Vector):
         if C.size != A.size:
             raise DimensionMismatch("select vector sizes differ")
@@ -434,8 +475,8 @@ def plan_select(C, A, op, thunk=0, *, mask=None, accum=None, desc=None) -> OpPla
 
 
 def plan_reduce_rowwise(w, A, op="PLUS", *, mask=None, accum=None, desc=None) -> OpPlan:
-    d = _desc(desc)
-    mon = _monoid(op)
+    d = resolve_descriptor(desc)
+    mon = resolve_monoid(op)
     accum = resolve_accum(accum)
     nr, _ = _mat_shape(A, d.transpose_a)
     if w.size != nr:
@@ -448,7 +489,7 @@ def plan_reduce_rowwise(w, A, op="PLUS", *, mask=None, accum=None, desc=None) ->
 
 
 def plan_reduce_scalar(A, op="PLUS", *, accum=None, init=None) -> OpPlan:
-    mon = _monoid(op)
+    mon = resolve_monoid(op)
     return _admitted(
         "reduce_scalar", None, (A,), Descriptor(), accum=resolve_accum(accum),
         operator=mon, out_type=A.dtype, params={"init": init},
@@ -457,7 +498,7 @@ def plan_reduce_scalar(A, op="PLUS", *, accum=None, init=None) -> OpPlan:
 
 def plan_transpose(C, A, *, mask=None, accum=None, desc=None) -> OpPlan:
     """Per the C API's quirk, the INP0 flag cancels the transpose."""
-    d = _desc(desc)
+    d = resolve_descriptor(desc)
     accum = resolve_accum(accum)
     transposed = not d.transpose_a
     if C.shape != _mat_shape(A, transposed):
@@ -470,7 +511,7 @@ def plan_transpose(C, A, *, mask=None, accum=None, desc=None) -> OpPlan:
 
 
 def plan_extract(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None) -> OpPlan:
-    d = _desc(desc)
+    d = resolve_descriptor(desc)
     accum = resolve_accum(accum)
     params: dict = {}
     if isinstance(A, Vector):
@@ -506,7 +547,7 @@ def plan_extract(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None) -> OpP
 
 
 def plan_assign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None) -> OpPlan:
-    d = _desc(desc)
+    d = resolve_descriptor(desc)
     accum = resolve_accum(accum)
     _check_write(C, mask, accum)
     params: dict = {}
@@ -564,7 +605,7 @@ def plan_assign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None) -> OpPl
 
 def plan_subassign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None) -> OpPlan:
     """``GxB_subassign``: the mask has the I x J *region's* dimensions."""
-    d = _desc(desc)
+    d = resolve_descriptor(desc)
     accum = resolve_accum(accum)
     if accum is not None and accum.positional:
         raise DomainMismatch("positional ops cannot be accumulators")
@@ -601,7 +642,7 @@ def plan_subassign(C, A, I=ALL, J=ALL, *, mask=None, accum=None, desc=None) -> O
 
 
 def plan_kronecker(C, A, B, op="TIMES", *, mask=None, accum=None, desc=None) -> OpPlan:
-    d = _desc(desc)
+    d = resolve_descriptor(desc)
     accum = resolve_accum(accum)
     bop = resolve_ewise_op(op)
     nra, nca = _mat_shape(A, d.transpose_a)

@@ -73,6 +73,7 @@ __all__ = [
     "decision",
     "instant",
     "span",
+    "span_at",
     "instrumented",
     "chrome_trace_events",
 ]
@@ -222,6 +223,27 @@ class Collector:
         self._span_stack.append({"name": name, "ts": self._now_us(), "args": attrs})
         pretty = " ".join(f"{k}={_fmt(v)}" for k, v in attrs.items())
         self._burble(f"[{name}] begin {pretty}".rstrip())
+
+    def span_at(self, name: str, start_s: float, end_s: float, **attrs) -> None:
+        """Record a completed span from absolute ``perf_counter`` stamps.
+
+        Unlike :meth:`begin_span`/:meth:`end_span` (which are wall-now
+        based and strictly nested), this represents work that overlapped
+        other work — e.g. the engine's parallel row blocks, measured on
+        worker threads and reported here by the coordinating thread.
+        """
+        dur = (end_s - start_s) * 1e6
+        self._push(
+            {
+                "type": "span",
+                "name": name,
+                "ts": (start_s - self.t0) * 1e6,
+                "dur": dur,
+                "args": attrs,
+            }
+        )
+        pretty = " ".join(f"{k}={_fmt(v)}" for k, v in attrs.items())
+        self._burble(f"[{name}] {dur / 1e3:.3f} ms {pretty}".rstrip())
 
     def end_span(self) -> None:
         if not self._span_stack:
@@ -442,6 +464,13 @@ def instant(name: str, **attrs) -> None:
     col = _collector()
     if col is not None:
         col.instant(name, **attrs)
+
+
+def span_at(name: str, start_s: float, end_s: float, **attrs) -> None:
+    """Record a completed, possibly-overlapping span from absolute stamps."""
+    col = _collector()
+    if col is not None:
+        col.span_at(name, start_s, end_s, **attrs)
 
 
 @contextlib.contextmanager

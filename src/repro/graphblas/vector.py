@@ -176,26 +176,42 @@ class Vector:
             _zombies = sum(self._pend_del)
         pi = np.asarray(self._pend_i, dtype=_INDEX)
         pdel = np.asarray(self._pend_del, dtype=bool)
-        order = np.argsort(pi, kind="stable")
-        pi_s = pi[order]
-        last = np.empty(pi_s.size, dtype=bool)
-        last[-1] = True
-        np.not_equal(pi_s[1:], pi_s[:-1], out=last[:-1])
-        sel = order[last]
-        li, ldel = pi[sel], pdel[sel]
-        ins = ~ldel
-        if np.any(ins):
-            lv = self.dtype.cast_array(np.asarray([self._pend_v[k] for k in sel[ins]]))
+        # sortedness fast path: an already-sorted, duplicate-free,
+        # zombie-free log needs no dedup sort (and, on an empty vector,
+        # no merge either) — the common bulk-load pattern
+        fast = not pdel.any() and (
+            pi.size == 1 or bool(np.all(pi[1:] > pi[:-1]))
+        )
+        if fast:
+            li = pi
+            ins = np.ones(pi.size, dtype=bool)
+            lv = self.dtype.cast_array(np.asarray(self._pend_v))
         else:
-            lv = np.empty(0, dtype=self.dtype.np_dtype)
+            order = np.argsort(pi, kind="stable")
+            pi_s = pi[order]
+            last = np.empty(pi_s.size, dtype=bool)
+            last[-1] = True
+            np.not_equal(pi_s[1:], pi_s[:-1], out=last[:-1])
+            sel = order[last]
+            li, ldel = pi[sel], pdel[sel]
+            ins = ~ldel
+            if np.any(ins):
+                lv = self.dtype.cast_array(
+                    np.asarray([self._pend_v[k] for k in sel[ins]])
+                )
+            else:
+                lv = np.empty(0, dtype=self.dtype.np_dtype)
 
-        keep = ~np.isin(self.indices, li)
-        idx = np.concatenate([self.indices[keep], li[ins]])
-        val = np.concatenate([self.values[keep], lv])
-        order = np.argsort(idx, kind="stable")
-        # atomic commit: assemble fully, then swap in the result and drop
-        # the update log, so a mid-assembly failure changes nothing
-        self.indices, self.values = idx[order], val[order]
+        if fast and self.indices.size == 0:
+            self.indices, self.values = li, lv
+        else:
+            keep = ~np.isin(self.indices, li)
+            idx = np.concatenate([self.indices[keep], li[ins]])
+            val = np.concatenate([self.values[keep], lv])
+            order = np.argsort(idx, kind="stable")
+            # atomic commit: assemble fully, then swap in the result and drop
+            # the update log, so a mid-assembly failure changes nothing
+            self.indices, self.values = idx[order], val[order]
         self._pend_i, self._pend_v, self._pend_del = [], [], []
         if telemetry.ENABLED:
             telemetry.decision(
@@ -204,6 +220,7 @@ class Vector:
                 pending=_pending,
                 zombies=_zombies,
                 nvals=int(self.indices.size),
+                fast_path=fast,
             )
             telemetry.record_op(
                 "wait", _time.perf_counter() - _t0, int(self.indices.size)

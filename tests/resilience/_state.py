@@ -4,6 +4,11 @@ The transactional guarantee under test is *bit-identical* rollback — not
 just semantic equality.  ``deep_state`` copies every observable array and
 field (primary store, cached dual-orientation twin, the full pending log)
 and ``assert_same_state`` re-compares them exactly, dtypes included.
+
+One deliberate carve-out: the performance engine may cache a
+dual-orientation twin while merely *reading* a matrix, so a twin that
+appears after the snapshot is accepted iff it is an epoch-current,
+faithful conversion of the (unchanged) primary store.
 """
 
 from __future__ import annotations
@@ -43,6 +48,10 @@ def _store_same(before, s, what: str):
         assert s is None, f"{what}: twin appeared"
         return
     assert s is not None, f"{what}: store vanished"
+    _store_equal(before, s, what)
+
+
+def _store_equal(before, s, what: str) -> None:
     for key in ("orientation", "hyper", "n_major", "n_minor"):
         assert before[key] == getattr(s, key), f"{what}.{key} changed"
     _arr_same(before["indptr"], s.indptr, f"{what}.indptr")
@@ -95,7 +104,17 @@ def assert_same_state(obj, before) -> None:
         assert obj._valid == before["valid"]
         assert obj._keep_both == before["keep_both"]
         _store_same(before["store"], obj._store, "store")
-        _store_same(before["alt"], obj._alt, "alt")
+        if before["alt"] is None and obj._alt is not None:
+            # A dual-format twin may legitimately appear during an op that
+            # read the matrix (the engine caches the opposite orientation of
+            # the unchanged primary store).  Accept it only when it is an
+            # epoch-current, faithful conversion of that store — a stale or
+            # corrupt twin still fails.
+            assert obj._alt_epoch == obj._epoch, "alt: stale twin appeared"
+            fresh = obj._store.with_orientation(obj._store.orientation.flipped)
+            _store_equal(_store_state(fresh), obj._alt, "alt")
+        else:
+            _store_same(before["alt"], obj._alt, "alt")
         assert (
             list(obj._pend_i),
             list(obj._pend_j),
