@@ -240,11 +240,15 @@ with ctx:
   governing context *before any output is allocated*.  The estimated
   result footprint (an nnz-based bound per op; flops-based for `mxm`)
   is compared against the budget: within budget → admitted; over budget
-  → the plan is **degraded** to the first of `degrade_backends`
-  (default `("reference", "scipy")`) that supports it, skipping that
-  backend's own fallback chain; no route → `BudgetExceeded`.  Because
-  rejection happens at plan time, the inputs are untouched and still
-  pass `graphblas.validate`.
+  → `mxm`/`mxv`/`vxm` are **re-planned as tiled spill execution** (see
+  "Bounded-memory execution" below) when spilling is enabled; other
+  ops — or a context with spilling off — are **degraded** to the first
+  of `degrade_backends` (default `("reference", "scipy")`) that
+  supports it, skipping that backend's own fallback chain; no route →
+  `BudgetExceeded`, whose message reports the estimated vs available
+  bytes and why each recovery route (spill, degrade) was unavailable.
+  Because rejection happens at plan time, the inputs are untouched and
+  still pass `graphblas.validate`.
 * **Deadline & cancellation** — `ctx.cancel()` (any thread) or an
   expired deadline makes the next *poll* raise `Cancelled` /
   `DeadlineExceeded`.  Poll points sit between algorithm iterations, at
@@ -284,6 +288,69 @@ governor leg runs the whole suite under `64m` / `60`.  All
 governor-related environment parsing is hardened by
 `repro.graphblas.envutil`: a malformed value falls back to the default
 with a single `RuntimeWarning` instead of crashing at import.
+"""
+
+
+TILED_SECTION = """
+## Bounded-memory execution
+
+`repro.graphblas.tiled` turns the governor's "fail or degrade" answer to
+an oversized operation into "run anyway, bounded memory".  A
+`TiledMatrix` partitions a matrix into a 2D grid of hypersparse blocks;
+`mxm_tiled` / `mxv_tiled` schedule work stripe by stripe; and cold tiles
+are spilled to disk as atomic `.npz` files and reloaded on demand under
+an LRU resident-byte budget (`SpillPool`).  The route is transparent:
+when an admitted plan's estimated footprint exceeds the context budget
+and spilling is enabled, the dispatcher re-plans `mxm`/`mxv`/`vxm` as
+tiled execution instead of degrading or rejecting —
+
+```python
+from repro.graphblas import governor
+
+with governor.ExecutionContext(
+    memory_budget=64 << 20, spill_budget=64 << 20
+) as ctx:
+    gb.mxm(C, A, A, "PLUS_TIMES")      # runs tiled, same bytes out
+assert ctx.stats["tiled"] == 1
+```
+
+* **Bit-identical results** — the tiled path reproduces the in-memory
+  Gustavson fold exactly (floats included): partial products stay
+  unreduced across inner tiles, are concatenated in ascending `k`-tile
+  order, stable-sorted by output coordinate, and reduced once per output
+  stripe.  When a stripe's expansion would itself exceed the budget (RMAT
+  hub rows), `mxm_tiled(..., chunk_bytes=...)` partitions the stripe's
+  *rows* by predicted flops (`TiledMatrix.major_lengths()`) and folds
+  each chunk independently — sound because the fold never mixes partials
+  from different output rows — spilling transient chunk pieces through
+  the pool and assembling them per grid tile.  The hypothesis suite
+  proves parity across all four `(by_row/by_col) x (standard/hyper)`
+  formats.
+* **Fault-hardened spill I/O** — spill writes go through the atomic
+  temp-file + rename writer shared with checkpointing, trip the
+  `io.write`/`io.read` fault points, and retry transient failures with
+  the governing context's seeded `RetryPolicy`.  A crash mid-spill
+  leaves only a stale temp file, never a torn tile;
+  `rollback_partial_spills` (invoked on pool close and by the
+  fault-injection suite) removes every artifact of an aborted
+  operation.  `tests/resilience/test_spill_faults.py` proves injected
+  faults never corrupt operands or leak spill files.
+* **Bounded streaming** — `TiledMatrix.iter_stripes(max_bytes=...)`
+  yields sorted coordinate blocks of bounded size (per-tile row slabs
+  via `major_slab`), so a result bigger than memory can be consumed
+  without ever materializing a full stripe.
+  `benchmarks/bench_spill_tiled.py` streams RMAT-16 `A*A` under a
+  64 MiB budget this way; the committed `BENCH_PR6.json` records peak
+  RSS within `budget * 1.2` against a multi-GiB in-memory expansion.
+
+Configuration: `GRAPHBLAS_SPILL` (on/off), `GRAPHBLAS_SPILL_DIR`, and
+`GRAPHBLAS_SPILL_BUDGET` (`k`/`m`/`g` suffixes) parse through
+`envutil` with warn-once fallback; per-context `spill=` / `spill_dir=` /
+`spill_budget=` kwargs override them, and `governor.set_spill_config`
+(C API: `capi.GxB_Spill_set` / `GxB_Spill_get`) installs process-wide
+overrides.  `method="tiled"` on the descriptor forces the tiled path for
+an in-budget op.  Telemetry records `governor.tile_plan`,
+`governor.spill`, and `governor.reload` decisions with byte counts.
 """
 
 
@@ -354,6 +421,7 @@ def main() -> None:
         f.write(BACKENDS_SECTION)
         f.write(TELEMETRY_SECTION)
         f.write(GOVERNOR_SECTION)
+        f.write(TILED_SECTION)
         f.write(ENGINE_SECTION)
         render_module(f, repro.graphblas, "repro.graphblas")
         render_module(f, repro.graphblas.engine, "repro.graphblas.engine")
@@ -361,6 +429,7 @@ def main() -> None:
         render_module(f, repro.graphblas.plan, "repro.graphblas.plan")
         render_module(f, repro.graphblas.capi, "repro.graphblas.capi")
         render_module(f, repro.graphblas.governor, "repro.graphblas.governor")
+        render_module(f, repro.graphblas.tiled, "repro.graphblas.tiled")
         render_module(f, repro.graphblas.envutil, "repro.graphblas.envutil")
         render_module(f, repro.graphblas.faults, "repro.graphblas.faults")
         render_module(f, repro.graphblas.telemetry, "repro.graphblas.telemetry")

@@ -19,7 +19,7 @@ Quick start::
     gb.mxv(y, A, w, "plus_times")
 """
 
-from . import backends, engine, envutil, faults, governor, plan, telemetry, validate
+from . import backends, engine, envutil, faults, governor, plan, telemetry, tiled, validate
 from .backends import (
     available_backends,
     backend,
@@ -250,6 +250,7 @@ __all__ = [
     "telemetry",
     "governor",
     "envutil",
+    "tiled",
     # performance engine
     "engine",
 ]

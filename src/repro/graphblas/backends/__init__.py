@@ -221,16 +221,33 @@ def dispatch(plan: OpPlan, backend=None):
     three extra steps apply:
 
     - cancellation/deadline are polled before the kernel runs;
-    - a plan the governor marked over-budget is routed to the degraded
-      backend it chose (the degraded backend's own fallback chain is not
-      walked — falling back to the heavy engine would defeat the budget);
+    - a plan the governor marked over-budget is routed to tiled
+      spill-to-disk execution (:mod:`repro.graphblas.tiled`) when the
+      context allows it, or to the degraded backend it chose (the
+      degraded backend's own fallback chain is not walked — falling back
+      to the heavy engine would defeat the budget);
     - the context's :class:`~repro.graphblas.governor.RetryPolicy`, if
       any, wraps the kernel call so transient failures are retried with
-      seeded exponential backoff.
+      seeded exponential backoff.  Tiled execution is deliberately *not*
+      wrapped: its spill I/O carries its own seeded retry, and an outer
+      retry would multiply the attempts.
     """
     degraded_to = plan.params.pop("governor_degrade_to", None)
+    tiled_route = plan.params.pop("governor_tiled", False) or (
+        plan.params.get("method") == "tiled"
+        and plan.op in ("mxm", "mxv", "vxm")
+    )
     if governor.ACTIVE:
         governor.poll()
+    if tiled_route:
+        from .. import tiled as _tiled
+
+        if telemetry.ENABLED:
+            telemetry.decision(
+                "governor.tiled", op=plan.op,
+                est_bytes=plan.params.get("est_bytes"),
+            )
+        return _tiled.execute(plan)
     if degraded_to is not None:
         be = get_backend(degraded_to)
         if telemetry.ENABLED:

@@ -137,6 +137,11 @@ class OptimizedBackend(KernelBackend):
         transposed = p["transposed"]
         method, optimizer = p["method"], p["optimizer"]
 
+        if method == "tiled":
+            # the dispatcher serves "tiled"; reaching this kernel anyway
+            # (direct call, degraded backend) pull is the bit-identical
+            # in-memory equivalent of the tiled fold
+            method = "pull"
         if method == "auto":
             density = u.nvals / u.size
             threshold = (

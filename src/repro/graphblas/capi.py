@@ -113,6 +113,8 @@ __all__ = [
     "GxB_Context_new",
     "GxB_Engine_set",
     "GxB_Engine_get",
+    "GxB_Spill_set",
+    "GxB_Spill_get",
     "GxB_NTHREADS",
     "global_stats",
 ]
@@ -724,8 +726,40 @@ def GxB_Engine_get() -> dict:
     return out
 
 
+def GxB_Spill_set(enabled=None, *, directory=None, budget=None) -> Info:
+    """``GxB_SPILL_*`` option set: process-wide spill-to-disk control.
+
+    ``enabled`` turns transparent tiled spill execution on/off for
+    over-budget operations, ``directory`` relocates the pools' scratch
+    space, and ``budget`` bounds the bytes of tiles kept resident — see
+    :func:`repro.graphblas.governor.set_spill_config`.  Arguments left
+    ``None`` keep their current (environment-derived) values.
+    """
+    from . import governor as _governor
+
+    try:
+        _governor.set_spill_config(
+            enabled=enabled, directory=directory, budget=budget
+        )
+    except (GraphBLASError, TypeError, ValueError) as exc:
+        if isinstance(exc, GraphBLASError):
+            return exc.info
+        _tls.last_error = str(exc)
+        return Info.INVALID_VALUE
+    return GrB_SUCCESS
+
+
+def GxB_Spill_get() -> dict:
+    """``GxB_SPILL_*`` option get: the effective spill configuration."""
+    from . import governor as _governor
+
+    enabled, directory, budget = _governor.spill_config()
+    return {"enabled": enabled, "directory": directory, "budget": budget}
+
+
 def GxB_Context_new(*, memory_budget=None, deadline=None, retry=None,
-                    degrade=True):
+                    degrade=True, spill=None, spill_dir=None,
+                    spill_budget=None):
     """``GxB_Context``-style handle over the execution governor.
 
     Returns an un-entered
@@ -734,15 +768,19 @@ def GxB_Context_new(*, memory_budget=None, deadline=None, retry=None,
     interrupted by the governor returns :data:`GxB_BUDGET_EXCEEDED`,
     :data:`GxB_DEADLINE_EXCEEDED`, or :data:`GxB_CANCELLED` through the
     usual transactional boundary — operands are rolled back and
-    :func:`GrB_error` carries the governor's message.  With ``degrade``
-    (the default) over-budget operations are first routed to a lighter
-    backend; pass ``degrade=False`` to make every over-budget call fail.
+    :func:`GrB_error` carries the governor's message.  An over-budget
+    mxm/mxv/vxm is first re-planned as tiled spill-to-disk execution
+    (``spill``/``spill_dir``/``spill_budget`` override the
+    ``GxB_Spill_set`` / environment defaults), then routed to a lighter
+    backend with ``degrade`` (the default); pass ``degrade=False`` to
+    make every over-budget call fail.
     """
     from . import governor as _governor
 
     return _governor.ExecutionContext(
         memory_budget=memory_budget, deadline=deadline, retry=retry,
-        degrade=degrade,
+        degrade=degrade, spill=spill, spill_dir=spill_dir,
+        spill_budget=spill_budget,
     )
 
 

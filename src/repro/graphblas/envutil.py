@@ -16,7 +16,10 @@ from __future__ import annotations
 import os
 import warnings
 
-__all__ = ["env_int", "env_float", "env_bytes", "env_choice", "reset_warned"]
+__all__ = [
+    "env_int", "env_float", "env_bytes", "env_choice", "env_path",
+    "reset_warned",
+]
 
 _warned: set[tuple[str, str]] = set()
 
@@ -92,6 +95,24 @@ def env_bytes(var: str, default, *, minimum=None):
         return default
     if minimum is not None and value < minimum:
         _warn_once(var, raw, f"below minimum {minimum}", default)
+        return default
+    return value
+
+
+def env_path(var: str, default=None):
+    """Read a filesystem path env var.
+
+    Unset means the default; a set-but-blank value is malformed (it would
+    silently resolve to the current directory) and warns once.  Existence
+    is *not* checked here — consumers create spill/checkpoint directories
+    on demand.
+    """
+    raw = os.environ.get(var)
+    if raw is None:
+        return default
+    value = raw.strip()
+    if not value:
+        _warn_once(var, raw, "empty path", default)
         return default
     return value
 

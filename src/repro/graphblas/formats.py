@@ -344,6 +344,30 @@ class SparseStore:
             return starts.astype(_INDEX), ends.astype(_INDEX)
         return self.indptr[rows], self.indptr[rows + 1]
 
+    def major_slab(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Entries of major vectors ``[lo, hi)`` as (major, minor, values).
+
+        Major indices are global; minor/values are views into the store's
+        arrays (callers must copy before mutating).  Entries keep the
+        store's canonical (major, minor) sort.  O(log nvec) span lookup
+        for hypersparse stores, O(1) otherwise — the slab-extraction
+        primitive behind :mod:`repro.graphblas.tiled`.
+        """
+        lo = max(0, min(int(lo), self.n_major))
+        hi = max(lo, min(int(hi), self.n_major))
+        if self.hyper:
+            a = int(np.searchsorted(self.h, lo))
+            b = int(np.searchsorted(self.h, hi))
+            p0, p1 = int(self.indptr[a]), int(self.indptr[b])
+            major = np.repeat(self.h[a:b], np.diff(self.indptr[a:b + 1]))
+        else:
+            p0, p1 = int(self.indptr[lo]), int(self.indptr[hi])
+            major = np.repeat(
+                np.arange(lo, hi, dtype=_INDEX),
+                np.diff(self.indptr[lo:hi + 1]),
+            )
+        return major, self.minor[p0:p1], self.values[p0:p1]
+
     def vector_counts(self) -> np.ndarray:
         """Entry count of each major vector, length ``n_major`` (dense)."""
         counts = np.zeros(self.n_major, dtype=_INDEX)

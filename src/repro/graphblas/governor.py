@@ -82,6 +82,11 @@ __all__ = [
     "save_hook",
     "load_checkpoint",
     "env_limits",
+    "env_spill",
+    "spill_config",
+    "set_spill_config",
+    "reset_spill_config",
+    "DEFAULT_SPILL_BUDGET",
 ]
 
 #: True iff any thread has an ExecutionContext open.  Mirrors
@@ -337,20 +342,28 @@ class ExecutionContext:
                  cancel: CancellationToken | None = None,
                  retry: RetryPolicy | None = None,
                  degrade: bool = True,
-                 degrade_backends=("reference", "scipy")) -> None:
+                 degrade_backends=("reference", "scipy"),
+                 spill: bool | None = None,
+                 spill_dir=None,
+                 spill_budget: int | None = None) -> None:
         if memory_budget is not None and memory_budget < 0:
             raise InvalidValue(f"memory_budget must be >= 0, got {memory_budget}")
         if deadline is not None and deadline < 0:
             raise InvalidValue(f"deadline must be >= 0, got {deadline}")
+        if spill_budget is not None and spill_budget < 0:
+            raise InvalidValue(f"spill_budget must be >= 0, got {spill_budget}")
         self.memory_budget = None if memory_budget is None else int(memory_budget)
         self.deadline = None if deadline is None else float(deadline)
         self.token = cancel if cancel is not None else CancellationToken()
         self.retry = retry
         self.degrade = bool(degrade)
         self.degrade_backends = tuple(degrade_backends)
+        self.spill = None if spill is None else bool(spill)
+        self.spill_dir = spill_dir
+        self.spill_budget = None if spill_budget is None else int(spill_budget)
         self.deadline_at: float | None = None
         self.stats = {
-            "admitted": 0, "rejected": 0, "degraded": 0,
+            "admitted": 0, "rejected": 0, "degraded": 0, "tiled": 0,
             "cancelled": 0, "retries": 0,
         }
         self._entered = False
@@ -429,6 +442,10 @@ class ExecutionContext:
             if telemetry.ENABLED:
                 telemetry.decision("governor.admit", op=plan.op, est_bytes=est)
             return
+        if plan.op in _TILEABLE and self.spill_enabled():
+            plan.params["governor_tiled"] = True
+            self.stats["tiled"] += 1
+            return  # the dispatcher records the governor.tiled decision
         route = self._degrade_route(plan)
         if route is not None:
             plan.params["governor_degrade_to"] = route
@@ -438,10 +455,39 @@ class ExecutionContext:
         if telemetry.ENABLED:
             telemetry.decision("governor.reject", op=plan.op, reason="budget",
                                est_bytes=est, budget=self.memory_budget)
+        if plan.op not in _TILEABLE:
+            spill_why = "tiled spill unavailable for this op"
+        else:
+            spill_why = "tiled spill disabled"
+        if not self.degrade:
+            degrade_why = "degrade disabled"
+        else:
+            degrade_why = (
+                f"no degrade backend in {self.degrade_backends!r} supports it"
+            )
         raise BudgetExceeded(
             f"{plan.op}: estimated result footprint {est} B exceeds the "
-            f"context memory budget of {self.memory_budget} B"
+            f"context memory budget of {self.memory_budget} B by "
+            f"{est - self.memory_budget} B ({spill_why}; {degrade_why})"
         )
+
+    def spill_enabled(self) -> bool:
+        """Whether over-budget tileable ops re-plan as tiled spill.
+
+        An explicit ``spill=`` on the context wins; otherwise spilling
+        follows ``degrade`` (a context that asked for hard rejection gets
+        it) gated by the ``GRAPHBLAS_SPILL`` environment switch.
+        """
+        if self.spill is not None:
+            return self.spill
+        return self.degrade and spill_config()[0]
+
+    def spill_settings(self) -> tuple:
+        """(directory, byte budget) for this context's spill pools."""
+        _, env_dir, env_budget = spill_config()
+        directory = self.spill_dir if self.spill_dir is not None else env_dir
+        budget = self.spill_budget if self.spill_budget is not None else env_budget
+        return directory, budget
 
     def _degrade_route(self, plan) -> str | None:
         if not self.degrade:
@@ -519,6 +565,73 @@ def env_limits() -> tuple[int | None, float | None]:
     budget = envutil.env_bytes("GRAPHBLAS_GOVERNOR_BUDGET", None, minimum=0)
     deadline = envutil.env_float("GRAPHBLAS_GOVERNOR_DEADLINE", None, minimum=0.0)
     return budget, deadline
+
+
+# --------------------------------------------------------------------------
+# spill configuration
+# --------------------------------------------------------------------------
+
+#: Ops the tiled planner can serve; everything else still degrades/rejects.
+_TILEABLE = ("mxm", "mxv", "vxm")
+
+#: Default resident-tile byte budget for spill pools.
+DEFAULT_SPILL_BUDGET = 256 << 20
+
+# Process-wide overrides installed by set_spill_config (the GxB_Spill_*
+# C-API surface); None means "defer to the environment".
+_spill_override: dict = {"enabled": None, "directory": None, "budget": None}
+
+
+def env_spill() -> tuple[bool, str | None, int]:
+    """(enabled, directory, byte budget) from the environment, hardened.
+
+    Reads ``GRAPHBLAS_SPILL`` (``on``/``off``), ``GRAPHBLAS_SPILL_DIR``
+    (base directory for pool scratch space) and
+    ``GRAPHBLAS_SPILL_BUDGET`` (bytes; ``k``/``m``/``g`` suffixes).
+    Malformed values warn once and fall back to the defaults: spilling
+    on, the system temp dir, :data:`DEFAULT_SPILL_BUDGET`.
+    """
+    enabled = envutil.env_choice("GRAPHBLAS_SPILL", "on", ("on", "off")) == "on"
+    directory = envutil.env_path("GRAPHBLAS_SPILL_DIR", None)
+    budget = envutil.env_bytes(
+        "GRAPHBLAS_SPILL_BUDGET", DEFAULT_SPILL_BUDGET, minimum=0
+    )
+    return enabled, directory, budget
+
+
+def spill_config() -> tuple[bool, str | None, int]:
+    """Effective (enabled, directory, budget): overrides, then environment."""
+    enabled, directory, budget = env_spill()
+    if _spill_override["enabled"] is not None:
+        enabled = _spill_override["enabled"]
+    if _spill_override["directory"] is not None:
+        directory = _spill_override["directory"]
+    if _spill_override["budget"] is not None:
+        budget = _spill_override["budget"]
+    return enabled, directory, budget
+
+
+def set_spill_config(*, enabled: bool | None = None, directory=None,
+                     budget: int | None = None) -> None:
+    """Install process-wide spill overrides (the ``GxB_Spill_set`` core).
+
+    Only the arguments given change; pass :func:`reset_spill_config` to
+    drop all overrides and return to environment control.
+    """
+    if budget is not None:
+        budget = int(budget)
+        if budget < 0:
+            raise InvalidValue(f"spill budget must be >= 0, got {budget}")
+        _spill_override["budget"] = budget
+    if enabled is not None:
+        _spill_override["enabled"] = bool(enabled)
+    if directory is not None:
+        _spill_override["directory"] = str(directory)
+
+
+def reset_spill_config() -> None:
+    """Drop all spill overrides (back to environment defaults)."""
+    _spill_override.update(enabled=None, directory=None, budget=None)
 
 
 # --------------------------------------------------------------------------

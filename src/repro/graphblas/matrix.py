@@ -526,6 +526,20 @@ class Matrix:
         """Column-oriented store view (converting and caching if needed)."""
         return self._oriented(Orientation.COL)
 
+    def to_tiled(self, tile_dim: int, *, pool=None):
+        """Partition into a :class:`~repro.graphblas.tiled.TiledMatrix`.
+
+        Waits pending updates first (the tiles snapshot the settled
+        epoch).  ``pool`` defaults to a fresh
+        :class:`~repro.graphblas.tiled.SpillPool` configured from the
+        governing context / environment.
+        """
+        from . import tiled as _tiled
+
+        if pool is None:
+            pool = _tiled.SpillPool()
+        return _tiled.TiledMatrix.from_matrix(self, tile_dim, pool)
+
     def _oriented(self, orientation: Orientation) -> SparseStore:
         self._require_valid()
         self.wait()

@@ -50,7 +50,7 @@ _INDEX = np.int64
 # skewed graphs) while costing nothing on uniform ones.
 GUSTAVSON_CHUNK_FLOPS = 1 << 16
 
-MXM_METHODS = ("auto", "gustavson", "dot", "heap")
+MXM_METHODS = ("auto", "gustavson", "dot", "heap", "tiled")
 
 
 def _gather_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
@@ -115,6 +115,11 @@ def mxm_coo(
     if faults.ENABLED:
         faults.trip("spgemm.flop")
     requested = method
+    if method == "tiled":
+        # the dispatcher serves "tiled" via repro.graphblas.tiled; when a
+        # plan reaches the in-memory kernel anyway (direct call, degraded
+        # backend) Gustavson is the bit-identical equivalent
+        method = "gustavson"
     if method == "auto":
         if mask_coords is not None and not mask_complement:
             method = "dot"

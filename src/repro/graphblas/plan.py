@@ -339,7 +339,7 @@ def _plan_matvec(op, w, A, u, semiring, mask, accum, desc, method,
         raise DimensionMismatch(f"vector size {u.size}, matrix inner dim {inner}")
     if w.size != outer:
         raise DimensionMismatch(f"output size {w.size}, matrix outer dim {outer}")
-    if method not in ("auto", "push", "pull"):
+    if method not in ("auto", "push", "pull", "tiled"):
         raise InvalidValue(f"unknown mxv method {method!r}")
     _check_write(w, mask, accum)
     out_type = (

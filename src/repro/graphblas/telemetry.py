@@ -288,6 +288,12 @@ class Collector:
             if name.startswith("governor.")
         }
         if gov:
+            # disk traffic of the spill pools, tallied next to the
+            # decision counts they explain
+            for direction in ("spill", "reload"):
+                st = self.ops.get(f"governor.{direction}")
+                if st is not None:
+                    gov[f"{direction}_bytes"] = st.bytes_moved
             out["governor"] = gov
         if include_events:
             out["events"] = list(self.events)

@@ -26,12 +26,36 @@ from ..graphblas.errors import InvalidValue
 from ..graphblas.io_move import export_matrix, import_matrix
 from ..graphblas.types import lookup_type
 
-__all__ = ["save_state", "load_state", "FORMAT_VERSION"]
+__all__ = ["save_state", "load_state", "atomic_write_npz", "FORMAT_VERSION"]
 
 FORMAT_VERSION = 1
 
 #: separator between a state key and its array field inside the npz
 _SEP = "::"
+
+
+def atomic_write_npz(path, arrays: dict) -> int:
+    """Write ``arrays`` to ``path`` as one compressed npz, atomically.
+
+    The payload goes to a temp file in the same directory and is moved
+    into place with ``os.replace``, so a crash (or an injected
+    ``io.write`` fault, tripped here) mid-save leaves either the previous
+    file or nothing — never a torn write.  Shared by checkpoints and the
+    tile spill pools (:class:`repro.graphblas.tiled.SpillPool`).  Returns
+    the final file size in bytes.
+    """
+    if faults.ENABLED:
+        faults.trip("io.write")
+    path = str(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            np.savez_compressed(f, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - only on write failure
+            os.unlink(tmp)
+    return int(os.path.getsize(path))
 
 
 def _check_key(key) -> str:
@@ -50,8 +74,6 @@ def save_state(path, state: dict) -> None:
     (bool/int/float/str, including their NumPy forms).  Containers are
     copied out non-destructively.
     """
-    if faults.ENABLED:
-        faults.trip("io.write")
     manifest: dict = {"version": FORMAT_VERSION, "entries": {}}
     payload: dict = {}
     for key, val in state.items():
@@ -88,18 +110,9 @@ def save_state(path, state: dict) -> None:
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     ).copy()
 
-    path = str(path)
-    tmp = f"{path}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "wb") as f:
-            np.savez_compressed(f, **payload)
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):  # pragma: no cover - only on write failure
-            os.unlink(tmp)
+    nbytes = atomic_write_npz(path, payload)
     if telemetry.ENABLED:
-        telemetry.tally("io.write", calls=1,
-                        bytes_moved=int(os.path.getsize(path)))
+        telemetry.tally("io.write", calls=1, bytes_moved=nbytes)
 
 
 def load_state(path) -> dict:

@@ -95,7 +95,8 @@ class TestBudget:
         C = Matrix("FP64", 20, 20)
         with telemetry.collect() as col:
             with governor.ExecutionContext(
-                memory_budget=1, degrade_backends=("reference",)
+                memory_budget=1, degrade_backends=("reference",),
+                spill=False,  # force the degrade route, not tiled spill
             ) as ctx:
                 ops.mxm(C, A, B, "PLUS_TIMES")
         assert ctx.stats["degraded"] >= 1

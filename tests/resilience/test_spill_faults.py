@@ -1,0 +1,165 @@
+"""Fault-hardened spill I/O: seeded retry, clean failure, no orphans.
+
+The transactional guarantee extends to disk: an injected write/read
+failure during tiled spill execution is retried with seeded backoff;
+when retry is exhausted the operation fails with the typed error,
+operands stay bit-identical, the output is untouched, and no tile or
+temp file is left behind.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    Matrix,
+    OutOfMemory,
+    faults,
+    governor,
+    telemetry,
+    tiled,
+)
+from repro.graphblas import operations as ops
+from tests.helpers import random_matrix_np
+from tests.resilience._state import assert_same_state, deep_state
+
+
+@pytest.fixture
+def AB():
+    rng = np.random.default_rng(17)
+    A, _, _ = random_matrix_np(rng, 40, 40, 0.25)
+    B, _, _ = random_matrix_np(rng, 40, 40, 0.25)
+    return A, B
+
+
+def _policy():
+    return governor.RetryPolicy(attempts=3, base_delay=0.0, jitter=0.0)
+
+
+class TestTransientFaults:
+    def test_write_fault_retried_parity_preserved(self, AB, tmp_path):
+        A, B = AB
+        expected = Matrix("FP64", 40, 40)
+        ops.mxm(expected, A, B, "PLUS_TIMES")
+        C = Matrix("FP64", 40, 40)
+        with telemetry.collect() as col:
+            with governor.ExecutionContext(
+                memory_budget=1, retry=_policy(),
+                spill_dir=tmp_path, spill_budget=0,
+            ) as ctx:
+                with faults.inject("io.write", OutOfMemory, nth=1):
+                    ops.mxm(C, A, B, "PLUS_TIMES")
+        assert ctx.stats["retries"] >= 1
+        assert C.isequal(expected)
+        ev, cv = expected.extract_tuples()[2], C.extract_tuples()[2]
+        assert ev.tobytes() == cv.tobytes()
+        gov = col.snapshot()["governor"]
+        assert gov["retry"] >= 1  # the backoff decision was recorded
+        assert not any(tmp_path.iterdir())
+
+    def test_read_fault_retried_parity_preserved(self, AB, tmp_path):
+        A, B = AB
+        expected = Matrix("FP64", 40, 40)
+        ops.mxm(expected, A, B, "PLUS_TIMES")
+        C = Matrix("FP64", 40, 40)
+        with governor.ExecutionContext(
+            memory_budget=1, retry=_policy(),
+            spill_dir=tmp_path, spill_budget=0,
+        ) as ctx:
+            with faults.inject("io.read", OutOfMemory, nth=1):
+                ops.mxm(C, A, B, "PLUS_TIMES")
+        assert ctx.stats["retries"] >= 1
+        assert C.isequal(expected)
+        assert not any(tmp_path.iterdir())
+
+    def test_default_pool_policy_retries_oserror(self, tmp_path):
+        # without a context retry policy the pool's own seeded default
+        # applies, and OSError (real disk trouble) counts as transient
+        rng = np.random.default_rng(2)
+        A, _, _ = random_matrix_np(rng, 24, 24, 0.3)
+        with governor.ExecutionContext(
+            memory_budget=1, spill_dir=tmp_path, spill_budget=0
+        ) as ctx:
+            with faults.inject("io.write", OSError, nth=1):
+                C = Matrix("FP64", 24, 24)
+                ops.mxm(C, A, A, "PLUS_TIMES")
+        assert ctx.stats["retries"] >= 1
+        assert C.nvals > 0
+
+
+class TestExhaustedRetry:
+    def test_write_faults_exhaust_operands_intact_no_orphans(self, AB, tmp_path):
+        A, B = AB
+        C = Matrix("FP64", 40, 40)
+        snaps = [deep_state(o) for o in (C, A, B)]
+        with governor.ExecutionContext(
+            memory_budget=1, retry=_policy(),
+            spill_dir=tmp_path, spill_budget=0,
+        ):
+            with faults.inject(
+                "io.write", OutOfMemory, probability=1.0, seed=3,
+                max_fires=None,
+            ):
+                with pytest.raises(OutOfMemory):
+                    ops.mxm(C, A, B, "PLUS_TIMES")
+        for obj, snap in zip((C, A, B), snaps):
+            assert_same_state(obj, snap)
+        assert C.nvals == 0
+        # no orphaned tiles, no torn temp files
+        assert not any(tmp_path.iterdir())
+
+    def test_read_faults_exhaust_operands_intact_no_orphans(self, AB, tmp_path):
+        A, B = AB
+        C = Matrix("FP64", 40, 40)
+        snaps = [deep_state(o) for o in (C, A, B)]
+        with governor.ExecutionContext(
+            memory_budget=1, retry=_policy(),
+            spill_dir=tmp_path, spill_budget=0,
+        ):
+            with faults.inject(
+                "io.read", OutOfMemory, probability=1.0, seed=4,
+                max_fires=None,
+            ):
+                with pytest.raises(OutOfMemory):
+                    ops.mxm(C, A, B, "PLUS_TIMES")
+        for obj, snap in zip((C, A, B), snaps):
+            assert_same_state(obj, snap)
+        assert C.nvals == 0
+        assert not any(tmp_path.iterdir())
+
+    def test_failed_spill_keeps_tile_usable(self, tmp_path):
+        # a spill that fails even after retry must not lose the tile: it
+        # stays resident and the pool remains consistent
+        from tests.resilience.test_tiled_spill import _store
+
+        pool = tiled.SpillPool(
+            budget=0, directory=tmp_path,
+            retry=governor.RetryPolicy(attempts=2, base_delay=0.0, jitter=0.0),
+        )
+        try:
+            s = _store(seed=9)
+            with faults.inject(
+                "io.write", OutOfMemory, probability=1.0, seed=5,
+                max_fires=None,
+            ):
+                with pytest.raises(OutOfMemory):
+                    pool.put("a", s)
+            back = pool.get("a")  # still resident despite the failed spill
+            assert back.values.tobytes() == s.values.tobytes()
+            assert pool.stats["spills"] == 0
+        finally:
+            pool.close()
+        assert not any(tmp_path.iterdir())
+
+
+class TestSeededBackoff:
+    def test_spill_retry_schedule_is_reproducible(self, tmp_path):
+        # same seed -> same backoff delays on the spill path
+        p1 = governor.RetryPolicy(
+            attempts=4, base_delay=0.01, max_delay=0.05, jitter=0.5, seed=21
+        )
+        p2 = governor.RetryPolicy(
+            attempts=4, base_delay=0.01, max_delay=0.05, jitter=0.5, seed=21
+        )
+        assert [p1.delay(k) for k in (1, 2, 3)] == [
+            p2.delay(k) for k in (1, 2, 3)
+        ]

@@ -1,0 +1,422 @@
+"""Tiled spill-to-disk execution: parity, pool mechanics, configuration.
+
+The acceptance property under test: an mxm/mxv whose footprint estimate
+exceeds the governor budget completes via tiled spill execution with
+results *bit-identical* to unbudgeted in-memory execution — asserted here
+on RMAT-14 with random FP64 values, where any regrouping of the
+floating-point partial-product folds would change low-order bits.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.generators import rmat_graph
+from repro.graphblas import (
+    BudgetExceeded,
+    Matrix,
+    Vector,
+    capi,
+    governor,
+    telemetry,
+    tiled,
+)
+from repro.graphblas import operations as ops
+from repro.graphblas.formats import Orientation, SparseStore
+from tests.helpers import random_matrix_np, random_vector_np
+
+
+def _bits_equal(got, want) -> None:
+    for g, w in zip(got, want):
+        assert g.dtype == w.dtype
+        assert np.array_equal(g, w)
+        assert g.tobytes() == w.tobytes()
+
+
+def _weighted_rmat(scale: int, edge_factor: int, seed: int) -> Matrix:
+    A = rmat_graph(scale, edge_factor, seed=seed).A
+    r, c, _ = A.extract_tuples()
+    rng = np.random.default_rng(seed + 1)
+    return Matrix.from_coo(
+        r, c, rng.uniform(-1.0, 1.0, r.size), nrows=A.nrows, ncols=A.ncols,
+        dtype="FP64",
+    )
+
+
+# --------------------------------------------------------------------------
+# bit-identical parity (the acceptance criterion)
+# --------------------------------------------------------------------------
+
+class TestParity:
+    def test_rmat14_mxm_tiled_spill_bit_identical(self, tmp_path):
+        A = _weighted_rmat(14, 4, seed=7)
+        expected = Matrix("FP64", A.nrows, A.ncols)
+        ops.mxm(expected, A, A, "PLUS_TIMES")
+
+        C = Matrix("FP64", A.nrows, A.ncols)
+        with telemetry.collect() as col:
+            with governor.ExecutionContext(
+                memory_budget=1 << 20,
+                spill_dir=tmp_path,
+                spill_budget=1 << 20,
+            ) as ctx:
+                ops.mxm(C, A, A, "PLUS_TIMES")
+        assert ctx.stats["tiled"] == 1
+        assert ctx.stats["rejected"] == 0
+        _bits_equal(C.extract_tuples(), expected.extract_tuples())
+        gov = col.snapshot()["governor"]
+        assert gov["tiled"] >= 1
+        assert gov["spill"] >= 1 and gov["reload"] >= 1
+        assert gov["spill_bytes"] > 0 and gov["reload_bytes"] > 0
+        # the pool cleans up after itself: no orphaned tile files
+        assert not any(tmp_path.iterdir())
+
+    @pytest.mark.parametrize("op", ["mxv", "vxm"])
+    def test_rmat14_matvec_tiled_bit_identical(self, op, tmp_path):
+        A = _weighted_rmat(14, 4, seed=11)
+        rng = np.random.default_rng(23)
+        u, _, _ = random_vector_np(rng, A.nrows, density=0.3)
+        run = getattr(ops, op)
+        args = (A, u) if op == "mxv" else (u, A)
+
+        expected = Vector("FP64", A.nrows)
+        run(expected, *args, "PLUS_TIMES")
+        w = Vector("FP64", A.nrows)
+        with governor.ExecutionContext(
+            memory_budget=1, spill_dir=tmp_path, spill_budget=1 << 18
+        ) as ctx:
+            run(w, *args, "PLUS_TIMES")
+        assert ctx.stats["tiled"] == 1
+        _bits_equal(w.extract_tuples(), expected.extract_tuples())
+        assert not any(tmp_path.iterdir())
+
+    def test_transposed_mxm_parity(self, tmp_path):
+        rng = np.random.default_rng(3)
+        A, _, _ = random_matrix_np(rng, 60, 60, 0.2)
+        B, _, _ = random_matrix_np(rng, 60, 60, 0.2)
+        expected = Matrix("FP64", 60, 60)
+        ops.mxm(expected, A, B, "PLUS_TIMES", desc="T0")
+        C = Matrix("FP64", 60, 60)
+        with governor.ExecutionContext(
+            memory_budget=1, spill_dir=tmp_path, spill_budget=0
+        ):
+            ops.mxm(C, A, B, "PLUS_TIMES", desc="T0")
+        _bits_equal(C.extract_tuples(), expected.extract_tuples())
+
+    def test_masked_mxm_parity_vs_gustavson(self, tmp_path):
+        # masked "auto" picks the dot kernel in memory, whose float fold
+        # order legitimately differs from Gustavson's; the tiled fold is
+        # bit-identical to the Gustavson method, so pin the comparison
+        rng = np.random.default_rng(4)
+        A, _, _ = random_matrix_np(rng, 60, 60, 0.2)
+        B, _, _ = random_matrix_np(rng, 60, 60, 0.2)
+        M, _, _ = random_matrix_np(rng, 60, 60, 0.5)
+        expected = Matrix("FP64", 60, 60)
+        ops.mxm(expected, A, B, "PLUS_TIMES", mask=M, method="gustavson")
+        C = Matrix("FP64", 60, 60)
+        with governor.ExecutionContext(
+            memory_budget=1, spill_dir=tmp_path, spill_budget=0
+        ):
+            ops.mxm(C, A, B, "PLUS_TIMES", mask=M, method="gustavson")
+        _bits_equal(C.extract_tuples(), expected.extract_tuples())
+
+    def test_positional_semiring_sees_global_coords(self, tmp_path):
+        rng = np.random.default_rng(5)
+        A, _, _ = random_matrix_np(rng, 50, 50, 0.2)
+        B, _, _ = random_matrix_np(rng, 50, 50, 0.2)
+        expected = Matrix("INT64", 50, 50)
+        ops.mxm(expected, A, B, "MIN_SECONDI")
+        C = Matrix("INT64", 50, 50)
+        with governor.ExecutionContext(
+            memory_budget=1, spill_dir=tmp_path, spill_budget=0
+        ):
+            ops.mxm(C, A, B, "MIN_SECONDI")
+        _bits_equal(C.extract_tuples(), expected.extract_tuples())
+
+    def test_explicit_tiled_method_without_budget(self):
+        rng = np.random.default_rng(9)
+        A, _, _ = random_matrix_np(rng, 40, 40, 0.25)
+        B, _, _ = random_matrix_np(rng, 40, 40, 0.25)
+        expected = Matrix("FP64", 40, 40)
+        ops.mxm(expected, A, B, "PLUS_TIMES")
+        C = Matrix("FP64", 40, 40)
+        ops.mxm(C, A, B, "PLUS_TIMES", method="tiled")
+        _bits_equal(C.extract_tuples(), expected.extract_tuples())
+
+
+# --------------------------------------------------------------------------
+# bounded-memory row-chunked folds
+# --------------------------------------------------------------------------
+
+class TestChunkedFold:
+    """Skewed stripes fold in row chunks without changing a single bit.
+
+    The fold decomposes exactly per output row, so partitioning a stripe
+    by rows (``chunk_bytes``) must reproduce the in-memory result bit for
+    bit while keeping the unreduced expansion bounded; chunk pieces are
+    transient and must not survive the stripe that made them.
+    """
+
+    def test_chunked_mxm_bit_identical_pieces_dropped(self, tmp_path):
+        # dense enough that stripes exceed the 1 MiB chunk floor and the
+        # chunked path actually engages (several chunks per stripe)
+        rng = np.random.default_rng(6)
+        A, _, _ = random_matrix_np(rng, 200, 200, 0.4)
+        B, _, _ = random_matrix_np(rng, 200, 200, 0.4)
+        expected = Matrix("FP64", 200, 200)
+        ops.mxm(expected, A, B, "PLUS_TIMES")
+        with tiled.SpillPool(budget=1 << 14, directory=tmp_path) as pool:
+            A_t = tiled.TiledMatrix.from_matrix(A, 16, pool)
+            B_t = tiled.TiledMatrix.from_matrix(B, 16, pool)
+            C_t = tiled.mxm_tiled(A_t, B_t, "PLUS_TIMES",
+                                  chunk_bytes=1 << 20)
+            got = C_t.to_matrix()
+            # chunk pieces (keys like "<name>/p<bi>.<bj>.<ci>") are
+            # dropped at stripe end: no piece files linger in the pool
+            assert not any("_p" in f for f in os.listdir(pool.dir))
+        _bits_equal(got.extract_tuples(), expected.extract_tuples())
+
+    def test_bounded_stream_matches_full_stripes(self, tmp_path):
+        rng = np.random.default_rng(7)
+        A, _, _ = random_matrix_np(rng, 500, 500, 0.3)
+        with tiled.SpillPool(budget=1 << 14, directory=tmp_path) as pool:
+            T = A.to_tiled(128, pool=pool)
+            blocks = list(T.iter_stripes(max_bytes=1))  # floored to 64 KiB
+            assert len(blocks) > T.grid_rows  # stripes actually split
+            got = (
+                np.concatenate([b[0] for b in blocks]),
+                np.concatenate([b[1] for b in blocks]),
+                np.concatenate([b[2] for b in blocks]),
+            )
+            _bits_equal(got, A.extract_tuples())
+
+    def test_major_lengths_exact(self, tmp_path):
+        rng = np.random.default_rng(8)
+        A, _, _ = random_matrix_np(rng, 45, 45, 0.3)
+        with tiled.SpillPool(budget=0, directory=tmp_path) as pool:
+            T = A.to_tiled(10, pool=pool)
+            r, _, _ = A.extract_tuples()
+            want = np.bincount(r, minlength=45)
+            assert np.array_equal(T.major_lengths(), want)
+
+    def test_chunk_bounds_partitions_by_target(self):
+        counts = np.array([5, 5, 5, 100, 1, 1])
+        assert tiled._chunk_bounds(counts, 10) == [
+            (0, 2), (2, 3), (3, 4), (4, 6)  # a huge row rides alone
+        ]
+        assert tiled._chunk_bounds(np.array([1, 1]), 10) == [(0, 2)]
+        assert tiled._chunk_bounds(np.zeros(0, dtype=np.int64), 10) == \
+            [(0, 0)]
+
+
+# --------------------------------------------------------------------------
+# TiledMatrix round-trips
+# --------------------------------------------------------------------------
+
+class TestTiledMatrix:
+    def test_roundtrip_preserves_bits(self, tmp_path):
+        rng = np.random.default_rng(1)
+        A, _, _ = random_matrix_np(rng, 37, 53, 0.3)
+        with tiled.SpillPool(budget=0, directory=tmp_path) as pool:
+            T = A.to_tiled(8, pool=pool)
+            assert T.grid_rows == 5 and T.grid_cols == 7
+            assert T.nvals == A.nvals
+            R = T.to_matrix()
+            _bits_equal(R.extract_tuples(), A.extract_tuples())
+
+    def test_iter_stripes_sorted_and_complete(self, tmp_path):
+        rng = np.random.default_rng(2)
+        A, _, _ = random_matrix_np(rng, 33, 33, 0.4)
+        with tiled.SpillPool(budget=1 << 10, directory=tmp_path) as pool:
+            T = A.to_tiled(7, pool=pool)
+            rows, cols, vals = [], [], []
+            last_row = -1
+            for r, c, v in T.iter_stripes():
+                assert r.min() > last_row
+                key = r * T.ncols + c
+                assert np.all(np.diff(key) > 0)  # sorted unique per stripe
+                last_row = int(r.max())
+                rows.append(r); cols.append(c); vals.append(v)
+            got = (np.concatenate(rows), np.concatenate(cols),
+                   np.concatenate(vals))
+            _bits_equal(got, A.extract_tuples())
+
+    def test_choose_tile_dim_clamps(self):
+        assert tiled.choose_tile_dim(100, 100) == 100
+        assert tiled.choose_tile_dim(10**6, 10**6) == tiled.DEFAULT_TILE_DIM
+        td = tiled.choose_tile_dim(1 << 14, 1 << 14, est_bytes=100 << 20,
+                                   budget=64 << 20)
+        assert tiled.MIN_TILE_DIM <= td <= (1 << 14)
+        # a huge per-row footprint still yields a usable tile edge
+        assert tiled.choose_tile_dim(4, 4, est_bytes=1 << 40,
+                                     budget=1 << 20) == 4
+
+
+# --------------------------------------------------------------------------
+# SpillPool mechanics
+# --------------------------------------------------------------------------
+
+def _store(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    nv = n * 2
+    maj = np.sort(rng.integers(0, n, nv))
+    minr = rng.integers(0, n, nv)
+    order = np.lexsort((minr, maj))
+    maj, minr = maj[order], minr[order]
+    keep = np.ones(nv, dtype=bool)
+    keep[1:] = (np.diff(maj) != 0) | (np.diff(minr) != 0)
+    vals = rng.uniform(-1, 1, nv)
+    return SparseStore.from_coo(
+        Orientation.ROW, n, n, maj[keep], minr[keep], vals[keep],
+        _dtype("FP64"), hyper=True, assume_sorted_unique=True,
+    )
+
+
+def _dtype(name):
+    from repro.graphblas.types import lookup_type
+
+    return lookup_type(name)
+
+
+class TestSpillPool:
+    def test_lru_spills_cold_reloads_on_demand(self, tmp_path):
+        s1, s2, s3 = _store(seed=1), _store(seed=2), _store(seed=3)
+        budget = s1.nbytes + s2.nbytes  # room for two resident tiles
+        with tiled.SpillPool(budget=budget, directory=tmp_path) as pool:
+            pool.put("a", s1)
+            pool.put("b", s2)
+            assert pool.stats["spills"] == 0
+            pool.put("c", s3)  # evicts "a", the least recently used
+            assert pool.stats["spills"] == 1
+            assert pool.stats["evictions"] == 1
+            back = pool.get("a")  # reload from disk
+            assert pool.stats["reloads"] == 1
+            assert back.values.tobytes() == s1.values.tobytes()
+            assert np.array_equal(back.minor, s1.minor)
+
+    def test_spill_file_written_once(self, tmp_path):
+        s = _store(seed=4)
+        with tiled.SpillPool(budget=0, directory=tmp_path) as pool:
+            pool.put("a", s)  # spilled immediately (budget 0)
+            pool.get("a")     # reload; stays pinned-resident
+            pool.get("a")     # cache hit
+            assert pool.stats["reloads"] == 1
+            pool.put("b", _store(seed=5))  # evicts both; "a" not rewritten
+            pool.get("a")
+            assert pool.stats["spills"] == 2  # one write per tile, ever
+            assert pool.stats["reloads"] == 2
+
+    def test_close_removes_all_tile_files(self, tmp_path):
+        pool = tiled.SpillPool(budget=0, directory=tmp_path)
+        pool.put("a", _store(seed=5))
+        assert os.path.isdir(pool.dir)
+        pool.close()
+        assert not os.path.exists(pool.dir)
+        assert not any(tmp_path.iterdir())
+        pool.close()  # idempotent
+
+    def test_partial_spill_rollback_on_init(self, tmp_path):
+        stale = tmp_path / "t3.npz.tmp.12345"
+        stale.write_bytes(b"torn write")
+        complete = tmp_path / "unrelated.npz"
+        complete.write_bytes(b"keep me")
+        pool = tiled.SpillPool(budget=0, directory=tmp_path)
+        assert str(stale) in pool.rolled_back
+        assert not stale.exists()
+        assert complete.exists()  # completed files are never touched
+        pool.close()
+
+    def test_unknown_tile_rejected(self, tmp_path):
+        from repro.graphblas import InvalidValue
+
+        with tiled.SpillPool(budget=0, directory=tmp_path) as pool:
+            with pytest.raises(InvalidValue):
+                pool.get("nope")
+            pool.put("a", _store(seed=6))
+            with pytest.raises(InvalidValue):
+                pool.put("a", _store(seed=7))
+
+
+# --------------------------------------------------------------------------
+# configuration: environment, overrides, C API
+# --------------------------------------------------------------------------
+
+class TestConfig:
+    def test_env_spill_routes_through_envutil(self, monkeypatch):
+        monkeypatch.setenv("GRAPHBLAS_SPILL", "off")
+        monkeypatch.setenv("GRAPHBLAS_SPILL_DIR", "/tmp/spill-here")
+        monkeypatch.setenv("GRAPHBLAS_SPILL_BUDGET", "64m")
+        assert governor.env_spill() == (False, "/tmp/spill-here", 64 << 20)
+
+    def test_env_spill_malformed_warns_once_falls_back(self, monkeypatch):
+        from repro.graphblas import envutil
+
+        envutil.reset_warned()
+        monkeypatch.setenv("GRAPHBLAS_SPILL", "sideways")
+        monkeypatch.setenv("GRAPHBLAS_SPILL_DIR", "   ")
+        monkeypatch.setenv("GRAPHBLAS_SPILL_BUDGET", "lots")
+        with pytest.warns(RuntimeWarning):
+            enabled, directory, budget = governor.env_spill()
+        assert enabled is True
+        assert directory is None
+        assert budget == governor.DEFAULT_SPILL_BUDGET
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second read: already warned
+            governor.env_spill()
+        envutil.reset_warned()
+
+    def test_spill_off_env_rejects_over_budget(self, monkeypatch, AB):
+        monkeypatch.setenv("GRAPHBLAS_SPILL", "off")
+        A, B = AB
+        C = Matrix("FP64", 20, 20)
+        with governor.ExecutionContext(memory_budget=1, degrade=False):
+            with pytest.raises(BudgetExceeded):
+                ops.mxm(C, A, B, "PLUS_TIMES")
+
+    def test_gxb_spill_roundtrip(self):
+        try:
+            assert capi.GxB_Spill_set(
+                False, directory="/tmp/gxb-spill", budget=1 << 20
+            ) == capi.GrB_SUCCESS
+            cfg = capi.GxB_Spill_get()
+            assert cfg == {
+                "enabled": False, "directory": "/tmp/gxb-spill",
+                "budget": 1 << 20,
+            }
+            assert capi.GxB_Spill_set(budget=-1) == capi.Info.INVALID_VALUE
+        finally:
+            governor.reset_spill_config()
+        assert capi.GxB_Spill_get()["enabled"] is True
+
+    def test_budget_exceeded_message_is_actionable(self, AB):
+        A, B = AB
+        C = Matrix("FP64", 20, 20)
+        with governor.ExecutionContext(memory_budget=1, degrade=False):
+            with pytest.raises(BudgetExceeded) as exc:
+                ops.mxm(C, A, B, "PLUS_TIMES")
+        msg = str(exc.value)
+        assert "budget" in msg and "1 B" in msg
+        assert "exceeds" in msg and " by " in msg  # estimated vs available
+        assert "tiled spill disabled" in msg
+        assert "degrade disabled" in msg
+
+    def test_context_spill_false_without_degrade_backends_rejects(self, AB):
+        A, B = AB
+        C = Matrix("FP64", 20, 20)
+        with governor.ExecutionContext(
+            memory_budget=1, spill=False, degrade_backends=()
+        ) as ctx:
+            with pytest.raises(BudgetExceeded):
+                ops.mxm(C, A, B, "PLUS_TIMES")
+        assert ctx.stats["rejected"] == 1
+
+
+@pytest.fixture
+def AB():
+    rng = np.random.default_rng(11)
+    A, _, _ = random_matrix_np(rng, 20, 20, 0.3)
+    B, _, _ = random_matrix_np(rng, 20, 20, 0.3)
+    return A, B
