@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Export process-wide metrics in Prometheus or JSON form.
+
+Runs a workload with observability enabled (:func:`repro.obs.enable`) and
+writes the accumulated registry — the same bytes a scrape endpoint would
+serve.  Useful as a smoke test for the exposition pipeline and as a CI
+gate (``--check`` lints the Prometheus text and cross-validates its
+totals against the JSON snapshot).
+
+Modes:
+
+* ``export_metrics.py --demo [--scale N]`` — run BFS + PageRank +
+  triangle counting on an RMAT graph with metrics on, then export.
+* ``export_metrics.py`` (no demo) — export whatever the registry holds
+  after importing the engine (empty unless ``GRAPHBLAS_OBS=on`` and the
+  importing process already did work; mainly for pipelines that
+  ``exec``-hook this module after their own workload).
+
+Options:
+
+* ``--format prometheus|json|both`` — what to write (default both).
+* ``-o PREFIX`` — output path prefix (default ``metrics``; writes
+  ``PREFIX.prom`` and/or ``PREFIX.json``); ``-`` prints to stdout.
+* ``--check`` — lint the Prometheus exposition format and verify that
+  every counter total and histogram count matches between the two
+  representations; exit non-zero on any mismatch.
+* ``--slow-ms`` — slow-op log threshold for the demo (default 0: log
+  every plan, so the slow-op table is never empty in the output).
+
+Run:  python scripts/export_metrics.py --demo --scale 10 --check -o -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import obs
+
+
+def run_demo(scale: int, slow_ms: float) -> None:
+    from repro.generators import rmat_graph
+    from repro.lagraph import bfs_level, pagerank, triangle_count
+
+    obs.enable(slow_ms=slow_ms)
+    print(f"# generating RMAT scale {scale} (n={1 << scale}) ...", file=sys.stderr)
+    graph = rmat_graph(scale, 8, seed=42, kind="directed")
+    print(f"# n={graph.n} edges={graph.nedges}", file=sys.stderr)
+    bfs_level(0, graph)
+    pagerank(graph, max_iters=10)
+    triangle_count(graph)
+
+
+def cross_validate(text: str, snap: dict) -> list[str]:
+    """Check Prometheus sample values against the JSON snapshot totals."""
+    errors = []
+    # parse the text format back into {(name, labels-frozenset): value}
+    samples: dict[tuple, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        body, value = line.rsplit(" ", 1)
+        if "{" in body:
+            name, rest = body.split("{", 1)
+            labels = frozenset(
+                pair.split("=", 1)[0] + "=" + pair.split("=", 1)[1]
+                for pair in rest.rstrip("}").split(",") if pair
+            )
+        else:
+            name, labels = body, frozenset()
+        samples[(name, labels)] = float(value) if value != "+Inf" else float("inf")
+
+    def fmt_labels(labels: dict) -> frozenset:
+        return frozenset(f'{k}="{v}"' for k, v in labels.items())
+
+    for name, series in snap.get("counters", {}).items():
+        for s in series:
+            key = (name, fmt_labels(s["labels"]))
+            got = samples.get(key)
+            if got is None:
+                errors.append(f"counter {key} missing from prometheus text")
+            elif abs(got - s["value"]) > 1e-9 * max(1.0, abs(s["value"])):
+                errors.append(f"counter {key}: text={got} snapshot={s['value']}")
+    for name, series in snap.get("histograms", {}).items():
+        for s in series:
+            key = (name + "_count", fmt_labels(s["labels"]))
+            got = samples.get(key)
+            if got is None:
+                errors.append(f"histogram count {key} missing from text")
+            elif int(got) != s["count"]:
+                errors.append(f"histogram {key}: text={got} snapshot={s['count']}")
+    return errors
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    p.add_argument("-o", "--out", default="metrics",
+                   help="output path prefix, or - for stdout")
+    p.add_argument("--format", choices=("prometheus", "json", "both"),
+                   default="both")
+    p.add_argument("--demo", action="store_true",
+                   help="run the BFS/PageRank/triangles demo first")
+    p.add_argument("--scale", type=int, default=10, help="demo RMAT scale")
+    p.add_argument("--slow-ms", type=float, default=0.0,
+                   help="slow-op log threshold for the demo")
+    p.add_argument("--check", action="store_true",
+                   help="lint the exposition format and cross-validate totals")
+    args = p.parse_args(argv)
+
+    if args.demo:
+        run_demo(args.scale, args.slow_ms)
+
+    text = obs.prometheus_text()
+    snap = obs.snapshot()
+
+    status = 0
+    if args.check:
+        lint = obs.check_prometheus_text(text)
+        for err in lint:
+            print(f"lint: {err}", file=sys.stderr)
+        mismatches = cross_validate(text, snap)
+        for err in mismatches:
+            print(f"mismatch: {err}", file=sys.stderr)
+        if lint or mismatches:
+            status = 1
+        else:
+            n = sum(1 for l in text.splitlines() if l and not l.startswith("#"))
+            print(f"# check ok: {n} samples, totals agree", file=sys.stderr)
+
+    if args.format in ("prometheus", "both"):
+        if args.out == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.out + ".prom", "w", encoding="utf-8") as f:
+                f.write(text)
+            print(f"wrote {args.out}.prom", file=sys.stderr)
+    if args.format in ("json", "both"):
+        payload = {"metrics": snap, "slow_ops": obs.slow_ops()}
+        if args.out == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            with open(args.out + ".json", "w", encoding="utf-8") as f:
+                json.dump(payload, f, indent=2)
+            print(f"wrote {args.out}.json", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

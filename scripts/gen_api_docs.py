@@ -28,6 +28,7 @@ import repro.graphblas.validate
 import repro.harness
 import repro.io
 import repro.lagraph
+import repro.obs
 import repro.pygb
 
 OUT = os.path.join(os.path.dirname(__file__), "..", "docs", "API.md")
@@ -409,6 +410,66 @@ engine as `GxB_Engine_set` / `GxB_Engine_get`.
 """
 
 
+OBS_SECTION = """
+## Observability
+
+`repro.obs` is the production metrics layer on top of the telemetry
+stream: where a `Collector` traces *one run on one thread*, the
+observability registry aggregates *every thread since process start*
+into the cumulative counters and latency percentiles a scraper expects.
+`obs.enable()` (or `GRAPHBLAS_OBS=on`, or `capi.GxB_Obs_set(True)`)
+installs a `MetricsSink` into the telemetry module; from then on every
+instrumented site — Table-I op timers, backend dispatch, governor
+verdicts, spill traffic, engine events — feeds a process-wide
+`MetricsRegistry` with no collector attached and no call-site changes.
+
+* **Registry** — per-thread shards (plain dicts, no lock on the hot
+  path) merged at read time; shards survive thread exit so counters
+  never go backwards.  Counters, last-write/callback gauges
+  (kernel-cache occupancy, pool workers, resolver cache), and
+  log2-bucketed histograms with geometric-interpolation p50/p90/p99.
+* **Exposition** — `obs.prometheus_text()` renders Prometheus text
+  format 0.0.4 (cumulative `_bucket`/`_sum`/`_count` series,
+  HELP/TYPE, escaped labels; `obs.check_prometheus_text` lints it);
+  `obs.json_snapshot()` is the same data as JSON;
+  `obs.start_emitter(interval_s=30)` (or `GRAPHBLAS_OBS_EMIT_S`)
+  appends periodic JSON lines to a stream.  CLI:
+  `scripts/export_metrics.py --demo --check` runs a workload, writes
+  both formats, and cross-validates their totals.  C API:
+  `capi.GxB_Metrics_get(format="snapshot"|"json"|"prometheus")`.
+* **EXPLAIN** — `obs.explain(fn, *args)` runs one call under per-plan
+  event capture and returns an `ExplainReport`: one row per executed
+  `OpPlan` with route (direct/tiled/degraded), backend, SpGEMM
+  method / mxv direction, estimated vs actual result bytes,
+  kernel-cache delta, tile/spill counts, and wall time — so "why was
+  this op slow" is answerable without a trace viewer.  The same
+  per-plan records feed the **slow-op log** (`obs.slow_ops()`, a
+  bounded min-heap of the worst plans over
+  `GRAPHBLAS_OBS_SLOW_MS`, capacity `GRAPHBLAS_OBS_SLOW_N`).
+
+```python
+from repro import obs
+import repro.lagraph as lg
+
+obs.enable(slow_ms=50)
+lg.pagerank(graph)
+print(obs.prometheus_text())          # scrape body
+report = obs.explain(lg.bfs_level, 0, graph)
+print(report.text())                  # per-plan EXPLAIN table
+worst = obs.slow_ops()                # slowest plans since enable()
+```
+
+Disabled cost is unchanged from plain telemetry — one module-attribute
+read per site; enabled cost is a few shard-dict writes per record
+(`benchmarks/bench_obs_overhead.py`; the committed `BENCH_PR7.json`
+records the disabled guard at ~17 ns and the metrics-on geomean at
+~1.2x across the Table-I kernels).  The CI metrics-smoke leg runs the
+obs + telemetry suites, the exporter round-trip, a 4-thread Chrome
+trace merge (`scripts/export_trace.py --demo --threads 4`), and the
+overhead budget.
+"""
+
+
 def main() -> None:
     os.makedirs(os.path.dirname(OUT), exist_ok=True)
     with open(OUT, "w", encoding="utf-8") as f:
@@ -423,6 +484,7 @@ def main() -> None:
         f.write(GOVERNOR_SECTION)
         f.write(TILED_SECTION)
         f.write(ENGINE_SECTION)
+        f.write(OBS_SECTION)
         render_module(f, repro.graphblas, "repro.graphblas")
         render_module(f, repro.graphblas.engine, "repro.graphblas.engine")
         render_module(f, repro.graphblas.backends, "repro.graphblas.backends")
@@ -434,6 +496,7 @@ def main() -> None:
         render_module(f, repro.graphblas.faults, "repro.graphblas.faults")
         render_module(f, repro.graphblas.telemetry, "repro.graphblas.telemetry")
         render_module(f, repro.graphblas.validate, "repro.graphblas.validate")
+        render_module(f, repro.obs, "repro.obs")
         render_module(f, repro.lagraph, "repro.lagraph")
         render_module(f, repro.pygb, "repro.pygb")
         render_module(f, repro.io, "repro.io")

@@ -13,10 +13,15 @@ to Collect Graph Algorithms Built on Top of the GraphBLAS" (IPDPSW 2019):
 * :mod:`repro.pygb` — the PyGB-style DSL of Figure 2(b).
 * :mod:`repro.io`, :mod:`repro.generators`, :mod:`repro.harness` — the
   support libraries of Figure 1 / section III.
+* :mod:`repro.obs` — production observability: the process-wide metrics
+  registry, Prometheus/JSON exposition, and the per-plan EXPLAIN profiler.
 """
 
-from . import generators, graphblas, harness, io, lagraph, pygb
+from . import generators, graphblas, harness, io, lagraph, obs, pygb
 
 __version__ = "1.0.0"
 
-__all__ = ["graphblas", "lagraph", "pygb", "io", "generators", "harness", "__version__"]
+__all__ = [
+    "graphblas", "lagraph", "pygb", "io", "generators", "harness", "obs",
+    "__version__",
+]

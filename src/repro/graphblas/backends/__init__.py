@@ -39,6 +39,9 @@ from __future__ import annotations
 import importlib
 import threading
 
+import time
+
+from .. import engine as _engine
 from .. import envutil, governor, telemetry
 from ..errors import InvalidValue
 from ..plan import TABLE1_OPS, OpPlan
@@ -247,15 +250,17 @@ def dispatch(plan: OpPlan, backend=None):
                 "governor.tiled", op=plan.op,
                 est_bytes=plan.params.get("est_bytes"),
             )
-        return _tiled.execute(plan)
+        return _execute(plan, "tiled", "tiled", lambda: _tiled.execute(plan))
     if degraded_to is not None:
         be = get_backend(degraded_to)
+        route = "degraded"
         if telemetry.ENABLED:
             telemetry.decision(
                 "governor.degrade", op=plan.op, backend=be.name,
                 est_bytes=plan.params.get("est_bytes"),
             )
     else:
+        route = "direct"
         be = get_backend(backend) if backend is not None else current_backend()
         while not be.supports(plan):
             fb = be.fallback
@@ -271,8 +276,67 @@ def dispatch(plan: OpPlan, backend=None):
     if telemetry.ENABLED:
         telemetry.decision("backend.dispatch", op=plan.op, backend=be.name)
     kernel = getattr(be, plan.op)
+    run = lambda: kernel(plan)  # noqa: E731 - tiny dispatch closures
     if governor.ACTIVE:
         ctx = governor.current()
         if ctx is not None and ctx.retry is not None:
-            return ctx.retry.call(lambda: kernel(plan), op=plan.op)
-    return kernel(plan)
+            run = lambda: ctx.retry.call(lambda: kernel(plan), op=plan.op)  # noqa: E731
+    return _execute(plan, route, be.name, run)
+
+
+def _actual_bytes(plan, out) -> int | None:
+    """Measured result footprint, comparable to the admission estimate."""
+    try:
+        nvals = getattr(out, "nvals", None)
+        if nvals is None:
+            return None
+        return int(nvals) * governor._entry_bytes(out, plan.out_type)
+    except (AttributeError, TypeError, ValueError):
+        return None
+
+
+def _execute(plan: OpPlan, route: str, backend_name: str, run):
+    """Run the chosen kernel, emitting a ``plan.done`` record when wanted.
+
+    The record — kernel wall time, dispatch route, estimated vs actual
+    result bytes, kernel-cache hit/compile deltas — feeds the process
+    metrics (``graphblas_plan_seconds``, slow-op log) and
+    :func:`repro.obs.explain`.  It is only produced while observability
+    or an EXPLAIN capture is active (``telemetry.PLAN_EVENTS``), so a
+    plain collector-only telemetry stream is byte-identical to before.
+    """
+    if not (telemetry.ENABLED and telemetry.PLAN_EVENTS):
+        return run()
+    k0 = _engine.kernel_cache_stats()
+    t0 = time.perf_counter()
+    out = run()
+    seconds = time.perf_counter() - t0
+    k1 = _engine.kernel_cache_stats()
+    detail = {
+        "op": plan.op,
+        "backend": backend_name,
+        "route": route,
+        "seconds": seconds,
+        "kernel_hits": k1["hits"] - k0["hits"],
+        "kernel_compiles": k1["misses"] - k0["misses"],
+    }
+    method = plan.params.get("method")
+    if method is not None:
+        detail["method"] = method
+    est = plan.params.get("est_bytes")
+    if est is not None:
+        detail["est_bytes"] = int(est)
+    actual = _actual_bytes(plan, out)
+    if actual is not None:
+        detail["actual_bytes"] = actual
+    ctx = governor.current() if governor.ACTIVE else None
+    if ctx is not None:
+        if ctx.memory_budget is not None:
+            detail["budget_bytes"] = ctx.memory_budget
+        detail["admission"] = {"tiled": "tiled", "degraded": "degraded"}.get(
+            route, "admitted" if ctx.memory_budget is not None else "unbudgeted"
+        )
+    else:
+        detail["admission"] = "ungoverned"
+    telemetry.decision("plan.done", **detail)
+    return out

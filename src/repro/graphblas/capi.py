@@ -42,7 +42,7 @@ from . import operations as ops
 from . import telemetry
 from . import validate
 from .descriptor import Descriptor
-from .errors import GraphBLASError, Info, NoValue
+from .errors import GraphBLASError, Info, InvalidValue, NoValue
 from .matrix import Matrix
 from .scalar import Scalar
 from .types import (
@@ -115,6 +115,9 @@ __all__ = [
     "GxB_Engine_get",
     "GxB_Spill_set",
     "GxB_Spill_get",
+    "GxB_Obs_set",
+    "GxB_Obs_get",
+    "GxB_Metrics_get",
     "GxB_NTHREADS",
     "global_stats",
 ]
@@ -755,6 +758,64 @@ def GxB_Spill_get() -> dict:
 
     enabled, directory, budget = _governor.spill_config()
     return {"enabled": enabled, "directory": directory, "budget": budget}
+
+
+def GxB_Obs_set(flag, *, slow_ms=None, slow_capacity=None) -> Info:
+    """``GxB_Global_Option_set``-style observability switch.
+
+    ``GxB_Obs_set(True)`` turns on process-wide metrics collection
+    (:func:`repro.obs.enable`): every instrumented site feeds the
+    cumulative registry behind :func:`GxB_Metrics_get`, from all threads,
+    independent of any per-thread telemetry collector.  ``slow_ms`` /
+    ``slow_capacity`` retune the slow-op log.  ``GxB_Obs_set(False)``
+    stops collection; accumulated totals stay readable.
+    """
+    from .. import obs as _obs
+
+    try:
+        if flag:
+            kwargs = {}
+            if slow_ms is not None:
+                kwargs["slow_ms"] = slow_ms
+            if slow_capacity is not None:
+                kwargs["slow_capacity"] = slow_capacity
+            _obs.enable(**kwargs)
+        else:
+            _obs.disable()
+    except (TypeError, ValueError) as exc:
+        _tls.last_error = str(exc)
+        return Info.INVALID_VALUE
+    return GrB_SUCCESS
+
+
+def GxB_Obs_get() -> bool:
+    """``GxB_Global_Option_get``-style: is metrics collection on?"""
+    from .. import obs as _obs
+
+    return _obs.enabled()
+
+
+def GxB_Metrics_get(format="snapshot"):
+    """``GxB_Global``-style metrics export from the process registry.
+
+    ``format`` selects the representation: ``"snapshot"`` (nested dict
+    with per-histogram p50/p90/p99), ``"json"`` (the same, serialized),
+    or ``"prometheus"`` (text exposition format, ready to serve as a
+    scrape body).  Readable whether or not observability is enabled —
+    a never-enabled registry simply exports no samples.
+    """
+    from .. import obs as _obs
+
+    if format == "snapshot":
+        return _obs.snapshot()
+    if format == "json":
+        return _obs.json_snapshot()
+    if format == "prometheus":
+        return _obs.prometheus_text()
+    raise InvalidValue(
+        f"unknown metrics format {format!r}; "
+        "expected snapshot, json, or prometheus"
+    )
 
 
 def GxB_Context_new(*, memory_budget=None, deadline=None, retry=None,

@@ -46,7 +46,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from . import telemetry
-from .envutil import env_choice, env_int
+from .envutil import env_int, env_on_off
 
 __all__ = [
     "EngineConfig",
@@ -57,6 +57,7 @@ __all__ = [
     "kernel_for",
     "kernel_cache_stats",
     "clear_kernel_cache",
+    "pool_stats",
     "run_blocks",
     "requested_workers",
     "MIN_PARALLEL_FLOPS",
@@ -91,7 +92,7 @@ class EngineConfig:
 
 
 def _config_from_env() -> EngineConfig:
-    on = env_choice("GRAPHBLAS_ENGINE", "on", ("on", "off")) == "on"
+    on = env_on_off("GRAPHBLAS_ENGINE", True)
     workers = env_int("GRAPHBLAS_ENGINE_WORKERS", DEFAULT_WORKERS, minimum=1)
     cache_size = env_int("GRAPHBLAS_ENGINE_CACHE", DEFAULT_CACHE_SIZE, minimum=1)
     return EngineConfig(
@@ -351,6 +352,22 @@ def _shutdown_executor() -> None:
             _executor.shutdown(wait=True)
             _executor = None
             _executor_workers = 0
+
+
+def pool_stats() -> dict:
+    """Shared-pool occupancy for observability gauges.
+
+    ``configured`` is the engine-wide worker setting; ``started`` is the
+    actual size of the lazily created executor (0 until the first
+    parallel kernel runs); ``live_threads`` counts its worker threads
+    still alive.
+    """
+    with _pool_lock:
+        started = _executor_workers if _executor is not None else 0
+        live = sum(
+            1 for t in getattr(_executor, "_threads", ()) if t.is_alive()
+        ) if _executor is not None else 0
+    return {"configured": WORKERS, "started": started, "live_threads": live}
 
 
 def requested_workers(nthreads: int | None) -> int:

@@ -18,7 +18,7 @@ import warnings
 
 __all__ = [
     "env_int", "env_float", "env_bytes", "env_choice", "env_path",
-    "reset_warned",
+    "env_on_off", "reset_warned",
 ]
 
 _warned: set[tuple[str, str]] = set()
@@ -115,6 +115,17 @@ def env_path(var: str, default=None):
         _warn_once(var, raw, "empty path", default)
         return default
     return value
+
+
+def env_on_off(var: str, default: bool) -> bool:
+    """Read an ``on``/``off`` switch env var as a bool.
+
+    The common pattern behind ``GRAPHBLAS_ENGINE`` / ``GRAPHBLAS_SPILL``
+    / ``GRAPHBLAS_OBS``: unset or malformed values warn once and fall
+    back to ``default``.
+    """
+    fallback = "on" if default else "off"
+    return env_choice(var, fallback, ("on", "off")) == "on"
 
 
 def env_choice(var: str, default, choices):

@@ -591,7 +591,7 @@ def env_spill() -> tuple[bool, str | None, int]:
     Malformed values warn once and fall back to the defaults: spilling
     on, the system temp dir, :data:`DEFAULT_SPILL_BUDGET`.
     """
-    enabled = envutil.env_choice("GRAPHBLAS_SPILL", "on", ("on", "off")) == "on"
+    enabled = envutil.env_on_off("GRAPHBLAS_SPILL", True)
     directory = envutil.env_path("GRAPHBLAS_SPILL_DIR", None)
     budget = envutil.env_bytes(
         "GRAPHBLAS_SPILL_BUDGET", DEFAULT_SPILL_BUDGET, minimum=0

@@ -49,6 +49,16 @@ Typical use::
 Telemetry is **thread-local**: each thread attaches its own collector and
 records only its own work; ``ENABLED`` is a process-wide fast-path flag
 that is true while *any* thread is collecting.
+
+Observability fan-out
+---------------------
+:mod:`repro.obs` installs a process-wide :class:`~repro.obs.sink.
+MetricsSink` via :func:`set_sink`; while one is installed, every record
+flowing through the module-level functions is *also* folded into the
+durable metrics registry (from every thread, collector or not), and
+``ENABLED`` stays true so instrumented sites keep reporting.  The sink
+sees the same stream a collector would — op timers, decisions, spans,
+instants, and ring-buffer drops.
 """
 
 from __future__ import annotations
@@ -60,6 +70,7 @@ import time
 
 __all__ = [
     "ENABLED",
+    "PLAN_EVENTS",
     "Collector",
     "OpStats",
     "enable",
@@ -76,12 +87,27 @@ __all__ = [
     "span_at",
     "instrumented",
     "chrome_trace_events",
+    "chrome_trace_merged",
+    "set_sink",
+    "get_sink",
+    "plan_capture",
 ]
 
-# Process-wide kill switch: True while any thread has a collector attached.
-# Sites guard every telemetry call with ``if telemetry.ENABLED`` so the
-# disabled path costs a single module-attribute read.
+# Process-wide kill switch: True while any thread has a collector attached
+# OR a process-wide observability sink is installed.  Sites guard every
+# telemetry call with ``if telemetry.ENABLED`` so the disabled path costs
+# a single module-attribute read.
 ENABLED = False
+
+# True while per-plan ``plan.done`` dispatch events should be emitted:
+# the backend dispatcher times each kernel and reports route/bytes only
+# when observability or an EXPLAIN capture wants them, keeping plain
+# collector-only telemetry streams unchanged.
+PLAN_EVENTS = False
+
+# The installed observability sink (repro.obs.sink.MetricsSink), or None.
+_SINK = None
+_capture_count = 0
 
 # Keep event streams bounded: a runaway loop must not exhaust memory.
 # Overflow is counted (Collector.dropped) and reported in the snapshot.
@@ -142,6 +168,7 @@ class Collector:
         self.ops: dict[str, OpStats] = {}
         self.events: list[dict] = []
         self.dropped = 0
+        self.dropped_by_type: dict[str, int] = {}
         self._span_stack: list[dict] = []
         self._tid = threading.get_ident()
 
@@ -153,6 +180,16 @@ class Collector:
     def _push(self, ev: dict) -> None:
         if len(self.events) >= self.max_events:
             self.dropped += 1
+            kind = ev.get("type", "unknown")
+            self.dropped_by_type[kind] = self.dropped_by_type.get(kind, 0) + 1
+            if self.dropped == 1:
+                # silent truncation reads as "nothing happened" — say it once
+                self._burble(
+                    f"event buffer full at {self.max_events}; further events "
+                    "are dropped (counted in snapshot()['events_dropped'])"
+                )
+            if _SINK is not None:
+                _SINK.dropped(kind)
             return
         self.events.append(ev)
 
@@ -280,7 +317,9 @@ class Collector:
             "spans": spans,
             "events_total": len(self.events),
             "events_dropped": self.dropped,
+            "events_dropped_by_type": dict(self.dropped_by_type),
             "elapsed_seconds": time.perf_counter() - self.t0,
+            "tid": self._tid,
         }
         gov = {
             name.split(".", 1)[1]: count
@@ -297,6 +336,9 @@ class Collector:
             out["governor"] = gov
         if include_events:
             out["events"] = list(self.events)
+            # absolute perf_counter origin, so traces from several
+            # threads' collectors can be aligned on one timeline
+            out["t0_perf"] = self.t0
         return out
 
     def chrome_trace(self) -> dict:
@@ -322,6 +364,7 @@ class Collector:
         self.ops.clear()
         self.events.clear()
         self.dropped = 0
+        self.dropped_by_type.clear()
         self._span_stack.clear()
         self.t0 = time.perf_counter()
 
@@ -371,7 +414,110 @@ def chrome_trace_events(events: list[dict], tid: int = 0) -> list[dict]:
     return out
 
 
+def chrome_trace_merged(sources) -> dict:
+    """Merge telemetry from several threads into one Chrome trace.
+
+    ``sources`` is an iterable of per-thread captures: live
+    :class:`Collector` objects, event-bearing snapshots
+    (``snapshot(include_events=True)``), or ``(tid, events)`` pairs.
+    Each source keeps its own ``tid`` (``chrome://tracing`` renders one
+    row per thread, with ``thread_name`` metadata) instead of flattening
+    every thread onto one track, and sources carrying their
+    ``perf_counter`` origin (``Collector.t0`` / snapshot ``t0_perf``)
+    are shifted onto a single shared timeline.
+    """
+    resolved: list[tuple[int, float | None, list[dict]]] = []
+    for i, src in enumerate(sources):
+        if isinstance(src, Collector):
+            resolved.append((src._tid, src.t0, list(src.events)))
+        elif isinstance(src, dict):
+            resolved.append(
+                (int(src.get("tid", i)), src.get("t0_perf"),
+                 list(src.get("events", [])))
+            )
+        else:
+            tid, events = src
+            resolved.append((int(tid), None, list(events)))
+
+    origins = [t0 for _, t0, _ in resolved if t0 is not None]
+    base_t0 = min(origins) if origins else None
+    merged: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": "repro GraphBLAS engine"},
+        }
+    ]
+    for tid, t0, events in resolved:
+        shift_us = (t0 - base_t0) * 1e6 if (t0 is not None and base_t0 is not None) else 0.0
+        merged.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": f"thread-{tid}"},
+            }
+        )
+        for ev in chrome_trace_events(events, tid=tid)[1:]:
+            if shift_us:
+                ev = dict(ev, ts=ev["ts"] + shift_us)
+            merged.append(ev)
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.graphblas.telemetry"},
+    }
+
+
 # -- module-level control ------------------------------------------------------
+
+def _recompute_flags() -> None:
+    """Refresh the fast-path flags; callers hold ``_lock``."""
+    global ENABLED, PLAN_EVENTS
+    ENABLED = _active_count > 0 or _SINK is not None
+    PLAN_EVENTS = _SINK is not None or _capture_count > 0
+
+
+def set_sink(sink) -> None:
+    """Install (or with ``None`` remove) the process-wide metrics sink.
+
+    Called by :func:`repro.obs.enable` / :func:`repro.obs.disable`.
+    While a sink is installed every thread's telemetry records are folded
+    into it, whether or not the thread has a collector attached.
+    """
+    global _SINK
+    with _lock:
+        _SINK = sink
+        _recompute_flags()
+
+
+def get_sink():
+    """The installed observability sink, or None."""
+    return _SINK
+
+
+@contextlib.contextmanager
+def plan_capture():
+    """Force per-plan ``plan.done`` dispatch events for the duration.
+
+    Used by :func:`repro.obs.explain` so a capture works even when the
+    process-wide observability sink is not installed.
+    """
+    global _capture_count
+    with _lock:
+        _capture_count += 1
+        _recompute_flags()
+    try:
+        yield
+    finally:
+        with _lock:
+            _capture_count -= 1
+            _recompute_flags()
 
 def enable(burble: bool = False, stream=None, max_events: int = MAX_EVENTS) -> Collector:
     """Attach a collector to the current thread (idempotent) and return it.
@@ -390,7 +536,7 @@ def enable(burble: bool = False, stream=None, max_events: int = MAX_EVENTS) -> C
     _tls.collector = col
     with _lock:
         _active_count += 1
-        ENABLED = True
+        _recompute_flags()
     return col
 
 
@@ -403,7 +549,7 @@ def disable() -> Collector | None:
     _tls.collector = None
     with _lock:
         _active_count -= 1
-        ENABLED = _active_count > 0
+        _recompute_flags()
     return col
 
 
@@ -442,13 +588,17 @@ def reset() -> None:
         col.reset()
 
 
-# -- module-level recording (no-ops when the thread has no collector) ----------
+# -- module-level recording ----------------------------------------------------
+# No-ops when the thread has no collector AND no observability sink is
+# installed; otherwise each record goes to whichever consumers exist.
 
 def record_op(name: str, seconds: float, out_nvals: int | None = None) -> None:
     """Record one completed operation (guard with ``telemetry.ENABLED``)."""
     col = _collector()
     if col is not None:
         col.record_op(name, seconds, out_nvals)
+    if _SINK is not None:
+        _SINK.record_op(name, seconds, out_nvals)
 
 
 def tally(name: str, **fields) -> None:
@@ -456,6 +606,8 @@ def tally(name: str, **fields) -> None:
     col = _collector()
     if col is not None:
         col.tally(name, **fields)
+    if _SINK is not None:
+        _SINK.tally(name, fields)
 
 
 def decision(kind: str, **detail) -> None:
@@ -463,6 +615,8 @@ def decision(kind: str, **detail) -> None:
     col = _collector()
     if col is not None:
         col.decision(kind, **detail)
+    if _SINK is not None:
+        _SINK.decision(kind, detail)
 
 
 def instant(name: str, **attrs) -> None:
@@ -470,6 +624,8 @@ def instant(name: str, **attrs) -> None:
     col = _collector()
     if col is not None:
         col.instant(name, **attrs)
+    if _SINK is not None:
+        _SINK.instant(name, attrs)
 
 
 def span_at(name: str, start_s: float, end_s: float, **attrs) -> None:
@@ -477,20 +633,31 @@ def span_at(name: str, start_s: float, end_s: float, **attrs) -> None:
     col = _collector()
     if col is not None:
         col.span_at(name, start_s, end_s, **attrs)
+    if _SINK is not None:
+        _SINK.span(name, max(end_s - start_s, 0.0))
 
 
 @contextlib.contextmanager
 def span(name: str, **attrs):
     """Wrap an algorithm phase in a named span (no-op when disabled)."""
-    col = _collector() if ENABLED else None
-    if col is None:
+    if not ENABLED:
         yield
         return
-    col.begin_span(name, **attrs)
+    col = _collector()
+    sink = _SINK
+    if col is None and sink is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    if col is not None:
+        col.begin_span(name, **attrs)
     try:
         yield
     finally:
-        col.end_span()
+        if col is not None:
+            col.end_span()
+        if sink is not None:
+            sink.span(name, time.perf_counter() - t0)
 
 
 def _out_nvals(obj) -> int | None:
@@ -522,11 +689,17 @@ def instrumented(op_name: str):
             if not ENABLED:
                 return fn(*args, **kwargs)
             col = _collector()
-            if col is None:
+            sink = _SINK
+            if col is None and sink is None:
                 return fn(*args, **kwargs)
             t0 = time.perf_counter()
             out = fn(*args, **kwargs)
-            col.record_op(op_name, time.perf_counter() - t0, _out_nvals(out))
+            seconds = time.perf_counter() - t0
+            nvals = _out_nvals(out)
+            if col is not None:
+                col.record_op(op_name, seconds, nvals)
+            if sink is not None:
+                sink.record_op(op_name, seconds, nvals)
             return out
 
         return wrapper

@@ -878,6 +878,24 @@ def _plan_tile_dim(plan, n_major, n_minor) -> int:
                            budget)
 
 
+def _report_pool(pool: SpillPool, op: str) -> None:
+    """One ``governor.pool`` decision summarizing a plan's spill traffic.
+
+    Pools are per-plan and closed immediately after use, so this is the
+    record EXPLAIN reports and the metrics registry aggregate from —
+    emitted before ``close()`` while the stats are still meaningful.
+    """
+    if not telemetry.ENABLED:
+        return
+    st = pool.stats
+    telemetry.decision(
+        "governor.pool", op=op, tiles=st["tiles"], spills=st["spills"],
+        reloads=st["reloads"], evictions=st["evictions"],
+        spilled_bytes=st["spilled_bytes"], reloaded_bytes=st["reloaded_bytes"],
+        resident_bytes=pool.resident_bytes, budget=pool.budget,
+    )
+
+
 def execute(plan):
     """Serve a plan the governor re-planned as tiled (or an explicit
     ``method="tiled"`` request).  Called by the backend dispatcher."""
@@ -908,6 +926,7 @@ def _execute_mxm(plan):
         C_t = mxm_tiled(A_t, B_t, sr, plan.out_type, pool=pool)
         tr, tc, tv = C_t.to_coo()
     finally:
+        _report_pool(pool, "mxm")
         pool.close()
     return write_matrix(
         C, tr, tc, tv, mask=plan.mask, accum=plan.accum, desc=d,
@@ -936,5 +955,6 @@ def _execute_matvec(plan):
         ti, tv = mxv_tiled(A_t, u.to_dense(), u.pattern(), sr, plan.out_type,
                            matrix_first=is_mxv)
     finally:
+        _report_pool(pool, "mxv" if is_mxv else "vxm")
         pool.close()
     return write_vector(w, ti, tv, mask=plan.mask, accum=plan.accum, desc=d)

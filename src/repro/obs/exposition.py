@@ -1,0 +1,327 @@
+"""Exposition sinks for the metrics registry.
+
+Three ways out of :class:`repro.obs.registry.MetricsRegistry`:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, escaped labels,
+  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count`` for
+  histograms.  Scrape-ready: serve the string from any HTTP handler.
+* :func:`json_snapshot` — the registry's nested snapshot (with p50/p90/
+  p99 extracted) as a JSON string, for dashboards that want structure
+  rather than samples.
+* :class:`Emitter` — a daemon thread that appends one structured-log JSON
+  line per interval (counters plus histogram summaries), the "metrics to
+  stdout every 30 s" idiom for containers without a scraper.
+
+:func:`check_prometheus_text` is a line-format linter used by the tests
+and the CI metrics-smoke leg: it validates metric/label syntax, TYPE
+consistency, histogram bucket monotonicity, and ``_count`` agreement.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import time
+
+from .registry import MetricsRegistry, bucket_upper_bound
+
+__all__ = [
+    "prometheus_text",
+    "json_snapshot",
+    "check_prometheus_text",
+    "Emitter",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    f = float(v)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _fmt_labels(labels: tuple, extra: list | None = None) -> str:
+    pairs = [(k, v) for k, v in labels]
+    if extra:
+        pairs += extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    m = registry.merged()
+    lines: list[str] = []
+
+    def header(name: str, kind: str) -> None:
+        declared, help_text = registry.meta(name)
+        if declared != "untyped":
+            kind = declared
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    by_name: dict[str, list] = {}
+    for (name, labels), value in m["counters"].items():
+        by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(by_name):
+        header(name, "counter")
+        for labels, value in sorted(by_name[name]):
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+
+    by_name = {}
+    for (name, labels), value in m["gauges"].items():
+        by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(by_name):
+        header(name, "gauge")
+        for labels, value in sorted(by_name[name]):
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+
+    by_name = {}
+    for (name, labels), h in m["histograms"].items():
+        by_name.setdefault(name, []).append((labels, h))
+    for name in sorted(by_name):
+        header(name, "histogram")
+        for labels, h in sorted(by_name[name], key=lambda t: t[0]):
+            cum = 0
+            for e in sorted(h["buckets"]):
+                cum += h["buckets"][e]
+                le = _fmt_value(bucket_upper_bound(e))
+                lines.append(
+                    f"{name}_bucket{_fmt_labels(labels, [('le', le)])} {cum}"
+                )
+            lines.append(
+                f"{name}_bucket{_fmt_labels(labels, [('le', '+Inf')])} {h['count']}"
+            )
+            lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(h['sum'])}")
+            lines.append(f"{name}_count{_fmt_labels(labels)} {h['count']}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def json_snapshot(registry: MetricsRegistry, *, indent: int | None = None) -> str:
+    """The registry snapshot (counters/gauges/histograms + percentiles)
+    serialized as JSON."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+# --------------------------------------------------------------------------
+# line-format checker
+# --------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<ts>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def check_prometheus_text(text: str) -> list[str]:
+    """Lint a Prometheus text exposition; returns a list of problems.
+
+    Checks line syntax, metric/label name grammar, ``# TYPE`` values,
+    duplicate series, histogram bucket monotonicity, and that each
+    histogram's ``+Inf`` bucket equals its ``_count``.  An empty list
+    means the exposition parses cleanly.
+    """
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    seen: set[tuple] = set()
+    buckets: dict[tuple, list[tuple[float, float]]] = {}
+    counts: dict[tuple, float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                    errors.append(f"line {lineno}: malformed {parts[1]} comment")
+                elif parts[1] == "TYPE":
+                    kind = parts[3] if len(parts) > 3 else ""
+                    if kind not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                        errors.append(
+                            f"line {lineno}: unknown TYPE {kind!r}"
+                        )
+                    types[parts[2]] = kind
+            continue
+        mm = _SAMPLE_RE.match(line)
+        if mm is None:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = mm.group("name")
+        label_text = mm.group("labels") or ""
+        labels: list[tuple[str, str]] = []
+        if label_text:
+            pos = 0
+            while pos < len(label_text):
+                pm = _LABEL_PAIR_RE.match(label_text, pos)
+                if pm is None:
+                    errors.append(
+                        f"line {lineno}: malformed labels {label_text!r}"
+                    )
+                    break
+                labels.append((pm.group("key"), pm.group("val")))
+                pos = pm.end()
+                if pos < len(label_text):
+                    if label_text[pos] != ",":
+                        errors.append(
+                            f"line {lineno}: malformed labels {label_text!r}"
+                        )
+                        break
+                    pos += 1
+        try:
+            value = _parse_value(mm.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {mm.group('value')!r}")
+            continue
+        series = (name, tuple(sorted(labels)))
+        if series in seen:
+            errors.append(f"line {lineno}: duplicate series {series}")
+        seen.add(series)
+
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types \
+                    and types[name[: -len(suffix)]] == "histogram":
+                base = name[: -len(suffix)]
+                break
+        if base != name and name.endswith("_bucket"):
+            le = dict(labels).get("le")
+            if le is None:
+                errors.append(f"line {lineno}: _bucket without le label")
+            else:
+                key = (base, tuple(sorted(p for p in labels if p[0] != "le")))
+                buckets.setdefault(key, []).append((_parse_value(le), value))
+        elif base != name and name.endswith("_count"):
+            counts[(base, tuple(sorted(labels)))] = value
+
+    for key, pairs in buckets.items():
+        pairs.sort(key=lambda t: t[0])
+        cum = [v for _, v in pairs]
+        if any(b < a for a, b in zip(cum, cum[1:])):
+            errors.append(f"histogram {key[0]}{dict(key[1])}: buckets not cumulative")
+        if pairs and pairs[-1][0] != math.inf:
+            errors.append(f"histogram {key[0]}{dict(key[1])}: missing +Inf bucket")
+        elif pairs:
+            total = counts.get(key)
+            if total is not None and total != pairs[-1][1]:
+                errors.append(
+                    f"histogram {key[0]}{dict(key[1])}: "
+                    f"+Inf bucket {pairs[-1][1]} != _count {total}"
+                )
+    return errors
+
+
+# --------------------------------------------------------------------------
+# periodic structured-log emitter
+# --------------------------------------------------------------------------
+
+class Emitter:
+    """Daemon thread appending one JSON metrics line per interval.
+
+    Each line is ``{"ts": <unix seconds>, "kind": "metrics", "counters":
+    {...}, "histograms": {name: {count, sum, p50, p90, p99}}}`` — compact
+    enough for a log pipeline, complete enough to graph.  ``stream`` is
+    any object with ``write``; default ``sys.stderr``.
+    """
+
+    def __init__(self, registry: MetricsRegistry, interval_s: float = 30.0,
+                 stream=None):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.stream = stream
+        self.emitted = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _line(self) -> str:
+        snap = self.registry.snapshot()
+        counters = {
+            name: sum(s["value"] for s in series)
+            for name, series in snap["counters"].items()
+        }
+        hists = {}
+        for name, series in snap["histograms"].items():
+            count = sum(s["count"] for s in series)
+            total = sum(s["sum"] for s in series)
+            worst = max(series, key=lambda s: s["p99"], default=None)
+            hists[name] = {
+                "count": count,
+                "sum": total,
+                "p50": worst["p50"] if worst else 0.0,
+                "p90": worst["p90"] if worst else 0.0,
+                "p99": worst["p99"] if worst else 0.0,
+            }
+        return json.dumps(
+            {"ts": time.time(), "kind": "metrics",
+             "counters": counters, "histograms": hists},
+            sort_keys=True,
+        )
+
+    def emit_once(self) -> None:
+        """Write one metrics line now (also used by the timer loop)."""
+        import sys
+
+        stream = self.stream if self.stream is not None else sys.stderr
+        stream.write(self._line() + "\n")
+        self.emitted += 1
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.emit_once()
+            except Exception:  # noqa: BLE001 - the emitter must never crash the host
+                continue
+
+    def start(self) -> "Emitter":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="obs-emitter", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, final_emit: bool = False) -> None:
+        """Stop the loop; optionally flush one last line."""
+        self._stop.set()
+        t, self._thread = self._thread, None
+        if t is not None:
+            t.join(timeout=5.0)
+        if final_emit:
+            self.emit_once()

@@ -1,0 +1,310 @@
+"""Process-wide metrics registry: counters, gauges, log-bucketed histograms.
+
+The telemetry subsystem (:mod:`repro.graphblas.telemetry`) is *per-thread*
+and *per-session*: a collector is attached, a workload runs, a snapshot is
+read, the collector is thrown away.  That is the right shape for tracing
+one run, and the wrong shape for a long-lived service, where operators
+need cumulative counters and latency percentiles aggregated across every
+thread and request since process start — the fleet view Prometheus
+scrapes.
+
+This module is that durable layer.  One :class:`MetricsRegistry` lives for
+the process; writers record into **per-thread shards** (a plain dict owned
+by exactly one thread — no lock, no atomics on the hot path) and readers
+merge all shards on demand.  Shards are retained after their thread exits
+so counters never go backwards, which Prometheus requires of a counter.
+
+Three instrument kinds:
+
+``counter``
+    Monotonic float/int total (``graphblas_ops_total``).  ``inc`` only.
+``gauge``
+    Last-written value, or a *callback* gauge evaluated at read time
+    (kernel-cache occupancy, pool size).  Gauges are registry-level and
+    lightly locked — they are set rarely, read at scrape time.
+``histogram``
+    Log2-bucketed distribution (sum, count, sparse ``exp -> count``
+    buckets).  One ``frexp`` per observation; p50/p90/p99 are extracted
+    at read time by geometric interpolation inside the winning bucket.
+    Log2 buckets cover nanoseconds to hours (or bytes to tebibytes)
+    with ~50 buckets and bounded relative error, the same trick as
+    HdrHistogram/DDSketch at a fraction of the machinery.
+
+Everything here is engine-agnostic: the GraphBLAS-specific metric names
+are produced by :mod:`repro.obs.sink`, which translates the telemetry
+event stream into these instruments.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "LabelSet",
+    "MetricsRegistry",
+    "percentiles_from_buckets",
+    "bucket_upper_bound",
+    "MIN_EXP",
+    "MAX_EXP",
+]
+
+# Log2 bucket exponent range: 2**-21 s ~ 0.5 us up to 2**40 ~ 1 TiB /
+# ~12.7 days.  Observations outside the range clamp to the end buckets.
+MIN_EXP = -21
+MAX_EXP = 40
+
+#: canonical label encoding: a tuple of (key, value) pairs sorted by key.
+LabelSet = tuple
+
+
+def _labelset(labels) -> LabelSet:
+    if not labels:
+        return ()
+    if type(labels) is tuple:
+        # pre-canonical (sorted (key, value) str pairs) — the hot-path
+        # contract used by repro.obs.sink's cached label tuples
+        return labels
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def bucket_upper_bound(exp: int) -> float:
+    """The inclusive upper bound of bucket ``exp`` (value <= 2**exp)."""
+    return float(2.0 ** exp)
+
+
+def _bucket_exp(value: float) -> int:
+    """Bucket index for ``value``: smallest ``e`` with ``value <= 2**e``."""
+    if value <= 0.0:
+        return MIN_EXP
+    m, e = math.frexp(value)  # value = m * 2**e, m in [0.5, 1)
+    # frexp gives value <= 2**e with equality only at powers of two,
+    # where m == 0.5 and e is one too high.
+    if m == 0.5:
+        e -= 1
+    return min(max(e, MIN_EXP), MAX_EXP)
+
+
+class _Hist:
+    """One shard's histogram state (single-writer, merged on read)."""
+
+    __slots__ = ("sum", "count", "buckets")
+
+    def __init__(self):
+        self.sum = 0.0
+        self.count = 0
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        e = _bucket_exp(value)
+        self.buckets[e] = self.buckets.get(e, 0) + 1
+
+
+class _Shard:
+    """Per-thread write buffer: plain dicts owned by exactly one thread."""
+
+    __slots__ = ("counters", "hists")
+
+    def __init__(self):
+        self.counters: dict[tuple, float] = {}
+        self.hists: dict[tuple, _Hist] = {}
+
+
+def percentiles_from_buckets(buckets: dict[int, int], count: int,
+                             qs=(0.5, 0.9, 0.99)) -> list[float]:
+    """Percentile estimates from merged log2 buckets.
+
+    Walks buckets in exponent order and geometrically interpolates inside
+    the bucket containing each target rank, so estimates carry the
+    bucket's bounded relative error and are monotonic in ``q``.
+    """
+    if count <= 0:
+        return [0.0 for _ in qs]
+    order = sorted(buckets)
+    out = []
+    for q in qs:
+        target = q * count
+        cum = 0
+        value = bucket_upper_bound(order[-1])
+        for e in order:
+            n = buckets[e]
+            if cum + n >= target:
+                hi = bucket_upper_bound(e)
+                lo = hi / 2.0
+                frac = (target - cum) / n
+                value = lo * (hi / lo) ** frac
+                break
+            cum += n
+        out.append(value)
+    return out
+
+
+class MetricsRegistry:
+    """A process-wide family of counters, gauges, and histograms.
+
+    Writers call :meth:`counter_inc` / :meth:`observe` /
+    :meth:`gauge_set`; each thread writes into its own shard, so the hot
+    path is two dict operations with no lock.  Readers call
+    :meth:`merged` (or the higher-level :func:`repro.obs.json_snapshot` /
+    :func:`repro.obs.prometheus_text`), which sums every shard ever
+    created — including shards of threads that have exited, so totals are
+    cumulative for the life of the process.
+    """
+
+    def __init__(self):
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._shards: list[_Shard] = []
+        self._gauges: dict[tuple, float] = {}
+        self._gauge_callbacks: dict[tuple, object] = {}
+        #: metric metadata for exposition: name -> (kind, help, unit)
+        self._meta: dict[str, tuple[str, str]] = {}
+
+    # -- metadata ----------------------------------------------------------
+
+    def declare(self, name: str, kind: str, help: str = "") -> None:
+        """Register exposition metadata (idempotent; first call wins)."""
+        self._meta.setdefault(name, (kind, help))
+
+    def meta(self, name: str) -> tuple[str, str]:
+        return self._meta.get(name, ("untyped", ""))
+
+    # -- shard plumbing ----------------------------------------------------
+
+    def _shard(self) -> _Shard:
+        shard = getattr(self._tls, "shard", None)
+        if shard is None:
+            shard = _Shard()
+            with self._lock:
+                self._shards.append(shard)
+            self._tls.shard = shard
+        return shard
+
+    # -- writing -----------------------------------------------------------
+
+    def counter_inc(self, name: str, value: float = 1, labels=None) -> None:
+        """Add ``value`` (must be >= 0) to a monotonic counter."""
+        key = (name, _labelset(labels))
+        c = self._shard().counters
+        c[key] = c.get(key, 0) + value
+
+    def observe(self, name: str, value: float, labels=None) -> None:
+        """Record one observation into a log2-bucketed histogram."""
+        key = (name, _labelset(labels))
+        hists = self._shard().hists
+        h = hists.get(key)
+        if h is None:
+            h = hists[key] = _Hist()
+        h.observe(float(value))
+
+    def gauge_set(self, name: str, value: float, labels: dict | None = None) -> None:
+        """Set a gauge to ``value`` (last write wins, process-wide)."""
+        key = (name, _labelset(labels))
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def register_gauge(self, name: str, fn, labels: dict | None = None) -> None:
+        """Register a callback gauge: ``fn()`` is evaluated at read time.
+
+        Callback failures surface as a missing sample, never a scrape
+        error — a broken gauge must not take down the exposition path.
+        """
+        key = (name, _labelset(labels))
+        with self._lock:
+            self._gauge_callbacks[key] = fn
+
+    def unregister_gauge(self, name: str, labels: dict | None = None) -> None:
+        key = (name, _labelset(labels))
+        with self._lock:
+            self._gauge_callbacks.pop(key, None)
+            self._gauges.pop(key, None)
+
+    # -- reading -----------------------------------------------------------
+
+    def merged(self) -> dict:
+        """Merge every shard into ``{"counters": ..., "gauges": ...,
+        "histograms": ...}`` keyed by ``(name, labelset)``.
+
+        Shard dicts are copied before iteration (``dict.copy`` is atomic
+        under the GIL), so a merge racing live writers sees a consistent
+        point-in-time view of each shard.
+        """
+        with self._lock:
+            shards = list(self._shards)
+            gauges = dict(self._gauges)
+            callbacks = list(self._gauge_callbacks.items())
+
+        counters: dict[tuple, float] = {}
+        hists: dict[tuple, dict] = {}
+        for shard in shards:
+            for key, val in shard.counters.copy().items():
+                counters[key] = counters.get(key, 0) + val
+            for key, h in shard.hists.copy().items():
+                agg = hists.get(key)
+                if agg is None:
+                    agg = hists[key] = {"sum": 0.0, "count": 0, "buckets": {}}
+                agg["sum"] += h.sum
+                agg["count"] += h.count
+                for e, n in h.buckets.copy().items():
+                    agg["buckets"][e] = agg["buckets"].get(e, 0) + n
+
+        for key, fn in callbacks:
+            try:
+                gauges[key] = float(fn())
+            except Exception:  # noqa: BLE001 - a broken gauge must not kill a scrape
+                continue
+        return {"counters": counters, "gauges": gauges, "histograms": hists}
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view: nested by name, with percentiles.
+
+        ``{"counters": {name: [{"labels": {...}, "value": v}, ...]},
+        "gauges": {...}, "histograms": {name: [{"labels", "count", "sum",
+        "p50", "p90", "p99", "buckets"}, ...]}}``
+        """
+        m = self.merged()
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (name, labels), value in sorted(m["counters"].items()):
+            out["counters"].setdefault(name, []).append(
+                {"labels": dict(labels), "value": value}
+            )
+        for (name, labels), value in sorted(m["gauges"].items()):
+            out["gauges"].setdefault(name, []).append(
+                {"labels": dict(labels), "value": value}
+            )
+        for (name, labels), h in sorted(m["histograms"].items()):
+            p50, p90, p99 = percentiles_from_buckets(h["buckets"], h["count"])
+            out["histograms"].setdefault(name, []).append(
+                {
+                    "labels": dict(labels),
+                    "count": h["count"],
+                    "sum": h["sum"],
+                    "p50": p50,
+                    "p90": p90,
+                    "p99": p99,
+                    "buckets": {str(e): n for e, n in sorted(h["buckets"].items())},
+                }
+            )
+        return out
+
+    def reset(self) -> None:
+        """Drop every shard, gauge, and callback (tests only).
+
+        The thread-local handle is replaced wholesale, so every thread's
+        next write transparently creates (and registers) a fresh shard.
+        """
+        with self._lock:
+            self._shards.clear()
+            self._gauges.clear()
+            self._gauge_callbacks.clear()
+        # a fresh local() orphans every thread's cached shard at once
+        self._tls = threading.local()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        m = self.merged()
+        return (
+            f"MetricsRegistry(counters={len(m['counters'])}, "
+            f"gauges={len(m['gauges'])}, histograms={len(m['histograms'])})"
+        )

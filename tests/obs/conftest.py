@@ -1,0 +1,17 @@
+"""Observability-suite fixtures: every test starts and ends with a
+pristine disabled registry (a leaked sink would poison the telemetry
+suite's ENABLED-flag invariant and cross-test totals)."""
+
+import pytest
+
+from repro import obs
+from repro.graphblas import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+    assert telemetry.get_sink() is None
+    assert not telemetry.ENABLED

@@ -1,0 +1,121 @@
+"""Prometheus text / JSON snapshot exposition, linter, emitter."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.exposition import (
+    Emitter,
+    check_prometheus_text,
+    json_snapshot,
+    prometheus_text,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.declare("req_total", "counter", "Requests served")
+    reg.declare("lat_seconds", "histogram", "Request latency")
+    reg.declare("depth", "gauge", "Queue depth")
+    reg.counter_inc("req_total", 3, {"op": "mxm"})
+    reg.counter_inc("req_total", 1, {"op": "mxv"})
+    for v in (0.001, 0.004, 0.25, 1.5):
+        reg.observe("lat_seconds", v, {"op": "mxm"})
+    reg.gauge_set("depth", 4)
+    return reg
+
+
+class TestPrometheusText:
+    def test_help_type_and_samples(self):
+        text = prometheus_text(sample_registry())
+        lines = text.splitlines()
+        assert "# HELP req_total Requests served" in lines
+        assert "# TYPE req_total counter" in lines
+        assert 'req_total{op="mxm"} 3' in lines
+        assert 'req_total{op="mxv"} 1' in lines
+        assert "# TYPE depth gauge" in lines
+        assert "depth 4" in lines
+
+    def test_histogram_series(self):
+        text = prometheus_text(sample_registry())
+        lines = text.splitlines()
+        count = [l for l in lines if l.startswith("lat_seconds_count")]
+        assert count == ['lat_seconds_count{op="mxm"} 4']
+        (sum_line,) = [l for l in lines if l.startswith("lat_seconds_sum")]
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(1.755)
+        buckets = [l for l in lines if l.startswith("lat_seconds_bucket")]
+        # cumulative and capped by +Inf == count
+        values = [float(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert values == sorted(values)
+        assert 'le="+Inf"' in buckets[-1]
+        assert values[-1] == 4
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("c", 1, {"msg": 'a"b\\c\nd'})
+        text = prometheus_text(reg)
+        assert r'msg="a\"b\\c\nd"' in text
+        assert check_prometheus_text(text) == []
+
+    def test_lint_clean(self):
+        assert check_prometheus_text(prometheus_text(sample_registry())) == []
+
+    def test_lint_catches_garbage(self):
+        assert check_prometheus_text("this is not prometheus\n") != []
+        # non-cumulative buckets
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\nh_count 5\n"
+        )
+        assert any("monotonic" in e or "cumulative" in e
+                   for e in check_prometheus_text(bad))
+
+    def test_empty_registry_is_valid(self):
+        text = prometheus_text(MetricsRegistry())
+        assert check_prometheus_text(text) == []
+
+
+class TestJsonSnapshot:
+    def test_round_trip_against_prometheus(self):
+        reg = sample_registry()
+        snap = json.loads(json_snapshot(reg))
+        text = prometheus_text(reg)
+        # every counter total in the JSON appears verbatim as a sample
+        for name, series in snap["counters"].items():
+            for s in series:
+                labels = ",".join(
+                    f'{k}="{v}"' for k, v in sorted(s["labels"].items())
+                )
+                want = f"{name}{{{labels}}} {s['value']}" if labels else \
+                    f"{name} {s['value']}"
+                assert want in text
+        # histogram counts match the _count samples
+        (h,) = snap["histograms"]["lat_seconds"]
+        assert 'lat_seconds_count{op="mxm"} 4' in text
+        assert h["count"] == 4
+
+
+class TestEmitter:
+    def test_emit_once_writes_one_json_line(self):
+        reg = sample_registry()
+        out = io.StringIO()
+        em = Emitter(reg, interval_s=3600, stream=out)
+        em.emit_once()
+        (line,) = out.getvalue().strip().splitlines()
+        payload = json.loads(line)
+        assert payload["kind"] == "metrics"
+        assert payload["counters"]["req_total"] == 4  # summed across labels
+        assert payload["histograms"]["lat_seconds"]["count"] == 4
+
+    def test_start_stop_final_emit(self):
+        reg = sample_registry()
+        out = io.StringIO()
+        em = Emitter(reg, interval_s=3600, stream=out)
+        em.start()
+        em.stop(final_emit=True)
+        assert out.getvalue().count('"kind": "metrics"') >= 1

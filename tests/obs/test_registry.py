@@ -1,0 +1,240 @@
+"""MetricsRegistry: sharded counters, log2 histograms, concurrency."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    MAX_EXP,
+    MIN_EXP,
+    MetricsRegistry,
+    bucket_upper_bound,
+    percentiles_from_buckets,
+)
+
+
+class TestCounters:
+    def test_inc_and_merge(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("hits")
+        reg.counter_inc("hits", 4)
+        reg.counter_inc("hits", 1, {"op": "mxm"})
+        m = reg.merged()
+        assert m["counters"][("hits", ())] == 5
+        assert m["counters"][("hits", (("op", "mxm"),))] == 1
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("c", 1, {"b": 1, "a": 2})
+        reg.counter_inc("c", 1, {"a": 2, "b": 1})
+        m = reg.merged()
+        assert m["counters"][("c", (("a", "2"), ("b", "1")))] == 2
+        assert len(m["counters"]) == 1
+
+    def test_counters_survive_thread_exit(self):
+        # Prometheus requires counters never go backwards: a shard written
+        # by a dead thread must still be merged.
+        reg = MetricsRegistry()
+
+        def work():
+            reg.counter_inc("done", 3)
+
+        t = threading.Thread(target=work)
+        t.start()
+        t.join()
+        assert reg.merged()["counters"][("done", ())] == 3
+
+
+class TestGauges:
+    def test_set_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("depth", 4)
+        reg.gauge_set("depth", 7)
+        assert reg.merged()["gauges"][("depth", ())] == 7.0
+
+    def test_callback_gauge_evaluated_at_read(self):
+        reg = MetricsRegistry()
+        box = {"v": 1}
+        reg.register_gauge("size", lambda: box["v"])
+        assert reg.merged()["gauges"][("size", ())] == 1.0
+        box["v"] = 9
+        assert reg.merged()["gauges"][("size", ())] == 9.0
+
+    def test_broken_callback_does_not_kill_scrape(self):
+        reg = MetricsRegistry()
+        reg.register_gauge("bad", lambda: 1 / 0)
+        reg.counter_inc("ok")
+        m = reg.merged()
+        assert ("bad", ()) not in m["gauges"]
+        assert m["counters"][("ok", ())] == 1
+
+    def test_unregister(self):
+        reg = MetricsRegistry()
+        reg.register_gauge("g", lambda: 5)
+        reg.unregister_gauge("g")
+        assert reg.merged()["gauges"] == {}
+
+
+class TestHistograms:
+    def test_observe_counts_and_sum(self):
+        reg = MetricsRegistry()
+        for v in (0.5, 1.0, 2.0, 3.0):
+            reg.observe("lat", v)
+        h = reg.merged()["histograms"][("lat", ())]
+        assert h["count"] == 4
+        assert h["sum"] == pytest.approx(6.5)
+
+    def test_bucket_upper_bounds_contain_observations(self):
+        reg = MetricsRegistry()
+        values = [1e-6, 0.001, 0.7, 1.0, 3.5, 1000.0]
+        for v in values:
+            reg.observe("lat", v)
+        h = reg.merged()["histograms"][("lat", ())]
+        # every observation must fall within its bucket (le = 2**exp,
+        # exclusive lower bound at 2**(exp-1) except the clamp buckets)
+        total = 0
+        for e, n in h["buckets"].items():
+            assert MIN_EXP <= e <= MAX_EXP
+            total += n
+        assert total == len(values)
+
+    def test_power_of_two_lands_in_le_bucket(self):
+        # frexp(2**k) returns (0.5, k+1); the bucket must be k, not k+1,
+        # so that value <= 2**exp holds tightly.
+        reg = MetricsRegistry()
+        reg.observe("b", 8.0)
+        buckets = reg.merged()["histograms"][("b", ())]["buckets"]
+        assert buckets == {3: 1}
+        assert bucket_upper_bound(3) == 8.0
+
+    def test_clamping_outside_range(self):
+        reg = MetricsRegistry()
+        reg.observe("b", 0.0)
+        reg.observe("b", -1.0)
+        reg.observe("b", 2.0**60)
+        buckets = reg.merged()["histograms"][("b", ())]["buckets"]
+        assert set(buckets) == {MIN_EXP, MAX_EXP}
+
+    def test_percentiles_monotonic_and_bounded(self):
+        reg = MetricsRegistry()
+        for i in range(1, 200):
+            reg.observe("lat", i / 100.0)  # 0.01 .. 1.99
+        h = reg.merged()["histograms"][("lat", ())]
+        p50, p90, p99 = percentiles_from_buckets(h["buckets"], h["count"])
+        assert p50 <= p90 <= p99
+        # log2 buckets guarantee at most one octave of relative error
+        assert 0.5 <= p50 <= 2.0
+        assert p99 <= 2.0
+
+    def test_percentiles_empty(self):
+        assert percentiles_from_buckets({}, 0) == [0.0, 0.0, 0.0]
+
+
+class TestSnapshot:
+    def test_shape(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("c", 2, {"op": "mxm"})
+        reg.observe("h", 0.25)
+        reg.gauge_set("g", 1.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == [{"labels": {"op": "mxm"}, "value": 2}]
+        assert snap["gauges"]["g"] == [{"labels": {}, "value": 1.5}]
+        (series,) = snap["histograms"]["h"]
+        assert series["count"] == 1
+        assert series["sum"] == 0.25
+        assert series["p50"] <= series["p90"] <= series["p99"]
+        assert all(isinstance(k, str) for k in series["buckets"])
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("c")
+        reg.register_gauge("g", lambda: 1)
+        reg.reset()
+        m = reg.merged()
+        assert m["counters"] == {} and m["gauges"] == {}
+        # writes after reset land in a fresh shard
+        reg.counter_inc("c", 7)
+        assert reg.merged()["counters"][("c", ())] == 7
+
+
+class TestConcurrency:
+    """The satellite: hammer one registry from N threads, assert exact
+    totals (no lost updates) and monotonic percentiles."""
+
+    N_THREADS = 8
+    PER_THREAD = 5000
+
+    def test_exact_totals_under_contention(self):
+        reg = MetricsRegistry()
+        barrier = threading.Barrier(self.N_THREADS)
+        errors = []
+
+        def work(tid):
+            try:
+                barrier.wait()
+                for i in range(self.PER_THREAD):
+                    reg.counter_inc("ops_total", 1, {"op": "mxm"})
+                    reg.counter_inc("bytes_total", 10)
+                    reg.observe("lat", (i % 100 + 1) / 1000.0)
+                    if i % 100 == 0:
+                        # interleave reads with writes: merge must never
+                        # raise or observe torn state
+                        m = reg.merged()
+                        assert m["counters"].get(("bytes_total", ()), 0) >= 0
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(t,))
+            for t in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+        total = self.N_THREADS * self.PER_THREAD
+        m = reg.merged()
+        assert m["counters"][("ops_total", (("op", "mxm"),))] == total
+        assert m["counters"][("bytes_total", ())] == 10 * total
+        h = m["histograms"][("lat", ())]
+        assert h["count"] == total
+        expected_sum = self.N_THREADS * sum(
+            (i % 100 + 1) / 1000.0 for i in range(self.PER_THREAD)
+        )
+        assert h["sum"] == pytest.approx(expected_sum)
+        p50, p90, p99 = percentiles_from_buckets(h["buckets"], h["count"])
+        assert 0 < p50 <= p90 <= p99 <= bucket_upper_bound(MAX_EXP)
+
+    def test_concurrent_snapshot_reader(self):
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        snaps = []
+
+        def reader():
+            while not stop.is_set():
+                snaps.append(reg.snapshot())
+
+        def writer():
+            for i in range(2000):
+                reg.counter_inc("c")
+                reg.observe("h", math.sin(i) + 2.0)
+
+        r = threading.Thread(target=reader)
+        ws = [threading.Thread(target=writer) for _ in range(4)]
+        r.start()
+        for w in ws:
+            w.start()
+        for w in ws:
+            w.join()
+        stop.set()
+        r.join()
+        # totals observed by the reader never decrease (counters are
+        # monotonic even mid-hammer)
+        seen = [
+            s["counters"].get("c", [{"value": 0}])[0]["value"] for s in snaps
+        ]
+        assert all(a <= b for a, b in zip(seen, seen[1:]))
+        assert reg.merged()["counters"][("c", ())] == 8000

@@ -105,7 +105,9 @@ class TestEventCap:
             col.instant("tick", i=i)
         assert len(col.events) == 5
         assert col.dropped == 5
-        assert col.snapshot()["events_dropped"] == 5
+        snap = col.snapshot()
+        assert snap["events_dropped"] == 5
+        assert snap["events_dropped_by_type"] == {"instant": 5}
 
     def test_reset_clears_everything(self):
         col = Collector(max_events=2)
@@ -135,7 +137,9 @@ class TestSnapshot:
             "spans",
             "events_total",
             "events_dropped",
+            "events_dropped_by_type",
             "elapsed_seconds",
+            "tid",
         }
         assert snap["ops"]["mxv"]["calls"] == 1
         assert snap["decisions"] == {"spgemm.method": 1}

@@ -1,0 +1,90 @@
+"""chrome_trace_merged: multi-thread Chrome traces keep distinct tids."""
+
+import json
+import threading
+
+from repro.graphblas import telemetry
+from repro.graphblas.telemetry import Collector, chrome_trace_merged
+
+
+def _capture_on_thread(results, idx, barrier=None):
+    with telemetry.collect() as col:
+        col.record_op("mxv", 0.001 * (idx + 1), 3)
+        col.decision("mxv.direction", direction="push")
+        results[idx] = col.snapshot(include_events=True)
+    if barrier is not None:
+        barrier.wait()  # keep all threads alive together: idents are
+        # reused once a thread exits, and the test needs them distinct
+
+
+class TestMerge:
+    def test_threads_keep_distinct_tids(self):
+        results = [None, None, None]
+        barrier = threading.Barrier(3)
+        ts = [
+            threading.Thread(
+                target=_capture_on_thread, args=(results, i, barrier)
+            )
+            for i in range(3)
+        ]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        trace = chrome_trace_merged(results)
+        events = trace["traceEvents"]
+        sample_tids = {ev["tid"] for ev in events if ev["ph"] != "M"}
+        assert len(sample_tids) == 3  # one track per thread, not flattened
+        # thread_name metadata announces each track
+        names = [ev for ev in events if ev.get("name") == "thread_name"]
+        assert {ev["tid"] for ev in names} == sample_tids
+
+    def test_snapshots_carry_tid_and_origin(self):
+        results = [None]
+        _capture_on_thread(results, 0)
+        snap = results[0]
+        assert snap["tid"] != 0
+        assert "t0_perf" in snap
+
+    def test_timelines_aligned_to_common_origin(self):
+        # two collectors created at different times: the later one's
+        # events must be shifted right, not start at ts=0 alongside the
+        # earlier one's
+        col1 = Collector()
+        col1.record_op("mxm", 0.001, 1)
+        col2 = Collector()  # created after col1: larger t0
+        col2.record_op("mxv", 0.001, 1)
+        trace = chrome_trace_merged([col1, col2])
+        by_tid = {}
+        for ev in trace["traceEvents"]:
+            if ev["ph"] == "X":
+                by_tid.setdefault(ev["tid"], []).append(ev["ts"])
+        # both collectors ran on this thread -> same tid; fall back to
+        # event order: the mxv event must not precede the mxm event
+        xs = [ev for ev in trace["traceEvents"] if ev["ph"] == "X"]
+        mxm = next(ev for ev in xs if ev["name"] == "mxm")
+        mxv = next(ev for ev in xs if ev["name"] == "mxv")
+        assert mxv["ts"] >= mxm["ts"]
+
+    def test_accepts_bare_tid_events_pairs(self):
+        col = Collector()
+        col.instant("tick")
+        trace = chrome_trace_merged([(7, list(col.events))])
+        ticks = [ev for ev in trace["traceEvents"] if ev["name"] == "tick"]
+        assert ticks and all(ev["tid"] == 7 for ev in ticks)
+
+    def test_merged_trace_is_json_serializable(self):
+        col = Collector()
+        col.record_op("mxm", 0.5, 9)
+        text = json.dumps(chrome_trace_merged([col]))
+        parsed = json.loads(text)
+        assert parsed["displayTimeUnit"] == "ms"
+
+    def test_single_collector_matches_legacy_track_content(self):
+        col = Collector()
+        col.record_op("mxm", 0.25, 2)
+        col.begin_span("bfs")
+        col.end_span()
+        trace = chrome_trace_merged([col])
+        names = [ev["name"] for ev in trace["traceEvents"] if ev["ph"] == "X"]
+        assert names == ["mxm", "bfs"]
