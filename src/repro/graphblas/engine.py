@@ -86,6 +86,7 @@ class EngineConfig:
     enabled: bool
     kernel_cache: bool
     dual_format: bool
+    twin_patch: bool
     parallel: bool
     workers: int
     cache_size: int
@@ -99,6 +100,7 @@ def _config_from_env() -> EngineConfig:
         enabled=on,
         kernel_cache=on,
         dual_format=on,
+        twin_patch=env_on_off("GRAPHBLAS_ENGINE_TWIN_PATCH", True),
         parallel=on,
         workers=workers,
         cache_size=cache_size,
@@ -112,15 +114,17 @@ _config = _config_from_env()
 ENABLED = _config.enabled
 KERNEL_CACHE = _config.kernel_cache
 DUAL_FORMAT = _config.dual_format
+TWIN_PATCH = _config.twin_patch
 PARALLEL = _config.parallel
 WORKERS = _config.workers
 
 
 def _apply_config() -> None:
-    global ENABLED, KERNEL_CACHE, DUAL_FORMAT, PARALLEL, WORKERS
+    global ENABLED, KERNEL_CACHE, DUAL_FORMAT, TWIN_PATCH, PARALLEL, WORKERS
     ENABLED = _config.enabled
     KERNEL_CACHE = _config.enabled and _config.kernel_cache
     DUAL_FORMAT = _config.enabled and _config.dual_format
+    TWIN_PATCH = _config.enabled and _config.twin_patch
     PARALLEL = _config.enabled and _config.parallel
     WORKERS = _config.workers
 
@@ -135,6 +139,7 @@ def set_engine(
     *,
     kernel_cache: bool | None = None,
     dual_format: bool | None = None,
+    twin_patch: bool | None = None,
     parallel: bool | None = None,
     workers: int | None = None,
     cache_size: int | None = None,
@@ -151,6 +156,8 @@ def set_engine(
         _config.kernel_cache = bool(kernel_cache)
     if dual_format is not None:
         _config.dual_format = bool(dual_format)
+    if twin_patch is not None:
+        _config.twin_patch = bool(twin_patch)
     if parallel is not None:
         _config.parallel = bool(parallel)
     if workers is not None:

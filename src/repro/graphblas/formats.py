@@ -35,6 +35,8 @@ __all__ = [
     "reduce_by_segments",
     "group_starts",
     "coo_sort_order",
+    "merge_sorted_delta",
+    "ragged_take",
 ]
 
 _INDEX = np.int64
@@ -92,6 +94,84 @@ def coo_sort_order(
     if sorted_unique:
         return None
     return np.lexsort((minor, major))
+
+
+def ragged_take(
+    arr: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``arr[starts[k] : starts[k] + counts[k]]`` for every k.
+
+    The vectorized gather behind delta-restricted kernels (push sweeps,
+    per-window wedge counting): one arange plus one repeat instead of a
+    Python loop over slices.
+    """
+    counts = np.asarray(counts, dtype=_INDEX)
+    total = int(counts.sum())
+    if total == 0:
+        return arr[:0]
+    ends = np.cumsum(counts)
+    shift = np.repeat(np.asarray(starts, dtype=_INDEX) - (ends - counts), counts)
+    return arr[np.arange(total, dtype=_INDEX) + shift]
+
+
+def merge_sorted_delta(
+    orientation: "Orientation",
+    n_major: int,
+    n_minor: int,
+    kept_major: np.ndarray,
+    kept_minor: np.ndarray,
+    kept_values: np.ndarray,
+    ins_major: np.ndarray,
+    ins_minor: np.ndarray,
+    ins_values: np.ndarray,
+    dtype: Type,
+    *,
+    hyper: bool,
+) -> "SparseStore | None":
+    """Merge surviving entries with a disjoint batch of insertions.
+
+    ``kept_*`` must be sorted-unique in (major, minor) order (a store's
+    entries after dropping the coordinates an update window touched);
+    ``ins_*`` are the window's insertions, unique among themselves and
+    disjoint from ``kept_*``.  The merge is O(e + d log d) — a searchsorted
+    interleave instead of the O(e log e) full re-sort ``from_coo`` would
+    pay — which is what makes per-window twin patching and incremental
+    assembly cheaper than rebuild.
+
+    Returns None when the composite sort key would overflow (enormous
+    hypersparse dimensions); callers fall back to the re-sort path.
+    """
+    ins_major = np.asarray(ins_major, dtype=_INDEX)
+    ins_minor = np.asarray(ins_minor, dtype=_INDEX)
+    if ins_major.size == 0:
+        return SparseStore.from_coo(
+            orientation, n_major, n_minor, kept_major, kept_minor, kept_values,
+            dtype, hyper=hyper, assume_sorted_unique=True,
+        )
+    order = coo_sort_order(ins_major, ins_minor, n_major, n_minor)
+    if order is not None:
+        ins_major = ins_major[order]
+        ins_minor = ins_minor[order]
+        ins_values = np.asarray(ins_values)[order]
+    if kept_major.size == 0:
+        return SparseStore.from_coo(
+            orientation, n_major, n_minor, ins_major, ins_minor, ins_values,
+            dtype, hyper=hyper, assume_sorted_unique=True,
+        )
+    kept_key = _composite_key(kept_major, kept_minor, n_major, n_minor)
+    ins_key = _composite_key(ins_major, ins_minor, n_major, n_minor)
+    if kept_key is None or ins_key is None:
+        return None
+    pos = np.searchsorted(kept_key, ins_key)
+    major = np.insert(kept_major, pos, ins_major)
+    minor = np.insert(kept_minor, pos, ins_minor)
+    values = np.insert(
+        dtype.cast_array(kept_values), pos, dtype.cast_array(ins_values)
+    )
+    return SparseStore.from_coo(
+        orientation, n_major, n_minor, major, minor, values,
+        dtype, hyper=hyper, assume_sorted_unique=True,
+    )
 
 
 class Orientation(str, enum.Enum):

@@ -23,7 +23,7 @@ import time as _time
 
 import numpy as np
 
-from . import context, engine, faults, governor, telemetry
+from . import context, engine, faults, governor, telemetry, updatelog
 from .errors import (
     IndexOutOfBounds,
     InvalidValue,
@@ -31,13 +31,19 @@ from .errors import (
     UninitializedObject,
     check_index,
 )
-from .formats import Orientation, SparseStore
+from .formats import Orientation, SparseStore, merge_sorted_delta
 from .ops import SECOND, binary
 from .types import Type, lookup_type
+from .updatelog import DeltaBatch, UpdateLog, coords_isin as _coords_isin
 
 __all__ = ["Matrix"]
 
 _INDEX = np.int64
+_EMPTY_IDX = np.empty(0, dtype=_INDEX)
+
+#: Most recent assembled windows kept per delta-tracking matrix; consumers
+#: that fall further behind recompute from scratch instead of patching.
+DELTA_LOG_LIMIT = 64
 
 # Switch to hypersparse when fewer than 1/HYPER_SWITCH of rows are non-empty
 # (SuiteSparse exploits hypersparsity automatically; same spirit here).
@@ -64,14 +70,14 @@ class Matrix:
         "ncols",
         "_store",
         "_alt",
-        "_pend_i",
-        "_pend_j",
-        "_pend_v",
-        "_pend_del",
+        "_log",
+        "_deltas",
+        "_track_deltas",
         "_valid",
         "_keep_both",
         "_epoch",
         "_alt_epoch",
+        "__weakref__",
     )
 
     def __init__(self, dtype, nrows: int, ncols: int):
@@ -90,10 +96,10 @@ class Matrix:
         self._alt: SparseStore | None = None  # cached flipped orientation
         # one ordered update log: insertions (pending tuples) and deletions
         # (zombies); ordering matters when both touch the same coordinate
-        self._pend_i: list[int] = []
-        self._pend_j: list[int] = []
-        self._pend_v: list = []
-        self._pend_del: list[bool] = []
+        self._log = UpdateLog(matrix=True)
+        # settled windows (DeltaBatch chain) when track_deltas() is on
+        self._deltas: list[DeltaBatch] = []
+        self._track_deltas = False
         self._valid = True
         self._keep_both = False
         # Mutation epoch for dual-format cache invalidation: bumped on
@@ -178,17 +184,52 @@ class Matrix:
 
     @property
     def has_pending(self) -> bool:
-        return bool(self._pend_i)
+        return bool(self._log)
 
     @property
     def npending(self) -> int:
         """Pending insertions (the paper's *pending tuples*)."""
-        return sum(1 for d in self._pend_del if not d)
+        return self._log.npending
 
     @property
     def nzombies(self) -> int:
         """Pending deletions (the paper's *zombies*)."""
-        return sum(1 for d in self._pend_del if d)
+        return self._log.nzombies
+
+    # Raw update-log views, kept as assignable properties because the capi
+    # snapshot/restore path and the resilience harness address the log
+    # through them.
+    @property
+    def _pend_i(self) -> list[int]:
+        return self._log.i
+
+    @_pend_i.setter
+    def _pend_i(self, value) -> None:
+        self._log.i = list(value)
+
+    @property
+    def _pend_j(self) -> list[int]:
+        return self._log.j
+
+    @_pend_j.setter
+    def _pend_j(self, value) -> None:
+        self._log.j = list(value)
+
+    @property
+    def _pend_v(self) -> list:
+        return self._log.v
+
+    @_pend_v.setter
+    def _pend_v(self, value) -> None:
+        self._log.v = list(value)
+
+    @property
+    def _pend_del(self) -> list[bool]:
+        return self._log.deleted
+
+    @_pend_del.setter
+    def _pend_del(self, value) -> None:
+        self._log.deleted = list(value)
 
     @property
     def nvals(self) -> int:
@@ -232,26 +273,142 @@ class Matrix:
     def _log_update(self, i: int, j: int, value, is_delete: bool) -> None:
         """Append one action to the update log; in blocking mode assemble at
         once, un-appending the action if assembly fails so no half-applied
-        update survives."""
-        prev_alt = self._alt
-        prev_epoch = self._epoch
-        self._pend_i.append(i)
-        self._pend_j.append(j)
-        self._pend_v.append(value)
-        self._pend_del.append(is_delete)
-        self._alt = None
+        update survives.
+
+        The cached twin is *not* nulled here: it still flips the settled
+        store, and ``wait()`` either patches it from the delta or drops it.
+        The epoch bump keeps every epoch-checked consumer honest meanwhile.
+        """
+        log = self._log
+        if not log:
+            log.from_epoch = self._epoch
+            if updatelog.TRACK_DEPTH:
+                updatelog.register_for_depth(self)
+        log.append(i, j, value, is_delete)
         self._epoch += 1
         if context.get_mode() == context.Mode.BLOCKING:
             try:
                 self.wait()
             except BaseException:
-                del self._pend_i[-1]
-                del self._pend_j[-1]
-                del self._pend_v[-1]
-                del self._pend_del[-1]
-                self._alt = prev_alt
-                self._epoch = prev_epoch
+                log.pop()
+                self._epoch -= 1
                 raise
+
+    def update_batch(self, rows, cols, values=None, *, deleted=None) -> "Matrix":
+        """Append a batch of set/remove actions to the update log, in order.
+
+        The vectorized counterpart of e ``setElement``/``removeElement``
+        calls — the paper's "e setElement calls are as cheap as one build",
+        with the per-element Python loop removed.  ``deleted`` marks
+        removeElement actions (scalar or per-element); ``values`` may be a
+        scalar, an array, or None (deletions / structural batches).  In
+        blocking mode the whole batch assembles at once and is rolled back
+        in full on failure.
+        """
+        self._require_valid()
+        rows = np.asarray(rows, dtype=_INDEX).ravel()
+        cols = np.asarray(cols, dtype=_INDEX).ravel()
+        if rows.size != cols.size:
+            raise InvalidValue("update_batch row/col arrays must match in length")
+        if rows.size == 0:
+            return self
+        if rows.min() < 0 or rows.max() >= self.nrows:
+            raise IndexOutOfBounds("row index out of bounds in update_batch")
+        if cols.min() < 0 or cols.max() >= self.ncols:
+            raise IndexOutOfBounds("col index out of bounds in update_batch")
+        if deleted is None:
+            dels = [False] * rows.size
+        else:
+            dels = np.broadcast_to(
+                np.asarray(deleted, dtype=bool), rows.shape
+            ).tolist()
+        if values is None:
+            vals = [0] * rows.size
+        else:
+            v = np.asarray(values)
+            if v.ndim == 0:
+                vals = [v.item()] * rows.size
+            else:
+                if v.size != rows.size:
+                    raise InvalidValue(
+                        "update_batch values must be scalar or match length"
+                    )
+                vals = v.ravel().tolist()
+        if faults.ENABLED:
+            faults.trip("setElement")
+        log = self._log
+        before = len(log)
+        if not log:
+            log.from_epoch = self._epoch
+            if updatelog.TRACK_DEPTH:
+                updatelog.register_for_depth(self)
+        log.extend(rows.tolist(), cols.tolist(), vals, dels)
+        self._epoch += rows.size
+        if context.get_mode() == context.Mode.BLOCKING:
+            try:
+                self.wait()
+            except BaseException:
+                log.truncate(before)
+                self._epoch -= rows.size
+                raise
+        return self
+
+    # -- settled delta windows ---------------------------------------------
+
+    def track_deltas(self, flag: bool = True) -> "Matrix":
+        """Record a :class:`DeltaBatch` per assembled window.
+
+        While on, every ``wait()`` that settles pending work appends its
+        window to a bounded chain retrievable with :meth:`deltas_since` —
+        the feed consumed by incremental maintenance.  Off by default
+        (zero cost for matrices nobody maintains state against).
+        """
+        self._track_deltas = bool(flag)
+        if not flag:
+            self._deltas.clear()
+        return self
+
+    @property
+    def last_delta(self) -> DeltaBatch | None:
+        """The most recently assembled window, if tracking is on."""
+        return self._deltas[-1] if self._deltas else None
+
+    def deltas_since(self, epoch: int) -> list[DeltaBatch] | None:
+        """The contiguous window chain from settled ``epoch`` to now.
+
+        Returns ``[]`` when nothing changed, or None when the chain cannot
+        be reconstructed — tracking off, work still pending, a bulk
+        mutation (build/clear/resize/set_format) broke the chain, or the
+        bounded window log no longer reaches back to ``epoch``.  A None
+        means the consumer must recompute from scratch.
+        """
+        if not self._track_deltas or self.has_pending:
+            return None
+        if epoch == self._epoch:
+            return []
+        chain: list[DeltaBatch] = []
+        for d in reversed(self._deltas):
+            chain.append(d)
+            if d.epoch_from == epoch:
+                break
+        else:
+            return None
+        chain.reverse()
+        at = epoch
+        for d in chain:
+            if d.epoch_from != at:
+                return None
+            at = d.epoch_to
+        return chain if at == self._epoch else None
+
+    def _remember_delta(self, delta: DeltaBatch) -> None:
+        if self._deltas and self._deltas[-1].epoch_to != delta.epoch_from:
+            # a bulk mutation bumped the epoch without a window in between:
+            # older batches can no longer chain to any cached consumer state
+            self._deltas.clear()
+        self._deltas.append(delta)
+        if len(self._deltas) > DELTA_LOG_LIMIT:
+            del self._deltas[0]
 
     def wait(self) -> "Matrix":
         """``GrB_Matrix_wait``: kill zombies and assemble pending tuples.
@@ -270,63 +427,29 @@ class Matrix:
             faults.trip("assemble")
         if telemetry.ENABLED:
             _t0 = _time.perf_counter()
-            _pending = len(self._pend_i)
-            _zombies = sum(self._pend_del)
-        major, minor, values = self._store.to_coo()
-        if self._store.orientation is Orientation.COL:
-            rows, cols = minor, major
-        else:
-            rows, cols = major, minor
-        vals = values
-
-        pi = np.asarray(self._pend_i, dtype=_INDEX)
-        pj = np.asarray(self._pend_j, dtype=_INDEX)
-        pdel = np.asarray(self._pend_del, dtype=bool)
+            _pending = len(self._log)
+            _zombies = sum(self._log.deleted)
         orient = self._store.orientation
         hyper = self._store.hyper
-
-        # Sortedness fast path: a zombie-free log already strictly
-        # increasing in the store's (major, minor) order needs no sort —
-        # the append order is the assembly order, coordinates are unique
-        # (strictness), and last-wins dedup is vacuous.
-        pmaj, pmin = (pj, pi) if orient is Orientation.COL else (pi, pj)
-        fast = not pdel.any() and (
-            pi.size == 1
-            or bool(
-                np.all(
-                    (pmaj[1:] > pmaj[:-1])
-                    | ((pmaj[1:] == pmaj[:-1]) & (pmin[1:] > pmin[:-1]))
-                )
-            )
+        res = self._log.resolve(
+            self.dtype, major_is_row=orient is Orientation.ROW
         )
-        if fast:
-            li, lj = pi, pj
-            ins = np.ones(li.size, dtype=bool)
-            lv = self.dtype.cast_array(np.asarray(self._pend_v))
-        else:
-            # the last log action per coordinate wins (lexsort is stable, so
-            # the final occurrence in append order is the last in its group)
-            order = np.lexsort((pj, pi))
-            pi_s, pj_s = pi[order], pj[order]
-            last = np.empty(pi_s.size, dtype=bool)
-            last[-1] = True
-            np.logical_or(
-                pi_s[1:] != pi_s[:-1], pj_s[1:] != pj_s[:-1], out=last[:-1]
-            )
-            sel = order[last]
-            li, lj, ldel = pi[sel], pj[sel], pdel[sel]
-            ins = ~ldel
-            lv = self.dtype.cast_array(
-                np.asarray([self._pend_v[k] for k in sel[ins]])
-            ) if np.any(ins) else np.empty(0, dtype=self.dtype.np_dtype)
+        li, lj, ins, lv = res.i, res.j, res.ins, res.values
 
+        major, minor, values = self._store.to_coo()
         if orient is Orientation.COL:
+            rows, cols = minor, major
             n_major, n_minor = self.ncols, self.nrows
         else:
+            rows, cols = major, minor
             n_major, n_minor = self.nrows, self.ncols
-        if fast and rows.size == 0:
+
+        prev_r = prev_c = _EMPTY_IDX
+        prev_v = None
+        if res.fast and rows.size == 0:
             # empty store + sorted unique insertions: assemble with no
             # sort and no dedup at all
+            pmaj, pmin = (lj, li) if orient is Orientation.COL else (li, lj)
             assembled = SparseStore.from_coo(
                 orient,
                 n_major,
@@ -340,34 +463,91 @@ class Matrix:
             )
         else:
             # zombie kill + pending override: drop stored entries touched
-            # by the log, then append the surviving insertions
+            # by the log, then merge the surviving insertions into the
+            # kept run (already sorted) instead of re-sorting everything
             keep = ~_coords_isin(rows, cols, li, lj, self.ncols)
-            rows = np.concatenate([rows[keep], li[ins]])
-            cols = np.concatenate([cols[keep], lj[ins]])
-            vals = np.concatenate([vals[keep], lv])
-            if orient is Orientation.COL:
-                major, minor = cols, rows
-            else:
-                major, minor = rows, cols
-            assembled = SparseStore.from_coo(
+            if self._track_deltas and not keep.all():
+                hit = ~keep
+                prev_r, prev_c = rows[hit].copy(), cols[hit].copy()
+                prev_v = values[hit].copy()
+            ins_maj, ins_min = (
+                (lj[ins], li[ins]) if orient is Orientation.COL else (li[ins], lj[ins])
+            )
+            assembled = merge_sorted_delta(
                 orient,
                 n_major,
                 n_minor,
-                major,
-                minor,
-                vals,
+                major[keep],
+                minor[keep],
+                values[keep],
+                ins_maj,
+                ins_min,
+                lv,
                 self.dtype,
-                dup=SECOND,
                 hyper=hyper,
             )
+            if assembled is None:
+                # enormous dimensions overflow the composite merge key:
+                # fall back to the re-sorting assembly
+                cat_maj = np.concatenate([major[keep], ins_maj])
+                cat_min = np.concatenate([minor[keep], ins_min])
+                cat_val = np.concatenate([values[keep], lv])
+                assembled = SparseStore.from_coo(
+                    orient,
+                    n_major,
+                    n_minor,
+                    cat_maj,
+                    cat_min,
+                    cat_val,
+                    self.dtype,
+                    dup=SECOND,
+                    hyper=hyper,
+                )
+
+        # Patch the cached twin from the same delta instead of dropping it
+        # (engine.TWIN_PATCH): the alt store flips the pre-window epoch, so
+        # killing the same coordinates and merging the same insertions in
+        # its orientation re-synchronizes it without an O(e log e) rebuild.
+        new_alt = None
+        if (
+            self._alt is not None
+            and (self._keep_both or engine.DUAL_FORMAT)
+            and engine.TWIN_PATCH
+        ):
+            new_alt = self._patched_alt(li, lj, ins, lv)
+
         # atomic commit: nothing is touched until assembly fully succeeded,
         # so a mid-assembly failure leaves both the store and the update log
         # exactly as they were
+        from_epoch = self._log.from_epoch
         self._store = assembled
-        self._pend_i, self._pend_j = [], []
-        self._pend_v, self._pend_del = [], []
-        self._alt = None
+        self._log.clear()
         self._epoch += 1
+        if new_alt is not None:
+            self._alt = new_alt
+            self._alt_epoch = self._epoch
+        else:
+            self._alt = None
+        if self._track_deltas:
+            if prev_v is None:
+                prev_v = np.empty(0, dtype=self.dtype.np_dtype)
+            self._remember_delta(
+                DeltaBatch(
+                    self.nrows,
+                    self.ncols,
+                    self.dtype,
+                    li[ins],
+                    lj[ins],
+                    lv,
+                    li[~ins],
+                    lj[~ins],
+                    prev_r,
+                    prev_c,
+                    prev_v,
+                    from_epoch,
+                    self._epoch,
+                )
+            )
         if telemetry.ENABLED:
             telemetry.decision(
                 "assembly",
@@ -375,10 +555,41 @@ class Matrix:
                 pending=_pending,
                 zombies=_zombies,
                 nvals=int(assembled.nvals),
-                fast_path=fast,
+                fast_path=res.fast,
+                twin_patched=new_alt is not None,
             )
             telemetry.record_op("wait", _time.perf_counter() - _t0, int(assembled.nvals))
         return self
+
+    def _patched_alt(self, li, lj, ins, lv) -> SparseStore | None:
+        """Apply the resolved log to the flipped-orientation twin.
+
+        Returns the patched store, or None when the composite merge key
+        would overflow (the caller then drops the twin and lets the next
+        ``by_row``/``by_col`` rebuild it).
+        """
+        alt = self._alt
+        amaj, amin, avals = alt.to_coo()
+        if alt.orientation is Orientation.ROW:
+            arows, acols = amaj, amin
+            ins_maj, ins_min = li[ins], lj[ins]
+        else:
+            arows, acols = amin, amaj
+            ins_maj, ins_min = lj[ins], li[ins]
+        keep = ~_coords_isin(arows, acols, li, lj, self.ncols)
+        return merge_sorted_delta(
+            alt.orientation,
+            alt.n_major,
+            alt.n_minor,
+            amaj[keep],
+            amin[keep],
+            avals[keep],
+            ins_maj,
+            ins_min,
+            lv,
+            self.dtype,
+            hyper=alt.hyper,
+        )
 
     # -- element access ----------------------------------------------------
 
@@ -582,8 +793,8 @@ class Matrix:
     def clear(self) -> "Matrix":
         """``GrB_Matrix_clear``: drop all entries, keep dimensions/type."""
         self._require_valid()
-        self._pend_i, self._pend_j = [], []
-        self._pend_v, self._pend_del = [], []
+        self._log.clear()
+        self._deltas.clear()
         self._store = SparseStore.empty(
             self._store.orientation,
             self._store.n_major,
@@ -701,30 +912,3 @@ class Matrix:
             f"Matrix({self.dtype.name}, {self.nrows}x{self.ncols}, "
             f"nvals={self._store.nvals}{pend}, format={self.format})"
         )
-
-
-def _coords_isin(
-    rows: np.ndarray,
-    cols: np.ndarray,
-    qi: np.ndarray,
-    qj: np.ndarray,
-    ncols: int,
-) -> np.ndarray:
-    """Boolean mask of which (rows, cols) pairs appear in (qi, qj)."""
-    if rows.size == 0 or qi.size == 0:
-        return np.zeros(rows.size, dtype=bool)
-    if ncols <= 2**31:  # composite key fits comfortably in int64
-        key = rows * np.int64(ncols) + cols
-        qkey = qi * np.int64(ncols) + qj
-        return np.isin(key, qkey)
-    # huge dimensions: sort query pairs and binary-search both coordinates
-    order = np.lexsort((qj, qi))
-    qi, qj = qi[order], qj[order]
-    lo = np.searchsorted(qi, rows, side="left")
-    hi = np.searchsorted(qi, rows, side="right")
-    out = np.zeros(rows.size, dtype=bool)
-    for k in np.flatnonzero(hi > lo):
-        seg = qj[lo[k] : hi[k]]
-        p = np.searchsorted(seg, cols[k])
-        out[k] = p < seg.size and seg[p] == cols[k]
-    return out

@@ -16,7 +16,7 @@ import time as _time
 
 import numpy as np
 
-from . import context, faults, governor, telemetry
+from . import context, faults, governor, telemetry, updatelog
 from .errors import (
     IndexOutOfBounds,
     InvalidValue,
@@ -28,6 +28,7 @@ from .errors import (
 from .formats import group_starts, reduce_by_segments
 from .ops import binary
 from .types import Type, lookup_type
+from .updatelog import UpdateLog
 
 __all__ = ["Vector"]
 
@@ -42,10 +43,9 @@ class Vector:
         "size",
         "indices",
         "values",
-        "_pend_i",
-        "_pend_v",
-        "_pend_del",
+        "_log",
         "_valid",
+        "__weakref__",
     )
 
     def __init__(self, dtype, size: int):
@@ -58,9 +58,7 @@ class Vector:
         self.size = size
         self.indices = np.empty(0, dtype=_INDEX)
         self.values = np.empty(0, dtype=self.dtype.np_dtype)
-        self._pend_i: list[int] = []
-        self._pend_v: list = []
-        self._pend_del: list[bool] = []
+        self._log = UpdateLog(matrix=False)
         self._valid = True
 
     # -- constructors ------------------------------------------------------
@@ -114,7 +112,44 @@ class Vector:
 
     @property
     def has_pending(self) -> bool:
-        return bool(self._pend_i)
+        return bool(self._log)
+
+    @property
+    def npending(self) -> int:
+        """Pending insertions (the paper's *pending tuples*)."""
+        return self._log.npending
+
+    @property
+    def nzombies(self) -> int:
+        """Pending deletions (the paper's *zombies*)."""
+        return self._log.nzombies
+
+    # Raw update-log views, kept as assignable properties because the capi
+    # snapshot/restore path and the resilience harness address the log
+    # through them.
+    @property
+    def _pend_i(self) -> list[int]:
+        return self._log.i
+
+    @_pend_i.setter
+    def _pend_i(self, value) -> None:
+        self._log.i = list(value)
+
+    @property
+    def _pend_v(self) -> list:
+        return self._log.v
+
+    @_pend_v.setter
+    def _pend_v(self, value) -> None:
+        self._log.v = list(value)
+
+    @property
+    def _pend_del(self) -> list[bool]:
+        return self._log.deleted
+
+    @_pend_del.setter
+    def _pend_del(self, value) -> None:
+        self._log.deleted = list(value)
 
     @property
     def nvals(self) -> int:
@@ -147,16 +182,15 @@ class Vector:
         """Append one action to the update log; in blocking mode assemble at
         once, un-appending the action if assembly fails so no half-applied
         update survives."""
-        self._pend_i.append(i)
-        self._pend_v.append(value)
-        self._pend_del.append(is_delete)
+        log = self._log
+        if not log and updatelog.TRACK_DEPTH:
+            updatelog.register_for_depth(self)
+        log.append(i, None, value, is_delete)
         if context.get_mode() == context.Mode.BLOCKING:
             try:
                 self.wait()
             except BaseException:
-                del self._pend_i[-1]
-                del self._pend_v[-1]
-                del self._pend_del[-1]
+                log.pop()
                 raise
 
     def wait(self) -> "Vector":
@@ -172,37 +206,13 @@ class Vector:
             faults.trip("assemble")
         if telemetry.ENABLED:
             _t0 = _time.perf_counter()
-            _pending = len(self._pend_i)
-            _zombies = sum(self._pend_del)
-        pi = np.asarray(self._pend_i, dtype=_INDEX)
-        pdel = np.asarray(self._pend_del, dtype=bool)
-        # sortedness fast path: an already-sorted, duplicate-free,
-        # zombie-free log needs no dedup sort (and, on an empty vector,
-        # no merge either) — the common bulk-load pattern
-        fast = not pdel.any() and (
-            pi.size == 1 or bool(np.all(pi[1:] > pi[:-1]))
-        )
-        if fast:
-            li = pi
-            ins = np.ones(pi.size, dtype=bool)
-            lv = self.dtype.cast_array(np.asarray(self._pend_v))
-        else:
-            order = np.argsort(pi, kind="stable")
-            pi_s = pi[order]
-            last = np.empty(pi_s.size, dtype=bool)
-            last[-1] = True
-            np.not_equal(pi_s[1:], pi_s[:-1], out=last[:-1])
-            sel = order[last]
-            li, ldel = pi[sel], pdel[sel]
-            ins = ~ldel
-            if np.any(ins):
-                lv = self.dtype.cast_array(
-                    np.asarray([self._pend_v[k] for k in sel[ins]])
-                )
-            else:
-                lv = np.empty(0, dtype=self.dtype.np_dtype)
+            _pending = len(self._log)
+            _zombies = sum(self._log.deleted)
+        # sortedness fast path and last-wins dedup live in the shared log
+        res = self._log.resolve(self.dtype)
+        li, ins, lv = res.i, res.ins, res.values
 
-        if fast and self.indices.size == 0:
+        if res.fast and self.indices.size == 0:
             self.indices, self.values = li, lv
         else:
             keep = ~np.isin(self.indices, li)
@@ -212,7 +222,7 @@ class Vector:
             # atomic commit: assemble fully, then swap in the result and drop
             # the update log, so a mid-assembly failure changes nothing
             self.indices, self.values = idx[order], val[order]
-        self._pend_i, self._pend_v, self._pend_del = [], [], []
+        self._log.clear()
         if telemetry.ENABLED:
             telemetry.decision(
                 "assembly",
@@ -220,7 +230,7 @@ class Vector:
                 pending=_pending,
                 zombies=_zombies,
                 nvals=int(self.indices.size),
-                fast_path=fast,
+                fast_path=res.fast,
             )
             telemetry.record_op(
                 "wait", _time.perf_counter() - _t0, int(self.indices.size)
@@ -302,7 +312,7 @@ class Vector:
         self._require_valid()
         self.indices = np.empty(0, dtype=_INDEX)
         self.values = np.empty(0, dtype=self.dtype.np_dtype)
-        self._pend_i, self._pend_v, self._pend_del = [], [], []
+        self._log.clear()
         return self
 
     def resize(self, size: int) -> "Vector":

@@ -38,10 +38,15 @@ def pagerank(
     damping: float = 0.85,
     tol: float = 1e-8,
     max_iters: int = 100,
+    init: Vector | None = None,
     checkpoint=None,
     resume=None,
 ) -> tuple[Vector, int]:
     """PageRank; returns (rank vector summing to 1, iterations used).
+
+    ``init`` warm-starts the power iteration from a previous rank vector
+    (the dynamic-graph restart: after a small edge delta the old ranks
+    are near the new fixed point, so few iterations remain).
 
     ``checkpoint`` snapshots the rank vector after each completed
     iteration; ``resume`` restarts from such a snapshot.  The iteration
@@ -63,6 +68,14 @@ def pagerank(
             raise InvalidValue(
                 f"checkpoint rank vector has size {r.size}, graph has {n}"
             )
+    elif init is not None:
+        if init.size != n:
+            raise InvalidValue(
+                f"init rank vector has size {init.size}, graph has {n}"
+            )
+        r = Vector("FP64", n)
+        ops.apply(r, init, "identity")
+        start = 1
     else:
         r = Vector.full(1.0 / n, n, dtype="FP64")
         start = 1

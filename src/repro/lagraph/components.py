@@ -24,7 +24,56 @@ from ..graphblas import operations as ops
 from ..graphblas.errors import InvalidValue
 from .graph import Graph, GraphKind
 
-__all__ = ["connected_components", "cc_label_propagation", "component_sizes"]
+__all__ = [
+    "connected_components",
+    "cc_label_propagation",
+    "component_sizes",
+    "merge_labels",
+]
+
+
+def merge_labels(labels: np.ndarray, us, vs) -> np.ndarray:
+    """Fold a batch of new edges into a min-vertex-id component labeling.
+
+    The incremental half of FastSV: a window of edge *insertions* can only
+    merge components, so instead of re-running the O(e) hooking rounds we
+    union the touched labels (min label becomes the root, preserving the
+    min-vertex-id invariant) and relabel through the union-find roots.
+    O(delta * alpha + L) where L is the number of distinct labels.
+    Deletions can split components and are not handled here — callers
+    fall back to :func:`connected_components`.
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    if us.size == 0:
+        return labels
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(x, x) != x:
+            parent[x], x = root, parent[x]
+        return root
+
+    changed = False
+    for a, b in zip(labels[us].tolist(), labels[vs].tolist()):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            if ra < rb:
+                parent[rb] = ra
+            else:
+                parent[ra] = rb
+            changed = True
+    if not changed:
+        return labels
+    # vectorized relabel: map each distinct label through its union root
+    uniq, inv = np.unique(labels, return_inverse=True)
+    roots = np.fromiter(
+        (find(int(x)) for x in uniq), dtype=labels.dtype, count=uniq.size
+    )
+    return roots[inv]
 
 
 def _symmetric_structure(graph: Graph) -> Matrix:

@@ -14,7 +14,7 @@ import enum
 
 import numpy as np
 
-from ..graphblas import Matrix, Vector
+from ..graphblas import Matrix, Vector, telemetry
 from ..graphblas import operations as ops
 from ..graphblas.errors import InvalidValue
 
@@ -42,6 +42,13 @@ class Graph:
         self.A = A
         self.kind = GraphKind(kind)
         self._cache: dict[str, object] = {}
+        # Settled A epoch each cached property was computed (or last
+        # patched) at; a read whose recorded epoch trails ``A._epoch``
+        # is never served as-is — it is patched forward from the delta
+        # chain when a patcher exists, recomputed otherwise.
+        self._cache_epoch: dict[str, int] = {}
+        # the delta feed that makes cache maintenance incremental
+        A.track_deltas(True)
 
     # -- constructors ------------------------------------------------------
 
@@ -113,65 +120,120 @@ class Graph:
     # -- cached properties (LAGraph_Cached_*) --------------------------------
 
     def delete_cached(self) -> None:
-        """Drop every cached property (after mutating ``A``)."""
+        """Drop every cached property (after mutating ``A``).
+
+        No longer required for correctness — cache reads are epoch-checked
+        and patched or recomputed automatically — but kept as the explicit
+        LAGraph-style reset.
+        """
         self._cache.clear()
+        self._cache_epoch.clear()
+
+    def _cache_get(self, key: str):
+        """Serve ``key`` only at the current epoch, patching forward from
+        the delta chain when this property knows how; None means the
+        caller must recompute (and ``_cache_put`` the result)."""
+        if key not in self._cache:
+            return None
+        cached_at = self._cache_epoch.get(key, -1)
+        current = self.A._epoch
+        if cached_at == current:
+            return self._cache[key]
+        patcher = _PATCHERS.get(key)
+        if patcher is not None:
+            chain = self.A.deltas_since(cached_at)
+            if chain is not None:
+                value = self._cache[key]
+                for delta in chain:
+                    value = patcher(self, value, delta)
+                self._cache[key] = value
+                self._cache_epoch[key] = self.A._epoch
+                if telemetry.ENABLED:
+                    telemetry.decision(
+                        "graph.cache", key=key, patched=True,
+                        windows=len(chain),
+                    )
+                return value
+        # stale with no usable delta chain: recompute from scratch
+        del self._cache[key]
+        self._cache_epoch.pop(key, None)
+        if telemetry.ENABLED:
+            telemetry.decision("graph.cache", key=key, patched=False)
+        return None
+
+    def _cache_put(self, key: str, value):
+        self._cache[key] = value
+        self._cache_epoch[key] = self.A._epoch
+        return value
 
     @property
     def AT(self) -> Matrix:
         """Cached transpose (LAGraph_Cached_AT); A itself if undirected."""
         if self.kind is GraphKind.UNDIRECTED:
             return self.A
-        if "AT" not in self._cache:
+        self.A.wait()
+        T = self._cache_get("AT")
+        if T is None:
             T = Matrix(self.A.dtype, self.n, self.n)
             ops.transpose(T, self.A)
-            self._cache["AT"] = T
-        return self._cache["AT"]
+            self._cache_put("AT", T)
+        return T
 
     @property
     def out_degree(self) -> Vector:
         """Cached out-degree vector (LAGraph_Cached_OutDegree)."""
-        if "out_degree" not in self._cache:
+        self.A.wait()
+        d = self._cache_get("out_degree")
+        if d is None:
             d = Vector("INT64", self.n)
             # count in INT64: a BOOL-domain PLUS would saturate at one
             ones = Matrix("INT64", self.n, self.n)
             ops.apply(ones, self.A, "one")
             ops.reduce_rowwise(d, ones, "plus")
-            self._cache["out_degree"] = d
-        return self._cache["out_degree"]
+            self._cache_put("out_degree", d)
+        return d
 
     @property
     def in_degree(self) -> Vector:
         """Cached in-degree vector (LAGraph_Cached_InDegree)."""
         if self.kind is GraphKind.UNDIRECTED:
             return self.out_degree
-        if "in_degree" not in self._cache:
+        self.A.wait()
+        d = self._cache_get("in_degree")
+        if d is None:
             d = Vector("INT64", self.n)
             ones = Matrix("INT64", self.n, self.n)
             ops.apply(ones, self.A, "one")
             ops.reduce_rowwise(d, ones, "plus", desc="T0")
-            self._cache["in_degree"] = d
-        return self._cache["in_degree"]
+            self._cache_put("in_degree", d)
+        return d
 
     @property
     def is_symmetric_structure(self) -> bool:
-        """Cached structural symmetry test."""
+        """Cached structural symmetry test (recomputed when stale: the
+        predicate cannot be patched from a delta alone)."""
         if self.kind is GraphKind.UNDIRECTED:
             return True
-        if "symmetric" not in self._cache:
+        self.A.wait()
+        sym = self._cache_get("symmetric")
+        if sym is None:
             r1, c1, _ = self.A.extract_tuples()
             r2, c2, _ = self.AT.extract_tuples()
-            self._cache["symmetric"] = bool(
-                np.array_equal(r1, r2) and np.array_equal(c1, c2)
+            sym = self._cache_put(
+                "symmetric",
+                bool(np.array_equal(r1, r2) and np.array_equal(c1, c2)),
             )
-        return self._cache["symmetric"]
+        return sym
 
     @property
     def nself_edges(self) -> int:
         """Cached count of self-loops (LAGraph_Cached_NSelfEdges)."""
-        if "nself" not in self._cache:
+        self.A.wait()
+        nself = self._cache_get("nself")
+        if nself is None:
             r, c, _ = self.A.extract_tuples()
-            self._cache["nself"] = int(np.count_nonzero(r == c))
-        return self._cache["nself"]
+            nself = self._cache_put("nself", int(np.count_nonzero(r == c)))
+        return nself
 
     def without_self_edges(self) -> "Graph":
         """A copy with the diagonal removed (LAGraph_DeleteSelfEdges)."""
@@ -207,3 +269,67 @@ class Graph:
         return (
             f"Graph({self.kind.value}, n={self.n}, nvals={self.A._store.nvals})"
         )
+
+
+# -- cached-property patchers --------------------------------------------------
+#
+# Each takes (graph, cached value, DeltaBatch) and returns the value advanced
+# by one assembled window, so `_cache_get` can maintain a property in O(delta)
+# instead of recomputing it in O(e).  Properties without an entry here
+# (structural symmetry) fall back to recompute-on-stale.
+
+
+def _patch_degree(value: Vector, delta, *, by_row: bool) -> Vector:
+    dd = value.to_dense(0).astype(np.int64, copy=False)
+    nr, nc, _ = delta.new_edges()
+    rr, rc, _ = delta.removed_edges()
+    np.add.at(dd, nr if by_row else nc, 1)
+    np.subtract.at(dd, rr if by_row else rc, 1)
+    return Vector.from_dense(dd, missing=0, dtype="INT64")
+
+
+def _patch_out_degree(g: "Graph", value: Vector, delta) -> Vector:
+    return _patch_degree(value, delta, by_row=True)
+
+
+def _patch_in_degree(g: "Graph", value: Vector, delta) -> Vector:
+    return _patch_degree(value, delta, by_row=False)
+
+
+def _patch_transpose(g: "Graph", T: Matrix, delta) -> Matrix:
+    # replay the window on the transpose with rows and columns swapped;
+    # insertions and deletions are coordinate-disjoint after resolution,
+    # so one batch applies them all
+    rows = np.concatenate([delta.ins_cols, delta.del_cols])
+    cols = np.concatenate([delta.ins_rows, delta.del_rows])
+    vals = np.concatenate(
+        [delta.ins_values, np.zeros(delta.del_rows.size, dtype=T.dtype.np_dtype)]
+    )
+    dels = np.concatenate(
+        [
+            np.zeros(delta.ins_rows.size, dtype=bool),
+            np.ones(delta.del_rows.size, dtype=bool),
+        ]
+    )
+    if rows.size:
+        T.update_batch(rows, cols, vals, deleted=dels)
+        T.wait()
+    return T
+
+
+def _patch_nself(g: "Graph", nself: int, delta) -> int:
+    nr, nc, _ = delta.new_edges()
+    rr, rc, _ = delta.removed_edges()
+    return (
+        nself
+        + int(np.count_nonzero(nr == nc))
+        - int(np.count_nonzero(rr == rc))
+    )
+
+
+_PATCHERS = {
+    "out_degree": _patch_out_degree,
+    "in_degree": _patch_in_degree,
+    "AT": _patch_transpose,
+    "nself": _patch_nself,
+}

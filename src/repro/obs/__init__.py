@@ -145,6 +145,10 @@ def _engine_gauges() -> list[tuple[str, object, dict]]:
             lambda s=stat: plan.resolver_cache_stats()[s],
             {"stat": stat},
         ))
+    from ..graphblas import updatelog
+
+    gauges.append(("graphblas_pending_tuples", updatelog.pending_depth, {}))
+    gauges.append(("graphblas_zombies", updatelog.zombie_depth, {}))
     return gauges
 
 
@@ -170,8 +174,17 @@ def enable(*, slow_ms: float | None = None,
                               "Shared engine thread pool occupancy")
             _registry.declare("graphblas_plan_resolver_cache", "gauge",
                               "Plan resolver memo-table stats")
+            _registry.declare("graphblas_pending_tuples", "gauge",
+                              "Unassembled update-log insertions across "
+                              "live matrices/vectors")
+            _registry.declare("graphblas_zombies", "gauge",
+                              "Unassembled update-log deletions across "
+                              "live matrices/vectors")
             for name, fn, labels in _engine_gauges():
                 _registry.register_gauge(name, fn, labels)
+            from ..graphblas import updatelog
+
+            updatelog.enable_depth_tracking(True)
             _telemetry.set_sink(_sink)
     emit_s = env_float("GRAPHBLAS_OBS_EMIT_S", 0.0, minimum=0.0)
     if emit_s > 0 and _emitter is None:
@@ -187,6 +200,9 @@ def disable() -> None:
         if _sink is not None:
             _telemetry.set_sink(None)
             _sink = None
+            from ..graphblas import updatelog
+
+            updatelog.enable_depth_tracking(False)
 
 
 def enabled() -> bool:

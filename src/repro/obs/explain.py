@@ -68,6 +68,10 @@ def _build_records(events: list[dict]) -> tuple[list[dict], dict, dict]:
     pending = _new_pending()
     ops: dict[str, dict] = {}
     spans: dict[str, dict] = {}
+    # plan.done events that fall inside a stream.window span's time range
+    # belong to that window (span events are appended at span exit but
+    # carry their begin timestamp and duration)
+    plan_ts: list[float] = []
     for ev in events:
         etype = ev["type"]
         name = ev["name"]
@@ -75,6 +79,7 @@ def _build_records(events: list[dict]) -> tuple[list[dict], dict, dict]:
         if etype == "decision":
             if name == "plan.done":
                 plans.append(_fold(dict(args), pending))
+                plan_ts.append(ev.get("ts", 0.0))
                 pending = _new_pending()
             elif name == "backend.fallback":
                 pending["fallbacks"].append(
@@ -90,6 +95,12 @@ def _build_records(events: list[dict]) -> tuple[list[dict], dict, dict]:
             agg = spans.setdefault(name, {"count": 0, "seconds": 0.0})
             agg["count"] += 1
             agg["seconds"] += ev.get("dur", 0.0) / 1e6
+            if name == "stream.window" and "index" in args:
+                lo = ev.get("ts", 0.0)
+                hi = lo + ev.get("dur", 0.0)
+                for r, t in zip(plans, plan_ts):
+                    if lo <= t <= hi:
+                        r.setdefault("window", args["index"])
     return plans, ops, spans
 
 
@@ -143,6 +154,9 @@ class ExplainReport:
             headers = ["#", "op", "route", "backend", "method", "ms",
                        "est", "actual", "admission", "kcache", "spills",
                        "reloads"]
+            windowed = any("window" in r for r in self.records)
+            if windowed:
+                headers.append("win")
             rows = []
             for i, r in enumerate(self.records):
                 hits = r.get("kernel_hits", 0)
@@ -165,6 +179,9 @@ class ExplainReport:
                     str(r.get("spills", 0) or "-"),
                     str(r.get("reloads", 0) or "-"),
                 ])
+                if windowed:
+                    w = r.get("window")
+                    rows[-1].append("-" if w is None else str(w))
             parts.append("EXPLAIN: executed plans\n" + _table(headers, rows))
         else:
             parts.append("EXPLAIN: no plans executed")

@@ -1,0 +1,322 @@
+"""Incremental algorithm maintenance keyed on assembled delta windows.
+
+Each maintainer caches the result of one algorithm together with the
+adjacency epoch it was computed at.  ``update()`` asks the matrix for the
+contiguous :class:`~repro.graphblas.updatelog.DeltaBatch` chain since that
+epoch and advances the cached result in O(delta)-flavored work; whenever
+the chain is unavailable (tracking off, bulk mutation, window log
+truncated) or the delta violates the maintainer's assumptions (deletions
+for union-only components), it falls back to the from-scratch algorithm —
+the parity oracle it is tested against.
+
+* :class:`DynamicPageRank` — batched thresholded residual push
+  (vectorized Gauss–Southwell).  The residual vector is carried across
+  windows; a window adjusts it only at the vertices whose out-links
+  changed, then pushes until the L1 residual is back under ``tol``.
+  Parity contract: ``||p - p*||_1 <= tol / (1 - damping)``, so against the
+  from-scratch power iteration the L1 gap is at most
+  ``2 * tol / (1 - damping)``.
+* :class:`IncrementalComponents` — insertions can only merge components,
+  so the min-vertex-id labeling is advanced with a union-find over the
+  delta's endpoints (:func:`repro.lagraph.components.merge_labels`);
+  windows containing physical deletions trigger a FastSV recompute.
+  Exact parity.
+* :class:`IncrementalTriangles` — per-delta wedge counting
+  (:func:`repro.lagraph.triangles.triangle_count_delta`).  Exact parity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import Vector, telemetry
+from ..graphblas.formats import ragged_take
+from ..lagraph.centrality import pagerank
+from ..lagraph.components import connected_components, merge_labels
+from ..lagraph.graph import Graph
+from ..lagraph.triangles import triangle_count, triangle_count_delta
+
+__all__ = ["DynamicPageRank", "IncrementalComponents", "IncrementalTriangles"]
+
+_INDEX = np.int64
+
+
+def _chain_net_edges(chain, n: int):
+    """Net structural effect of a window chain on each touched coordinate.
+
+    Compares each coordinate's presence *before the first batch that
+    touched it* with its presence *after the last*: returns
+    ``(add_u, add_v, rem_u, rem_v)`` — coordinates that net-appeared and
+    net-vanished.  Value-only overwrites cancel out.  Returns None when
+    the composite key would overflow (callers recompute).
+    """
+    if n > 2**31:
+        return None
+    keys, batches, existed, isins = [], [], [], []
+    for bi, d in enumerate(chain):
+        ikey = d.ins_rows * np.int64(n) + d.ins_cols
+        dkey = d.del_rows * np.int64(n) + d.del_cols
+        pkey = d.prev_rows * np.int64(n) + d.prev_cols
+        k = np.concatenate([ikey, dkey])
+        if k.size == 0:
+            continue
+        keys.append(k)
+        batches.append(np.full(k.size, bi, dtype=_INDEX))
+        existed.append(np.isin(k, pkey))
+        isins.append(
+            np.concatenate(
+                [np.ones(ikey.size, dtype=bool), np.zeros(dkey.size, dtype=bool)]
+            )
+        )
+    empty = np.empty(0, dtype=_INDEX)
+    if not keys:
+        return empty, empty, empty, empty
+    keys = np.concatenate(keys)
+    batches = np.concatenate(batches)
+    existed = np.concatenate(existed)
+    isins = np.concatenate(isins)
+    order = np.lexsort((batches, keys))
+    ks = keys[order]
+    first = np.empty(ks.size, dtype=bool)
+    first[0] = True
+    np.not_equal(ks[1:], ks[:-1], out=first[1:])
+    last = np.empty(ks.size, dtype=bool)
+    last[-1] = True
+    np.not_equal(ks[1:], ks[:-1], out=last[:-1])
+    uniq = ks[first]
+    init_present = existed[order][first]
+    final_present = isins[order][last]
+    added = final_present & ~init_present
+    removed = init_present & ~final_present
+    au, av = uniq[added] // n, uniq[added] % n
+    ru, rv = uniq[removed] // n, uniq[removed] % n
+    return au, av, ru, rv
+
+
+class DynamicPageRank:
+    """PageRank maintained across windows by residual push.
+
+    ``update()`` returns ``(ranks, sweeps)`` where ``ranks`` is the dense
+    FP64 rank array (summing to ~1) and ``sweeps`` is the number of push
+    sweeps the window needed (0 when nothing changed).
+    """
+
+    def __init__(self, graph: Graph, *, damping: float = 0.85,
+                 tol: float = 1e-8, max_sweeps: int = 1000):
+        self.graph = graph
+        self.damping = float(damping)
+        self.tol = float(tol)
+        self.max_sweeps = int(max_sweeps)
+        self._p: np.ndarray | None = None
+        self._r: np.ndarray | None = None
+        self._epoch = -1
+        self.recomputes = 0
+        self.windows = 0
+        self.last_sweeps = 0
+
+    @property
+    def ranks(self) -> np.ndarray | None:
+        return self._p
+
+    def as_vector(self) -> Vector:
+        return Vector.from_dense(self._p, dtype="FP64")
+
+    # -- the solver --------------------------------------------------------
+
+    def _exact_residual(self, store, deg: np.ndarray, n: int) -> np.ndarray:
+        """r = b + d * M^T p - p over the full current adjacency, O(e)."""
+        p, d = self._p, self.damping
+        rows, cols, _ = store.to_coo()
+        pod = np.zeros(n)
+        nz = deg > 0
+        pod[nz] = p[nz] / deg[nz]
+        if rows.size:
+            t = np.bincount(cols, weights=pod[rows], minlength=n)
+        else:
+            t = np.zeros(n)
+        dangling = float(p[~nz].sum())
+        return (1.0 - d) / n + d * t + d * dangling / n - p
+
+    def _adjust_residual(self, chain, store, deg_new: np.ndarray, n: int) -> bool:
+        """Advance the carried residual by the chain's net edge changes;
+        touches only the changed sources' adjacency.  False → recompute."""
+        net = _chain_net_edges(chain, n)
+        if net is None:
+            return False
+        au, av, ru, rv = net
+        if au.size == 0 and ru.size == 0:
+            return True  # value-only window: structure-blind PageRank
+        p, d, r = self._p, self.damping, self._r
+        deg_old = deg_new.astype(np.float64, copy=True)
+        np.subtract.at(deg_old, au, 1)
+        np.add.at(deg_old, ru, 1)
+        U = np.unique(np.concatenate([au, ru]))
+        dnu, dou = deg_new[U], deg_old[U]
+        coef_new = np.where(dnu > 0, d * p[U] / np.maximum(dnu, 1), 0.0)
+        coef_old = np.where(dou > 0, d * p[U] / np.maximum(dou, 1), 0.0)
+        # over the final adjacency of the touched sources
+        starts, ends = store.major_ranges(U)
+        counts = ends - starts
+        neigh = ragged_take(store.minor, starts, counts)
+        if neigh.size:
+            wgt = np.repeat(coef_new - coef_old, counts)
+            r += np.bincount(neigh, weights=wgt, minlength=n)
+        # the old adjacency lacked the net-added coords and had the removed
+        if au.size:
+            np.add.at(r, av, coef_old[np.searchsorted(U, au)])
+        if ru.size:
+            np.subtract.at(r, rv, coef_old[np.searchsorted(U, ru)])
+        # dangling transitions redistribute uniformly
+        dang_shift = float(p[U][dnu == 0].sum()) - float(p[U][dou == 0].sum())
+        if dang_shift:
+            r += d * dang_shift / n
+        return True
+
+    def _push(self, store, deg: np.ndarray, n: int) -> int | None:
+        """Batched Gauss–Southwell sweeps until ||r||_1 <= tol."""
+        p, r, d = self._p, self._r, self.damping
+        theta = self.tol / (2.0 * n)
+        sweeps = 0
+        while float(np.abs(r).sum()) > self.tol:
+            if sweeps >= self.max_sweeps:
+                return None
+            active = np.flatnonzero(np.abs(r) > theta)
+            if active.size == 0:
+                break
+            dr = r[active].copy()
+            p[active] += dr
+            r[active] = 0.0
+            degs = deg[active]
+            nz = degs > 0
+            act_nz = active[nz]
+            if act_nz.size:
+                starts, ends = store.major_ranges(act_nz)
+                counts = ends - starts
+                neigh = ragged_take(store.minor, starts, counts)
+                if neigh.size:
+                    wgt = np.repeat(d * dr[nz] / degs[nz], counts)
+                    r += np.bincount(neigh, weights=wgt, minlength=n)
+            dangling_mass = float(dr[~nz].sum())
+            if dangling_mass:
+                r += d * dangling_mass / n
+            sweeps += 1
+        return sweeps
+
+    def update(self) -> tuple[np.ndarray, int]:
+        A = self.graph.A
+        A.wait()
+        n = self.graph.n
+        deg = self.graph.out_degree.to_dense(0).astype(np.float64)
+        store = A.by_row()
+        chain = None if self._p is None else A.deltas_since(self._epoch)
+        with telemetry.span("stream.pagerank", n=n, windows=self.windows):
+            patched = False
+            if chain is not None:
+                patched = self._adjust_residual(chain, store, deg, n)
+            if not patched:
+                if self._p is not None:
+                    self.recomputes += 1
+                self._p = np.full(n, 1.0 / n)
+                self._r = self._exact_residual(store, deg, n)
+            sweeps = self._push(store, deg, n)
+            if sweeps is None:
+                # pathological window: restart from scratch once
+                self.recomputes += 1
+                self._p = np.full(n, 1.0 / n)
+                self._r = self._exact_residual(store, deg, n)
+                sweeps = self._push(store, deg, n)
+                if sweeps is None:
+                    raise RuntimeError(
+                        "dynamic pagerank failed to converge "
+                        f"in {self.max_sweeps} sweeps"
+                    )
+        self._epoch = A._epoch
+        self.windows += 1
+        self.last_sweeps = sweeps
+        if telemetry.ENABLED:
+            telemetry.instant(
+                "stream.pagerank.window", sweeps=sweeps, patched=patched
+            )
+        return self._p, sweeps
+
+    def parity_gap(self) -> float:
+        """L1 distance to a fresh from-scratch PageRank (test/bench hook).
+
+        Bounded by ``2 * tol / (1 - damping)`` per the parity contract.
+        """
+        full, _ = pagerank(self.graph, damping=self.damping, tol=self.tol)
+        return float(np.abs(full.to_dense(0.0) - self._p).sum())
+
+
+class IncrementalComponents:
+    """Min-vertex-id component labels maintained across windows."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._labels: np.ndarray | None = None
+        self._epoch = -1
+        self.recomputes = 0
+        self.windows = 0
+
+    @property
+    def labels(self) -> np.ndarray | None:
+        return self._labels
+
+    def update(self) -> np.ndarray:
+        A = self.graph.A
+        A.wait()
+        chain = None if self._labels is None else A.deltas_since(self._epoch)
+        with telemetry.span("stream.components", windows=self.windows):
+            patched = False
+            if chain is not None:
+                labels = self._labels
+                patched = True
+                for delta in chain:
+                    rr, _, _ = delta.removed_edges()
+                    if rr.size:
+                        patched = False  # deletions may split components
+                        break
+                    nr, nc, _ = delta.new_edges()
+                    labels = merge_labels(labels, nr, nc)
+                if patched:
+                    self._labels = labels
+            if not patched:
+                if self._labels is not None:
+                    self.recomputes += 1
+                self._labels = (
+                    connected_components(self.graph).to_dense().astype(np.int64)
+                )
+        self._epoch = A._epoch
+        self.windows += 1
+        return self._labels
+
+
+class IncrementalTriangles:
+    """Global triangle count maintained by per-delta wedge updates."""
+
+    def __init__(self, graph: Graph, *, method: str = "sandia_ll"):
+        self.graph = graph
+        self.method = method
+        self._count: int | None = None
+        self._epoch = -1
+        self.recomputes = 0
+        self.windows = 0
+
+    @property
+    def count(self) -> int | None:
+        return self._count
+
+    def update(self) -> int:
+        A = self.graph.A
+        A.wait()
+        chain = None if self._count is None else A.deltas_since(self._epoch)
+        with telemetry.span("stream.triangles", windows=self.windows):
+            if chain is not None:
+                self._count = triangle_count_delta(self.graph, chain, self._count)
+            else:
+                if self._count is not None:
+                    self.recomputes += 1
+                self._count = triangle_count(self.graph, self.method)
+        self._epoch = A._epoch
+        self.windows += 1
+        return self._count

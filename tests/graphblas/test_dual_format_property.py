@@ -41,10 +41,16 @@ def _engine_on():
 
 
 def _assert_twin_fresh(A: Matrix) -> None:
-    """The cached twin (if any) must be a faithful conversion of _store."""
+    """The cached twin (if any) must be a faithful conversion of _store.
+
+    While updates are pending the twin is allowed to survive with a stale
+    epoch mark (``wait()`` will patch or drop it, and ``_oriented`` never
+    serves it before waiting) — it must still flip the *settled* store.
+    """
     if A._alt is None:
         return
-    assert A._alt_epoch == A._epoch, "stale twin is being retained as current"
+    if not A.has_pending:
+        assert A._alt_epoch == A._epoch, "stale twin is being retained as current"
     fresh = A._store.with_orientation(A._store.orientation.flipped)
     assert A._alt.orientation == fresh.orientation
     assert A._alt.hyper == fresh.hyper

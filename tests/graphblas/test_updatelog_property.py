@@ -1,0 +1,171 @@
+"""Property test: the shared update log is order-equivalent to eager
+application.
+
+Hypothesis drives random interleavings of ``setElement`` /
+``removeElement`` at deliberately overlapping coordinates against a
+matrix in each of the four storage formats.  The settled matrix must
+equal a dict oracle that applies every mutation eagerly
+(last-action-per-coordinate wins), regardless of whether assembly
+happens through one big ``wait()``, through many partial waits (chunked
+``update_batch`` windows), or is reconstructed by replaying the emitted
+delta-window chain onto a copy of the starting matrix.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphblas import Matrix
+
+N = 7
+
+FORMATS = ("csr", "csc", "hypercsr", "hypercsc")
+
+# a small coordinate pool guarantees collisions between sets and removes
+_action = st.one_of(
+    st.tuples(
+        st.just("set"),
+        st.integers(0, N - 1),
+        st.integers(0, N - 1),
+        st.integers(-9, 9),
+    ),
+    st.tuples(st.just("remove"), st.integers(0, N - 1), st.integers(0, N - 1)),
+    st.tuples(st.just("wait")),
+)
+
+
+def _oracle_to_coo(oracle: dict):
+    if not oracle:
+        e = np.empty(0, dtype=np.int64)
+        return e, e, np.empty(0)
+    items = sorted(oracle.items())
+    rows = np.array([k[0] for k, _ in items], dtype=np.int64)
+    cols = np.array([k[1] for k, _ in items], dtype=np.int64)
+    vals = np.array([v for _, v in items], dtype=np.float64)
+    return rows, cols, vals
+
+
+def _assert_matches(A: Matrix, oracle: dict):
+    rows, cols, vals = A.extract_tuples()
+    got = dict(zip(zip(rows.tolist(), cols.tolist()), vals.tolist()))
+    want = dict(zip(zip(*_oracle_to_coo(oracle)[:2]), _oracle_to_coo(oracle)[2]))
+    assert got == want
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@settings(max_examples=40, deadline=None)
+@given(actions=st.lists(_action, min_size=1, max_size=60))
+def test_interleaved_updates_match_eager_oracle(fmt, actions):
+    A = Matrix("FP64", N, N).set_format(fmt)
+    oracle: dict = {}
+    for act in actions:
+        if act[0] == "set":
+            _, i, j, v = act
+            A.set_element(i, j, float(v))
+            oracle[(i, j)] = float(v)
+        elif act[0] == "remove":
+            _, i, j = act
+            A.remove_element(i, j)
+            oracle.pop((act[1], act[2]), None)
+        else:
+            A.wait()
+            _assert_matches(A, oracle)
+    A.wait()
+    _assert_matches(A, oracle)
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@settings(max_examples=40, deadline=None)
+@given(
+    actions=st.lists(_action, min_size=1, max_size=60),
+    chunk=st.integers(1, 7),
+)
+def test_chunked_update_batch_matches_eager_oracle(fmt, actions, chunk):
+    """The same interleaving applied through windowed ``update_batch``
+    calls (each settled by its own wait, like stream window chunks)."""
+    muts = [a for a in actions if a[0] != "wait"]
+    if not muts:
+        return
+    A = Matrix("FP64", N, N).set_format(fmt)
+    oracle: dict = {}
+    for lo in range(0, len(muts), chunk):
+        window = muts[lo:lo + chunk]
+        rows = np.array([a[1] for a in window], dtype=np.int64)
+        cols = np.array([a[2] for a in window], dtype=np.int64)
+        vals = np.array(
+            [float(a[3]) if a[0] == "set" else 0.0 for a in window]
+        )
+        dels = np.array([a[0] == "remove" for a in window])
+        A.update_batch(rows, cols, vals, deleted=dels)
+        A.wait()
+        for a in window:
+            if a[0] == "set":
+                oracle[(a[1], a[2])] = float(a[3])
+            else:
+                oracle.pop((a[1], a[2]), None)
+        _assert_matches(A, oracle)
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@settings(max_examples=25, deadline=None)
+@given(
+    actions=st.lists(_action, min_size=1, max_size=50),
+    chunk=st.integers(1, 9),
+)
+def test_delta_chain_replay_reconstructs_matrix(fmt, actions, chunk):
+    """The emitted DeltaBatch chain is a faithful edit script: replaying
+    ``new/overwritten/removed`` edges of every window onto a copy of the
+    starting matrix reproduces the final matrix exactly."""
+    muts = [a for a in actions if a[0] != "wait"]
+    if not muts:
+        return
+    A = Matrix("FP64", N, N).set_format(fmt)
+    # non-trivial starting state so prev_* displacement tracking matters
+    A.update_batch(
+        np.array([0, 1, 2, 3], dtype=np.int64),
+        np.array([3, 2, 1, 0], dtype=np.int64),
+        np.array([9.0, 8.0, 7.0, 6.0]),
+    )
+    A.wait()
+    B = A.dup()
+    A.track_deltas(True)
+    epoch0 = A._epoch
+    for lo in range(0, len(muts), chunk):
+        window = muts[lo:lo + chunk]
+        rows = np.array([a[1] for a in window], dtype=np.int64)
+        cols = np.array([a[2] for a in window], dtype=np.int64)
+        vals = np.array(
+            [float(a[3]) if a[0] == "set" else 0.0 for a in window]
+        )
+        dels = np.array([a[0] == "remove" for a in window])
+        A.update_batch(rows, cols, vals, deleted=dels)
+        A.wait()
+    chain = A.deltas_since(epoch0)
+    assert chain is not None
+    for delta in chain:
+        nr, nc, nv = delta.new_edges()
+        orr, oc, ov = delta.overwritten_edges()
+        rr, rc, _ = delta.removed_edges()
+        for i, j, v in zip(nr.tolist(), nc.tolist(), nv.tolist()):
+            B.set_element(i, j, v)
+        for i, j, v in zip(orr.tolist(), oc.tolist(), ov.tolist()):
+            B.set_element(i, j, v)
+        for i, j in zip(rr.tolist(), rc.tolist()):
+            B.remove_element(i, j)
+        B.wait()
+    assert B.isequal(A)
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_delta_as_matrix_is_hypersparse_window(fmt):
+    A = Matrix("FP64", N, N).set_format(fmt)
+    A.track_deltas(True)
+    A.set_element(1, 2, 5.0)
+    A.set_element(4, 6, -1.0)
+    A.wait()
+    D = A.last_delta.as_matrix()
+    rows, cols, vals = D.extract_tuples()
+    assert rows.tolist() == [1, 4]
+    assert cols.tolist() == [2, 6]
+    assert vals.tolist() == [5.0, -1.0]
+    assert D.format.startswith("hyper")

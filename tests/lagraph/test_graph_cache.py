@@ -1,0 +1,124 @@
+"""Epoch-checked Graph property caches: staleness regression + delta patching.
+
+The original cache keyed only on presence: a mutation of ``A`` after a
+property access silently served stale degrees/transpose unless the caller
+remembered ``delete_cached()``.  Reads are now epoch-checked, and the
+patchable properties (degrees, transpose, self-loop count) are maintained
+incrementally from the matrix's delta-window chain rather than recomputed.
+"""
+
+import numpy as np
+import pytest
+
+import repro.lagraph.graph as graph_mod
+from repro.graphblas import Matrix
+from repro.lagraph import Graph, GraphKind
+
+
+def _fresh_graph_like(g: Graph) -> Graph:
+    """An identical graph with cold caches (the recompute oracle)."""
+    return Graph(g.A.dup(), g.kind)
+
+
+def test_stale_degree_regression():
+    # the exact staleness bug: access, mutate, access again w/o delete_cached
+    g = Graph.from_edges([0, 1], [1, 2], n=4, kind=GraphKind.DIRECTED)
+    assert g.out_degree.to_dense(0).tolist() == [1, 1, 0, 0]
+    g.A.set_element(0, 2, True)
+    g.A.set_element(0, 3, True)
+    assert g.out_degree.to_dense(0).tolist() == [3, 1, 0, 0]
+    assert g.in_degree.to_dense(0).tolist() == [0, 1, 2, 1]
+
+
+def test_stale_transpose_and_nself_regression():
+    g = Graph.from_edges([0, 1], [1, 2], n=3, kind=GraphKind.DIRECTED)
+    assert g.AT.get(1, 0) is not None
+    assert g.nself_edges == 0
+    g.A.set_element(2, 2, True)
+    g.A.set_element(2, 0, True)
+    assert g.nself_edges == 1
+    assert g.AT.get(0, 2) is not None
+    g.A.remove_element(2, 2)
+    assert g.nself_edges == 0
+
+
+def test_symmetry_cache_recomputed_when_stale():
+    g = Graph.from_edges([0, 1], [1, 0], n=2, kind=GraphKind.DIRECTED)
+    assert g.is_symmetric_structure is True
+    g.A.set_element(0, 0, True)  # diagonal: still symmetric
+    assert g.is_symmetric_structure is True
+    g2 = Graph.from_edges([0, 1], [1, 0], n=3, kind=GraphKind.DIRECTED)
+    assert g2.is_symmetric_structure is True
+    g2.A.set_element(0, 2, True)
+    assert g2.is_symmetric_structure is False
+
+
+def test_degree_patch_is_incremental(monkeypatch):
+    """After the first compute, window-sized mutations must not trigger a
+    from-scratch degree reduction."""
+    rng = np.random.default_rng(7)
+    src, dst = rng.integers(0, 50, size=(2, 200))
+    g = Graph.from_edges(src, dst, n=50, kind=GraphKind.DIRECTED)
+    g.out_degree  # warm the cache
+
+    calls = []
+    real = graph_mod.ops.reduce_rowwise
+    monkeypatch.setattr(
+        graph_mod.ops, "reduce_rowwise",
+        lambda *a, **k: calls.append(1) or real(*a, **k),
+    )
+    for k in range(10):
+        g.A.set_element(int(rng.integers(50)), int(rng.integers(50)), True)
+        got = g.out_degree.to_dense(0)
+        assert calls == [], "degree cache was recomputed instead of patched"
+        want = _fresh_graph_like(g).out_degree.to_dense(0)
+        calls.clear()  # the from-scratch oracle legitimately recomputes
+        assert np.array_equal(got, want)
+
+
+@pytest.mark.parametrize("kind", [GraphKind.DIRECTED, GraphKind.UNDIRECTED])
+def test_patched_properties_match_recompute(kind):
+    rng = np.random.default_rng(3)
+    src, dst = rng.integers(0, 30, size=(2, 120))
+    g = Graph.from_edges(src, dst, n=30, kind=kind)
+    # warm every patchable cache
+    g.out_degree, g.in_degree, g.nself_edges
+    if kind is GraphKind.DIRECTED:
+        g.AT
+
+    for step in range(15):
+        i, j = int(rng.integers(30)), int(rng.integers(30))
+        if step % 3 == 2:
+            g.A.remove_element(i, j)
+            if kind is GraphKind.UNDIRECTED:
+                g.A.remove_element(j, i)
+        else:
+            g.A.set_element(i, j, True)
+            if kind is GraphKind.UNDIRECTED:
+                g.A.set_element(j, i, True)
+        oracle = _fresh_graph_like(g)
+        assert np.array_equal(
+            g.out_degree.to_dense(0), oracle.out_degree.to_dense(0)
+        )
+        assert np.array_equal(
+            g.in_degree.to_dense(0), oracle.in_degree.to_dense(0)
+        )
+        assert g.nself_edges == oracle.nself_edges
+        assert g.AT.isequal(oracle.AT)
+
+
+def test_bulk_mutation_breaks_chain_and_recomputes():
+    g = Graph.from_edges([0, 1], [1, 2], n=4, kind=GraphKind.DIRECTED)
+    g.out_degree
+    g.A.clear()
+    assert g.out_degree.to_dense(0).tolist() == [0, 0, 0, 0]
+    g.A.set_element(3, 0, True)
+    assert g.out_degree.to_dense(0).tolist() == [0, 0, 0, 1]
+
+
+def test_delete_cached_still_works():
+    g = Graph.from_edges([0], [1], n=2, kind=GraphKind.DIRECTED)
+    g.out_degree
+    g.delete_cached()
+    assert g._cache == {} and g._cache_epoch == {}
+    assert g.out_degree.to_dense(0).tolist() == [1, 0]

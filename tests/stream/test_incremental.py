@@ -1,0 +1,165 @@
+"""Parity of the incremental maintainers against their from-scratch
+counterparts on every window of a stream (tumbling = insert-only,
+sliding = insertions + deletions)."""
+
+import numpy as np
+import pytest
+
+from repro.lagraph import (
+    Graph,
+    GraphKind,
+    connected_components,
+    pagerank,
+    triangle_count,
+)
+from repro.stream import (
+    DynamicPageRank,
+    GraphStream,
+    IncrementalComponents,
+    IncrementalTriangles,
+)
+
+PR_TOL = 1e-10
+PR_GAP = 1e-6  # >> 2 * tol / (1 - damping)
+
+
+def _stream(window, seed=7, n=120, m=1500, t_hi=8.0, width=1.0):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    ts = np.sort(rng.uniform(0, t_hi, m))
+    st = GraphStream(n, kind=GraphKind.UNDIRECTED, window=window, width=width)
+    return st, src, dst, ts, m
+
+
+def _drive(st, src, dst, ts, m, on_window, batch=250):
+    for lo in range(0, m, batch):
+        for win in st.ingest(src[lo:lo + batch], dst[lo:lo + batch],
+                             ts[lo:lo + batch]):
+            on_window(win)
+    win = st.flush()
+    if win is not None:
+        on_window(win)
+
+
+def _oracle(graph):
+    return Graph(graph.A.dup(), graph.kind)
+
+
+@pytest.mark.parametrize("window", ["tumbling", "sliding"])
+def test_all_maintainers_parity_every_window(window):
+    st, src, dst, ts, m = _stream(window)
+    pr = DynamicPageRank(st.graph, tol=PR_TOL)
+    cc = IncrementalComponents(st.graph)
+    tri = IncrementalTriangles(st.graph)
+    checked = []
+
+    def on_window(win):
+        ranks, _ = pr.update()
+        labels = cc.update()
+        count = tri.update()
+        g = _oracle(st.graph)
+        full, _ = pagerank(g, tol=PR_TOL)
+        gap = float(np.abs(full.to_dense(0.0) - ranks).sum())
+        assert gap < PR_GAP, (win.index, gap)
+        assert np.array_equal(labels, connected_components(g).to_dense())
+        assert count == triangle_count(g)
+        checked.append(win.index)
+
+    _drive(st, src, dst, ts, m, on_window)
+    assert len(checked) >= 5
+
+
+def test_tumbling_stream_never_recomputes():
+    st, src, dst, ts, m = _stream("tumbling")
+    pr = DynamicPageRank(st.graph, tol=PR_TOL)
+    cc = IncrementalComponents(st.graph)
+    tri = IncrementalTriangles(st.graph)
+    _drive(st, src, dst, ts, m,
+           lambda w: (pr.update(), cc.update(), tri.update()))
+    assert pr.recomputes == 0
+    assert cc.recomputes == 0
+    assert tri.recomputes == 0
+    assert pr.windows == cc.windows == tri.windows > 0
+
+
+def test_sliding_deletions_force_component_recompute():
+    st, src, dst, ts, m = _stream("sliding", width=2.0)
+    cc = IncrementalComponents(st.graph)
+    _drive(st, src, dst, ts, m, lambda w: cc.update())
+    assert cc.recomputes > 0  # expiry windows carry physical deletions
+    assert np.array_equal(
+        cc.labels, connected_components(_oracle(st.graph)).to_dense()
+    )
+
+
+def test_bulk_mutation_breaks_chain_and_recomputes():
+    st, src, dst, ts, m = _stream("tumbling", m=400, t_hi=2.0)
+    cc = IncrementalComponents(st.graph)
+    tri = IncrementalTriangles(st.graph)
+    pr = DynamicPageRank(st.graph, tol=PR_TOL)
+    _drive(st, src, dst, ts, m,
+           lambda w: (pr.update(), cc.update(), tri.update()))
+    # out-of-band bulk edit: clear+rebuild breaks the chain; keep the
+    # adjacency symmetric (UNDIRECTED contract) by dropping whole
+    # canonical pairs rather than individual directed entries
+    A = st.graph.A
+    rows, cols, vals = A.extract_tuples()
+    keep = (np.minimum(rows, cols) + np.maximum(rows, cols)) % 3 != 0
+    A.clear()
+    A.build(rows[keep], cols[keep], vals[keep], dup="SECOND")
+    A.wait()
+    before = (pr.recomputes, cc.recomputes, tri.recomputes)
+    ranks, _ = pr.update()
+    labels = cc.update()
+    count = tri.update()
+    assert (pr.recomputes, cc.recomputes, tri.recomputes) == tuple(
+        b + 1 for b in before
+    )
+    g = _oracle(st.graph)
+    full, _ = pagerank(g, tol=PR_TOL)
+    assert float(np.abs(full.to_dense(0.0) - ranks).sum()) < PR_GAP
+    assert np.array_equal(labels, connected_components(g).to_dense())
+    assert count == triangle_count(g)
+
+
+def test_pagerank_parity_gap_helper():
+    st, src, dst, ts, m = _stream("tumbling", m=300, t_hi=2.0)
+    pr = DynamicPageRank(st.graph, tol=PR_TOL)
+    _drive(st, src, dst, ts, m, lambda w: pr.update())
+    assert pr.parity_gap() < PR_GAP
+
+
+def test_pagerank_handles_danglings_and_isolates():
+    # a tiny directed-style corner exercised through UNDIRECTED mirroring:
+    # isolated vertices stay at teleport mass, parity holds
+    st = GraphStream(6, kind=GraphKind.UNDIRECTED, window="tumbling",
+                     width=1.0)
+    pr = DynamicPageRank(st.graph, tol=PR_TOL)
+    st.ingest([0, 1], [1, 2], [0.1, 0.2])
+    win = st.flush()
+    assert win is not None
+    ranks, _ = pr.update()
+    full, _ = pagerank(_oracle(st.graph), tol=PR_TOL)
+    assert float(np.abs(full.to_dense(0.0) - ranks).sum()) < PR_GAP
+
+
+def test_maintainers_survive_multi_window_chains():
+    """Updating only every third window consumes multi-window chains."""
+    st, src, dst, ts, m = _stream("sliding", width=1.5)
+    pr = DynamicPageRank(st.graph, tol=PR_TOL)
+    tri = IncrementalTriangles(st.graph)
+    seen = []
+
+    def on_window(win):
+        seen.append(win)
+        if len(seen) % 3 == 0:
+            ranks, _ = pr.update()
+            count = tri.update()
+            g = _oracle(st.graph)
+            full, _ = pagerank(g, tol=PR_TOL)
+            assert float(np.abs(full.to_dense(0.0) - ranks).sum()) < PR_GAP
+            assert count == triangle_count(g)
+
+    _drive(st, src, dst, ts, m, on_window)
+    assert pr.windows >= 2
