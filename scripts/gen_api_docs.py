@@ -30,6 +30,7 @@ import repro.io
 import repro.lagraph
 import repro.obs
 import repro.pygb
+import repro.serve
 import repro.stream
 
 OUT = os.path.join(os.path.dirname(__file__), "..", "docs", "API.md")
@@ -110,15 +111,27 @@ Two supporting subsystems make this testable:
   `build`, `assemble`, `setElement`, `removeElement`, kernel points such
   as `spgemm.flop` / `mxv.push` / `mxv.pull` / `ewise` / `apply` /
   `select` / `reduce` / `transpose` / `extract` / `assign` /
-  `kronecker`, and `io.read` / `io.write`).  When no fault is armed the
-  hooks cost one module-attribute read per operation (`faults.ENABLED`
-  is `False`), keeping the disabled overhead below the noise floor.
+  `kronecker`, `io.read` / `io.write`, and the serving-layer point
+  `serve.exec`).  When no fault is armed the hooks cost one
+  module-attribute read per operation (`faults.ENABLED` is `False`),
+  keeping the disabled overhead below the noise floor.
 * `repro.graphblas.validate` — a deep structural checker in the spirit of
   SuiteSparse's `GxB_check` (sorted duplicate-free indices, monotone
   `indptr`, pending-log consistency, dual CSR/CSC agreement), exposed
   through the C API as `GrB_Matrix_check` / `GrB_Vector_check` and used
   by `tests/resilience/` to prove operands survive injected faults
   uncorrupted.
+
+Above the C-API boundary, the serving layer (`repro.serve`) extends the
+same taxonomy to multi-tenant operation: admission **shedding** raises
+`Overloaded` (a typed rejection with a machine-readable `reason`, never
+an unbounded queue), repeated backend failures trip a per-backend
+**circuit breaker** that routes queries to the reference/scipy fallback
+chain (half-open probes restore the primary), and a query that exhausts
+retries and every fallback surfaces as `QueryFailed` with the last
+execution error as `__cause__`.  Caller errors (`InvalidValue`,
+`DeadlineExceeded`, `Cancelled`) stay terminal and are never retried.
+See the "Serving" section below.
 
 Run the fault-injection suite with `scripts/run_resilience.sh`
 (equivalently `pytest -m resilience`).
@@ -551,6 +564,102 @@ property, and graph-cache suites.
 """
 
 
+SERVE_SECTION = '''
+## Serving
+
+`repro.serve` is a long-lived, in-process, multi-tenant serving layer:
+one `GraphServer` owns a set of named graphs, publishes immutable
+copy-on-write snapshots of each, and answers concurrent algorithm
+queries over a worker pool while staying up through faults, overload,
+and misbehaving backends.
+
+```python
+from repro.serve import GraphServer
+
+with GraphServer(workers=4) as srv:
+    srv.add_graph("social", n=1 << 20)          # or graph=, or stream=
+    srv.ingest("social", src, dst)
+    srv.publish("social")                        # atomic snapshot swap
+
+    ranks = srv.query("pagerank", graph="social")            # sync
+    t = srv.submit("bfs", graph="social", source=0,          # async
+                   tenant="alice")
+    levels = t.result(timeout=30)                # ticket: outcome,
+    print(t.backend, t.tier, t.exec_s)           # backend, tier, timings
+```
+
+**Snapshots.** `publish()` flushes the graph's ingest window and swaps
+in a new immutable snapshot under a monotone epoch; queries pin the
+epoch current at submit time (`ticket.snapshot`), so a query computes
+exactly what a direct call on that snapshot computes — bit-for-bit,
+regardless of concurrent ingest and republication
+(`tests/serve/test_snapshot_property.py` drives random interleavings
+over all four storage formats, plus real writer/reader threads).
+
+**Tenancy and admission.** The bounded admission queue sheds instead of
+queueing unboundedly: at capacity each tenant is held to its fair share
+(`capacity // active_tenants`), and `register_tenant` attaches a
+`TenantPolicy` (per-request `memory_budget`, `deadline_s`, retry
+`attempts`, a hard `max_queue` cap, `degrade=False` to opt out of
+degraded tiers).  Rejection raises `Overloaded` with a machine-readable
+`reason` (`queue_full` / `tenant_quota` / `tenant_limit` /
+`deadline_watermark`).  Every request executes under its own governor
+`ExecutionContext` built from the tenant policy, so budgets, deadlines,
+and cancellation compose with the whole engine stack (tiling, spill,
+checkpoint).
+
+**Failure taxonomy.**  Serving failures map onto the engine's two-tier
+error model: *caller errors* (`InvalidValue` for an unknown algorithm
+or graph, `DeadlineExceeded`, `Cancelled`) are terminal and re-raised
+from `ticket.result()` as-is; *execution faults* (`OutOfMemory`,
+`BudgetExceeded`, backend exceptions) are absorbed by the resilience
+ladder below and only surface — wrapped in `QueryFailed`, with the
+original exception as `__cause__` — when every rung is exhausted.
+
+**The resilience ladder**, outermost to innermost:
+
+1. **retry with seeded backoff** — transient faults re-run on the same
+   backend under `serve.backoff.Backoff` (capped exponential, seeded
+   jitter; the same class drives the governor's kernel-level
+   `RetryPolicy`); a `BudgetExceeded` retry re-runs with the governor's
+   spill path forced on.
+2. **per-backend circuit breakers** — a backend whose retries exhaust
+   repeatedly trips open after `breaker_threshold` consecutive
+   failures and is skipped outright; after `breaker_reset_s` a single
+   half-open probe slot re-admits it, and `breaker_probes` probe
+   successes close it again.
+3. **failover** — the query falls through the backend chain
+   (`backend="optimized"`, then `fallbacks=("reference", "scipy")`),
+   still returning the exact answer.
+4. **degradation tiers** — queue pressure walks `full` → `lite`
+   (performance engine off) → `reference` (reference backend first) at
+   the `lite_watermark` / `reference_watermark` load fractions;
+   results stay bit-identical because every tier runs the same
+   validated kernels.  Past that, admission sheds (`Overloaded`).
+
+**Operations.**  `health()` / `ready()` / `stats()` report liveness,
+tier, breaker states, and outcome counts; `drain()` finishes queued
+work and refuses new submits (`ServerClosed`); serve metrics
+(`serve_requests_total`, `serve_request_seconds`, `serve_shed_total`,
+`serve_retries_total`, `serve_breaker_transitions_total`,
+`serve_queue_depth`, `serve_inflight`, `serve_breaker_state`,
+`serve_tier`, ...) land in the `repro.obs` registry for Prometheus
+exposition.  Defaults come from `ServeConfig`, overridable per server
+(constructor), process-wide (`capi.GxB_Serve_set` / `GxB_Serve_get`),
+or from `GRAPHBLAS_SERVE_WORKERS` / `_QUEUE_DEPTH` / `_DEADLINE_S` /
+`_BUDGET` / `_BREAKER_THRESHOLD` / `_BREAKER_RESET_S`.
+
+`benchmarks/bench_serve.py` is the acceptance harness: 10k
+mixed-tenant queries over an RMAT snapshot where every answer is
+checked against a direct call, interleaving fault-free and
+fault-injected rounds (the committed `BENCH_PR9.json` records the
+chaos goodput ratio, p50/p99 latencies, shed/retry/breaker counts, and
+the peak-RSS delta under the governor envelope); the CI `serve-smoke`
+leg replays it at scale 11 plus the `tests/serve` suite under a 64 MB
+budget and 60 s deadline.
+'''
+
+
 def main() -> None:
     os.makedirs(os.path.dirname(OUT), exist_ok=True)
     with open(OUT, "w", encoding="utf-8") as f:
@@ -567,6 +676,7 @@ def main() -> None:
         f.write(ENGINE_SECTION)
         f.write(OBS_SECTION)
         f.write(STREAM_SECTION)
+        f.write(SERVE_SECTION)
         render_module(f, repro.graphblas, "repro.graphblas")
         render_module(f, repro.graphblas.engine, "repro.graphblas.engine")
         render_module(f, repro.graphblas.backends, "repro.graphblas.backends")
@@ -579,6 +689,7 @@ def main() -> None:
         render_module(f, repro.graphblas.telemetry, "repro.graphblas.telemetry")
         render_module(f, repro.graphblas.validate, "repro.graphblas.validate")
         render_module(f, repro.obs, "repro.obs")
+        render_module(f, repro.serve, "repro.serve")
         render_module(f, repro.stream, "repro.stream")
         render_module(f, repro.lagraph, "repro.lagraph")
         render_module(f, repro.pygb, "repro.pygb")

@@ -276,12 +276,12 @@ def dispatch(plan: OpPlan, backend=None):
     if telemetry.ENABLED:
         telemetry.decision("backend.dispatch", op=plan.op, backend=be.name)
     kernel = getattr(be, plan.op)
-    run = lambda: kernel(plan)  # noqa: E731 - tiny dispatch closures
+    retry = None
     if governor.ACTIVE:
         ctx = governor.current()
         if ctx is not None and ctx.retry is not None:
-            run = lambda: ctx.retry.call(lambda: kernel(plan), op=plan.op)  # noqa: E731
-    return _execute(plan, route, be.name, run)
+            retry = ctx.retry
+    return _execute(plan, route, be.name, lambda: kernel(plan), retry=retry)
 
 
 def _actual_bytes(plan, out) -> int | None:
@@ -295,8 +295,13 @@ def _actual_bytes(plan, out) -> int | None:
         return None
 
 
-def _execute(plan: OpPlan, route: str, backend_name: str, run):
+def _execute(plan: OpPlan, route: str, backend_name: str, run, retry=None):
     """Run the chosen kernel, emitting a ``plan.done`` record when wanted.
+
+    ``retry`` is the governing context's
+    :class:`~repro.graphblas.governor.RetryPolicy` (or None); applying
+    the wrap here lets the ``plan.done`` record carry the number of
+    retries this specific plan consumed, not just the context total.
 
     The record — kernel wall time, dispatch route, estimated vs actual
     result bytes, kernel-cache hit/compile deltas — feeds the process
@@ -305,8 +310,13 @@ def _execute(plan: OpPlan, route: str, backend_name: str, run):
     or an EXPLAIN capture is active (``telemetry.PLAN_EVENTS``), so a
     plain collector-only telemetry stream is byte-identical to before.
     """
+    if retry is not None:
+        inner = run
+        run = lambda: retry.call(inner, op=plan.op)  # noqa: E731
     if not (telemetry.ENABLED and telemetry.PLAN_EVENTS):
         return run()
+    ctx = governor.current() if governor.ACTIVE else None
+    r0 = ctx.stats.get("retries", 0) if ctx is not None else 0
     k0 = _engine.kernel_cache_stats()
     t0 = time.perf_counter()
     out = run()
@@ -320,6 +330,10 @@ def _execute(plan: OpPlan, route: str, backend_name: str, run):
         "kernel_hits": k1["hits"] - k0["hits"],
         "kernel_compiles": k1["misses"] - k0["misses"],
     }
+    if ctx is not None and retry is not None:
+        replays = ctx.stats.get("retries", 0) - r0
+        if replays:
+            detail["retries"] = replays
     method = plan.params.get("method")
     if method is not None:
         detail["method"] = method
@@ -329,7 +343,6 @@ def _execute(plan: OpPlan, route: str, backend_name: str, run):
     actual = _actual_bytes(plan, out)
     if actual is not None:
         detail["actual_bytes"] = actual
-    ctx = governor.current() if governor.ACTIVE else None
     if ctx is not None:
         if ctx.memory_budget is not None:
             detail["budget_bytes"] = ctx.memory_budget

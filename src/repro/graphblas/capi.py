@@ -115,6 +115,8 @@ __all__ = [
     "GxB_Engine_get",
     "GxB_Spill_set",
     "GxB_Spill_get",
+    "GxB_Serve_set",
+    "GxB_Serve_get",
     "GxB_Obs_set",
     "GxB_Obs_get",
     "GxB_Metrics_get",
@@ -758,6 +760,36 @@ def GxB_Spill_get() -> dict:
 
     enabled, directory, budget = _governor.spill_config()
     return {"enabled": enabled, "directory": directory, "budget": budget}
+
+
+def GxB_Serve_set(**options) -> Info:
+    """``GxB_SERVE_*`` option set: process-wide serving-layer defaults.
+
+    Installs defaults inherited by every subsequently constructed
+    :class:`repro.serve.GraphServer` — worker count, admission queue
+    depth, default per-request deadline/budget, circuit-breaker tuning,
+    and the primary backend (see
+    :func:`repro.serve.config.set_serve_config` for the settable names).
+    Overrides layer above the ``GRAPHBLAS_SERVE_*`` environment;
+    arguments left ``None`` keep their current values.
+    """
+    from ..serve import config as _serve_config
+
+    try:
+        _serve_config.set_serve_config(**options)
+    except (GraphBLASError, TypeError, ValueError) as exc:
+        if isinstance(exc, GraphBLASError):
+            return exc.info
+        _tls.last_error = str(exc)
+        return Info.INVALID_VALUE
+    return GrB_SUCCESS
+
+
+def GxB_Serve_get() -> dict:
+    """``GxB_SERVE_*`` option get: the effective serving defaults."""
+    from ..serve import config as _serve_config
+
+    return _serve_config.serve_config().as_dict()
 
 
 def GxB_Obs_set(flag, *, slow_ms=None, slow_capacity=None) -> Info:

@@ -93,12 +93,29 @@ POINTS = {
     # i/o
     "io.read",        # Matrix Market / edge list / npz reading
     "io.write",       # Matrix Market / edge list / npz writing
+    # serving
+    "serve.exec",     # repro.serve query attempt (chaos harness)
 }
 
 _lock = threading.Lock()
 _plans: list["FaultPlan"] = []
-_counts: dict[str, int] = {}          # armed-call counts per point
+_counts: dict[str, int] = {}          # armed-call counts per targeted point
 _fired: list[tuple[str, int]] = []    # (point, call number) of raised faults
+
+# point -> tuple of armed plans targeting it, rebuilt on arm/disarm and
+# swapped atomically.  trip() on a point with no armed plan is then one
+# attribute read plus one dict probe, so arming a plan at one point does
+# not tax every other instrumented site in the process (the serving
+# chaos benchmark runs thousands of kernel ops per injected fault).
+_armed_points: dict[str, tuple["FaultPlan", ...]] = {}
+
+
+def _rebuild_index() -> None:
+    index: dict[str, tuple["FaultPlan", ...]] = {}
+    for plan in _plans:
+        index[plan.point] = index.get(plan.point, ()) + (plan,)
+    global _armed_points
+    _armed_points = index
 
 # Per-run base seed for probabilistic plans armed without an explicit
 # seed: read once from GRAPHBLAS_FAULT_SEED (else fresh OS entropy) and
@@ -243,9 +260,12 @@ def trip(point: str) -> None:
     """
     if not ENABLED:
         return
+    plans = _armed_points.get(point)
+    if plans is None:
+        return
     _counts[point] = _counts.get(point, 0) + 1
-    for plan in _plans:
-        if plan.point == point and plan.should_fire():
+    for plan in plans:
+        if plan.should_fire():
             _fired.append((point, plan.calls))
             raise plan.make_exception()
 
@@ -275,12 +295,14 @@ def inject(
     global ENABLED
     with _lock:
         _plans.append(plan)
+        _rebuild_index()
         ENABLED = True
     try:
         yield plan
     finally:
         with _lock:
             _plans.remove(plan)
+            _rebuild_index()
             ENABLED = bool(_plans)
 
 
@@ -290,7 +312,8 @@ def active_plans() -> list[FaultPlan]:
 
 
 def call_count(point: str) -> int:
-    """Armed calls seen by ``point`` since the last :func:`reset_stats`."""
+    """Calls seen by ``point`` while a plan targeting it was armed,
+    since the last :func:`reset_stats`."""
     return _counts.get(point, 0)
 
 

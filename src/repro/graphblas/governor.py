@@ -137,8 +137,10 @@ class RetryPolicy:
     fault-injection harness for alloc faults.  Governor rejections
     (budget/deadline/cancel) and API errors are never retried.
 
-    The jitter RNG is seeded so a recorded seed replays the exact same
-    backoff schedule.
+    The backoff schedule is the shared :class:`repro.serve.backoff.Backoff`
+    (capped exponential with seeded jitter), so the governor, the backend
+    dispatch retry, and the serving layer replay identical schedules from
+    a recorded seed.
     """
 
     def __init__(self, attempts: int = 3, *, base_delay: float = 0.01,
@@ -146,41 +148,45 @@ class RetryPolicy:
                  transient=(OutOfMemory,)) -> None:
         if attempts < 1:
             raise InvalidValue(f"attempts must be >= 1, got {attempts}")
+        if not 0.0 <= jitter <= 1.0:
+            raise InvalidValue(f"jitter must be in [0, 1], got {jitter}")
         self.attempts = int(attempts)
         self.base_delay = float(base_delay)
         self.max_delay = float(max_delay)
         self.jitter = float(jitter)
         self.seed = int(seed)
         self.transient = tuple(transient)
-        self._rng = np.random.default_rng(self.seed)
+        # lazy import: serve.backoff is a numpy-only leaf, but keeping the
+        # import out of module scope avoids a package cycle at import time
+        from ..serve.backoff import Backoff
+        self._backoff = Backoff(
+            base=self.base_delay, cap=self.max_delay,
+            jitter=self.jitter, seed=self.seed,
+        )
 
     def delay(self, failures: int) -> float:
         """Backoff before the next attempt after ``failures`` failures."""
-        d = min(self.base_delay * (2.0 ** (failures - 1)), self.max_delay)
-        if self.jitter:
-            d *= 1.0 + self.jitter * float(self._rng.random())
-        return d
+        return self._backoff.delay(failures)
 
     def call(self, fn, *, op: str = "call"):
         """Run ``fn()``, retrying transient failures per the policy."""
-        for attempt in range(1, self.attempts + 1):
-            try:
-                return fn()
-            except self.transient as exc:
-                if attempt == self.attempts:
-                    raise
-                ctx = current()
-                if ctx is not None:
-                    ctx.check()
-                    ctx.stats["retries"] += 1
-                d = self.delay(attempt)
-                if telemetry.ENABLED:
-                    telemetry.decision(
-                        "governor.retry", op=op, attempt=attempt,
-                        delay_s=round(d, 6), error=type(exc).__name__,
-                    )
-                if d > 0:
-                    time.sleep(d)
+        from ..serve.backoff import retry_call
+
+        def on_retry(failures, d, exc):
+            ctx = current()
+            if ctx is not None:
+                ctx.check()
+                ctx.stats["retries"] += 1
+            if telemetry.ENABLED:
+                telemetry.decision(
+                    "governor.retry", op=op, attempt=failures,
+                    delay_s=round(d, 6), error=type(exc).__name__,
+                )
+
+        return retry_call(
+            fn, attempts=self.attempts, backoff=self._backoff,
+            transient=self.transient, on_retry=on_retry,
+        )
 
 
 def with_retry(fn, *args, policy: RetryPolicy | None = None, **kwargs):

@@ -63,6 +63,8 @@ __all__ = [
     "counter_inc",
     "gauge_set",
     "observe",
+    "register_gauge",
+    "unregister_gauge",
     "snapshot",
     "json_snapshot",
     "prometheus_text",
@@ -117,6 +119,17 @@ def gauge_set(name: str, value: float, **labels) -> None:
 def observe(name: str, value: float, **labels) -> None:
     """Record a histogram observation in the process registry."""
     _registry.observe(name, value, labels or None)
+
+
+def register_gauge(name: str, fn, **labels) -> None:
+    """Register a callback gauge in the process registry: ``fn()`` is
+    evaluated at read time (scrape/snapshot)."""
+    _registry.register_gauge(name, fn, labels or None)
+
+
+def unregister_gauge(name: str, **labels) -> None:
+    """Drop a callback gauge (and any direct sample under the same key)."""
+    _registry.unregister_gauge(name, labels or None)
 
 
 # -- enable/disable -----------------------------------------------------------

@@ -1,0 +1,126 @@
+"""Shared retry backoff: capped exponential delays with seeded jitter.
+
+Before this module, two layers computed retry delays independently: the
+governor's :class:`~repro.graphblas.governor.RetryPolicy` (used bare at
+backend dispatch) and ad-hoc sleeps in spill I/O.  Both now delegate to
+one :class:`Backoff`, so the serving layer, the dispatch retry, and any
+future retry site share identical, testable schedules.
+
+The schedule is the standard capped-exponential-with-jitter shape::
+
+    raw(k)   = min(base * factor**(k-1), cap)          # k = failures so far
+    delay(k) = raw(k) * (1 - jitter + jitter * u)      # u ~ U[0, 1)
+
+``jitter=1.0`` is AWS-style *full jitter* (uniform over ``(0, raw]``),
+``jitter=0.0`` is the deterministic exponential ladder, and values in
+between blend the two.  The jitter RNG is seeded, so a recorded seed
+replays the exact same schedule — the property the resilience suite
+relies on to reproduce fault scenarios.
+
+This module is a dependency leaf (NumPy only): it must stay importable
+from :mod:`repro.graphblas.governor` without pulling the serving layer's
+graph machinery into the core import graph.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["Backoff", "retry_call"]
+
+
+class Backoff:
+    """Capped exponential backoff with seeded jitter.
+
+    Parameters
+    ----------
+    base:
+        Delay before the second attempt (seconds).
+    cap:
+        Upper bound on any single delay (seconds).
+    factor:
+        Exponential growth factor between attempts.
+    jitter:
+        Jitter fraction in ``[0, 1]``: each delay is drawn uniformly from
+        ``[raw * (1 - jitter), raw)``; ``1.0`` is full jitter, ``0.0``
+        disables jitter entirely.
+    seed:
+        Seed for the jitter RNG; equal seeds replay equal schedules.
+    """
+
+    def __init__(self, *, base: float = 0.01, cap: float = 2.0,
+                 factor: float = 2.0, jitter: float = 0.5,
+                 seed: int = 0) -> None:
+        if base < 0:
+            raise ValueError(f"base must be >= 0, got {base}")
+        if cap < 0:
+            raise ValueError(f"cap must be >= 0, got {cap}")
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.base = float(base)
+        self.cap = float(cap)
+        self.factor = float(factor)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    def raw(self, failures: int) -> float:
+        """The un-jittered delay after ``failures`` failures (>= 1)."""
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        return min(self.base * (self.factor ** (failures - 1)), self.cap)
+
+    def delay(self, failures: int) -> float:
+        """The jittered delay before the next attempt.
+
+        Consumes one draw from the seeded RNG per call, so delays must be
+        requested in attempt order to reproduce a recorded schedule.
+        """
+        d = self.raw(failures)
+        if self.jitter and d > 0:
+            d *= 1.0 - self.jitter + self.jitter * float(self._rng.random())
+        return d
+
+    def delays(self, n: int) -> list[float]:
+        """The next ``n`` delays, in order (advances the RNG)."""
+        return [self.delay(k) for k in range(1, n + 1)]
+
+    def reset(self) -> None:
+        """Rewind the jitter RNG to the start of the seeded stream."""
+        self._rng = np.random.default_rng(self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Backoff(base={self.base}, cap={self.cap}, "
+            f"factor={self.factor}, jitter={self.jitter}, seed={self.seed})"
+        )
+
+
+def retry_call(fn, *, attempts: int, backoff: Backoff, transient,
+               on_retry=None, sleep=time.sleep):
+    """Run ``fn()`` with up to ``attempts`` tries under one shared loop.
+
+    ``transient`` is the exception class (or tuple) worth retrying;
+    anything else propagates immediately.  After each transient failure
+    that leaves attempts remaining, ``on_retry(failures, delay, exc)`` is
+    invoked (telemetry, governor poll, stats) *before* sleeping, so a
+    cancelled context aborts the retry rather than sleeping through it.
+    ``sleep`` is injectable for tests.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except transient as exc:
+            if attempt == attempts:
+                raise
+            d = backoff.delay(attempt)
+            if on_retry is not None:
+                on_retry(attempt, d, exc)
+            if d > 0:
+                sleep(d)

@@ -1,0 +1,203 @@
+"""Per-backend circuit breaker with half-open probing.
+
+A breaker guards one kernel backend in the serving layer's fallback
+chain.  Repeated kernel failures or divergences *open* the breaker, and
+queries route around the backend (to the reference/scipy chain) instead
+of hammering a failing engine.  After ``reset_timeout_s`` the breaker
+goes *half-open* and admits a single probe request at a time; once
+``probe_successes`` consecutive probes succeed the breaker closes and
+the optimized backend is restored.  A failed probe reopens it for
+another full timeout.
+
+States and transitions::
+
+    CLOSED --(failure_threshold consecutive failures)--> OPEN
+    OPEN   --(reset_timeout_s elapsed)---------------->  HALF_OPEN
+    HALF_OPEN --(probe_successes successes)----------->  CLOSED
+    HALF_OPEN --(any failure)------------------------->  OPEN
+
+All methods are thread-safe; ``clock`` is injectable so tests drive the
+timeout deterministically.  ``on_transition(name, old, new)`` fires
+outside the lock on every state change (metrics/telemetry hook).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN", "STATE_CODES"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding for the ``serve_breaker_state`` gauge.
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """One backend's failure-trip state machine."""
+
+    def __init__(self, name: str = "backend", *,
+                 failure_threshold: int = 5,
+                 reset_timeout_s: float = 5.0,
+                 probe_successes: int = 2,
+                 clock=time.monotonic,
+                 on_transition=None) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s < 0:
+            raise ValueError(
+                f"reset_timeout_s must be >= 0, got {reset_timeout_s}"
+            )
+        if probe_successes < 1:
+            raise ValueError(
+                f"probe_successes must be >= 1, got {probe_successes}"
+            )
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.probe_successes = int(probe_successes)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0          # consecutive failures while closed
+        self._successes = 0         # consecutive probe successes, half-open
+        self._probe_in_flight = False
+        self._opened_at: float | None = None
+        # cumulative counters for health/metrics
+        self.opened_total = 0
+        self.failures_total = 0
+        self.successes_total = 0
+        self.probes_total = 0
+
+    # -- state -------------------------------------------------------------
+
+    def _transition(self, new: str) -> tuple[str, str] | None:
+        """State change under the lock; returns (old, new) for the hook."""
+        old = self._state
+        if old == new:
+            return None
+        self._state = new
+        if new == OPEN:
+            self._opened_at = self._clock()
+            self.opened_total += 1
+        if new == HALF_OPEN:
+            self._successes = 0
+            self._probe_in_flight = False
+        if new == CLOSED:
+            self._failures = 0
+            self._successes = 0
+            self._probe_in_flight = False
+        return (old, new)
+
+    def _fire(self, change: tuple[str, str] | None) -> None:
+        if change is not None and self._on_transition is not None:
+            self._on_transition(self.name, change[0], change[1])
+
+    @property
+    def state(self) -> str:
+        """Current state, applying the OPEN -> HALF_OPEN timeout lazily."""
+        with self._lock:
+            change = self._maybe_half_open()
+        self._fire(change)
+        return self._state
+
+    def _maybe_half_open(self) -> tuple[str, str] | None:
+        if self._state == OPEN and self._opened_at is not None \
+                and self._clock() - self._opened_at >= self.reset_timeout_s:
+            return self._transition(HALF_OPEN)
+        return None
+
+    @property
+    def state_code(self) -> int:
+        """0 = closed, 1 = half-open, 2 = open (gauge encoding)."""
+        return STATE_CODES[self.state]
+
+    # -- request gating ----------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request use this backend right now?
+
+        Closed: always.  Open: no (until the reset timeout flips the
+        breaker half-open).  Half-open: one probe at a time — a ``True``
+        return *claims* the probe slot, and the caller must follow up
+        with :meth:`record_success`, :meth:`record_failure`, or
+        :meth:`release_probe`.
+        """
+        with self._lock:
+            change = self._maybe_half_open()
+            if self._state == CLOSED:
+                allowed = True
+            elif self._state == OPEN:
+                allowed = False
+            else:  # HALF_OPEN: single probe in flight
+                allowed = not self._probe_in_flight
+                if allowed:
+                    self._probe_in_flight = True
+                    self.probes_total += 1
+        self._fire(change)
+        return allowed
+
+    def release_probe(self) -> None:
+        """Give back a claimed half-open probe slot without a verdict
+        (the request was cancelled before the backend ran)."""
+        with self._lock:
+            self._probe_in_flight = False
+
+    # -- verdicts ----------------------------------------------------------
+
+    def record_success(self) -> None:
+        """A request served by this backend completed correctly."""
+        with self._lock:
+            self.successes_total += 1
+            if self._state == HALF_OPEN:
+                self._probe_in_flight = False
+                self._successes += 1
+                change = (
+                    self._transition(CLOSED)
+                    if self._successes >= self.probe_successes else None
+                )
+            else:
+                self._failures = 0
+                change = None
+        self._fire(change)
+
+    def record_failure(self) -> None:
+        """A request served by this backend failed (kernel error or
+        divergence).  Enough consecutive failures trip the breaker; any
+        half-open probe failure reopens it."""
+        with self._lock:
+            self.failures_total += 1
+            if self._state == HALF_OPEN:
+                change = self._transition(OPEN)
+            elif self._state == CLOSED:
+                self._failures += 1
+                change = (
+                    self._transition(OPEN)
+                    if self._failures >= self.failure_threshold else None
+                )
+            else:
+                change = None
+        self._fire(change)
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict state for health probes and test assertions."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "opened_total": self.opened_total,
+                "failures_total": self.failures_total,
+                "successes_total": self.successes_total,
+                "probes_total": self.probes_total,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CircuitBreaker {self.name!r} {self._state}>"

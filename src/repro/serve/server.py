@@ -1,0 +1,931 @@
+"""The resilient multi-tenant graph server.
+
+:class:`GraphServer` is the library-behind-an-API usage model the LAGraph
+papers describe: a long-lived, in-process serving subsystem that owns
+read-mostly graph snapshots and executes concurrent algorithm queries
+(bfs / sssp / pagerank / triangles / components) from many tenants over
+a worker thread pool.  The robustness spine:
+
+* **Snapshot publication** — writers ingest through
+  :class:`~repro.stream.GraphStream`; :meth:`GraphServer.publish` settles
+  the stream and swaps in an immutable copy at the settled epoch
+  (:meth:`~repro.stream.GraphStream.snapshot`).  Queries pin the
+  published snapshot at submit, so a reader never observes an in-flight
+  mutation and parity against direct calls on the same snapshot is exact.
+* **Admission control** — a bounded queue with per-tenant fair share
+  (:class:`~repro.serve.admission.AdmissionQueue`).  Beyond the depth or
+  deadline watermark, requests are shed with
+  :class:`~repro.serve.errors.Overloaded` instead of queueing into
+  latency collapse.
+* **Per-request governance** — every query runs inside its own
+  :class:`~repro.graphblas.governor.ExecutionContext` carrying the
+  tenant's memory budget, the request deadline (queue wait included),
+  and a cancellation token.
+* **Retries** — retryable failures (fault-injected ``OutOfMemory``,
+  transient ``BudgetExceeded``) re-run with the shared seeded
+  exponential backoff (:mod:`repro.serve.backoff`); a ``BudgetExceeded``
+  retry forces the governor's tiled spill path on, so the query runs
+  bounded-memory instead of failing.
+* **Circuit breakers** — repeated kernel failures/divergences on a
+  backend trip its :class:`~repro.serve.breaker.CircuitBreaker`; queries
+  transparently fail over to the reference/scipy chain, and half-open
+  probes restore the optimized backend once it recovers.
+* **Graceful degradation** — queue load selects an execution tier:
+  ``full`` -> ``lite`` (performance engine off) -> ``reference``
+  (spec-literal backend) -> shed at admission.
+
+Health/readiness probes, cooperative drain/shutdown, and serve-level
+metrics (``serve_requests_total{tenant,algo,outcome}``, queue-depth and
+breaker-state gauges, latency histograms) ride along; see
+``docs/API.md`` ("Serving").
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, replace
+
+from .. import obs
+from ..graphblas import backends, engine, faults, governor, telemetry
+from ..graphblas.errors import (
+    ApiError,
+    BudgetExceeded,
+    Cancelled,
+    DeadlineExceeded,
+    GraphBLASError,
+    InvalidValue,
+    OutOfMemory,
+)
+from ..lagraph import (
+    Graph,
+    GraphKind,
+    bfs,
+    connected_components,
+    pagerank,
+    sssp,
+    triangle_count,
+)
+from ..stream import GraphStream
+from .admission import AdmissionQueue
+from .backoff import Backoff, retry_call
+from .breaker import CircuitBreaker, STATE_CODES
+from .config import ServeConfig, serve_config
+from .errors import Overloaded, QueryFailed, ServerClosed
+
+__all__ = [
+    "GraphServer",
+    "TenantPolicy",
+    "QueryTicket",
+    "ALGORITHMS",
+    "register_algorithm",
+    "TIERS",
+]
+
+#: Degradation ladder, mildest first; ``shed`` happens at admission.
+TIERS = ("full", "lite", "reference", "shed")
+_TIER_CODES = {t: i for i, t in enumerate(TIERS)}
+
+#: Fault-injection point fired once per query attempt (chaos harness).
+_SERVE_POINT = "serve.exec"
+
+
+# --------------------------------------------------------------------------
+# the query surface
+# --------------------------------------------------------------------------
+
+def _run_bfs(graph: Graph, *, source):
+    levels, _ = bfs(int(source), graph, level=True, parent=False)
+    return levels
+
+
+def _run_sssp(graph: Graph, *, source, method: str = "delta"):
+    return sssp(int(source), graph, method=method)
+
+
+def _run_pagerank(graph: Graph, *, damping: float = 0.85, tol: float = 1e-8,
+                  max_iters: int = 100):
+    ranks, _ = pagerank(graph, damping=damping, tol=tol, max_iters=max_iters)
+    return ranks
+
+
+def _run_triangles(graph: Graph):
+    return triangle_count(graph)
+
+
+def _run_components(graph: Graph):
+    return connected_components(graph)
+
+
+ALGORITHMS: dict = {
+    "bfs": _run_bfs,
+    "sssp": _run_sssp,
+    "pagerank": _run_pagerank,
+    "triangles": _run_triangles,
+    "components": _run_components,
+}
+
+
+def register_algorithm(name: str, fn, *, replace: bool = False) -> None:
+    """Extend the served algorithm surface: ``fn(graph, **params)``."""
+    if name in ALGORITHMS and not replace:
+        raise InvalidValue(f"algorithm {name!r} already registered")
+    ALGORITHMS[name] = fn
+
+
+# --------------------------------------------------------------------------
+# tenancy
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant resource envelope inherited by every request.
+
+    ``None`` fields inherit the server config's defaults at submit time.
+    """
+
+    #: per-request governor memory budget in bytes (None = server default).
+    memory_budget: int | None = None
+    #: per-request deadline in seconds, queue wait included.
+    deadline_s: float | None = None
+    #: serve-level retry attempts for retryable failures.
+    attempts: int | None = None
+    #: allow the governor to degrade/spill over-budget plans.
+    degrade: bool = True
+    #: hard per-tenant queue cap (None = fair share only).
+    max_queue: int | None = None
+
+
+# --------------------------------------------------------------------------
+# request tickets
+# --------------------------------------------------------------------------
+
+class QueryTicket:
+    """A submitted query's future: result, outcome, and execution record."""
+
+    __slots__ = (
+        "seq", "tenant", "algo", "params", "snapshot", "policy",
+        "deadline_at", "token", "tier", "backend", "retries", "failovers",
+        "outcome", "error", "value", "t_submit", "t_start", "t_done",
+        "kernel_seed", "serve_seed", "_event",
+    )
+
+    def __init__(self, seq, tenant, algo, params, snapshot, policy,
+                 deadline_at, kernel_seed, serve_seed):
+        self.seq = seq
+        self.tenant = tenant
+        self.algo = algo
+        self.params = params
+        self.snapshot = snapshot
+        self.policy = policy
+        self.deadline_at = deadline_at
+        self.token = governor.CancellationToken()
+        self.tier = None
+        self.backend = None
+        self.retries = 0
+        self.failovers = 0
+        self.outcome = None
+        self.error = None
+        self.value = None
+        self.t_submit = time.monotonic()
+        self.t_start = None
+        self.t_done = None
+        self.kernel_seed = kernel_seed
+        self.serve_seed = serve_seed
+        self._event = threading.Event()
+
+    # -- client side -------------------------------------------------------
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        """Cooperatively cancel: queued requests never run, in-flight ones
+        stop at the next governor poll point."""
+        self.token.cancel(reason)
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(self, timeout: float | None = None):
+        """The query result; raises the terminal error for failed queries.
+
+        Governor interruptions (``DeadlineExceeded``, ``Cancelled``) and
+        API errors propagate unwrapped; terminal execution failures are
+        wrapped in :class:`~repro.serve.errors.QueryFailed` with the
+        underlying error as ``__cause__``.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query #{self.seq} ({self.algo}) still pending"
+            )
+        if self.outcome == "ok":
+            return self.value
+        if isinstance(self.error, (DeadlineExceeded, Cancelled, ApiError)):
+            raise self.error
+        raise QueryFailed(
+            f"{self.algo} for tenant {self.tenant!r} failed terminally "
+            f"({type(self.error).__name__ if self.error else 'no backend'}: "
+            f"{self.error})",
+            outcome=self.outcome or "failed",
+        ) from self.error
+
+    # -- record ------------------------------------------------------------
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        if self.t_start is None:
+            return None
+        return self.t_start - self.t_submit
+
+    @property
+    def exec_s(self) -> float | None:
+        if self.t_done is None or self.t_start is None:
+            return None
+        return self.t_done - self.t_start
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = self.outcome or ("queued" if self.t_start is None else "running")
+        return f"<QueryTicket #{self.seq} {self.algo} {self.tenant!r} {state}>"
+
+
+# --------------------------------------------------------------------------
+# engine-off degradation (process-wide, refcounted)
+# --------------------------------------------------------------------------
+
+_engine_lock = threading.Lock()
+_engine_off_depth = 0
+_engine_was_on = False
+
+
+@contextmanager
+def _engine_off():
+    """Run the enclosed query with the performance engine disabled.
+
+    The engine switch is process-global, so concurrent tiers refcount it:
+    the first degraded query turns the engine off, the last one back on.
+    Results are bit-identical either way (PR 5's guarantee); the tier
+    sheds the engine's transient working sets (parallel block buffers,
+    twin materialization) under load.
+    """
+    global _engine_off_depth, _engine_was_on
+    with _engine_lock:
+        if _engine_off_depth == 0:
+            _engine_was_on = engine.get_config().enabled
+            if _engine_was_on:
+                engine.set_engine(False)
+        _engine_off_depth += 1
+    try:
+        yield
+    finally:
+        with _engine_lock:
+            _engine_off_depth -= 1
+            if _engine_off_depth == 0 and _engine_was_on:
+                engine.set_engine(True)
+
+
+# --------------------------------------------------------------------------
+# served graphs
+# --------------------------------------------------------------------------
+
+class _ServedGraph:
+    """One named graph: its write stream and the published snapshot."""
+
+    __slots__ = ("name", "stream", "published", "lock", "publishes")
+
+    def __init__(self, name: str, stream: GraphStream | None):
+        self.name = name
+        self.stream = stream
+        self.published: Graph | None = None
+        self.lock = threading.Lock()
+        self.publishes = 0
+
+
+_server_seq = itertools.count(1)
+
+
+# --------------------------------------------------------------------------
+# the server
+# --------------------------------------------------------------------------
+
+class GraphServer:
+    """Long-lived multi-tenant graph-serving subsystem (see module doc).
+
+    ::
+
+        with GraphServer(workers=4) as srv:
+            srv.add_graph("social", n=1 << 12)
+            srv.ingest("social", src, dst)
+            srv.publish("social")
+            ranks = srv.query("pagerank", graph="social", tenant="alice")
+
+    Configuration resolves overrides > ``GxB_Serve_set`` process defaults
+    > ``GRAPHBLAS_SERVE_*`` environment > built-in defaults.
+    """
+
+    def __init__(self, config: ServeConfig | None = None, *,
+                 name: str | None = None, start: bool = True, **overrides):
+        base = config if config is not None else serve_config()
+        self.config = replace(base, **overrides) if overrides else base
+        self.name = name or f"srv{next(_server_seq)}"
+        self._graphs: dict[str, _ServedGraph] = {}
+        self._graphs_lock = threading.Lock()
+        self._tenants: dict[str, TenantPolicy] = {"default": TenantPolicy()}
+        self._queue = AdmissionQueue(self.config.queue_depth)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        for be in (self.config.backend, *self.config.fallbacks):
+            self._breakers.setdefault(be, CircuitBreaker(
+                be,
+                failure_threshold=self.config.breaker_threshold,
+                reset_timeout_s=self.config.breaker_reset_s,
+                probe_successes=self.config.breaker_probes,
+                on_transition=self._on_breaker_transition,
+            ))
+        self._seq = itertools.count(1)
+        self._state = "created"
+        self._state_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._inflight: set[QueryTicket] = set()
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Condition(self._inflight_lock)
+        self._ema_exec_s = 0.005  # seeds the deadline-watermark estimate
+        self._counts: dict[str, int] = {}
+        self._counts_lock = threading.Lock()
+        self._tier = "full"
+        self._workers: list[threading.Thread] = []
+        self._declare_metrics()
+        if start:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "GraphServer":
+        with self._state_lock:
+            if self._state == "running":
+                return self
+            if self._state == "closed":
+                raise ServerClosed(f"server {self.name!r} is closed")
+            self._state = "running"
+        for i in range(self.config.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"serve-{self.name}-w{i}",
+                daemon=True,
+            )
+            t.start()
+            self._workers.append(t)
+        return self
+
+    def drain(self, timeout: float | None = 5.0) -> bool:
+        """Stop intake, let queued + in-flight work finish, then cancel.
+
+        Returns True if everything completed within ``timeout``; on
+        timeout the remaining queue is failed as cancelled and in-flight
+        requests are cooperatively cancelled (they stop at their next
+        governor poll point).
+        """
+        with self._state_lock:
+            if self._state in ("draining", "closed"):
+                return self._queue.depth == 0 and not self._inflight
+            self._state = "draining"
+        if telemetry.ENABLED:
+            telemetry.decision("serve.drain", server=self.name,
+                               queued=self._queue.depth,
+                               inflight=len(self._inflight))
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._queue.depth or self._inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._idle.wait(remaining if remaining is not None else 0.1)
+        clean = self._queue.depth == 0 and not self._inflight
+        if not clean:
+            for req in self._queue.drain():
+                req.token.cancel("server draining")
+                self._finish(req, "cancelled",
+                             Cancelled("server draining"))
+            with self._inflight_lock:
+                inflight = list(self._inflight)
+            for req in inflight:
+                req.token.cancel("server draining")
+        return clean
+
+    def close(self, timeout: float | None = 5.0) -> None:
+        """Drain, stop the workers, and release the server's gauges."""
+        self.drain(timeout)
+        self._stop.set()
+        self._queue.close()
+        for t in self._workers:
+            t.join(timeout=2.0)
+        self._workers = []
+        with self._state_lock:
+            self._state = "closed"
+        self._release_metrics()
+
+    def __enter__(self) -> "GraphServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- graphs ------------------------------------------------------------
+
+    def add_graph(self, name: str, n: int | None = None, *,
+                  kind: GraphKind | str = GraphKind.UNDIRECTED,
+                  graph: Graph | None = None,
+                  stream: GraphStream | None = None,
+                  window: str = "tumbling", width: float = 1.0,
+                  dtype="FP64") -> None:
+        """Register a served graph.
+
+        Exactly one of ``n`` (a fresh ingest stream), ``stream`` (attach
+        an existing :class:`~repro.stream.GraphStream`), or ``graph``
+        (publish a static graph immediately; no ingest) must be given.
+        """
+        given = sum(x is not None for x in (n, stream, graph))
+        if given != 1:
+            raise InvalidValue("pass exactly one of n=, stream=, or graph=")
+        with self._graphs_lock:
+            if name in self._graphs:
+                raise InvalidValue(f"graph {name!r} already served")
+            if graph is not None:
+                sg = _ServedGraph(name, None)
+                snap = Graph(graph.A.dup(), graph.kind)
+                snap.published_epoch = int(graph.A._epoch)
+                sg.published = snap
+                sg.publishes = 1
+            else:
+                st = stream if stream is not None else GraphStream(
+                    int(n), kind=kind, window=window, width=width, dtype=dtype,
+                )
+                sg = _ServedGraph(name, st)
+            self._graphs[name] = sg
+        obs.gauge_set("serve_published_epoch",
+                      float(sg.published.published_epoch) if sg.published else -1.0,
+                      server=self.name, graph=name)
+
+    def graphs(self) -> tuple[str, ...]:
+        return tuple(self._graphs)
+
+    def _served(self, name: str) -> _ServedGraph:
+        sg = self._graphs.get(name)
+        if sg is None:
+            raise InvalidValue(
+                f"unknown graph {name!r}; served: {', '.join(self._graphs) or 'none'}"
+            )
+        return sg
+
+    def ingest(self, name: str, src, dst, ts=None, weights=None) -> None:
+        """Feed timestamped edges into ``name``'s write stream.
+
+        ``ts=None`` stamps the batch at the stream's current timestamp
+        (stays within the open window).  Published snapshots are not
+        affected until :meth:`publish`.
+        """
+        sg = self._served(name)
+        if sg.stream is None:
+            raise InvalidValue(f"graph {name!r} is static (no ingest stream)")
+        with sg.lock:
+            if ts is None:
+                import numpy as np
+                last = sg.stream.last_timestamp
+                ts = np.full(np.asarray(src).size if hasattr(src, "__len__")
+                             else 1, last, dtype=np.float64)
+            sg.stream.ingest(src, dst, ts, weights)
+
+    def publish(self, name: str) -> int:
+        """Settle ``name``'s stream and atomically swap in an immutable
+        snapshot of the accumulated graph; returns the published epoch.
+
+        Queries submitted before the swap keep the snapshot they pinned;
+        queries submitted after see the new epoch.  Copy-on-write at the
+        epoch boundary: the published matrix is never mutated again.
+        """
+        sg = self._served(name)
+        if sg.stream is None:
+            return int(sg.published.published_epoch)
+        with sg.lock:
+            sg.stream.flush()
+            snap = sg.stream.snapshot()
+            sg.published = snap  # atomic reference swap
+            sg.publishes += 1
+        epoch = int(snap.published_epoch)
+        if telemetry.ENABLED:
+            telemetry.decision("serve.publish", server=self.name, graph=name,
+                               epoch=epoch, nvals=int(snap.A.nvals))
+        obs.counter_inc("serve_publish_total", server=self.name, graph=name)
+        obs.gauge_set("serve_published_epoch", float(epoch),
+                      server=self.name, graph=name)
+        return epoch
+
+    def snapshot(self, name: str) -> Graph:
+        """The currently published snapshot (immutable)."""
+        sg = self._served(name)
+        snap = sg.published
+        if snap is None:
+            raise InvalidValue(f"graph {name!r} has no published snapshot yet")
+        return snap
+
+    # -- tenants -----------------------------------------------------------
+
+    def register_tenant(self, tenant: str,
+                        policy: TenantPolicy | None = None,
+                        **kwargs) -> TenantPolicy:
+        """Attach a :class:`TenantPolicy` (or keyword fields) to ``tenant``."""
+        if policy is None:
+            policy = TenantPolicy(**kwargs)
+        elif kwargs:
+            policy = replace(policy, **kwargs)
+        self._tenants[tenant] = policy
+        return policy
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self._tenants.get(tenant) or self._tenants["default"]
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, algo: str, *, graph: str, tenant: str = "default",
+               **params) -> QueryTicket:
+        """Admit a query; returns a :class:`QueryTicket` or raises
+        :class:`Overloaded` / :class:`ServerClosed` immediately."""
+        if self._state != "running":
+            raise ServerClosed(
+                f"server {self.name!r} is {self._state}; not accepting work"
+            )
+        fn = ALGORITHMS.get(algo)
+        if fn is None:
+            raise InvalidValue(
+                f"unknown algorithm {algo!r}; "
+                f"served: {', '.join(sorted(ALGORITHMS))}"
+            )
+        snap = self.snapshot(graph)  # pins the published epoch
+        policy = self.policy_for(tenant)
+        deadline_s = policy.deadline_s if policy.deadline_s is not None \
+            else self.config.deadline_s
+        now = time.monotonic()
+        deadline_at = None if not deadline_s else now + float(deadline_s)
+        seq = next(self._seq)
+        base = (self.config.seed * 0x9E3779B9 + seq * 0x85EBCA6B) & 0xFFFFFFFF
+        req = QueryTicket(seq, tenant, algo, params, snap, policy,
+                          deadline_at, kernel_seed=base,
+                          serve_seed=base ^ 0x5BF03635)
+        # deadline watermark: shed work that cannot survive the queue wait
+        depth = self._queue.depth
+        if deadline_at is not None and depth >= self.config.workers:
+            est_wait = (depth / self.config.workers) * self._ema_exec_s
+            if now + est_wait >= deadline_at:
+                self._shed(req, Overloaded(
+                    f"estimated queue wait {est_wait:.3f}s exceeds the "
+                    f"request deadline of {deadline_s}s",
+                    reason="deadline_watermark", tenant=tenant,
+                ))
+        try:
+            self._queue.put(req, tenant, max_queue=policy.max_queue)
+        except Overloaded as exc:
+            self._shed(req, exc)
+        obs.gauge_set("serve_queue_depth", float(self._queue.depth),
+                      server=self.name)
+        return req
+
+    def query(self, algo: str, *, graph: str, tenant: str = "default",
+              timeout: float | None = None, **params):
+        """Synchronous :meth:`submit` + :meth:`QueryTicket.result`."""
+        return self.submit(
+            algo, graph=graph, tenant=tenant, **params
+        ).result(timeout)
+
+    def _shed(self, req: QueryTicket, exc: Overloaded):
+        req.outcome = "shed"
+        req.error = exc
+        req._event.set()
+        with self._counts_lock:
+            self._counts["shed"] = self._counts.get("shed", 0) + 1
+        obs.counter_inc("serve_requests_total", tenant=req.tenant,
+                        algo=req.algo, outcome="shed")
+        obs.counter_inc("serve_shed_total", tenant=req.tenant,
+                        reason=exc.reason)
+        if telemetry.ENABLED:
+            telemetry.decision("serve.shed", server=self.name,
+                               tenant=req.tenant, algo=req.algo,
+                               reason=exc.reason, depth=self._queue.depth)
+        raise exc
+
+    # -- degradation ladder ------------------------------------------------
+
+    def current_tier(self) -> str:
+        """The load tier new requests execute under (queue-depth driven)."""
+        load = self._queue.load()
+        if load >= self.config.reference_watermark:
+            tier = "reference"
+        elif load >= self.config.lite_watermark:
+            tier = "lite"
+        else:
+            tier = "full"
+        if tier != self._tier:
+            self._tier = tier
+            obs.counter_inc("serve_degrade_total", tier=tier)
+            obs.gauge_set("serve_tier", float(_TIER_CODES[tier]),
+                          server=self.name)
+            if telemetry.ENABLED:
+                telemetry.decision("serve.degrade", server=self.name,
+                                   tier=tier, load=round(load, 3))
+        return tier
+
+    def _chain(self, tier: str) -> list[str]:
+        if tier == "reference" and "reference" in self._breakers:
+            primary = "reference"
+        else:
+            primary = self.config.backend
+        chain = [primary]
+        chain += [b for b in self._breakers if b != primary]
+        return chain
+
+    # -- execution ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            req = self._queue.get(timeout=0.05)
+            if req is None:
+                if self._stop.is_set():
+                    return
+                continue
+            with self._inflight_lock:
+                self._inflight.add(req)
+            try:
+                self._serve_one(req)
+            finally:
+                with self._idle:
+                    self._inflight.discard(req)
+                    self._idle.notify_all()
+                obs.gauge_set("serve_queue_depth", float(self._queue.depth),
+                              server=self.name)
+
+    def _serve_one(self, req: QueryTicket) -> None:
+        req.t_start = time.monotonic()
+        try:
+            if req.token.cancelled:
+                self._finish(req, "cancelled",
+                             Cancelled(req.token.reason or "cancelled"))
+                return
+            if req.deadline_at is not None and req.t_start >= req.deadline_at:
+                self._finish(req, "deadline", DeadlineExceeded(
+                    "deadline passed while queued"
+                ))
+                return
+            tier = self.current_tier()
+            req.tier = tier
+            last_exc: BaseException | None = None
+            for be_name in self._chain(tier):
+                breaker = self._breakers[be_name]
+                if not breaker.allow():
+                    continue
+                degraded = be_name != self.config.backend or tier != "full"
+                if degraded and telemetry.ENABLED:
+                    telemetry.decision("serve.degrade", server=self.name,
+                                       tenant=req.tenant, algo=req.algo,
+                                       tier=tier, backend=be_name)
+                try:
+                    value = self._run_on_backend(req, be_name, tier)
+                except (DeadlineExceeded, Cancelled) as exc:
+                    breaker.release_probe()
+                    outcome = ("deadline" if isinstance(exc, DeadlineExceeded)
+                               else "cancelled")
+                    self._finish(req, outcome, exc)
+                    return
+                except ApiError as exc:
+                    breaker.release_probe()  # caller error, not the backend's
+                    self._finish(req, "invalid", exc)
+                    return
+                except BaseException as exc:  # kernel failure / divergence
+                    breaker.record_failure()
+                    req.failovers += 1
+                    last_exc = exc
+                    if telemetry.ENABLED:
+                        telemetry.decision(
+                            "serve.failover", server=self.name,
+                            algo=req.algo, backend=be_name,
+                            error=type(exc).__name__,
+                            breaker=breaker.state,
+                        )
+                    continue
+                breaker.record_success()
+                req.backend = be_name
+                self._finish(req, "ok", result=value)
+                return
+            self._finish(req, "failed", last_exc)
+        except BaseException as exc:  # the worker itself must survive
+            self._finish(req, "failed", exc)
+
+    def _run_on_backend(self, req: QueryTicket, be_name: str, tier: str):
+        """One backend's serve-level retry loop around a governed attempt."""
+        policy = req.policy
+        attempts = policy.attempts if policy.attempts is not None \
+            else self.config.attempts
+        backoff = Backoff(
+            base=self.config.base_delay_s, cap=self.config.max_delay_s,
+            jitter=1.0, seed=req.serve_seed,
+        )
+        state = {"spill": None}
+
+        def attempt():
+            return self._attempt(req, be_name, tier, state["spill"])
+
+        def on_retry(failures, delay, exc):
+            # a BudgetExceeded that escaped the governor means spilling
+            # was unavailable/off: force the tiled spill path on retry
+            if isinstance(exc, BudgetExceeded):
+                state["spill"] = True
+            req.token.raise_if_cancelled()
+            req.retries += 1
+            obs.counter_inc("serve_retries_total", algo=req.algo)
+            if telemetry.ENABLED:
+                telemetry.decision(
+                    "serve.retry", server=self.name, algo=req.algo,
+                    backend=be_name, attempt=failures,
+                    delay_s=round(delay, 6), error=type(exc).__name__,
+                    spill=bool(state["spill"]),
+                )
+
+        return retry_call(
+            attempt, attempts=attempts, backoff=backoff,
+            transient=(OutOfMemory, BudgetExceeded), on_retry=on_retry,
+        )
+
+    def _attempt(self, req: QueryTicket, be_name: str, tier: str, spill):
+        remaining = None
+        if req.deadline_at is not None:
+            remaining = req.deadline_at - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceeded(
+                    f"deadline passed after {req.retries} retries"
+                )
+        policy = req.policy
+        budget = policy.memory_budget if policy.memory_budget is not None \
+            else self.config.memory_budget
+        kernel_retry = governor.RetryPolicy(
+            attempts=3, base_delay=self.config.base_delay_s,
+            max_delay=self.config.max_delay_s, jitter=1.0,
+            seed=req.kernel_seed,
+        )
+        engine_cm = _engine_off() if tier in ("lite", "reference") \
+            else nullcontext()
+        with engine_cm, backends.backend(be_name), governor.ExecutionContext(
+            memory_budget=budget, deadline=remaining, cancel=req.token,
+            retry=kernel_retry, degrade=policy.degrade, spill=spill,
+        ):
+            if faults.ENABLED:
+                faults.trip(_SERVE_POINT)
+            return ALGORITHMS[req.algo](req.snapshot, **req.params)
+
+    # -- completion --------------------------------------------------------
+
+    def _finish(self, req: QueryTicket, outcome: str,
+                error: BaseException | None = None, result=None) -> None:
+        if req.outcome is not None:  # already finished (drain race)
+            return
+        req.t_done = time.monotonic()
+        req.outcome = outcome
+        req.error = error
+        req.value = result
+        exec_s = req.exec_s
+        if exec_s is not None and outcome == "ok":
+            # EMA feeds the deadline-watermark wait estimate at admission
+            self._ema_exec_s += 0.2 * (exec_s - self._ema_exec_s)
+        with self._counts_lock:
+            self._counts[outcome] = self._counts.get(outcome, 0) + 1
+        obs.counter_inc("serve_requests_total", tenant=req.tenant,
+                        algo=req.algo, outcome=outcome)
+        if exec_s is not None:
+            obs.observe("serve_request_seconds", exec_s, algo=req.algo)
+        if req.queue_wait_s is not None:
+            obs.observe("serve_queue_wait_seconds", req.queue_wait_s)
+        if telemetry.ENABLED:
+            telemetry.decision(
+                "serve.request", server=self.name, tenant=req.tenant,
+                algo=req.algo, outcome=outcome, tier=req.tier,
+                backend=req.backend, retries=req.retries,
+                failovers=req.failovers,
+                seconds=round(exec_s, 6) if exec_s is not None else None,
+            )
+        req._event.set()
+
+    def _on_breaker_transition(self, backend: str, old: str, new: str) -> None:
+        obs.counter_inc("serve_breaker_transitions_total",
+                        backend=backend, state=new)
+        obs.gauge_set("serve_breaker_state", float(STATE_CODES[new]),
+                      server=self.name, backend=backend)
+        if telemetry.ENABLED:
+            telemetry.decision("serve.breaker", server=self.name,
+                               backend=backend, old=old, new=new)
+
+    # -- observability -----------------------------------------------------
+
+    def _declare_metrics(self) -> None:
+        reg = obs.registry()
+        reg.declare("serve_requests_total", "counter",
+                    "Served queries by tenant, algorithm, and outcome")
+        reg.declare("serve_shed_total", "counter",
+                    "Requests shed at admission, by tenant and reason")
+        reg.declare("serve_retries_total", "counter",
+                    "Serve-level retries, by algorithm")
+        reg.declare("serve_degrade_total", "counter",
+                    "Degradation-tier transitions, by tier entered")
+        reg.declare("serve_breaker_transitions_total", "counter",
+                    "Circuit-breaker state transitions, by backend")
+        reg.declare("serve_publish_total", "counter",
+                    "Snapshot publications, by graph")
+        reg.declare("serve_queue_depth", "gauge",
+                    "Admitted requests waiting for a worker")
+        reg.declare("serve_inflight", "gauge",
+                    "Requests currently executing")
+        reg.declare("serve_tier", "gauge",
+                    "Degradation tier (0 full, 1 lite, 2 reference)")
+        reg.declare("serve_breaker_state", "gauge",
+                    "Breaker state (0 closed, 1 half-open, 2 open)")
+        reg.declare("serve_published_epoch", "gauge",
+                    "Published snapshot epoch, by graph")
+        reg.declare("serve_request_seconds", "histogram",
+                    "Query execution latency, by algorithm")
+        reg.declare("serve_queue_wait_seconds", "histogram",
+                    "Admission-to-execution queue wait")
+        obs.register_gauge("serve_queue_depth",
+                           lambda: float(self._queue.depth),
+                           server=self.name)
+        obs.register_gauge("serve_inflight",
+                           lambda: float(len(self._inflight)),
+                           server=self.name)
+        for be, br in self._breakers.items():
+            obs.register_gauge("serve_breaker_state",
+                               (lambda b=br: float(b.state_code)),
+                               server=self.name, backend=be)
+            obs.gauge_set("serve_breaker_state", 0.0,
+                          server=self.name, backend=be)
+        obs.gauge_set("serve_tier", 0.0, server=self.name)
+
+    def _release_metrics(self) -> None:
+        obs.unregister_gauge("serve_queue_depth", server=self.name)
+        obs.unregister_gauge("serve_inflight", server=self.name)
+        for be in self._breakers:
+            obs.unregister_gauge("serve_breaker_state",
+                                 server=self.name, backend=be)
+
+    # -- health ------------------------------------------------------------
+
+    def ready(self) -> bool:
+        """Readiness probe: accepting work and able to serve it."""
+        return (
+            self._state == "running"
+            and any(t.is_alive() for t in self._workers)
+            and any(sg.published is not None for sg in self._graphs.values())
+        )
+
+    def health(self) -> dict:
+        """Liveness/health probe: one structured dict for the supervisor."""
+        breakers = {be: br.snapshot() for be, br in self._breakers.items()}
+        degraded = self._tier != "full" or any(
+            b["state"] != "closed" for b in breakers.values()
+        )
+        status = self._state
+        if status == "running" and degraded:
+            status = "degraded"
+        with self._counts_lock:
+            counts = dict(self._counts)
+        return {
+            "server": self.name,
+            "status": status,
+            "ready": self.ready(),
+            "tier": self._tier,
+            "workers": sum(t.is_alive() for t in self._workers),
+            "queue_depth": self._queue.depth,
+            "inflight": len(self._inflight),
+            "graphs": {
+                name: {
+                    "published_epoch": (
+                        int(sg.published.published_epoch)
+                        if sg.published is not None else None
+                    ),
+                    "publishes": sg.publishes,
+                }
+                for name, sg in self._graphs.items()
+            },
+            "breakers": breakers,
+            "requests": counts,
+            "shed_total": self._queue.shed_total,
+        }
+
+    def stats(self) -> dict:
+        """Cumulative outcome counts plus queue/breaker counters."""
+        with self._counts_lock:
+            counts = dict(self._counts)
+        return {
+            "outcomes": counts,
+            "admitted": self._queue.admitted_total,
+            "shed": self._queue.shed_total,
+            "breakers": {be: br.snapshot()
+                         for be, br in self._breakers.items()},
+            "ema_exec_s": self._ema_exec_s,
+        }

@@ -213,6 +213,30 @@ class GraphStream:
             return None
         return self._close_window()
 
+    @property
+    def last_timestamp(self) -> float:
+        """Timestamp of the newest ingested event (``t0`` before any)."""
+        return self._last_ts if self._last_ts != -np.inf else self.t0
+
+    # -- publication -------------------------------------------------------
+
+    def snapshot(self) -> Graph:
+        """An immutable copy-on-write snapshot of the accumulated graph.
+
+        The returned :class:`Graph` wraps a duplicate of the stream's
+        adjacency (``Matrix.dup`` settles pending work first), so later
+        ingestion never mutates it — this is the serving layer's
+        publication primitive.  ``published_epoch`` on the snapshot
+        records the source matrix's epoch at the copy, giving readers a
+        total order over publications.
+
+        Call :meth:`flush` first to fold the open window's buffered
+        events into the graph; ``snapshot`` copies only applied windows.
+        """
+        snap = Graph(self.graph.A.dup(), self.graph.kind)
+        snap.published_epoch = int(self.graph.A._epoch)
+        return snap
+
     # -- window assembly ---------------------------------------------------
 
     def _close_window(self) -> Window:

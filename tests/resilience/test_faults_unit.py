@@ -93,6 +93,18 @@ class TestHarnessPlumbing:
         faults.trip("alloc")  # must not raise or count
         assert faults.call_count("alloc") == 0
 
+    def test_untargeted_point_is_not_counted_while_armed(self):
+        # arming one point must not tax (or count) every other site:
+        # trip() on a point with no armed plan is a dict probe, nothing
+        # else — the chaos benchmark runs thousands of kernel ops per
+        # injected serve-level fault
+        faults.reset_stats()
+        with faults.inject("alloc", nth=10**9):
+            faults.trip("ewise")  # no armed plan targets this point
+            faults.trip("alloc")
+            assert faults.call_count("ewise") == 0
+            assert faults.call_count("alloc") == 1
+
     def test_enabled_flag_tracks_plans(self):
         assert not faults.ENABLED
         with faults.inject("alloc"):

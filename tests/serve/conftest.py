@@ -1,0 +1,62 @@
+"""Serve-suite plumbing: every test here carries the `serve` mark.
+
+Mirrors the resilience suite's guards: fault injection must be fully
+disarmed around every test, and the CI serve-smoke leg's
+``GRAPHBLAS_GOVERNOR_*`` environment wraps each test in a governed
+context so the whole suite doubles as an admission-path stress test.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.graphblas.faults as faults
+import repro.graphblas.governor as governor
+from repro.serve.config import reset_serve_config
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if str(item.fspath).startswith(_HERE):
+            item.add_marker(pytest.mark.serve)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults():
+    """Fault injection must be fully disarmed before and after every test."""
+    assert not faults.ENABLED and not faults.active_plans()
+    faults.reset_stats()
+    yield
+    assert not faults.ENABLED and not faults.active_plans()
+
+
+@pytest.fixture(autouse=True)
+def _clean_serve_config():
+    """GxB_Serve_set overrides never leak across tests."""
+    reset_serve_config()
+    yield
+    reset_serve_config()
+
+
+@pytest.fixture(autouse=True)
+def _governed():
+    budget, deadline = governor.env_limits()
+    if budget is None and deadline is None:
+        yield
+        return
+    with governor.ExecutionContext(memory_budget=budget, deadline=deadline):
+        yield
+
+
+@pytest.fixture
+def edges():
+    """A reproducible random edge batch on 96 vertices (no self loops)."""
+    rng = np.random.default_rng(7)
+    n = 96
+    src = rng.integers(0, n, 900)
+    dst = rng.integers(0, n, 900)
+    keep = src != dst
+    return n, src[keep], dst[keep]

@@ -1,0 +1,157 @@
+"""Circuit-breaker state machine, driven by an injected fake clock."""
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make(clock, **kw):
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("reset_timeout_s", 5.0)
+    kw.setdefault("probe_successes", 2)
+    return CircuitBreaker("test", clock=clock, **kw)
+
+
+class TestTrip:
+    def test_starts_closed_and_allows(self, clock):
+        br = make(clock)
+        assert br.state == CLOSED
+        assert br.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self, clock):
+        br = make(clock)
+        br.record_failure()
+        br.record_failure()
+        assert br.state == CLOSED
+        br.record_failure()
+        assert br.state == OPEN
+        assert not br.allow()
+        assert br.opened_total == 1
+
+    def test_success_resets_the_consecutive_count(self, clock):
+        br = make(clock)
+        br.record_failure()
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        br.record_failure()
+        assert br.state == CLOSED  # never 3 in a row
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=-1)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_successes=0)
+
+
+class TestHalfOpen:
+    def trip(self, br):
+        for _ in range(3):
+            br.record_failure()
+        assert br.state == OPEN
+
+    def test_reset_timeout_goes_half_open(self, clock):
+        br = make(clock)
+        self.trip(br)
+        clock.advance(4.9)
+        assert br.state == OPEN
+        clock.advance(0.2)
+        assert br.state == HALF_OPEN
+
+    def test_single_probe_slot(self, clock):
+        br = make(clock)
+        self.trip(br)
+        clock.advance(5.1)
+        assert br.allow()       # claims the probe slot
+        assert not br.allow()   # a second concurrent probe is refused
+        assert br.probes_total == 1
+
+    def test_release_probe_frees_the_slot(self, clock):
+        br = make(clock)
+        self.trip(br)
+        clock.advance(5.1)
+        assert br.allow()
+        br.release_probe()
+        assert br.allow()
+
+    def test_probe_successes_close_the_breaker(self, clock):
+        br = make(clock)
+        self.trip(br)
+        clock.advance(5.1)
+        assert br.allow()
+        br.record_success()
+        assert br.state == HALF_OPEN  # needs 2
+        assert br.allow()
+        br.record_success()
+        assert br.state == CLOSED
+        assert br.allow()
+
+    def test_probe_failure_reopens_for_full_timeout(self, clock):
+        br = make(clock)
+        self.trip(br)
+        clock.advance(5.1)
+        assert br.allow()
+        br.record_failure()
+        assert br.state == OPEN
+        assert br.opened_total == 2
+        clock.advance(4.9)
+        assert br.state == OPEN  # the timeout restarted
+        clock.advance(0.2)
+        assert br.state == HALF_OPEN
+
+
+class TestHooks:
+    def test_transition_hook_sees_every_change(self, clock):
+        seen = []
+        br = CircuitBreaker(
+            "hooked", failure_threshold=2, reset_timeout_s=1.0,
+            probe_successes=1, clock=clock,
+            on_transition=lambda name, old, new: seen.append((name, old, new)),
+        )
+        br.record_failure()
+        br.record_failure()
+        clock.advance(1.1)
+        assert br.allow()
+        br.record_success()
+        assert seen == [
+            ("hooked", CLOSED, OPEN),
+            ("hooked", OPEN, HALF_OPEN),
+            ("hooked", HALF_OPEN, CLOSED),
+        ]
+
+    def test_snapshot_counters(self, clock):
+        br = make(clock)
+        br.record_failure()
+        br.record_success()
+        snap = br.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["failures_total"] == 1
+        assert snap["successes_total"] == 1
+        assert snap["consecutive_failures"] == 0
+
+    def test_state_codes(self, clock):
+        br = make(clock)
+        assert br.state_code == 0
+        for _ in range(3):
+            br.record_failure()
+        assert br.state_code == 2
+        clock.advance(5.1)
+        assert br.state_code == 1
