@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from _common import emit, wall
-from repro.graphblas import Matrix, make_monoid, make_semiring
+from repro.graphblas import Matrix, compiled, make_monoid, make_semiring, telemetry
 from repro.graphblas import operations as ops
 from repro.graphblas.monoid import Monoid
 from repro.graphblas.ops import binary
@@ -96,3 +96,53 @@ def test_bench_e7(benchmark, kernel):
     A, B, mask = _adversarial(32, 100_000)
     sr = SR_TERM if kernel == "terminal" else SR_NOTERM
     benchmark(_dot, A, B, mask, sr)
+
+
+# -- PR10: the compiled tier's per-element exit vs the vectorized one ---------
+
+def _dot_builtin(A, B, mask, backend):
+    """Same adversarial workload over the *builtin* LOR_LAND (the
+    compiled tier declines user-defined monoids, so the with/without-
+    terminal pair above stays on the vectorized engine)."""
+    C = Matrix("BOOL", A.nrows, B.ncols)
+    ops.mxm(C, A, B, "LOR_LAND", mask=mask, desc="RS", method="dot",
+            backend=backend)
+    return C
+
+
+@pytest.mark.skipif(not compiled.available(),
+                    reason="no compiled toolchain (numba or cc) available")
+def test_e7_compiled_table(benchmark):
+    """Vectorized early exit (64-wide block granularity) vs the compiled
+    scalar loop that bails on the exact terminal term, with the measured
+    mean hit depth from the kernel's exit statistics."""
+    A, B, mask = _adversarial()
+    _dot_builtin(A, B, mask, "compiled")  # absorb the JIT build
+
+    def run():
+        t = Table(
+            "E7b: vectorized vs compiled early exit, builtin LOR_LAND "
+            f"({A.nrows} rows x {A.ncols} terms, first term hits)",
+            ["kernel", "seconds"],
+        )
+        t_vec = wall(lambda: _dot_builtin(A, B, mask, "optimized"), repeat=3)
+        t_cmp = wall(lambda: _dot_builtin(A, B, mask, "compiled"), repeat=3)
+        with telemetry.collect() as col:
+            _dot_builtin(A, B, mask, "compiled")
+        exits = [e["args"] for e in col.events
+                 if e["type"] == "decision"
+                 and e["name"] == "compiled.early_exit"]
+        ex = exits[-1] if exits else {}
+        terminated = int(ex.get("terminated", 0))
+        t.add("vectorized dot, block early exit", t_vec)
+        t.add("compiled dot, per-element early exit", t_cmp)
+        t.note(f"speedup {t_vec / t_cmp:.1f}x")
+        if terminated:
+            t.note(f"{terminated}/{ex.get('dots', 0)} dots terminated, "
+                   f"mean hit depth "
+                   f"{ex.get('depth_sum', 0) / terminated:.1f} of "
+                   f"{A.ncols} terms")
+        emit(t, "e7_early_exit_compiled")
+        assert terminated > 0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

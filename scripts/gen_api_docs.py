@@ -22,6 +22,7 @@ import repro.generators
 import repro.graphblas
 import repro.graphblas.backends
 import repro.graphblas.capi
+import repro.graphblas.compiled
 import repro.graphblas.faults
 import repro.graphblas.telemetry
 import repro.graphblas.validate
@@ -171,12 +172,32 @@ Built-in engines:
   computation so cancellation zeros stay structural.  Declines anything
   else and falls back to `optimized`; declines everything when scipy is
   not installed.
-* **`differential`** — runs `optimized`, then re-executes every
-  operation whose dense replay fits `GRAPHBLAS_DIFF_BUDGET` cells
-  (default `1<<22`) on `reference` and compares pattern + values,
-  raising `BackendDivergence` on mismatch; over-budget ops are counted
-  as skipped (`get_backend("differential").stats`).  CLI:
+* **`compiled`** — the JIT tier: monomorphic scalar kernels generated
+  per `(add monoid, multiply op, value type)` and compiled with numba
+  (`pip install .[compiled]`) or, failing that, the system C compiler.
+  Serves mxm/mxv/vxm over built-in semirings with **true terminal early
+  exit** (LOR/LAND/MIN/MAX/TIMES dots stop at the first annihilator,
+  per element, not per 64-wide block); declines everything else down to
+  `optimized`.  See "Compiled kernels" below.
+* **`differential`** — runs a *primary* engine (`optimized` by default;
+  `primary="compiled"` or `GRAPHBLAS_DIFF_PRIMARY` puts the JIT tier
+  under test), then re-executes every operation whose dense replay fits
+  `GRAPHBLAS_DIFF_BUDGET` cells (default `1<<22`) on `reference` and
+  compares pattern + values, raising `BackendDivergence` on mismatch;
+  over-budget ops are counted as skipped
+  (`get_backend("differential").stats`).  CLI:
   `scripts/run_differential_check.py --scale 14`.
+
+The dispatch chain each plan walks (every decline emits a
+`backend.fallback` telemetry decision):
+
+| selected backend | serves | declines to |
+|---|---|---|
+| `optimized` | everything | — (terminal) |
+| `reference` | everything | — (terminal) |
+| `compiled` | mxm/mxv/vxm, built-in semirings, uniform dtypes | `optimized` |
+| `scipy` | mxm/mxv/vxm (PLUS_TIMES), eWiseAdd/Mult (PLUS/TIMES) | `optimized` |
+| `differential` | everything (via its primary's chain) | — (terminal) |
 
 Selection is observable (`backend.dispatch` / `backend.fallback`
 telemetry decisions), settable at the C-API level
@@ -184,6 +205,73 @@ telemetry decisions), settable at the C-API level
 factory)` adds an engine; a backend implements only what it supports and
 declares a `fallback` for the rest.  `Matrix.to_scipy/from_scipy` and
 `Vector.to_scipy/from_scipy` convert at the boundary.
+"""
+
+
+COMPILED_SECTION = """
+## Compiled kernels
+
+`repro.graphblas.compiled` is the code-generation analogue of
+SuiteSparse's ~960 pre-compiled semiring built-ins.  Where the
+performance engine specializes *NumPy closures* (vectorized, but
+structurally unable to stop mid-row), this tier renders one monomorphic
+scalar kernel set per `(add, mult, type)` from a template library —
+Gustavson SpGEMM (two-phase count/fill with a sparse accumulator),
+sorted-intersection dot products for fused-mask mxm, and push/pull
+mxv/vxm — and compiles it with the first usable toolchain:
+
+1. **numba** — `@njit(nogil=True)` over the generated Python source
+   (`pip install .[compiled]`);
+2. **cc** — the same kernels as generated C (`-O3 -fwrapv
+   -ffp-contract=off`), built with the system compiler, loaded via
+   `ctypes` (which releases the GIL for the PR-5 row-parallel pool),
+   and content-addressed under `GRAPHBLAS_COMPILED_DIR` so warm
+   artifacts survive across processes;
+3. **python** — the generated source interpreted as-is: far too slow to
+   auto-select, but an oracle for parity-testing the template logic
+   (`GRAPHBLAS_COMPILED_TOOLCHAIN=python`).
+
+The headline semantic upgrade is **true terminal early exit**: for
+monoids with an annihilator (LOR's `true`, LAND's `false`, MIN/MAX
+extrema, TIMES' 0) the dot and pull loops break on the exact term that
+reaches it — the vectorized engine can only skip 64-wide blocks.  Exit
+behavior is reported per op in `compiled.early_exit` telemetry
+(terminated/eligible counts, scanned terms, summed hit depth).
+
+Built kernel sets live in an LRU mirroring `engine.kernel_for`
+(`compiled.kernel_for`, `compiled.cache_stats()`); cache traffic shows
+up as `compiled.kernel` telemetry (`event="compile"` with wall seconds,
+`event="hit"`), the `graphblas_compile_seconds` histogram and
+`graphblas_compiled_kernel_cache` gauges in the obs registry, the
+`compiled_hits`/`compiled_compiles` fields of `plan.done`, and the
+`cmp` column of `obs.explain` reports.
+
+Numeric contract: integer and order-insensitive (MIN/MAX/logical)
+results are bit-identical to the optimized engine; float PLUS/TIMES
+reductions can differ in the last ulp (numpy's `reduceat` unrolls long
+segments 8-wide, the scalar SPA folds strictly left-to-right).  With
+the tier disabled every result is byte-for-byte the optimized engine's.
+
+Scope guards: built-in semirings only (no user-defined or positional
+ops), all argument dtypes equal to the output dtype, no accumulator on
+the compiled path, dimensions under `1<<24`.  Everything else declines
+to `optimized`; `GRAPHBLAS_BACKEND=compiled` with no toolchain at all
+warns once and falls back — never raises.
+
+Knobs and control surface:
+
+| surface | what |
+|---|---|
+| `GRAPHBLAS_COMPILED_TOOLCHAIN` | `auto` (default) / `numba` / `cc` / `python` / `off` |
+| `GRAPHBLAS_COMPILED_CACHE` | kernel LRU capacity (default 128) |
+| `GRAPHBLAS_COMPILED_DIR` | cc artifact directory (default per-user tempdir) |
+| `capi.GxB_Compiled_set(toolchain, cache_size=...)` | runtime override of both knobs |
+| `capi.GxB_Compiled_get()` | preference, resolved toolchain, cache counters |
+
+`benchmarks/bench_compiled_kernels.py --scale 14 --out BENCH_PR10.json`
+reproduces the committed numbers (warm compiled Gustavson >= 1.5x over
+optimized, early-exit LOR_LAND pull >= 3x on selective masks, zero
+differential divergences).
 """
 
 
@@ -670,6 +758,7 @@ def main() -> None:
         )
         f.write(RESILIENCE_SECTION)
         f.write(BACKENDS_SECTION)
+        f.write(COMPILED_SECTION)
         f.write(TELEMETRY_SECTION)
         f.write(GOVERNOR_SECTION)
         f.write(TILED_SECTION)
@@ -680,6 +769,7 @@ def main() -> None:
         render_module(f, repro.graphblas, "repro.graphblas")
         render_module(f, repro.graphblas.engine, "repro.graphblas.engine")
         render_module(f, repro.graphblas.backends, "repro.graphblas.backends")
+        render_module(f, repro.graphblas.compiled, "repro.graphblas.compiled")
         render_module(f, repro.graphblas.plan, "repro.graphblas.plan")
         render_module(f, repro.graphblas.capi, "repro.graphblas.capi")
         render_module(f, repro.graphblas.governor, "repro.graphblas.governor")

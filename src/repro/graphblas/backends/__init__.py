@@ -2,11 +2,16 @@
 
 The operation layer splits every GraphBLAS call into an engine-independent
 :class:`~repro.graphblas.plan.OpPlan` (built by :mod:`repro.graphblas.plan`)
-and a kernel half served by a :class:`KernelBackend`.  Four backends ship:
+and a kernel half served by a :class:`KernelBackend`.  Five backends ship:
 
 ``optimized``
     The sparse production engine (CSR/CSC/hypersparse kernels, push/pull
     mxv, masked SpGEMM).  The default.
+``compiled``
+    JIT-compiled monomorphic semiring kernels
+    (:mod:`repro.graphblas.compiled`) for mxm/mxv/vxm with true
+    terminal-monoid early exit; everything else — and any op without a
+    generated template or usable toolchain — falls back to ``optimized``.
 ``reference``
     The dense spec-literal mimic from :mod:`repro.graphblas.reference`,
     promoted from test helper to a first-class engine.  Slow but written
@@ -148,6 +153,7 @@ def _builtin(module: str, cls: str):
 
 
 register_backend("optimized", _builtin("optimized", "OptimizedBackend"))
+register_backend("compiled", _builtin("compiled", "CompiledBackend"))
 register_backend("reference", _builtin("reference", "ReferenceBackend"))
 register_backend("scipy", _builtin("scipy_backend", "SciPyBackend"))
 register_backend("differential", _builtin("differential", "DifferentialBackend"))
@@ -315,13 +321,17 @@ def _execute(plan: OpPlan, route: str, backend_name: str, run, retry=None):
         run = lambda: retry.call(inner, op=plan.op)  # noqa: E731
     if not (telemetry.ENABLED and telemetry.PLAN_EVENTS):
         return run()
+    from .. import compiled as _compiled
+
     ctx = governor.current() if governor.ACTIVE else None
     r0 = ctx.stats.get("retries", 0) if ctx is not None else 0
     k0 = _engine.kernel_cache_stats()
+    c0 = _compiled.cache_stats()
     t0 = time.perf_counter()
     out = run()
     seconds = time.perf_counter() - t0
     k1 = _engine.kernel_cache_stats()
+    c1 = _compiled.cache_stats()
     detail = {
         "op": plan.op,
         "backend": backend_name,
@@ -330,6 +340,11 @@ def _execute(plan: OpPlan, route: str, backend_name: str, run, retry=None):
         "kernel_hits": k1["hits"] - k0["hits"],
         "kernel_compiles": k1["misses"] - k0["misses"],
     }
+    compiled_hits = c1["hits"] - c0["hits"]
+    compiled_compiles = c1["misses"] - c0["misses"]
+    if compiled_hits or compiled_compiles:
+        detail["compiled_hits"] = compiled_hits
+        detail["compiled_compiles"] = compiled_compiles
     if ctx is not None and retry is not None:
         replays = ctx.stats.get("retries", 0) - r0
         if replays:

@@ -4,10 +4,13 @@ The paper's testing methodology (section II.A) pairs every optimized
 kernel with a spec-literal MATLAB-style implementation and compares the
 two on random inputs.  This backend turns that offline methodology into
 a runtime engine: every dispatched :class:`~repro.graphblas.plan.OpPlan`
-executes on the ``optimized`` backend, and — when the operation is small
-enough to afford a dense replay — the same plan is re-run through the
+executes on the *primary* backend — ``optimized`` by default; pass
+``primary="compiled"`` (or set ``GRAPHBLAS_DIFF_PRIMARY``) to put the
+JIT tier under test, with plans it declines walked down its fallback
+chain exactly as the dispatcher would — and, when the operation is small
+enough to afford a dense replay, the same plan is re-run through the
 ``reference`` kernels on snapshots of the inputs taken *before* the
-optimized engine mutated the output.  Any disagreement in pattern or
+primary engine mutated the output.  Any disagreement in pattern or
 values raises :class:`~repro.graphblas.errors.BackendDivergence`.
 
 Dense replay of an m x n matrix op costs Theta(m*n) (Theta(m*n*k) for
@@ -70,16 +73,53 @@ class DifferentialBackend(KernelBackend):
     name = "differential"
     fallback = None
 
-    def __init__(self, budget: int | None = None, *, strict: bool = False):
+    def __init__(
+        self,
+        budget: int | None = None,
+        *,
+        strict: bool = False,
+        primary: str | None = None,
+    ):
         if budget is None:
             # Hardened: a malformed GRAPHBLAS_DIFF_BUDGET warns once and
             # falls back to the default instead of raising ValueError.
             budget = envutil.env_int(
                 "GRAPHBLAS_DIFF_BUDGET", DEFAULT_BUDGET, minimum=0
             )
+        if primary is None:
+            primary = envutil.env_choice(
+                "GRAPHBLAS_DIFF_PRIMARY", "optimized",
+                ("optimized", "compiled", "scipy"),
+            )
         self.budget = budget
         self.strict = bool(strict)
+        #: engine under test: each plan runs here (walking its own
+        #: ``supports``/fallback chain) and is checked against reference.
+        self.primary = primary
         self.stats = {"verified": 0, "skipped": 0, "divergences": 0}
+
+    def _primary_for(self, plan: OpPlan) -> KernelBackend:
+        """The engine under test for this plan, honoring declinations.
+
+        A partial primary (``compiled``, ``scipy``) declines plans it
+        cannot serve; walking its fallback chain here mirrors what the
+        dispatcher would do, so the differential engine verifies exactly
+        the kernel that production dispatch would have run.
+        """
+        be = get_backend(self.primary)
+        seen = {be.name}
+        while not be.supports(plan):
+            fb = be.fallback
+            if fb is None or fb in seen:
+                return get_backend("optimized")
+            if telemetry.ENABLED:
+                telemetry.decision(
+                    "backend.fallback", op=plan.op, declined=be.name,
+                    fallback=fb,
+                )
+            be = get_backend(fb)
+            seen.add(be.name)
+        return be
 
     def reset_stats(self) -> None:
         self.stats = {"verified": 0, "skipped": 0, "divergences": 0}
@@ -87,7 +127,7 @@ class DifferentialBackend(KernelBackend):
     def _run(self, plan: OpPlan):
         if governor.ACTIVE:
             governor.poll()
-        opt = get_backend("optimized")
+        opt = self._primary_for(plan)
         cost = plan_cost(plan)
         if cost > self.budget:
             self.stats["skipped"] += 1

@@ -137,42 +137,9 @@ class OptimizedBackend(KernelBackend):
         transposed = p["transposed"]
         method, optimizer = p["method"], p["optimizer"]
 
-        if method == "tiled":
-            # the dispatcher serves "tiled"; reaching this kernel anyway
-            # (direct call, degraded backend) pull is the bit-identical
-            # in-memory equivalent of the tiled fold
-            method = "pull"
-        if method == "auto":
-            density = u.nvals / u.size
-            threshold = (
-                optimizer.threshold
-                if optimizer is not None
-                else _mxv_mod.get_switch_threshold()
-            )
-            if optimizer is not None:
-                method = optimizer.choose(density)
-            else:
-                method = "push" if density <= threshold else "pull"
-            if telemetry.ENABLED:
-                telemetry.decision(
-                    "mxv.direction",
-                    op="mxv" if is_mxv else "vxm",
-                    direction=method,
-                    density=density,
-                    threshold=threshold,
-                    frontier_nvals=u.nvals,
-                    size=u.size,
-                    hysteresis=optimizer is not None,
-                )
-        elif telemetry.ENABLED:
-            telemetry.decision(
-                "mxv.direction",
-                op="mxv" if is_mxv else "vxm",
-                direction=method,
-                forced=True,
-                frontier_nvals=u.nvals,
-                size=u.size,
-            )
+        method = _mxv_mod.choose_direction(
+            method, u, optimizer, op_name="mxv" if is_mxv else "vxm"
+        )
 
         if governor.ACTIVE:
             # direction boundary: poll before the push/pull kernel runs

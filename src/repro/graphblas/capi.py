@@ -113,6 +113,8 @@ __all__ = [
     "GxB_Context_new",
     "GxB_Engine_set",
     "GxB_Engine_get",
+    "GxB_Compiled_set",
+    "GxB_Compiled_get",
     "GxB_Spill_set",
     "GxB_Spill_get",
     "GxB_Serve_set",
@@ -729,6 +731,42 @@ def GxB_Engine_get() -> dict:
     }
     out["cache"] = _engine.kernel_cache_stats()
     return out
+
+
+def GxB_Compiled_set(toolchain=None, *, cache_size=None) -> Info:
+    """``GxB_COMPILED_*`` option set: JIT kernel-tier control.
+
+    ``toolchain`` selects the compiler preference (``"auto"``,
+    ``"numba"``, ``"cc"``, ``"python"``, or ``"off"`` to disable the
+    tier); ``cache_size`` resizes the compiled-kernel LRU — see
+    :func:`repro.graphblas.compiled.set_config`.  Arguments left
+    ``None`` keep their current (environment-derived) values.
+    """
+    from . import compiled as _compiled
+
+    try:
+        _compiled.set_config(toolchain=toolchain, capacity=cache_size)
+    except (GraphBLASError, TypeError, ValueError) as exc:
+        if isinstance(exc, GraphBLASError):
+            return exc.info
+        _tls.last_error = str(exc)
+        return Info.INVALID_VALUE
+    return GrB_SUCCESS
+
+
+def GxB_Compiled_get() -> dict:
+    """``GxB_COMPILED_*`` option get: the effective tier state — the
+    configured preference, the resolved toolchain (None when unusable),
+    and the kernel-cache counters, as one plain dict."""
+    from . import compiled as _compiled
+
+    cfg = _compiled.get_config()
+    return {
+        "preference": cfg["preference"],
+        "toolchain": _compiled.toolchain_name(),
+        "available": _compiled.available(),
+        "cache": _compiled.cache_stats(),
+    }
 
 
 def GxB_Spill_set(enabled=None, *, directory=None, budget=None) -> Info:

@@ -18,7 +18,7 @@ import warnings
 
 __all__ = [
     "env_int", "env_float", "env_bytes", "env_choice", "env_path",
-    "env_on_off", "reset_warned",
+    "env_on_off", "warn_once", "reset_warned",
 ]
 
 _warned: set[tuple[str, str]] = set()
@@ -41,6 +41,16 @@ def _warn_once(var: str, raw: str, why: str, default) -> None:
 def reset_warned() -> None:
     """Forget which (variable, value) pairs already warned (for tests)."""
     _warned.clear()
+
+
+def warn_once(var: str, value: str, why: str, fallback) -> None:
+    """Warn once per (variable, value) for a config that cannot be honored.
+
+    Same dedup set and wording as the parsers above, for consumers whose
+    value is *well-formed* but unusable in this environment — e.g.
+    ``GRAPHBLAS_BACKEND=compiled`` with no JIT toolchain installed.
+    """
+    _warn_once(var, value, why, fallback)
 
 
 def env_int(var: str, default, *, minimum=None):

@@ -414,11 +414,14 @@ class SparseStore:
         """
         rows = np.asarray(rows, dtype=_INDEX)
         if self.hyper:
+            if self.h.size == 0:
+                # empty store: indptr is just [0], and np.where evaluates
+                # indptr[pos_c + 1] even under an all-False condition
+                z = np.zeros(rows.size, dtype=_INDEX)
+                return z, z.copy()
             pos = np.searchsorted(self.h, rows)
-            pos_c = np.minimum(pos, max(self.h.size - 1, 0))
-            found = (self.h.size > 0) & (
-                self.h[pos_c] == rows if self.h.size else False
-            )
+            pos_c = np.minimum(pos, self.h.size - 1)
+            found = self.h[pos_c] == rows
             starts = np.where(found, self.indptr[pos_c], 0)
             ends = np.where(found, self.indptr[pos_c + 1], 0)
             return starts.astype(_INDEX), ends.astype(_INDEX)

@@ -40,7 +40,7 @@ from .ops import BinaryOp
 from .semiring import Semiring
 from .types import Type
 
-__all__ = ["mxm_coo", "MXM_METHODS"]
+__all__ = ["mxm_coo", "resolve_method", "dot_candidates", "MXM_METHODS"]
 
 _INDEX = np.int64
 
@@ -84,6 +84,52 @@ def _positional_values(
     raise InvalidValue(f"unknown positional kind {kind!r}")
 
 
+def resolve_method(
+    method: str,
+    semiring: Semiring,
+    mask_coords,
+    mask_complement: bool,
+    a_rows: SparseStore,
+    b_rows: SparseStore,
+) -> str:
+    """Resolve a requested SpGEMM method to the concrete kernel to run.
+
+    The one method policy shared by every backend (the vectorized engine
+    and the compiled tier both route through here, so their
+    ``spgemm.method`` telemetry and governor poll points are identical):
+    ``tiled`` degrades to the bit-identical in-memory Gustavson, ``auto``
+    picks dot exactly when a usable (non-complemented) mask hint exists,
+    positional products force Gustavson's coordinate expansion.
+    """
+    requested = method
+    if method == "tiled":
+        # the dispatcher serves "tiled" via repro.graphblas.tiled; when a
+        # plan reaches the in-memory kernel anyway (direct call, degraded
+        # backend) Gustavson is the bit-identical equivalent
+        method = "gustavson"
+    if method == "auto":
+        if mask_coords is not None and not mask_complement:
+            method = "dot"
+        else:
+            method = "gustavson"
+    if semiring.mult.positional and method != "gustavson":
+        method = "gustavson"  # positional products need coordinate expansion
+    if telemetry.ENABLED:
+        telemetry.decision(
+            "spgemm.method",
+            method=method,
+            requested=requested,
+            masked=mask_coords is not None,
+            a_nvals=a_rows.nvals,
+            b_nvals=b_rows.nvals,
+        )
+    if governor.ACTIVE:
+        # SpGEMM method boundary: last cooperative cancellation point
+        # before the expansion kernels allocate their working set.
+        governor.poll()
+    return method
+
+
 def mxm_coo(
     a_rows: SparseStore,
     b_rows: SparseStore,
@@ -114,32 +160,9 @@ def mxm_coo(
         raise InvalidValue(f"unknown mxm method {method!r}")
     if faults.ENABLED:
         faults.trip("spgemm.flop")
-    requested = method
-    if method == "tiled":
-        # the dispatcher serves "tiled" via repro.graphblas.tiled; when a
-        # plan reaches the in-memory kernel anyway (direct call, degraded
-        # backend) Gustavson is the bit-identical equivalent
-        method = "gustavson"
-    if method == "auto":
-        if mask_coords is not None and not mask_complement:
-            method = "dot"
-        else:
-            method = "gustavson"
-    if semiring.mult.positional and method != "gustavson":
-        method = "gustavson"  # positional products need coordinate expansion
-    if telemetry.ENABLED:
-        telemetry.decision(
-            "spgemm.method",
-            method=method,
-            requested=requested,
-            masked=mask_coords is not None,
-            a_nvals=a_rows.nvals,
-            b_nvals=b_rows.nvals,
-        )
-    if governor.ACTIVE:
-        # SpGEMM method boundary: last cooperative cancellation point
-        # before the expansion kernels allocate their working set.
-        governor.poll()
+    method = resolve_method(
+        method, semiring, mask_coords, mask_complement, a_rows, b_rows
+    )
 
     if method == "gustavson":
         r, c, v = _mxm_gustavson(a_rows, b_rows, semiring, out_type, nthreads)
@@ -343,18 +366,22 @@ def _pair_group_starts(i: np.ndarray, j: np.ndarray) -> np.ndarray:
 _EARLY_EXIT_BLOCK = 64
 
 
-def _mxm_dot(
+def dot_candidates(
     a_rows: SparseStore,
-    b_rows: SparseStore,
-    semiring: Semiring,
-    out_type: Type,
+    b_cols: SparseStore,
     mask_coords,
     mask_complement: bool,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    b_cols = b_rows.with_orientation(b_rows.orientation.flipped)
+) -> tuple[np.ndarray, np.ndarray]:
+    """Candidate (i, j) output coordinates for the dot method.
+
+    A non-complemented mask *is* the candidate list (the fused-mask
+    payoff); otherwise every (nonempty A row) x (nonempty B col) pair is
+    a candidate, minus the masked-out set when the mask is complemented.
+    Row-major sorted, like the mask coordinate contract.  Shared by the
+    vectorized engine and the compiled tier so both enumerate (and
+    therefore early-exit over) exactly the same dots.
+    """
     if mask_coords is None or mask_complement:
-        # enumerate candidate output coordinates: (nonempty A rows) x
-        # (nonempty B cols), minus the masked-out set if complemented
         arows = (
             a_rows.h
             if a_rows.hyper
@@ -372,8 +399,20 @@ def _mxm_dot(
 
             drop = coords_in(out_i, out_j, *mask_coords)
             out_i, out_j = out_i[~drop], out_j[~drop]
-    else:
-        out_i, out_j = mask_coords
+        return out_i, out_j
+    return mask_coords
+
+
+def _mxm_dot(
+    a_rows: SparseStore,
+    b_rows: SparseStore,
+    semiring: Semiring,
+    out_type: Type,
+    mask_coords,
+    mask_complement: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    b_cols = b_rows.with_orientation(b_rows.orientation.flipped)
+    out_i, out_j = dot_candidates(a_rows, b_cols, mask_coords, mask_complement)
     if out_i.size == 0:
         return (
             np.empty(0, dtype=_INDEX),

@@ -38,6 +38,7 @@ from .types import Type
 __all__ = [
     "spmspv_push",
     "spmv_pull",
+    "choose_direction",
     "DirectionOptimizer",
     "DEFAULT_SWITCH_THRESHOLD",
     "get_switch_threshold",
@@ -273,6 +274,53 @@ def spmv_pull(
     else:
         vals = semiring.add.reduce_segments(vals, seg, out_type)
     return out_idx, vals
+
+
+def choose_direction(method: str, u, optimizer, *, op_name: str) -> str:
+    """Resolve a matvec plan's method to ``push`` or ``pull``.
+
+    The one direction-choice policy shared by every kernel backend
+    (optimized and compiled both route through here, so their
+    ``mxv.direction`` telemetry and hysteresis state are identical):
+    ``tiled`` degrades to the bit-identical in-memory ``pull``;
+    ``auto`` applies the GraphBLAST density rule — through the plan's
+    :class:`DirectionOptimizer` when the caller is iterating, the
+    module threshold otherwise; explicit directions pass through.
+    """
+    if method == "tiled":
+        method = "pull"
+    if method == "auto":
+        density = u.nvals / u.size
+        threshold = (
+            optimizer.threshold
+            if optimizer is not None
+            else get_switch_threshold()
+        )
+        if optimizer is not None:
+            method = optimizer.choose(density)
+        else:
+            method = "push" if density <= threshold else "pull"
+        if telemetry.ENABLED:
+            telemetry.decision(
+                "mxv.direction",
+                op=op_name,
+                direction=method,
+                density=density,
+                threshold=threshold,
+                frontier_nvals=u.nvals,
+                size=u.size,
+                hysteresis=optimizer is not None,
+            )
+    elif telemetry.ENABLED:
+        telemetry.decision(
+            "mxv.direction",
+            op=op_name,
+            direction=method,
+            forced=True,
+            frontier_nvals=u.nvals,
+            size=u.size,
+        )
+    return method
 
 
 class DirectionOptimizer:

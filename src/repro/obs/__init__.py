@@ -136,7 +136,7 @@ def unregister_gauge(name: str, **labels) -> None:
 
 def _engine_gauges() -> list[tuple[str, object, dict]]:
     """Collect-on-read gauges over engine-internal stats."""
-    from ..graphblas import engine, plan
+    from ..graphblas import compiled, engine, plan
 
     gauges: list[tuple[str, object, dict]] = []
     for stat in ("hits", "misses", "evictions", "size", "capacity",
@@ -144,6 +144,13 @@ def _engine_gauges() -> list[tuple[str, object, dict]]:
         gauges.append((
             "graphblas_engine_kernel_cache",
             lambda s=stat: engine.kernel_cache_stats()[s],
+            {"stat": stat},
+        ))
+    for stat in ("hits", "misses", "evictions", "size", "capacity",
+                 "unsupported", "compile_seconds"):
+        gauges.append((
+            "graphblas_compiled_kernel_cache",
+            lambda s=stat: compiled.cache_stats()[s],
             {"stat": stat},
         ))
     for kind in ("configured", "started", "live_threads"):
@@ -183,6 +190,9 @@ def enable(*, slow_ms: float | None = None,
             _sink = MetricsSink(_registry, _slow_log)
             _registry.declare("graphblas_engine_kernel_cache", "gauge",
                               "Kernel LRU stats, by stat label")
+            _registry.declare("graphblas_compiled_kernel_cache", "gauge",
+                              "Compiled-tier JIT kernel LRU stats, by "
+                              "stat label")
             _registry.declare("graphblas_engine_pool_workers", "gauge",
                               "Shared engine thread pool occupancy")
             _registry.declare("graphblas_plan_resolver_cache", "gauge",

@@ -9,7 +9,8 @@ record per executed :class:`~repro.graphblas.plan.OpPlan`:
 * the **admission verdict** with estimated vs actual result bytes, so
   the governor's footprint model is auditable against reality;
 * **engine activity** — kernel-cache hits vs compiles, SpGEMM method,
-  push/pull direction;
+  push/pull direction, and compiled-tier JIT cache traffic (the ``cmp``
+  column);
 * **spill traffic** — tiles, spills, reloads, and bytes through the
   plan's :class:`~repro.graphblas.tiled.SpillPool`;
 * **wall time**, kernel-only (the dispatcher's measurement).
@@ -58,6 +59,8 @@ def _fold(record: dict, pending: dict) -> dict:
             record.setdefault("est_bytes", args.get("est_bytes"))
         elif kind == "engine.workers":
             record["workers"] = args.get("admitted")
+        elif kind == "compiled.kernel":
+            record["compiled_toolchain"] = args.get("toolchain")
     if pending["fallbacks"]:
         record["fallbacks"] = list(pending["fallbacks"])
     return record
@@ -152,8 +155,8 @@ class ExplainReport:
         parts = []
         if self.records:
             headers = ["#", "op", "route", "backend", "method", "ms",
-                       "est", "actual", "admission", "kcache", "spills",
-                       "reloads"]
+                       "est", "actual", "admission", "kcache", "cmp",
+                       "spills", "reloads"]
             windowed = any("window" in r for r in self.records)
             if windowed:
                 headers.append("win")
@@ -165,6 +168,14 @@ class ExplainReport:
                     kcache = f"{hits}h/{compiles}c"
                 else:
                     kcache = "-"
+                chits = r.get("compiled_hits", 0)
+                ccompiles = r.get("compiled_compiles", 0)
+                if chits or ccompiles:
+                    cmp_cell = f"{chits}h/{ccompiles}c"
+                elif r.get("compiled_toolchain"):
+                    cmp_cell = str(r["compiled_toolchain"])
+                else:
+                    cmp_cell = "-"
                 rows.append([
                     str(i),
                     str(r.get("op", "?")),
@@ -176,6 +187,7 @@ class ExplainReport:
                     _fmt_bytes(r.get("actual_bytes")),
                     str(r.get("admission", "-")),
                     kcache,
+                    cmp_cell,
                     str(r.get("spills", 0) or "-"),
                     str(r.get("reloads", 0) or "-"),
                 ])

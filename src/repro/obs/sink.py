@@ -134,6 +134,12 @@ class MetricsSink:
           "Bytes moved by the tiled spill pools, by direction")
         d("graphblas_engine_events_total", "counter",
           "Performance-engine events (kernel compiles, twin reuse, ...)")
+        d("graphblas_compile_seconds", "histogram",
+          "Wall time of compiled-tier kernel JIT builds, by toolchain")
+        d("graphblas_compiled_kernel_events_total", "counter",
+          "Compiled-kernel cache activity (compile/hit) by toolchain")
+        d("graphblas_compiled_early_exit_total", "counter",
+          "Terminal-monoid early exits taken by compiled kernels, by op")
         d("graphblas_spgemm_method_total", "counter",
           "SpGEMM method selections")
         d("graphblas_mxv_direction_total", "counter",
@@ -213,6 +219,22 @@ class MetricsSink:
             else:
                 labels = _labels1("kind", sub)
             inc("graphblas_engine_events_total", 1, labels)
+            return
+        if kind == "compiled.kernel":
+            event = str(detail.get("event", "compile"))
+            toolchain = detail.get("toolchain")
+            inc("graphblas_compiled_kernel_events_total", 1,
+                _labels2("event", event, "toolchain", toolchain))
+            if event == "compile" and detail.get("seconds") is not None:
+                self.registry.observe(
+                    "graphblas_compile_seconds", float(detail["seconds"]),
+                    _labels1("toolchain", toolchain))
+            return
+        if kind == "compiled.early_exit":
+            terminated = int(detail.get("terminated", 0))
+            if terminated:
+                inc("graphblas_compiled_early_exit_total", terminated,
+                    _labels1("op", detail.get("op")))
             return
         if kind == "spgemm.method":
             inc("graphblas_spgemm_method_total", 1,
